@@ -1,0 +1,335 @@
+//! MemBench: the bandwidth-saturating micro-benchmark (§6.1).
+//!
+//! "MemBench concurrently issues random DMA read and write requests in
+//! order to saturate HARP's bandwidth. The random reads and writes result
+//! in the worst-case effects of IOTLB misses." The kernel issues one
+//! request per 400 MHz cycle (as many as the port will take), at uniformly
+//! random line addresses within its region, in read-only, write-only, or
+//! mixed mode. It implements the full preemption interface — its state is
+//! just the RNG and the operation counter.
+
+use crate::harness::Kernel;
+use crate::ser::{Reader, Writer};
+use optimus_fabric::accelerator::{AccelMeta, AccelPort};
+use optimus_mem::addr::Gva;
+use optimus_sim::rng::Xoshiro256;
+use optimus_sim::time::Cycle;
+
+/// Access mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MbMode {
+    /// Random reads only.
+    Read,
+    /// Random writes only.
+    Write,
+    /// Alternating reads and writes.
+    Mixed,
+}
+
+impl MbMode {
+    fn from_u64(v: u64) -> Self {
+        match v {
+            1 => MbMode::Write,
+            2 => MbMode::Mixed,
+            _ => MbMode::Read,
+        }
+    }
+
+    fn to_u64(self) -> u64 {
+        match self {
+            MbMode::Read => 0,
+            MbMode::Write => 1,
+            MbMode::Mixed => 2,
+        }
+    }
+}
+
+/// The MemBench kernel.
+#[derive(Debug)]
+pub struct MbKernel {
+    meta: AccelMeta,
+    region: u64,
+    bytes: u64,
+    mode: MbMode,
+    ops_target: u64,
+    issued: u64,
+    completed: u64,
+    rng: Xoshiro256,
+    seed: u64,
+}
+
+impl MbKernel {
+    /// Register: region base GVA.
+    pub const REG_REGION: u64 = 0;
+    /// Register: region size in bytes.
+    pub const REG_BYTES: u64 = 8;
+    /// Register: access mode (0 read / 1 write / 2 mixed).
+    pub const REG_MODE: u64 = 16;
+    /// Register: operations to perform (0 = run until preempted).
+    pub const REG_OPS: u64 = 24;
+    /// Register: RNG seed.
+    pub const REG_SEED: u64 = 32;
+    /// Register (read-only): operations completed.
+    pub const REG_COMPLETED: u64 = 40;
+
+    /// Creates an idle kernel.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            meta: crate::registry::AccelKind::Mb.meta(),
+            region: 0,
+            bytes: 0,
+            mode: MbMode::Read,
+            ops_target: 0,
+            issued: 0,
+            completed: 0,
+            rng: Xoshiro256::seed_from(seed),
+            seed,
+        }
+    }
+}
+
+impl Kernel for MbKernel {
+    fn meta(&self) -> &AccelMeta {
+        &self.meta
+    }
+
+    fn write_reg(&mut self, offset: u64, value: u64) {
+        match offset {
+            Self::REG_REGION => self.region = value,
+            Self::REG_BYTES => self.bytes = value,
+            Self::REG_MODE => self.mode = MbMode::from_u64(value),
+            Self::REG_OPS => self.ops_target = value,
+            Self::REG_SEED => self.seed = value,
+            _ => {}
+        }
+    }
+
+    fn read_reg(&self, offset: u64) -> u64 {
+        match offset {
+            Self::REG_REGION => self.region,
+            Self::REG_BYTES => self.bytes,
+            Self::REG_MODE => self.mode.to_u64(),
+            Self::REG_OPS => self.ops_target,
+            Self::REG_SEED => self.seed,
+            Self::REG_COMPLETED => self.completed,
+            _ => 0,
+        }
+    }
+
+    fn start(&mut self) {
+        self.issued = 0;
+        self.completed = 0;
+        self.rng = Xoshiro256::seed_from(self.seed);
+    }
+
+    fn done(&self) -> bool {
+        self.ops_target > 0 && self.completed >= self.ops_target
+    }
+
+    fn step(&mut self, now: Cycle, port: &mut AccelPort) {
+        while port.pop_response().is_some() {
+            self.completed += 1;
+        }
+        if self.bytes < 64 {
+            return;
+        }
+        let lines = self.bytes / 64;
+        // One request per 400 MHz cycle — the saturating pattern.
+        if (self.ops_target == 0 || self.issued < self.ops_target) && port.can_issue() {
+            let line = self.rng.gen_range(0..lines);
+            let gva = Gva::new(self.region + line * 64);
+            let write = match self.mode {
+                MbMode::Read => false,
+                MbMode::Write => true,
+                MbMode::Mixed => self.issued % 2 == 1,
+            };
+            if write {
+                let mut data = [0u8; 64];
+                data[..8].copy_from_slice(&self.issued.to_le_bytes());
+                port.write(gva, Box::new(data), now);
+            } else {
+                port.read(gva, now);
+            }
+            self.issued += 1;
+        }
+    }
+
+    fn serialize(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.region)
+            .u64(self.bytes)
+            .u64(self.mode.to_u64())
+            .u64(self.ops_target)
+            .u64(self.completed)
+            .u64(self.seed);
+        for word in self.rng.state() {
+            w.u64(word);
+        }
+        w.finish()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) {
+        let mut r = Reader::new(bytes);
+        self.region = r.u64();
+        self.bytes = r.u64();
+        self.mode = MbMode::from_u64(r.u64());
+        self.ops_target = r.u64();
+        self.completed = r.u64();
+        self.seed = r.u64();
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.u64();
+        }
+        self.rng = Xoshiro256::from_state(state);
+        self.issued = self.completed;
+    }
+
+    fn reset(&mut self) {
+        *self = MbKernel::new(self.seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Harnessed;
+    use optimus_fabric::accelerator::{Accelerator, CtrlStatus};
+    use optimus_fabric::mmio::accel_reg;
+
+    fn service(port: &mut AccelPort, now: Cycle) {
+        while let Some(req) = port.take_pending() {
+            match req.write {
+                Some(_) => port.deliver(req.tag, None, now),
+                None => port.deliver(req.tag, Some(Box::new([0; 64])), now),
+            }
+        }
+    }
+
+    #[test]
+    fn issues_one_request_per_cycle() {
+        let mut acc = Harnessed::new(MbKernel::new(1));
+        let mut port = AccelPort::new();
+        acc.mmio_write(accel_reg::APP_BASE + MbKernel::REG_BYTES, 1 << 20);
+        acc.mmio_write(accel_reg::APP_BASE + MbKernel::REG_OPS, 500);
+        acc.mmio_write(accel_reg::CTRL_CMD, accel_reg::CMD_START);
+        let mut finished = 0;
+        for now in 0..5_000 {
+            acc.step(now, &mut port);
+            service(&mut port, now);
+            if acc.is_done() {
+                finished = now;
+                break;
+            }
+        }
+        assert!(finished > 0 && finished < 600, "took {finished} cycles");
+    }
+
+    #[test]
+    fn unbounded_mode_never_finishes() {
+        let mut acc = Harnessed::new(MbKernel::new(2));
+        let mut port = AccelPort::new();
+        acc.mmio_write(accel_reg::APP_BASE + MbKernel::REG_BYTES, 1 << 16);
+        acc.mmio_write(accel_reg::CTRL_CMD, accel_reg::CMD_START);
+        for now in 0..1000 {
+            acc.step(now, &mut port);
+            service(&mut port, now);
+        }
+        assert!(!acc.is_done());
+        assert!(acc.mmio_read(accel_reg::APP_BASE + MbKernel::REG_COMPLETED) > 500);
+    }
+
+    #[test]
+    fn mixed_mode_alternates() {
+        let mut k = MbKernel::new(3);
+        k.write_reg(MbKernel::REG_BYTES, 1 << 16);
+        k.write_reg(MbKernel::REG_MODE, 2);
+        k.start();
+        let mut port = AccelPort::new();
+        let mut reads = 0;
+        let mut writes = 0;
+        for now in 0..100 {
+            k.step(now, &mut port);
+            while let Some(req) = port.take_pending() {
+                if req.write.is_some() {
+                    writes += 1;
+                    port.deliver(req.tag, None, now);
+                } else {
+                    reads += 1;
+                    port.deliver(req.tag, Some(Box::new([0; 64])), now);
+                }
+            }
+        }
+        assert_eq!(reads, 50);
+        assert_eq!(writes, 50);
+    }
+
+    #[test]
+    fn addresses_stay_inside_region() {
+        let mut k = MbKernel::new(4);
+        k.write_reg(MbKernel::REG_REGION, 0x10000);
+        k.write_reg(MbKernel::REG_BYTES, 0x1000);
+        k.start();
+        let mut port = AccelPort::new();
+        for now in 0..200 {
+            k.step(now, &mut port);
+            while let Some(req) = port.take_pending() {
+                assert!(req.gva.raw() >= 0x10000 && req.gva.raw() < 0x11000);
+                assert!(req.gva.is_aligned(64));
+                port.deliver(req.tag, Some(Box::new([0; 64])), now);
+            }
+        }
+    }
+
+    #[test]
+    fn preempt_resume_preserves_counters() {
+        let mut acc = Harnessed::new(MbKernel::new(5));
+        let mut port = AccelPort::new();
+        let mut store = vec![0u8; 0x20000];
+        let service_store = |port: &mut AccelPort, store: &mut Vec<u8>, now: Cycle| {
+            while let Some(req) = port.take_pending() {
+                let base = req.gva.raw() as usize;
+                if store.len() < base + 64 {
+                    store.resize(base + 64, 0);
+                }
+                match req.write {
+                    Some(data) => {
+                        store[base..base + 64].copy_from_slice(&data[..]);
+                        port.deliver(req.tag, None, now);
+                    }
+                    None => {
+                        let mut line = [0u8; 64];
+                        line.copy_from_slice(&store[base..base + 64]);
+                        port.deliver(req.tag, Some(Box::new(line)), now);
+                    }
+                }
+            }
+        };
+        acc.mmio_write(accel_reg::CTRL_STATE_ADDR, 0x10000);
+        acc.mmio_write(accel_reg::APP_BASE + MbKernel::REG_BYTES, 0x8000);
+        acc.mmio_write(accel_reg::APP_BASE + MbKernel::REG_OPS, 1000);
+        acc.mmio_write(accel_reg::CTRL_CMD, accel_reg::CMD_START);
+        let mut now = 0;
+        for _ in 0..300 {
+            acc.step(now, &mut port);
+            service_store(&mut port, &mut store, now);
+            now += 1;
+        }
+        acc.mmio_write(accel_reg::CTRL_CMD, accel_reg::CMD_PREEMPT);
+        while acc.status() != CtrlStatus::Saved {
+            acc.step(now, &mut port);
+            service_store(&mut port, &mut store, now);
+            now += 1;
+        }
+        let at_preempt = acc.kernel().completed;
+        assert!(at_preempt > 100);
+        *acc.kernel_mut() = MbKernel::new(0);
+        acc.mmio_write(accel_reg::CTRL_CMD, accel_reg::CMD_RESUME);
+        while !acc.is_done() {
+            acc.step(now, &mut port);
+            service_store(&mut port, &mut store, now);
+            now += 1;
+            assert!(now < 100_000);
+        }
+        assert_eq!(acc.kernel().completed, 1000);
+    }
+}

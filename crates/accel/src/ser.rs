@@ -1,0 +1,106 @@
+//! Tiny fixed-layout serialization helpers for accelerator state blobs.
+//!
+//! Preemption state is streamed over DMA as raw bytes; kernels lay their
+//! state out as a sequence of little-endian `u64` words followed by
+//! variable-length byte runs. [`Writer`] and [`Reader`] keep that layout
+//! code short and panic loudly on layout mismatches (a corrupted state blob
+//! is a hypervisor bug, not a recoverable condition).
+
+/// Appends fields to a state blob.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a length-prefixed byte run.
+    pub fn bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.u64(b.len() as u64);
+        self.buf.extend_from_slice(b);
+        self
+    }
+
+    /// Finishes and returns the blob.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Reads fields back out of a state blob.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a blob for reading.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, at: 0 }
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on truncated blobs.
+    pub fn u64(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.buf[self.at..self.at + 8].try_into().unwrap());
+        self.at += 8;
+        v
+    }
+
+    /// Reads a length-prefixed byte run.
+    ///
+    /// # Panics
+    ///
+    /// Panics on truncated blobs.
+    pub fn bytes(&mut self) -> Vec<u8> {
+        let len = self.u64() as usize;
+        let v = self.buf[self.at..self.at + len].to_vec();
+        self.at += len;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut w = Writer::new();
+        w.u64(7).u64(u64::MAX).bytes(b"hello");
+        let blob = w.finish();
+        let mut r = Reader::new(&blob);
+        assert_eq!(r.u64(), 7);
+        assert_eq!(r.u64(), u64::MAX);
+        assert_eq!(r.bytes(), b"hello");
+    }
+
+    #[test]
+    fn empty_bytes() {
+        let mut w = Writer::new();
+        w.bytes(b"");
+        let blob = w.finish();
+        let mut r = Reader::new(&blob);
+        assert!(r.bytes().is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn truncated_blob_panics() {
+        Reader::new(&[1, 2, 3]).u64();
+    }
+}

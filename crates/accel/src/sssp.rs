@@ -1,0 +1,898 @@
+//! SSSP: the single-source-shortest-path graph accelerator.
+//!
+//! This is the paper's motivating *pointer-chasing* workload (Fig. 1): the
+//! accelerator walks a CSR graph resident in system memory, and the address
+//! of every access depends on data returned by a previous access — row
+//! offsets name edge ranges, edges name neighbour vertices, neighbour
+//! vertices name distance words. Under the shared-memory model the
+//! accelerator chases these pointers itself; under the host-centric model
+//! every hop needs CPU involvement, which is exactly the gap Fig. 1
+//! measures.
+//!
+//! The algorithm is the frontier-based Bellman–Ford relaxation of
+//! [`optimus_algo::graph::sssp`] (hardware-friendly: no priority queue).
+//! The frontier lives in on-chip RAM; the distance array lives in DRAM and
+//! is updated with read-modify-write line operations. Relaxations are
+//! monotone, so re-processing a vertex after a preemption is harmless —
+//! which is why the preemption state is just the frontier.
+
+use crate::harness::Kernel;
+use crate::ser::{Reader, Writer};
+use optimus_fabric::accelerator::{AccelMeta, AccelPort};
+use optimus_mem::addr::Gva;
+use optimus_sim::time::Cycle;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// "Unreachable" distance (matches [`optimus_algo::graph::INF`]).
+pub const INF: u32 = u32::MAX;
+
+/// A pending multi-line fetch: tag → slot, plus the collected lines.
+#[derive(Debug, Default)]
+struct Fetch {
+    expect: HashMap<u32, usize>,
+    lines: Vec<Option<Box<[u8; 64]>>>,
+    /// Line-aligned GVAs still to issue.
+    to_issue: VecDeque<u64>,
+    issued: usize,
+}
+
+impl Fetch {
+    fn begin(gvas: Vec<u64>) -> Self {
+        Fetch {
+            expect: HashMap::new(),
+            lines: vec![None; gvas.len()],
+            to_issue: gvas.into(),
+            issued: 0,
+        }
+    }
+
+    fn pump(&mut self, port: &mut AccelPort, now: Cycle, window: usize) {
+        while !self.to_issue.is_empty()
+            && self.expect.len() < window
+            && port.can_issue()
+        {
+            let gva = self.to_issue.pop_front().expect("nonempty");
+            let tag = port.read(Gva::new(gva), now);
+            self.expect.insert(tag.0, self.issued);
+            self.issued += 1;
+        }
+    }
+
+    fn absorb(&mut self, port: &mut AccelPort) {
+        while let Some(resp) = port.pop_response() {
+            if let Some(slot) = self.expect.remove(&resp.tag.0) {
+                self.lines[slot] = resp.data;
+            }
+        }
+    }
+
+    fn complete(&self) -> bool {
+        self.to_issue.is_empty() && self.expect.is_empty()
+    }
+
+    fn line(&self, slot: usize) -> &[u8; 64] {
+        self.lines[slot].as_deref().expect("fetch complete")
+    }
+}
+
+#[derive(Debug)]
+enum Phase {
+    Idle,
+    FetchHeader(Fetch),
+    /// On-chip mode: stream the distance array into BRAM.
+    LoadDist {
+        engine: crate::stream::StreamEngine,
+    },
+    /// On-chip mode: stream the final distance array back to DRAM.
+    WriteBack {
+        cursor: u64,
+        acks: u64,
+        issued: u64,
+    },
+    /// On-chip mode: fetch the row-offset lines of the whole frontier
+    /// (pipelined — the frontier's vertices are all known up front).
+    RoundOffsets {
+        fetch: Fetch,
+        line_gvas: Vec<u64>,
+    },
+    /// On-chip mode: fetch every edge line the round touches (bulk,
+    /// bandwidth-bound streaming).
+    RoundEdges {
+        fetch: Fetch,
+        line_gvas: Vec<u64>,
+        ranges: Vec<(u32, u32, u32)>,
+    },
+    /// On-chip mode: relax the gathered edges against BRAM.
+    RoundRelax {
+        edges: Vec<(u32, u32, u32)>,
+        cursor: usize,
+    },
+    NextVertex,
+    FetchOffsets {
+        fetch: Fetch,
+        /// Byte address of `row_offsets[u]`.
+        lo_addr: u64,
+        two_lines: bool,
+        /// The vertex whose offsets (and fresh distance) are being fetched.
+        u: u32,
+    },
+    FetchEdges {
+        fetch: Fetch,
+        target_base_addr: u64,
+        weight_base_addr: u64,
+        lo: u32,
+        hi: u32,
+        /// Line GVAs of the target half (rest are weights).
+        target_line_count: usize,
+    },
+    ProcessEdges,
+    FetchDist {
+        fetch: Fetch,
+        v: u32,
+        cand: u32,
+        line_gva: u64,
+    },
+    Done,
+}
+
+/// The SSSP kernel.
+#[derive(Debug)]
+pub struct SsspKernel {
+    meta: AccelMeta,
+    graph: u64,
+    dist: u64,
+    source: u64,
+    vertices: u32,
+    edges: u32,
+    frontier: VecDeque<(u32, u32)>,
+    next: Vec<(u32, u32)>,
+    in_next: HashSet<u32>,
+    current: Option<(u32, u32)>,
+    edge_list: Vec<(u32, u32)>,
+    edge_idx: usize,
+    rounds: u64,
+    relaxations: u64,
+    /// On-chip vertex-data mode (Zhou–Prasanna style): the distance array
+    /// is streamed into BRAM at start and back out at the end, and edges
+    /// are relaxed against the on-chip copy. Feasible when the vertex data
+    /// fits BRAM; the alternative (0) keeps distances in DRAM and issues a
+    /// dependent read-modify-write per edge.
+    onchip: bool,
+    dist_vec: Vec<u32>,
+    /// The vertices of the round being processed (on-chip mode).
+    round_vertices: Vec<u32>,
+    phase: Phase,
+}
+
+impl Default for SsspKernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SsspKernel {
+    /// Register: GVA of the serialized CSR graph
+    /// ([`CsrGraph::to_dram_layout`](optimus_algo::graph::CsrGraph::to_dram_layout)).
+    pub const REG_GRAPH: u64 = 0;
+    /// Register: GVA of the distance array (u32 per vertex, host-initialized
+    /// to `INF` except the source, which must be 0).
+    pub const REG_DIST: u64 = 8;
+    /// Register: source vertex.
+    pub const REG_SOURCE: u64 = 16;
+    /// Register (read-only): relaxation rounds executed.
+    pub const REG_ROUNDS: u64 = 24;
+    /// Register (read-only): successful relaxations.
+    pub const REG_RELAXATIONS: u64 = 32;
+    /// Register: 1 = on-chip vertex data (stream dist in/out, relax in
+    /// BRAM), 0 = per-edge DRAM read-modify-write.
+    pub const REG_ONCHIP: u64 = 40;
+
+    /// Creates an idle kernel.
+    pub fn new() -> Self {
+        Self {
+            meta: crate::registry::AccelKind::Sssp.meta(),
+            graph: 0,
+            dist: 0,
+            source: 0,
+            vertices: 0,
+            edges: 0,
+            frontier: VecDeque::new(),
+            next: Vec::new(),
+            in_next: HashSet::new(),
+            current: None,
+            edge_list: Vec::new(),
+            edge_idx: 0,
+            rounds: 0,
+            relaxations: 0,
+            onchip: false,
+            dist_vec: Vec::new(),
+            round_vertices: Vec::new(),
+            phase: Phase::Idle,
+        }
+    }
+
+    fn row_offset_addr(&self, u: u32) -> u64 {
+        self.graph + 8 + 4 * u as u64
+    }
+
+    fn target_addr(&self, k: u32) -> u64 {
+        self.graph + 8 + 4 * (self.vertices as u64 + 1) + 4 * k as u64
+    }
+
+    fn weight_addr(&self, k: u32) -> u64 {
+        self.target_addr(k) + 4 * self.edges as u64
+    }
+
+    fn dist_addr(&self, v: u32) -> u64 {
+        self.dist + 4 * v as u64
+    }
+
+    /// Reads a little-endian u32 at `byte_addr` out of a completed fetch
+    /// whose slots correspond to the sorted `line_gvas`.
+    fn fetch_u32(fetch: &Fetch, line_gvas: &[u64], byte_addr: u64) -> u32 {
+        let line = byte_addr & !63;
+        let slot = line_gvas.binary_search(&line).expect("line fetched");
+        let off = (byte_addr - line) as usize;
+        u32::from_le_bytes(fetch.line(slot)[off..off + 4].try_into().unwrap())
+    }
+
+    /// Lines covering the byte range `[lo, hi)`.
+    fn lines_covering(lo: u64, hi: u64) -> Vec<u64> {
+        let first = lo & !63;
+        let last = (hi - 1) & !63;
+        (first..=last).step_by(64).collect()
+    }
+
+}
+
+impl Kernel for SsspKernel {
+    fn meta(&self) -> &AccelMeta {
+        &self.meta
+    }
+
+    fn write_reg(&mut self, offset: u64, value: u64) {
+        match offset {
+            Self::REG_GRAPH => self.graph = value,
+            Self::REG_DIST => self.dist = value,
+            Self::REG_SOURCE => self.source = value,
+            Self::REG_ONCHIP => self.onchip = value != 0,
+            _ => {}
+        }
+    }
+
+    fn read_reg(&self, offset: u64) -> u64 {
+        match offset {
+            Self::REG_GRAPH => self.graph,
+            Self::REG_DIST => self.dist,
+            Self::REG_SOURCE => self.source,
+            Self::REG_ROUNDS => self.rounds,
+            Self::REG_RELAXATIONS => self.relaxations,
+            Self::REG_ONCHIP => self.onchip as u64,
+            _ => 0,
+        }
+    }
+
+    fn start(&mut self) {
+        self.frontier.clear();
+        self.next.clear();
+        self.in_next.clear();
+        self.current = None;
+        self.edge_list.clear();
+        self.edge_idx = 0;
+        self.rounds = 0;
+        self.relaxations = 0;
+        self.phase = Phase::FetchHeader(Fetch::begin(vec![self.graph]));
+    }
+
+    fn done(&self) -> bool {
+        matches!(self.phase, Phase::Done)
+    }
+
+    fn step(&mut self, now: Cycle, port: &mut AccelPort) {
+        // One phase transition per call keeps the dependent-access timing
+        // honest: every hop costs at least one accelerator cycle plus the
+        // memory round trip. The phase is moved out so the arms can call
+        // address helpers on `self`.
+        let phase = std::mem::replace(&mut self.phase, Phase::Idle);
+        self.phase = match phase {
+            Phase::Idle => Phase::Idle,
+            Phase::Done => Phase::Done,
+            Phase::FetchHeader(mut fetch) => {
+                fetch.absorb(port);
+                fetch.pump(port, now, 2);
+                if fetch.complete() {
+                    let line = fetch.line(0);
+                    self.vertices = u32::from_le_bytes(line[0..4].try_into().unwrap());
+                    self.edges = u32::from_le_bytes(line[4..8].try_into().unwrap());
+                    self.frontier.push_back((self.source as u32, 0));
+                    self.rounds = 1;
+                    if self.onchip {
+                        let lines = (self.vertices as u64 * 4).div_ceil(64);
+                        self.dist_vec = Vec::with_capacity(self.vertices as usize);
+                        Phase::LoadDist {
+                            engine: crate::stream::StreamEngine::new(self.dist, lines),
+                        }
+                    } else {
+                        Phase::NextVertex
+                    }
+                } else {
+                    Phase::FetchHeader(fetch)
+                }
+            }
+            Phase::LoadDist { mut engine } => {
+                engine.absorb(port);
+                engine.issue_reads(port, now);
+                while let Some((_, line)) = engine.next_line() {
+                    for word in line.chunks_exact(4) {
+                        if (self.dist_vec.len() as u32) < self.vertices {
+                            self.dist_vec
+                                .push(u32::from_le_bytes(word.try_into().unwrap()));
+                        }
+                    }
+                }
+                if engine.input_exhausted() {
+                    Phase::NextVertex
+                } else {
+                    Phase::LoadDist { engine }
+                }
+            }
+            Phase::WriteBack {
+                mut cursor,
+                mut acks,
+                issued: mut issued_wb,
+            } => {
+                while let Some(resp) = port.pop_response() {
+                    debug_assert!(resp.data.is_none());
+                    acks += 1;
+                }
+                let total_lines = (self.vertices as u64 * 4).div_ceil(64);
+                while cursor < total_lines && port.can_issue() {
+                    let mut line = [0u8; 64];
+                    for k in 0..16u64 {
+                        let v = (cursor * 16 + k) as usize;
+                        let value = self.dist_vec.get(v).copied().unwrap_or(INF);
+                        line[(k * 4) as usize..(k * 4 + 4) as usize]
+                            .copy_from_slice(&value.to_le_bytes());
+                    }
+                    port.write(Gva::new(self.dist + cursor * 64), Box::new(line), now);
+                    cursor += 1;
+                    issued_wb += 1;
+                }
+                if cursor >= total_lines && acks >= issued_wb {
+                    Phase::Done
+                } else {
+                    Phase::WriteBack {
+                        cursor,
+                        acks,
+                        issued: issued_wb,
+                    }
+                }
+            }
+            Phase::RoundOffsets { mut fetch, line_gvas } => {
+                fetch.absorb(port);
+                fetch.pump(port, now, 16);
+                if !fetch.complete() {
+                    Phase::RoundOffsets { fetch, line_gvas }
+                } else {
+                    // Decode (lo, hi) per frontier vertex, then gather every
+                    // edge line the round touches.
+                    let mut ranges = Vec::with_capacity(self.round_vertices.len());
+                    let mut edge_lines = Vec::new();
+                    for &u in &self.round_vertices {
+                        let lo = Self::fetch_u32(&fetch, &line_gvas, self.row_offset_addr(u));
+                        let hi =
+                            Self::fetch_u32(&fetch, &line_gvas, self.row_offset_addr(u + 1));
+                        if lo != hi {
+                            ranges.push((u, lo, hi));
+                            edge_lines
+                                .extend(Self::lines_covering(self.target_addr(lo), self.target_addr(hi)));
+                            edge_lines
+                                .extend(Self::lines_covering(self.weight_addr(lo), self.weight_addr(hi)));
+                        }
+                    }
+                    edge_lines.sort_unstable();
+                    edge_lines.dedup();
+                    if ranges.is_empty() {
+                        Phase::NextVertex
+                    } else {
+                        Phase::RoundEdges {
+                            fetch: Fetch::begin(edge_lines.clone()),
+                            line_gvas: edge_lines,
+                            ranges,
+                        }
+                    }
+                }
+            }
+            Phase::RoundEdges {
+                mut fetch,
+                line_gvas,
+                ranges,
+            } => {
+                fetch.absorb(port);
+                fetch.pump(port, now, 32);
+                if !fetch.complete() {
+                    Phase::RoundEdges {
+                        fetch,
+                        line_gvas,
+                        ranges,
+                    }
+                } else {
+                    let mut edges = Vec::new();
+                    for &(u, lo, hi) in &ranges {
+                        for k in lo..hi {
+                            let v = Self::fetch_u32(&fetch, &line_gvas, self.target_addr(k));
+                            let w = Self::fetch_u32(&fetch, &line_gvas, self.weight_addr(k));
+                            edges.push((u, v, w));
+                        }
+                    }
+                    Phase::RoundRelax { edges, cursor: 0 }
+                }
+            }
+            Phase::RoundRelax { edges, mut cursor } => {
+                let mut budget = 4;
+                while budget > 0 && cursor < edges.len() {
+                    let (u, v, w) = edges[cursor];
+                    let cand = self.dist_vec[u as usize].saturating_add(w);
+                    if cand < self.dist_vec[v as usize] {
+                        self.dist_vec[v as usize] = cand;
+                        self.relaxations += 1;
+                        if self.in_next.insert(v) {
+                            self.next.push((v, cand));
+                        }
+                    }
+                    cursor += 1;
+                    budget -= 1;
+                }
+                if cursor < edges.len() {
+                    Phase::RoundRelax { edges, cursor }
+                } else {
+                    Phase::NextVertex
+                }
+            }
+            Phase::NextVertex if self.onchip => {
+                if !self.frontier.is_empty() {
+                    self.round_vertices = self.frontier.drain(..).map(|(u, _)| u).collect();
+                    let mut line_gvas = Vec::new();
+                    for &u in &self.round_vertices {
+                        line_gvas.push(self.row_offset_addr(u) & !63);
+                        line_gvas.push(self.row_offset_addr(u + 1) & !63);
+                    }
+                    line_gvas.sort_unstable();
+                    line_gvas.dedup();
+                    Phase::RoundOffsets {
+                        fetch: Fetch::begin(line_gvas.clone()),
+                        line_gvas,
+                    }
+                } else if !self.next.is_empty() {
+                    self.frontier = std::mem::take(&mut self.next).into();
+                    self.in_next.clear();
+                    self.rounds += 1;
+                    Phase::NextVertex
+                } else {
+                    self.current = None;
+                    Phase::WriteBack {
+                        cursor: 0,
+                        acks: 0,
+                        issued: 0,
+                    }
+                }
+            }
+            Phase::NextVertex => {
+                if let Some((u, _)) = self.frontier.pop_front() {
+                    let lo_addr = self.row_offset_addr(u);
+                    let hi_addr = self.row_offset_addr(u + 1);
+                    let two_lines = (lo_addr & !63) != (hi_addr & !63);
+                    let mut gvas = vec![lo_addr & !63];
+                    if two_lines {
+                        gvas.push(hi_addr & !63);
+                    }
+                    if !self.onchip {
+                        // Also fetch the *fresh* distance of u: same-round
+                        // relaxations may already have improved it, and
+                        // using a stale enqueued value would propagate
+                        // worse paths.
+                        gvas.push(self.dist_addr(u) & !63);
+                    }
+                    Phase::FetchOffsets {
+                        fetch: Fetch::begin(gvas),
+                        lo_addr,
+                        two_lines,
+                        u,
+                    }
+                } else if !self.next.is_empty() {
+                    self.frontier = std::mem::take(&mut self.next).into();
+                    self.in_next.clear();
+                    self.rounds += 1;
+                    Phase::NextVertex
+                } else {
+                    self.current = None;
+                    Phase::Done
+                }
+            }
+            Phase::FetchOffsets {
+                mut fetch,
+                lo_addr,
+                two_lines,
+                u,
+            } => {
+                fetch.absorb(port);
+                fetch.pump(port, now, 3);
+                if !fetch.complete() {
+                    Phase::FetchOffsets {
+                        fetch,
+                        lo_addr,
+                        two_lines,
+                        u,
+                    }
+                } else {
+                    let lo_off = (lo_addr & 63) as usize;
+                    let lo =
+                        u32::from_le_bytes(fetch.line(0)[lo_off..lo_off + 4].try_into().unwrap());
+                    let hi = if two_lines {
+                        u32::from_le_bytes(fetch.line(1)[0..4].try_into().unwrap())
+                    } else {
+                        u32::from_le_bytes(
+                            fetch.line(0)[lo_off + 4..lo_off + 8].try_into().unwrap(),
+                        )
+                    };
+                    let du = if self.onchip {
+                        self.dist_vec[u as usize]
+                    } else {
+                        let dist_slot = if two_lines { 2 } else { 1 };
+                        let d_off = (self.dist_addr(u) & 63) as usize;
+                        u32::from_le_bytes(
+                            fetch.line(dist_slot)[d_off..d_off + 4].try_into().unwrap(),
+                        )
+                    };
+                    self.current = Some((u, du));
+                    if lo == hi {
+                        self.current = None;
+                        Phase::NextVertex
+                    } else {
+                        let t_lines =
+                            Self::lines_covering(self.target_addr(lo), self.target_addr(hi));
+                        let w_lines =
+                            Self::lines_covering(self.weight_addr(lo), self.weight_addr(hi));
+                        let target_line_count = t_lines.len();
+                        let target_base_addr = self.target_addr(lo) & !63;
+                        let weight_base_addr = self.weight_addr(lo) & !63;
+                        let mut gvas = t_lines;
+                        gvas.extend(w_lines);
+                        Phase::FetchEdges {
+                            fetch: Fetch::begin(gvas),
+                            target_base_addr,
+                            weight_base_addr,
+                            lo,
+                            hi,
+                            target_line_count,
+                        }
+                    }
+                }
+            }
+            Phase::FetchEdges {
+                mut fetch,
+                target_base_addr,
+                weight_base_addr,
+                lo,
+                hi,
+                target_line_count,
+            } => {
+                fetch.absorb(port);
+                fetch.pump(port, now, 8);
+                if !fetch.complete() {
+                    Phase::FetchEdges {
+                        fetch,
+                        target_base_addr,
+                        weight_base_addr,
+                        lo,
+                        hi,
+                        target_line_count,
+                    }
+                } else {
+                    let mut edge_list = Vec::with_capacity((hi - lo) as usize);
+                    for k in lo..hi {
+                        let t_addr = self.target_addr(k);
+                        let t_slot = ((t_addr & !63) - target_base_addr) as usize / 64;
+                        let t_off = (t_addr & 63) as usize;
+                        let v = u32::from_le_bytes(
+                            fetch.line(t_slot)[t_off..t_off + 4].try_into().unwrap(),
+                        );
+                        let w_addr = self.weight_addr(k);
+                        let w_slot =
+                            target_line_count + ((w_addr & !63) - weight_base_addr) as usize / 64;
+                        let w_off = (w_addr & 63) as usize;
+                        let w = u32::from_le_bytes(
+                            fetch.line(w_slot)[w_off..w_off + 4].try_into().unwrap(),
+                        );
+                        edge_list.push((v, w));
+                    }
+                    self.edge_list = edge_list;
+                    self.edge_idx = 0;
+                    Phase::ProcessEdges
+                }
+            }
+            Phase::ProcessEdges => {
+                if self.onchip {
+                    // BRAM relaxations: up to a few edges per cycle.
+                    let mut budget = 4;
+                    while budget > 0 && self.edge_idx < self.edge_list.len() {
+                        let (v, w) = self.edge_list[self.edge_idx];
+                        let (_, du) = self.current.expect("processing a vertex");
+                        let cand = du.saturating_add(w);
+                        if cand < self.dist_vec[v as usize] {
+                            self.dist_vec[v as usize] = cand;
+                            self.relaxations += 1;
+                            if self.in_next.insert(v) {
+                                self.next.push((v, cand));
+                            }
+                        }
+                        self.edge_idx += 1;
+                        budget -= 1;
+                    }
+                    if self.edge_idx >= self.edge_list.len() {
+                        self.current = None;
+                        Phase::NextVertex
+                    } else {
+                        Phase::ProcessEdges
+                    }
+                } else if self.edge_idx >= self.edge_list.len() {
+                    self.current = None;
+                    Phase::NextVertex
+                } else {
+                    let (v, w) = self.edge_list[self.edge_idx];
+                    let (_, du) = self.current.expect("processing a vertex");
+                    let cand = du.saturating_add(w);
+                    let line_gva = self.dist_addr(v) & !63;
+                    Phase::FetchDist {
+                        fetch: Fetch::begin(vec![line_gva]),
+                        v,
+                        cand,
+                        line_gva,
+                    }
+                }
+            }
+            Phase::FetchDist {
+                mut fetch,
+                v,
+                cand,
+                line_gva,
+            } => {
+                fetch.absorb(port);
+                fetch.pump(port, now, 1);
+                if !fetch.complete() {
+                    Phase::FetchDist {
+                        fetch,
+                        v,
+                        cand,
+                        line_gva,
+                    }
+                } else {
+                    let off = (self.dist_addr(v) - line_gva) as usize;
+                    let mut line = *fetch.line(0);
+                    let old = u32::from_le_bytes(line[off..off + 4].try_into().unwrap());
+                    if cand < old {
+                        if port.can_issue() {
+                            line[off..off + 4].copy_from_slice(&cand.to_le_bytes());
+                            // Fire-and-forget write; its tag-less ack is
+                            // ignored by later fetches.
+                            port.write(Gva::new(line_gva), Box::new(line), now);
+                            self.relaxations += 1;
+                            if self.in_next.insert(v) {
+                                self.next.push((v, cand));
+                            }
+                            self.edge_idx += 1;
+                            Phase::ProcessEdges
+                        } else {
+                            // Port full: retry the write next cycle.
+                            Phase::FetchDist {
+                                fetch,
+                                v,
+                                cand,
+                                line_gva,
+                            }
+                        }
+                    } else {
+                        self.edge_idx += 1;
+                        Phase::ProcessEdges
+                    }
+                }
+            }
+        };
+    }
+
+    fn serialize(&self) -> Vec<u8> {
+        // Preemption state: configuration + frontier (+ the in-flight
+        // vertex, pushed back for re-processing — relaxations are monotone,
+        // so re-running a vertex is safe).
+        let mut w = Writer::new();
+        w.u64(self.graph)
+            .u64(self.dist)
+            .u64(self.source)
+            .u64(self.vertices as u64)
+            .u64(self.edges as u64)
+            .u64(self.rounds)
+            .u64(self.relaxations)
+            .u64(if matches!(self.phase, Phase::Done) { 1 } else { 0 })
+            .u64(self.onchip as u64);
+        let mut dist_bytes = Vec::with_capacity(self.dist_vec.len() * 4);
+        for d in &self.dist_vec {
+            dist_bytes.extend_from_slice(&d.to_le_bytes());
+        }
+        w.bytes(&dist_bytes);
+        let mut entries: Vec<(u32, u32)> = Vec::new();
+        if let Some(cur) = self.current {
+            entries.push(cur);
+        }
+        entries.extend(self.frontier.iter().copied());
+        w.u64(entries.len() as u64);
+        for (v, d) in &entries {
+            w.u64(*v as u64).u64(*d as u64);
+        }
+        w.u64(self.next.len() as u64);
+        for (v, d) in &self.next {
+            w.u64(*v as u64).u64(*d as u64);
+        }
+        w.finish()
+    }
+
+    fn restore(&mut self, bytes: &[u8]) {
+        let mut r = Reader::new(bytes);
+        self.graph = r.u64();
+        self.dist = r.u64();
+        self.source = r.u64();
+        self.vertices = r.u64() as u32;
+        self.edges = r.u64() as u32;
+        self.rounds = r.u64();
+        self.relaxations = r.u64();
+        let done = r.u64() == 1;
+        self.onchip = r.u64() == 1;
+        let dist_bytes = r.bytes();
+        self.dist_vec = dist_bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let flen = r.u64();
+        self.frontier = (0..flen)
+            .map(|_| (r.u64() as u32, r.u64() as u32))
+            .collect();
+        let nlen = r.u64();
+        self.next = (0..nlen)
+            .map(|_| (r.u64() as u32, r.u64() as u32))
+            .collect();
+        self.in_next = self.next.iter().map(|&(v, _)| v).collect();
+        self.current = None;
+        self.edge_list.clear();
+        self.edge_idx = 0;
+        self.phase = if done { Phase::Done } else { Phase::NextVertex };
+    }
+
+    fn reset(&mut self) {
+        *self = SsspKernel::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Harnessed;
+    use optimus_algo::graph::{sssp, CsrGraph};
+    use optimus_fabric::accelerator::Accelerator;
+    use optimus_fabric::mmio::accel_reg;
+    use optimus_sim::rng::Xoshiro256;
+
+    fn service(port: &mut AccelPort, store: &mut Vec<u8>, now: Cycle) {
+        while let Some(req) = port.take_pending() {
+            let base = req.gva.raw() as usize;
+            if store.len() < base + 64 {
+                store.resize(base + 64, 0);
+            }
+            match req.write {
+                Some(data) => {
+                    store[base..base + 64].copy_from_slice(&data[..]);
+                    port.deliver(req.tag, None, now);
+                }
+                None => {
+                    let mut line = [0u8; 64];
+                    line.copy_from_slice(&store[base..base + 64]);
+                    port.deliver(req.tag, Some(Box::new(line)), now);
+                }
+            }
+        }
+    }
+
+    fn run_sssp(graph: &CsrGraph, source: u32) -> Vec<u32> {
+        run_sssp_mode(graph, source, false)
+    }
+
+    fn run_sssp_mode(graph: &CsrGraph, source: u32, onchip: bool) -> Vec<u32> {
+        let blob = graph.to_dram_layout();
+        let dist_base = 0x100000usize;
+        let mut store = vec![0u8; dist_base + graph.vertices() * 4 + 64];
+        store[0x1000..0x1000 + blob.len()].copy_from_slice(&blob);
+        for v in 0..graph.vertices() {
+            let d = if v as u32 == source { 0u32 } else { INF };
+            store[dist_base + 4 * v..dist_base + 4 * v + 4].copy_from_slice(&d.to_le_bytes());
+        }
+        let mut acc = Harnessed::new(SsspKernel::new());
+        acc.mmio_write(accel_reg::APP_BASE + SsspKernel::REG_GRAPH, 0x1000);
+        acc.mmio_write(accel_reg::APP_BASE + SsspKernel::REG_DIST, dist_base as u64);
+        acc.mmio_write(accel_reg::APP_BASE + SsspKernel::REG_SOURCE, source as u64);
+        acc.mmio_write(accel_reg::APP_BASE + SsspKernel::REG_ONCHIP, onchip as u64);
+        acc.mmio_write(accel_reg::CTRL_CMD, accel_reg::CMD_START);
+        let mut port = AccelPort::new();
+        for now in 0..10_000_000 {
+            acc.step(now, &mut port);
+            service(&mut port, &mut store, now);
+            if acc.is_done() {
+                break;
+            }
+        }
+        assert!(acc.is_done(), "SSSP never converged");
+        (0..graph.vertices())
+            .map(|v| {
+                u32::from_le_bytes(
+                    store[dist_base + 4 * v..dist_base + 4 * v + 4].try_into().unwrap(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tiny_graph_distances_match() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 3), (0, 2, 10), (1, 2, 1), (2, 3, 2)]);
+        assert_eq!(run_sssp(&g, 0), sssp(&g, 0));
+    }
+
+    #[test]
+    fn onchip_mode_matches_reference() {
+        let mut rng = Xoshiro256::seed_from(31);
+        let n = 128;
+        let edges: Vec<(u32, u32, u32)> = (0..900)
+            .map(|_| {
+                (
+                    rng.gen_range(0..n as u64) as u32,
+                    rng.gen_range(0..n as u64) as u32,
+                    rng.gen_range(1..50) as u32,
+                )
+            })
+            .collect();
+        let g = CsrGraph::from_edges(n, &edges);
+        assert_eq!(run_sssp_mode(&g, 0, true), sssp(&g, 0));
+    }
+
+    #[test]
+    fn random_graph_distances_match_reference() {
+        let mut rng = Xoshiro256::seed_from(21);
+        let n = 64;
+        let edges: Vec<(u32, u32, u32)> = (0..400)
+            .map(|_| {
+                (
+                    rng.gen_range(0..n as u64) as u32,
+                    rng.gen_range(0..n as u64) as u32,
+                    rng.gen_range(1..50) as u32,
+                )
+            })
+            .collect();
+        let g = CsrGraph::from_edges(n, &edges);
+        assert_eq!(run_sssp(&g, 0), sssp(&g, 0));
+    }
+
+    #[test]
+    fn disconnected_vertices_remain_inf() {
+        let g = CsrGraph::from_edges(5, &[(0, 1, 1)]);
+        let d = run_sssp(&g, 0);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert!(d[2..].iter().all(|&x| x == INF));
+    }
+
+    #[test]
+    fn vertex_spanning_line_boundary() {
+        // Vertex 14/15 put row_offsets[u], row_offsets[u+1] on different
+        // lines (offset bytes 8+4·14 = 64 boundary region).
+        let n = 40;
+        let edges: Vec<(u32, u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1, 1)).collect();
+        let g = CsrGraph::from_edges(n, &edges);
+        assert_eq!(run_sssp(&g, 0), sssp(&g, 0));
+    }
+}

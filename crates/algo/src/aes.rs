@@ -1,0 +1,337 @@
+//! AES-128 block cipher (FIPS 197).
+//!
+//! The paper's `AES` benchmark is an "AES128 Encryption Algorithm" ported
+//! from HardCloud (1,965 lines of Verilog, 200 MHz). This module implements
+//! the cipher from scratch: key expansion, encryption, and decryption, plus
+//! ECB helpers over whole buffers (the streaming mode the accelerator uses —
+//! each 64-byte cache line carries four independent 16-byte blocks).
+//!
+//! # Examples
+//!
+//! ```
+//! use optimus_algo::aes::Aes128;
+//!
+//! let key = [0u8; 16];
+//! let aes = Aes128::new(&key);
+//! let block = [0u8; 16];
+//! let ct = aes.encrypt_block(&block);
+//! assert_eq!(aes.decrypt_block(&ct), block);
+//! ```
+
+/// Number of 32-bit words in an AES-128 key.
+const NK: usize = 4;
+/// Number of rounds for AES-128.
+const NR: usize = 10;
+
+/// The AES S-box.
+const SBOX: [u8; 256] = build_sbox();
+/// The inverse S-box.
+const INV_SBOX: [u8; 256] = build_inv_sbox();
+
+/// Multiplies in GF(2^8) with the AES reduction polynomial x^8+x^4+x^3+x+1.
+const fn xtime(x: u8) -> u8 {
+    let shifted = x << 1;
+    if x & 0x80 != 0 {
+        shifted ^ 0x1B
+    } else {
+        shifted
+    }
+}
+
+/// Constant-time-free (table) GF(2^8) multiply used by MixColumns.
+const fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    let mut i = 0;
+    while i < 8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+        i += 1;
+    }
+    p
+}
+
+/// Builds the S-box at compile time from the multiplicative inverse in
+/// GF(2^8) followed by the affine transform, rather than pasting a table —
+/// the construction doubles as documentation of the math.
+const fn build_sbox() -> [u8; 256] {
+    // Generate inverses via the 3-as-generator trick: 3^i enumerates all
+    // non-zero field elements, and inv(3^i) = 3^(255-i).
+    let mut exp = [0u8; 256];
+    let mut log = [0u8; 256];
+    let mut x: u8 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x;
+        log[x as usize] = i as u8;
+        // multiply x by 3 = x + xtime(x)
+        x = x ^ xtime(x);
+        i += 1;
+    }
+    let mut sbox = [0u8; 256];
+    let mut c = 0;
+    while c < 256 {
+        let inv = if c == 0 {
+            0
+        } else {
+            exp[(255 - log[c] as usize) % 255]
+        };
+        // Affine transform: b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63
+        let b = inv;
+        sbox[c] = b
+            ^ b.rotate_left(1)
+            ^ b.rotate_left(2)
+            ^ b.rotate_left(3)
+            ^ b.rotate_left(4)
+            ^ 0x63;
+        c += 1;
+    }
+    sbox
+}
+
+const fn build_inv_sbox() -> [u8; 256] {
+    let sbox = build_sbox();
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[sbox[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+}
+
+/// An expanded AES-128 key schedule.
+///
+/// Construct once with [`Aes128::new`], then encrypt or decrypt any number
+/// of 16-byte blocks.
+#[derive(Debug, Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; NR + 1],
+}
+
+impl Aes128 {
+    /// Expands `key` into the full round-key schedule.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let mut w = [[0u8; 4]; 4 * (NR + 1)];
+        for i in 0..NK {
+            w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
+        }
+        let mut rcon: u8 = 1;
+        for i in NK..4 * (NR + 1) {
+            let mut temp = w[i - 1];
+            if i % NK == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = xtime(rcon);
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - NK][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; NR + 1];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Self { round_keys }
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for (s, k) in state.iter_mut().zip(rk.iter()) {
+            *s ^= k;
+        }
+    }
+
+    fn sub_bytes(state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = SBOX[*b as usize];
+        }
+    }
+
+    fn inv_sub_bytes(state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = INV_SBOX[*b as usize];
+        }
+    }
+
+    fn shift_rows(state: &mut [u8; 16]) {
+        // State is column-major: state[r + 4c].
+        for r in 1..4 {
+            let row = [state[r], state[r + 4], state[r + 8], state[r + 12]];
+            for c in 0..4 {
+                state[r + 4 * c] = row[(c + r) % 4];
+            }
+        }
+    }
+
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        for r in 1..4 {
+            let row = [state[r], state[r + 4], state[r + 8], state[r + 12]];
+            for c in 0..4 {
+                state[r + 4 * c] = row[(c + 4 - r) % 4];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] = gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3];
+            state[4 * c + 1] = col[0] ^ gmul(col[1], 2) ^ gmul(col[2], 3) ^ col[3];
+            state[4 * c + 2] = col[0] ^ col[1] ^ gmul(col[2], 2) ^ gmul(col[3], 3);
+            state[4 * c + 3] = gmul(col[0], 3) ^ col[1] ^ col[2] ^ gmul(col[3], 2);
+        }
+    }
+
+    fn inv_mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] =
+                gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
+            state[4 * c + 1] =
+                gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
+            state[4 * c + 2] =
+                gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
+            state[4 * c + 3] =
+                gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+        }
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, plaintext: &[u8; 16]) -> [u8; 16] {
+        let mut state = *plaintext;
+        Self::add_round_key(&mut state, &self.round_keys[0]);
+        for round in 1..NR {
+            Self::sub_bytes(&mut state);
+            Self::shift_rows(&mut state);
+            Self::mix_columns(&mut state);
+            Self::add_round_key(&mut state, &self.round_keys[round]);
+        }
+        Self::sub_bytes(&mut state);
+        Self::shift_rows(&mut state);
+        Self::add_round_key(&mut state, &self.round_keys[NR]);
+        state
+    }
+
+    /// Decrypts one 16-byte block.
+    pub fn decrypt_block(&self, ciphertext: &[u8; 16]) -> [u8; 16] {
+        let mut state = *ciphertext;
+        Self::add_round_key(&mut state, &self.round_keys[NR]);
+        for round in (1..NR).rev() {
+            Self::inv_shift_rows(&mut state);
+            Self::inv_sub_bytes(&mut state);
+            Self::add_round_key(&mut state, &self.round_keys[round]);
+            Self::inv_mix_columns(&mut state);
+        }
+        Self::inv_shift_rows(&mut state);
+        Self::inv_sub_bytes(&mut state);
+        Self::add_round_key(&mut state, &self.round_keys[0]);
+        state
+    }
+
+    /// Encrypts a buffer in ECB mode (the accelerator's streaming layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length is not a multiple of 16.
+    pub fn encrypt_ecb(&self, data: &mut [u8]) {
+        assert_eq!(data.len() % 16, 0, "AES buffers must be block-aligned");
+        for chunk in data.chunks_exact_mut(16) {
+            let block: [u8; 16] = chunk.try_into().unwrap();
+            chunk.copy_from_slice(&self.encrypt_block(&block));
+        }
+    }
+
+    /// Decrypts a buffer in ECB mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length is not a multiple of 16.
+    pub fn decrypt_ecb(&self, data: &mut [u8]) {
+        assert_eq!(data.len() % 16, 0, "AES buffers must be block-aligned");
+        for chunk in data.chunks_exact_mut(16) {
+            let block: [u8; 16] = chunk.try_into().unwrap();
+            chunk.copy_from_slice(&self.decrypt_block(&block));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn sbox_known_entries() {
+        assert_eq!(SBOX[0x00], 0x63);
+        assert_eq!(SBOX[0x01], 0x7C);
+        assert_eq!(SBOX[0x53], 0xED);
+        assert_eq!(SBOX[0xFF], 0x16);
+    }
+
+    #[test]
+    fn inv_sbox_inverts() {
+        for i in 0..256 {
+            assert_eq!(INV_SBOX[SBOX[i] as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        // FIPS 197 Appendix B example.
+        let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let pt: [u8; 16] = hex("3243f6a8885a308d313198a2e0370734").try_into().unwrap();
+        let aes = Aes128::new(&key);
+        let ct = aes.encrypt_block(&pt);
+        assert_eq!(ct.to_vec(), hex("3925841d02dc09fbdc118597196a0b32"));
+    }
+
+    #[test]
+    fn fips197_appendix_c1_vector() {
+        // FIPS 197 Appendix C.1.
+        let key: [u8; 16] = hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let pt: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let aes = Aes128::new(&key);
+        let ct = aes.encrypt_block(&pt);
+        assert_eq!(ct.to_vec(), hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        assert_eq!(aes.decrypt_block(&ct), pt);
+    }
+
+    #[test]
+    fn ecb_round_trip() {
+        let aes = Aes128::new(b"0123456789abcdef");
+        let mut data: Vec<u8> = (0u16..256).map(|i| i as u8).collect();
+        let original = data.clone();
+        aes.encrypt_ecb(&mut data);
+        assert_ne!(data, original);
+        aes.decrypt_ecb(&mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    #[should_panic(expected = "block-aligned")]
+    fn ecb_rejects_unaligned() {
+        let aes = Aes128::new(&[0; 16]);
+        aes.encrypt_ecb(&mut [0u8; 15]);
+    }
+
+    #[test]
+    fn distinct_blocks_encrypt_distinctly() {
+        let aes = Aes128::new(&[7; 16]);
+        let a = aes.encrypt_block(&[0; 16]);
+        let b = aes.encrypt_block(&[1; 16]);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,206 @@
+//! Fixed-point finite impulse response (FIR) filter.
+//!
+//! The paper's `FIR` benchmark (1,090 LoC of Verilog, 200 MHz) is a
+//! HardCloud signal-processing application. FPGA FIR filters operate in
+//! fixed point (DSP blocks multiply integers), so this module models a
+//! Q15-coefficient, 16-bit-sample direct-form filter: exactly the structure
+//! a systolic FPGA implementation computes, with saturating output rounding.
+//!
+//! # Examples
+//!
+//! ```
+//! use optimus_algo::fir::FirFilter;
+//!
+//! // A passthrough filter: single unit tap.
+//! let fir = FirFilter::new(vec![FirFilter::Q15_ONE]);
+//! let y = fir.filter(&[100, -200, 300]);
+//! assert_eq!(y, vec![100, -200, 300]);
+//! ```
+
+/// A direct-form FIR filter with Q15 fixed-point coefficients.
+#[derive(Debug, Clone)]
+pub struct FirFilter {
+    taps: Vec<i16>,
+}
+
+impl FirFilter {
+    /// The Q15 representation of 1.0 (saturated to `i16::MAX`).
+    pub const Q15_ONE: i16 = i16::MAX;
+
+    /// Creates a filter from Q15 taps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no taps are supplied.
+    pub fn new(taps: Vec<i16>) -> Self {
+        assert!(!taps.is_empty(), "a FIR filter needs at least one tap");
+        Self { taps }
+    }
+
+    /// Builds an `n`-tap moving-average (boxcar) low-pass filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn moving_average(n: usize) -> Self {
+        assert!(n > 0, "a FIR filter needs at least one tap");
+        let tap = ((1i32 << 15) / n as i32) as i16;
+        Self::new(vec![tap; n])
+    }
+
+    /// Builds a windowed-sinc low-pass filter with `n` taps and normalized
+    /// cutoff `fc` (fraction of Nyquist, in `(0, 1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `fc` is outside `(0, 1)`.
+    pub fn low_pass(n: usize, fc: f64) -> Self {
+        assert!(n > 0, "a FIR filter needs at least one tap");
+        assert!(fc > 0.0 && fc < 1.0, "cutoff must be a fraction of Nyquist");
+        let m = (n - 1) as f64;
+        let mut coeffs = Vec::with_capacity(n);
+        let mut sum = 0.0;
+        for i in 0..n {
+            let x = i as f64 - m / 2.0;
+            let sinc = if x.abs() < 1e-12 {
+                fc
+            } else {
+                (core::f64::consts::PI * fc * x).sin() / (core::f64::consts::PI * x)
+            };
+            // Hamming window.
+            let w = 0.54 - 0.46 * (2.0 * core::f64::consts::PI * i as f64 / m.max(1.0)).cos();
+            let c = sinc * w;
+            sum += c;
+            coeffs.push(c);
+        }
+        // Normalize to unity DC gain, then quantize to Q15.
+        let taps = coeffs
+            .iter()
+            .map(|c| ((c / sum) * 32768.0).round().clamp(-32768.0, 32767.0) as i16)
+            .collect();
+        Self::new(taps)
+    }
+
+    /// Number of taps.
+    pub fn len(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Returns `true` if the filter has no taps (never true; see [`new`](Self::new)).
+    pub fn is_empty(&self) -> bool {
+        self.taps.is_empty()
+    }
+
+    /// The raw Q15 taps.
+    pub fn taps(&self) -> &[i16] {
+        &self.taps
+    }
+
+    /// Filters `input`, producing one output sample per input sample.
+    ///
+    /// Samples before the start of the buffer are treated as zero (the
+    /// hardware shift register powers up cleared). The 32-bit accumulator is
+    /// rounded back to Q15 with saturation, matching DSP-block semantics.
+    pub fn filter(&self, input: &[i16]) -> Vec<i16> {
+        let mut out = Vec::with_capacity(input.len());
+        for n in 0..input.len() {
+            out.push(self.output_at(input, n));
+        }
+        out
+    }
+
+    /// Computes the single output sample at index `n` of `input`.
+    pub fn output_at(&self, input: &[i16], n: usize) -> i16 {
+        let mut acc: i64 = 0;
+        for (k, &tap) in self.taps.iter().enumerate() {
+            if let Some(idx) = n.checked_sub(k) {
+                acc += tap as i64 * input[idx] as i64;
+            }
+        }
+        // Round-to-nearest back from Q15 and saturate.
+        let rounded = (acc + (1 << 14)) >> 15;
+        rounded.clamp(i16::MIN as i64, i16::MAX as i64) as i16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_filter_passes_through() {
+        let fir = FirFilter::new(vec![FirFilter::Q15_ONE]);
+        let input = [0i16, 1000, -1000, 32767, -32768];
+        // Q15_ONE is 32767/32768, so outputs shrink by at most 1 LSB per unit.
+        let out = fir.filter(&input);
+        for (i, (&x, &y)) in input.iter().zip(out.iter()).enumerate() {
+            assert!((x as i32 - y as i32).abs() <= 1, "sample {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn moving_average_smooths_impulse() {
+        let fir = FirFilter::moving_average(4);
+        let mut input = vec![0i16; 16];
+        input[4] = 16_000;
+        let out = fir.filter(&input);
+        // The impulse spreads over 4 samples of ~1/4 amplitude.
+        for i in 4..8 {
+            assert!((out[i] - 4000).abs() <= 16, "out[{i}]={}", out[i]);
+        }
+        assert_eq!(out[3], 0);
+        assert_eq!(out[9], 0);
+    }
+
+    #[test]
+    fn dc_gain_is_unity_for_low_pass() {
+        let fir = FirFilter::low_pass(31, 0.25);
+        let input = vec![10_000i16; 128];
+        let out = fir.filter(&input);
+        // After the filter settles, output equals the DC input (±quantization).
+        for &y in &out[40..] {
+            assert!((y as i32 - 10_000).abs() < 64, "settled output {y}");
+        }
+    }
+
+    #[test]
+    fn low_pass_attenuates_nyquist() {
+        let fir = FirFilter::low_pass(31, 0.25);
+        // Alternating signal at Nyquist frequency.
+        let input: Vec<i16> = (0..128).map(|i| if i % 2 == 0 { 10_000 } else { -10_000 }).collect();
+        let out = fir.filter(&input);
+        for &y in &out[40..] {
+            assert!(y.abs() < 500, "Nyquist leakage {y}");
+        }
+    }
+
+    #[test]
+    fn saturation_clamps() {
+        // Large positive taps on a max-amplitude input must saturate, not wrap.
+        let fir = FirFilter::new(vec![FirFilter::Q15_ONE; 4]);
+        let input = vec![i16::MAX; 8];
+        let out = fir.filter(&input);
+        assert_eq!(out[7], i16::MAX);
+        let input = vec![i16::MIN; 8];
+        let out = fir.filter(&input);
+        assert_eq!(out[7], i16::MIN);
+    }
+
+    #[test]
+    fn linearity_within_rounding() {
+        let fir = FirFilter::moving_average(8);
+        let a: Vec<i16> = (0..64).map(|i| (i * 13 % 200) as i16).collect();
+        let doubled: Vec<i16> = a.iter().map(|&x| x * 2).collect();
+        let ya = fir.filter(&a);
+        let yd = fir.filter(&doubled);
+        for (u, v) in ya.iter().zip(yd.iter()) {
+            assert!((*v as i32 - 2 * *u as i32).abs() <= 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tap")]
+    fn rejects_empty_taps() {
+        FirFilter::new(vec![]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Gaussian random number generation (the `GRN` benchmark).
+//!
+//! The paper's `GRN` accelerator (1,238 LoC of Verilog, 200 MHz) produces
+//! Gaussian-distributed random numbers. FPGA implementations typically use
+//! either the central-limit-theorem (CLT) sum-of-uniforms construction
+//! (cheap in LUTs) or the Box–Muller transform (needs CORDIC/log units).
+//! This module implements both:
+//!
+//! * [`CltGaussian`] — a hardware-faithful fixed-point CLT generator: sum of
+//!   twelve uniform Q16 samples, recentered (the classic Irwin–Hall 12-sum,
+//!   whose variance is exactly 1).
+//! * [`box_muller`] — the floating-point reference used to validate the
+//!   hardware generator's distribution in tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use optimus_algo::gaussian::CltGaussian;
+//!
+//! let mut g = CltGaussian::new(7);
+//! let x = g.next_q16();
+//! // Q16 fixed point: |x| < 6.0 * 65536 always (12-sum is bounded by ±6).
+//! assert!(x.abs() < 6 * 65536);
+//! ```
+
+use optimus_sim::rng::Xoshiro256;
+
+/// Fixed-point (Q16.16) Gaussian generator using the Irwin–Hall 12-sum.
+///
+/// Summing 12 independent uniforms on `[0, 1)` and subtracting 6 yields a
+/// distribution with mean 0, variance 1, and support `[-6, 6]` — the classic
+/// FPGA-friendly construction (no multipliers, no transcendentals).
+#[derive(Debug, Clone)]
+pub struct CltGaussian {
+    rng: Xoshiro256,
+}
+
+impl CltGaussian {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: Xoshiro256::seed_from(seed),
+        }
+    }
+
+    /// Returns the next sample in Q16.16 fixed point.
+    pub fn next_q16(&mut self) -> i32 {
+        // Each uniform sample is 16 fractional bits; the sum of 12 of them
+        // occupies at most 16+4 bits, well within i32.
+        let mut acc: i64 = 0;
+        for _ in 0..12 {
+            acc += (self.rng.next_u64() & 0xFFFF) as i64;
+        }
+        (acc - 6 * 65536) as i32
+    }
+
+    /// Returns the next sample as `f64` (unit normal).
+    pub fn next_f64(&mut self) -> f64 {
+        self.next_q16() as f64 / 65536.0
+    }
+
+    /// Fills a 64-byte cache line with sixteen Q16.16 samples — the
+    /// accelerator's output format.
+    pub fn fill_line(&mut self, line: &mut [u8; 64]) {
+        for i in 0..16 {
+            let sample = self.next_q16();
+            line[4 * i..4 * i + 4].copy_from_slice(&sample.to_le_bytes());
+        }
+    }
+
+    /// Clones out the generator state (saved on preemption).
+    pub fn rng_state(&self) -> Xoshiro256 {
+        self.rng.clone()
+    }
+
+    /// Restores generator state (on preemption resume).
+    pub fn restore(&mut self, state: Xoshiro256) {
+        self.rng = state;
+    }
+}
+
+/// Generates one pair of independent unit normals via Box–Muller.
+pub fn box_muller(rng: &mut Xoshiro256) -> (f64, f64) {
+    // Avoid u1 == 0 which would produce ln(0).
+    let u1 = loop {
+        let v = rng.gen_f64();
+        if v > 0.0 {
+            break v;
+        }
+    };
+    let u2 = rng.gen_f64();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * core::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+/// Computes the sample mean and variance of `samples`.
+pub fn moments(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clt_moments_are_standard_normal() {
+        let mut g = CltGaussian::new(42);
+        let samples: Vec<f64> = (0..200_000).map(|_| g.next_f64()).collect();
+        let (mean, var) = moments(&samples);
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "variance {var}");
+    }
+
+    #[test]
+    fn clt_support_is_bounded() {
+        let mut g = CltGaussian::new(1);
+        for _ in 0..100_000 {
+            let x = g.next_f64();
+            assert!((-6.0..=6.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn clt_tail_mass_is_plausible() {
+        // P(|X| > 2) ≈ 4.55% for a unit normal; the 12-sum approximation is
+        // slightly lighter-tailed but must be in the right ballpark.
+        let mut g = CltGaussian::new(9);
+        let n = 100_000;
+        let tails = (0..n).filter(|_| g.next_f64().abs() > 2.0).count();
+        let frac = tails as f64 / n as f64;
+        assert!((0.03..0.06).contains(&frac), "tail mass {frac}");
+    }
+
+    #[test]
+    fn box_muller_moments() {
+        let mut rng = Xoshiro256::seed_from(5);
+        let mut samples = Vec::with_capacity(200_000);
+        for _ in 0..100_000 {
+            let (a, b) = box_muller(&mut rng);
+            samples.push(a);
+            samples.push(b);
+        }
+        let (mean, var) = moments(&samples);
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "variance {var}");
+    }
+
+    #[test]
+    fn clt_matches_box_muller_distribution_coarsely() {
+        // Compare CDF at a few probe points via empirical fractions.
+        let mut g = CltGaussian::new(11);
+        let mut rng = Xoshiro256::seed_from(12);
+        let n = 100_000;
+        for probe in [-1.0f64, 0.0, 1.0] {
+            let clt = (0..n).filter(|_| g.next_f64() < probe).count() as f64 / n as f64;
+            let mut bm_count = 0;
+            for _ in 0..n / 2 {
+                let (a, b) = box_muller(&mut rng);
+                bm_count += (a < probe) as usize + (b < probe) as usize;
+            }
+            let bm = bm_count as f64 / n as f64;
+            assert!((clt - bm).abs() < 0.02, "probe {probe}: clt {clt} bm {bm}");
+        }
+    }
+
+    #[test]
+    fn fill_line_encodes_sixteen_samples() {
+        let mut g = CltGaussian::new(3);
+        let mut probe = CltGaussian::new(3);
+        let mut line = [0u8; 64];
+        g.fill_line(&mut line);
+        for i in 0..16 {
+            let expect = probe.next_q16();
+            let got = i32::from_le_bytes(line[4 * i..4 * i + 4].try_into().unwrap());
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn save_restore_reproduces_stream() {
+        let mut g = CltGaussian::new(8);
+        g.next_q16();
+        let saved = g.rng_state();
+        let a: Vec<i32> = (0..8).map(|_| g.next_q16()).collect();
+        g.restore(saved);
+        let b: Vec<i32> = (0..8).map(|_| g.next_q16()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn moments_of_empty_slice() {
+        assert_eq!(moments(&[]), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,319 @@
+//! Graphs and single-source shortest paths (the `SSSP` benchmark).
+//!
+//! The paper uses an FPGA graph-processing application (Zhou & Prasanna's
+//! SSSP accelerator) as its motivating pointer-chasing workload: Fig. 1
+//! compares it under the shared-memory and host-centric programming models,
+//! and it appears again in the spatial-multiplexing scaling study (Fig. 7).
+//!
+//! This module provides:
+//!
+//! * [`CsrGraph`] — a compressed-sparse-row graph, the in-memory layout the
+//!   accelerator walks via DMA (row offsets array → edge array), i.e. the
+//!   "iteratively access a non-contiguous set of vertices and edges" pattern
+//!   the paper describes;
+//! * [`sssp`] — the iterative Bellman–Ford-style relaxation the FPGA
+//!   implements (frontier-based, no priority queue — hardware-friendly);
+//! * [`sssp_dijkstra`] — a binary-heap Dijkstra used as a golden reference
+//!   in tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use optimus_algo::graph::CsrGraph;
+//!
+//! // A 3-vertex path: 0 -> 1 (weight 2), 1 -> 2 (weight 3).
+//! let g = CsrGraph::from_edges(3, &[(0, 1, 2), (1, 2, 3)]);
+//! let dist = optimus_algo::graph::sssp(&g, 0);
+//! assert_eq!(dist, vec![0, 2, 5]);
+//! ```
+
+/// Distance value representing "unreachable".
+pub const INF: u32 = u32::MAX;
+
+/// A directed graph in compressed sparse row form with `u32` edge weights.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    row_offsets: Vec<u32>,
+    targets: Vec<u32>,
+    weights: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph from an edge list `(src, dst, weight)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= vertices`.
+    pub fn from_edges(vertices: usize, edges: &[(u32, u32, u32)]) -> Self {
+        let mut degree = vec![0u32; vertices];
+        for &(s, d, _) in edges {
+            assert!((s as usize) < vertices && (d as usize) < vertices, "edge endpoint out of range");
+            degree[s as usize] += 1;
+        }
+        let mut row_offsets = vec![0u32; vertices + 1];
+        for v in 0..vertices {
+            row_offsets[v + 1] = row_offsets[v] + degree[v];
+        }
+        let mut cursor = row_offsets.clone();
+        let mut targets = vec![0u32; edges.len()];
+        let mut weights = vec![0u32; edges.len()];
+        for &(s, d, w) in edges {
+            let at = cursor[s as usize] as usize;
+            targets[at] = d;
+            weights[at] = w;
+            cursor[s as usize] += 1;
+        }
+        Self {
+            row_offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertices(&self) -> usize {
+        self.row_offsets.len() - 1
+    }
+
+    /// Number of edges.
+    pub fn edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The row-offset array (length `vertices + 1`).
+    pub fn row_offsets(&self) -> &[u32] {
+        &self.row_offsets
+    }
+
+    /// Outgoing edges of `v` as `(target, weight)` pairs.
+    pub fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let lo = self.row_offsets[v as usize] as usize;
+        let hi = self.row_offsets[v as usize + 1] as usize;
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weights[lo..hi].iter().copied())
+    }
+
+    /// Serializes the graph into the accelerator's DRAM layout:
+    /// `[vertices:u32][edges:u32][row_offsets…][targets…][weights…]`,
+    /// little-endian, padded to a 64-byte cache-line multiple.
+    pub fn to_dram_layout(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 4 * (self.row_offsets.len() + 2 * self.targets.len()));
+        out.extend_from_slice(&(self.vertices() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.edges() as u32).to_le_bytes());
+        for v in self
+            .row_offsets
+            .iter()
+            .chain(self.targets.iter())
+            .chain(self.weights.iter())
+        {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        while out.len() % 64 != 0 {
+            out.push(0);
+        }
+        out
+    }
+
+    /// Parses a graph from the DRAM layout produced by
+    /// [`to_dram_layout`](Self::to_dram_layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is truncated.
+    pub fn from_dram_layout(bytes: &[u8]) -> Self {
+        let word = |i: usize| u32::from_le_bytes(bytes[4 * i..4 * i + 4].try_into().unwrap());
+        let vertices = word(0) as usize;
+        let edges = word(1) as usize;
+        let mut idx = 2;
+        let mut read_vec = |n: usize| -> Vec<u32> {
+            let v = (0..n).map(|k| word(idx + k)).collect();
+            idx += n;
+            v
+        };
+        let row_offsets = read_vec(vertices + 1);
+        let targets = read_vec(edges);
+        let weights = read_vec(edges);
+        Self {
+            row_offsets,
+            targets,
+            weights,
+        }
+    }
+}
+
+/// Iterative frontier-based SSSP (Bellman–Ford relaxation), the algorithm
+/// the FPGA accelerator implements: each round relaxes every edge out of the
+/// current frontier, no priority queue.
+pub fn sssp(graph: &CsrGraph, source: u32) -> Vec<u32> {
+    let n = graph.vertices();
+    let mut dist = vec![INF; n];
+    if n == 0 {
+        return dist;
+    }
+    dist[source as usize] = 0;
+    let mut frontier = vec![source];
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        let mut in_next = vec![false; n];
+        for &u in &frontier {
+            let du = dist[u as usize];
+            for (v, w) in graph.neighbors(u) {
+                let cand = du.saturating_add(w);
+                if cand < dist[v as usize] {
+                    dist[v as usize] = cand;
+                    if !in_next[v as usize] {
+                        in_next[v as usize] = true;
+                        next.push(v);
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    dist
+}
+
+/// Counts the relaxation rounds the frontier algorithm performs — the
+/// simulated accelerator's iteration count, which determines how many passes
+/// over the edge data it makes.
+pub fn sssp_rounds(graph: &CsrGraph, source: u32) -> usize {
+    let n = graph.vertices();
+    if n == 0 {
+        return 0;
+    }
+    let mut dist = vec![INF; n];
+    dist[source as usize] = 0;
+    let mut frontier = vec![source];
+    let mut rounds = 0;
+    while !frontier.is_empty() {
+        rounds += 1;
+        let mut next = Vec::new();
+        let mut in_next = vec![false; n];
+        for &u in &frontier {
+            let du = dist[u as usize];
+            for (v, w) in graph.neighbors(u) {
+                let cand = du.saturating_add(w);
+                if cand < dist[v as usize] {
+                    dist[v as usize] = cand;
+                    if !in_next[v as usize] {
+                        in_next[v as usize] = true;
+                        next.push(v);
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    rounds
+}
+
+/// Reference Dijkstra with a binary heap, used to validate [`sssp`].
+pub fn sssp_dijkstra(graph: &CsrGraph, source: u32) -> Vec<u32> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = graph.vertices();
+    let mut dist = vec![INF; n];
+    if n == 0 {
+        return dist;
+    }
+    dist[source as usize] = 0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((0u32, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for (v, w) in graph.neighbors(u) {
+            let cand = d.saturating_add(w);
+            if cand < dist[v as usize] {
+                dist[v as usize] = cand;
+                heap.push(Reverse((cand, v)));
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_sim::rng::Xoshiro256;
+
+    fn random_graph(n: usize, m: usize, seed: u64) -> CsrGraph {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let edges: Vec<(u32, u32, u32)> = (0..m)
+            .map(|_| {
+                (
+                    rng.gen_range(0..n as u64) as u32,
+                    rng.gen_range(0..n as u64) as u32,
+                    rng.gen_range(1..100) as u32,
+                )
+            })
+            .collect();
+        CsrGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn tiny_path_graph() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        assert_eq!(sssp(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(sssp(&g, 3), vec![INF, INF, INF, 0]);
+    }
+
+    #[test]
+    fn shorter_indirect_path_wins() {
+        let g = CsrGraph::from_edges(3, &[(0, 2, 10), (0, 1, 1), (1, 2, 1)]);
+        assert_eq!(sssp(&g, 0)[2], 2);
+    }
+
+    #[test]
+    fn frontier_matches_dijkstra_on_random_graphs() {
+        for seed in 0..5 {
+            let g = random_graph(200, 1000, seed);
+            assert_eq!(sssp(&g, 0), sssp_dijkstra(&g, 0), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn disconnected_vertices_stay_inf() {
+        let g = CsrGraph::from_edges(5, &[(0, 1, 1)]);
+        let d = sssp(&g, 0);
+        assert_eq!(d[1], 1);
+        assert!(d[2..].iter().all(|&x| x == INF));
+    }
+
+    #[test]
+    fn self_loops_and_parallel_edges() {
+        let g = CsrGraph::from_edges(2, &[(0, 0, 5), (0, 1, 7), (0, 1, 3)]);
+        assert_eq!(sssp(&g, 0), vec![0, 3]);
+    }
+
+    #[test]
+    fn dram_layout_round_trips() {
+        let g = random_graph(50, 200, 9);
+        let bytes = g.to_dram_layout();
+        assert_eq!(bytes.len() % 64, 0);
+        assert_eq!(CsrGraph::from_dram_layout(&bytes), g);
+    }
+
+    #[test]
+    fn rounds_bounded_by_graph_diameter_plus_one() {
+        let g = CsrGraph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        assert_eq!(sssp_rounds(&g, 0), 4); // 3 relaxation waves + final empty check folded
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert!(sssp(&g, 0).is_empty());
+        assert_eq!(sssp_rounds(&g, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_edges() {
+        CsrGraph::from_edges(2, &[(0, 5, 1)]);
+    }
+}

@@ -1,0 +1,278 @@
+//! Image filters: Gaussian blur, grayscale conversion, Sobel edge detection.
+//!
+//! Three of the paper's HardCloud benchmarks are image filters (GAU, GRS,
+//! SBL — each ~2.3–2.5 kLoC of Verilog at 200 MHz). FPGA image pipelines
+//! process pixels in integer arithmetic with line buffers; this module
+//! mirrors that: 8-bit channels, integer kernel math, clamp-to-edge
+//! borders.
+//!
+//! Images are stored as flat row-major buffers in an [`Image`] container.
+//!
+//! # Examples
+//!
+//! ```
+//! use optimus_algo::image::{Image, grayscale};
+//!
+//! let rgb = Image::new(4, 4, 3, vec![128; 4 * 4 * 3]);
+//! let gray = grayscale(&rgb);
+//! assert_eq!(gray.channels(), 1);
+//! assert_eq!(gray.get(2, 2, 0), 128);
+//! ```
+
+/// A flat row-major image with 1 or 3 byte channels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    channels: usize,
+    data: Vec<u8>,
+}
+
+impl Image {
+    /// Creates an image from raw data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height * channels` or `channels` is
+    /// not 1 or 3.
+    pub fn new(width: usize, height: usize, channels: usize, data: Vec<u8>) -> Self {
+        assert!(channels == 1 || channels == 3, "1 or 3 channels supported");
+        assert_eq!(data.len(), width * height * channels, "data size mismatch");
+        Self {
+            width,
+            height,
+            channels,
+            data,
+        }
+    }
+
+    /// Creates a black image.
+    pub fn zeroed(width: usize, height: usize, channels: usize) -> Self {
+        Self::new(width, height, channels, vec![0; width * height * channels])
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Channels per pixel (1 = gray, 3 = RGB).
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Raw pixel buffer.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable raw pixel buffer.
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Reads channel `c` of pixel `(x, y)` with clamp-to-edge addressing.
+    pub fn get(&self, x: isize, y: isize, c: usize) -> u8 {
+        let x = x.clamp(0, self.width as isize - 1) as usize;
+        let y = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[(y * self.width + x) * self.channels + c]
+    }
+
+    /// Writes channel `c` of pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, c: usize, v: u8) {
+        assert!(x < self.width && y < self.height && c < self.channels);
+        self.data[(y * self.width + x) * self.channels + c] = v;
+    }
+}
+
+/// ITU-R BT.601 luma conversion in the integer form hardware uses:
+/// `Y = (77 R + 150 G + 29 B + 128) >> 8`.
+pub fn grayscale(image: &Image) -> Image {
+    if image.channels() == 1 {
+        return image.clone();
+    }
+    let mut out = Image::zeroed(image.width(), image.height(), 1);
+    for y in 0..image.height() {
+        for x in 0..image.width() {
+            let r = image.get(x as isize, y as isize, 0) as u32;
+            let g = image.get(x as isize, y as isize, 1) as u32;
+            let b = image.get(x as isize, y as isize, 2) as u32;
+            let luma = (77 * r + 150 * g + 29 * b + 128) >> 8;
+            out.set(x, y, 0, luma.min(255) as u8);
+        }
+    }
+    out
+}
+
+/// 3×3 integer Gaussian kernel `[1 2 1; 2 4 2; 1 2 1] / 16`.
+const GAUSS3: [[i32; 3]; 3] = [[1, 2, 1], [2, 4, 2], [1, 2, 1]];
+
+/// Applies a 3×3 Gaussian blur per channel (clamp-to-edge).
+pub fn gaussian_blur(image: &Image) -> Image {
+    let mut out = Image::zeroed(image.width(), image.height(), image.channels());
+    for y in 0..image.height() as isize {
+        for x in 0..image.width() as isize {
+            for c in 0..image.channels() {
+                let mut acc = 0i32;
+                for (ky, row) in GAUSS3.iter().enumerate() {
+                    for (kx, &w) in row.iter().enumerate() {
+                        acc += w * image.get(x + kx as isize - 1, y + ky as isize - 1, c) as i32;
+                    }
+                }
+                out.set(x as usize, y as usize, c, ((acc + 8) / 16).clamp(0, 255) as u8);
+            }
+        }
+    }
+    out
+}
+
+/// Sobel gradient kernels.
+const SOBEL_X: [[i32; 3]; 3] = [[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]];
+const SOBEL_Y: [[i32; 3]; 3] = [[-1, -2, -1], [0, 0, 0], [1, 2, 1]];
+
+/// Sobel edge magnitude on a grayscale image (`|Gx| + |Gy|`, saturated) —
+/// the L1 approximation FPGA pipelines use to avoid a square root.
+///
+/// RGB inputs are converted to grayscale first.
+pub fn sobel(image: &Image) -> Image {
+    let gray = grayscale(image);
+    let mut out = Image::zeroed(gray.width(), gray.height(), 1);
+    for y in 0..gray.height() as isize {
+        for x in 0..gray.width() as isize {
+            let mut gx = 0i32;
+            let mut gy = 0i32;
+            for ky in 0..3 {
+                for kx in 0..3 {
+                    let p = gray.get(x + kx as isize - 1, y + ky as isize - 1, 0) as i32;
+                    gx += SOBEL_X[ky][kx] * p;
+                    gy += SOBEL_Y[ky][kx] * p;
+                }
+            }
+            out.set(x as usize, y as usize, 0, (gx.abs() + gy.abs()).min(255) as u8);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient_image(w: usize, h: usize) -> Image {
+        let mut img = Image::zeroed(w, h, 1);
+        for y in 0..h {
+            for x in 0..w {
+                img.set(x, y, 0, ((x * 255) / w.max(1)) as u8);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn grayscale_white_stays_white() {
+        let img = Image::new(2, 2, 3, vec![255; 12]);
+        let g = grayscale(&img);
+        assert!(g.data().iter().all(|&v| v == 255));
+    }
+
+    #[test]
+    fn grayscale_weights_green_highest() {
+        let red = Image::new(1, 1, 3, vec![255, 0, 0]);
+        let green = Image::new(1, 1, 3, vec![0, 255, 0]);
+        let blue = Image::new(1, 1, 3, vec![0, 0, 255]);
+        let (r, g, b) = (
+            grayscale(&red).get(0, 0, 0),
+            grayscale(&green).get(0, 0, 0),
+            grayscale(&blue).get(0, 0, 0),
+        );
+        assert!(g > r && r > b, "r={r} g={g} b={b}");
+    }
+
+    #[test]
+    fn grayscale_of_gray_is_identity() {
+        let img = gradient_image(8, 8);
+        assert_eq!(grayscale(&img), img);
+    }
+
+    #[test]
+    fn blur_preserves_constant_image() {
+        let img = Image::new(5, 5, 1, vec![77; 25]);
+        assert_eq!(gaussian_blur(&img), img);
+    }
+
+    #[test]
+    fn blur_reduces_contrast_of_impulse() {
+        let mut img = Image::zeroed(5, 5, 1);
+        img.set(2, 2, 0, 255);
+        let out = gaussian_blur(&img);
+        // Center keeps the 4/16 weight.
+        assert_eq!(out.get(2, 2, 0), 64);
+        assert_eq!(out.get(1, 2, 0), 32);
+        assert_eq!(out.get(1, 1, 0), 16);
+        assert_eq!(out.get(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn blur_conserves_mean_of_smooth_image() {
+        let img = gradient_image(32, 32);
+        let out = gaussian_blur(&img);
+        let mean_in: f64 =
+            img.data().iter().map(|&v| v as f64).sum::<f64>() / img.data().len() as f64;
+        let mean_out: f64 =
+            out.data().iter().map(|&v| v as f64).sum::<f64>() / out.data().len() as f64;
+        assert!((mean_in - mean_out).abs() < 1.0);
+    }
+
+    #[test]
+    fn sobel_flat_image_is_zero() {
+        let img = Image::new(6, 6, 1, vec![123; 36]);
+        let out = sobel(&img);
+        assert!(out.data().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn sobel_finds_vertical_edge() {
+        // Left half black, right half white: strong response on the seam.
+        let mut img = Image::zeroed(8, 8, 1);
+        for y in 0..8 {
+            for x in 4..8 {
+                img.set(x, y, 0, 255);
+            }
+        }
+        let out = sobel(&img);
+        assert_eq!(out.get(3, 4, 0), 255);
+        assert_eq!(out.get(4, 4, 0), 255);
+        assert_eq!(out.get(1, 4, 0), 0);
+        assert_eq!(out.get(6, 4, 0), 0);
+    }
+
+    #[test]
+    fn sobel_accepts_rgb() {
+        let img = Image::new(4, 4, 3, vec![200; 48]);
+        let out = sobel(&img);
+        assert_eq!(out.channels(), 1);
+        assert!(out.data().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn clamp_to_edge_addressing() {
+        let img = gradient_image(4, 4);
+        assert_eq!(img.get(-5, 0, 0), img.get(0, 0, 0));
+        assert_eq!(img.get(10, 2, 0), img.get(3, 2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "data size mismatch")]
+    fn rejects_bad_buffer_size() {
+        Image::new(4, 4, 3, vec![0; 10]);
+    }
+}

@@ -1,0 +1,41 @@
+//! Reference implementations of the OPTIMUS benchmark algorithms.
+//!
+//! Table 1 of the paper evaluates fourteen benchmarks. Twelve of them are
+//! "real-world" accelerators (crypto, signal processing, coding theory,
+//! bioinformatics, image processing, graph analytics, and proof-of-work);
+//! this crate implements each algorithm from scratch in portable Rust.
+//!
+//! The implementations serve two roles:
+//!
+//! 1. **Accelerator compute** — the simulated accelerators in
+//!    `optimus-accel` call into this crate to perform the *actual*
+//!    computation on the cache lines they fetch over simulated DMA, so an
+//!    end-to-end run through the hypervisor produces real, checkable output.
+//! 2. **Golden references** — integration tests run a workload through the
+//!    full virtualized stack and compare against a direct call into this
+//!    crate.
+//!
+//! | Module | Benchmark | Algorithm |
+//! |---|---|---|
+//! | [`aes`] | AES | AES-128 block cipher (FIPS 197) |
+//! | [`md5`] | MD5 | MD5 digest (RFC 1321) |
+//! | [`sha2`] | SHA, BTC | SHA-512 and SHA-256 (FIPS 180-4) |
+//! | [`fir`] | FIR | fixed-point finite impulse response filter |
+//! | [`gaussian`] | GRN | Gaussian random number generator (CLT + Box–Muller) |
+//! | [`gf256`], [`reed_solomon`] | RSD | GF(2^8) Reed–Solomon code |
+//! | [`smith_waterman`] | SW | local sequence alignment |
+//! | [`image`] | GAU, GRS, SBL | Gaussian / grayscale / Sobel filters |
+//! | [`graph`] | SSSP | CSR graphs + single-source shortest path |
+//! | [`bitcoin`] | BTC | double-SHA-256 proof-of-work |
+
+pub mod aes;
+pub mod bitcoin;
+pub mod fir;
+pub mod gaussian;
+pub mod gf256;
+pub mod graph;
+pub mod image;
+pub mod md5;
+pub mod reed_solomon;
+pub mod sha2;
+pub mod smith_waterman;

@@ -1,0 +1,366 @@
+//! Reed–Solomon encoding and decoding over GF(2^8).
+//!
+//! The paper's `RSD` benchmark is a Reed–Solomon *decoder* — the heaviest
+//! real-world accelerator in Table 1. This module implements a systematic
+//! RS(n, k) code with `n − k = 2t` parity symbols:
+//!
+//! * encoding by polynomial long division with the generator polynomial,
+//! * syndrome computation,
+//! * Berlekamp–Massey to find the error-locator polynomial,
+//! * Chien search for error positions,
+//! * Forney's formula for error magnitudes.
+//!
+//! This is exactly the pipeline an FPGA RS decoder implements stage by
+//! stage.
+//!
+//! # Examples
+//!
+//! ```
+//! use optimus_algo::reed_solomon::ReedSolomon;
+//!
+//! let rs = ReedSolomon::new(16); // 16 parity symbols: corrects 8 errors
+//! let mut codeword = rs.encode(b"hello reed solomon");
+//! codeword[0] ^= 0xFF; // corrupt one symbol
+//! let decoded = rs.decode(&codeword).unwrap();
+//! assert_eq!(&decoded, b"hello reed solomon");
+//! ```
+
+use crate::gf256::Gf256;
+
+/// Errors returned by [`ReedSolomon::decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// More errors occurred than the code can correct.
+    TooManyErrors,
+    /// The codeword is shorter than the parity region.
+    CodewordTooShort,
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DecodeError::TooManyErrors => write!(f, "too many symbol errors to correct"),
+            DecodeError::CodewordTooShort => write!(f, "codeword shorter than parity length"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A systematic Reed–Solomon codec with a configurable number of parity
+/// symbols.
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    field: Gf256,
+    parity: usize,
+    generator: Vec<u8>,
+}
+
+impl ReedSolomon {
+    /// Creates a codec with `parity` parity symbols (corrects `parity / 2`
+    /// symbol errors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parity` is zero or ≥ 255.
+    pub fn new(parity: usize) -> Self {
+        assert!(parity > 0 && parity < 255, "parity must be in 1..255");
+        let field = Gf256::new();
+        // g(x) = Π_{i=0}^{parity-1} (x − α^i)
+        let mut generator = vec![1u8];
+        for i in 0..parity {
+            generator = field.poly_mul(&generator, &[1, field.alpha_pow(i as i32)]);
+        }
+        Self {
+            field,
+            parity,
+            generator,
+        }
+    }
+
+    /// Number of parity symbols appended to each message.
+    pub fn parity_len(&self) -> usize {
+        self.parity
+    }
+
+    /// Maximum number of correctable symbol errors.
+    pub fn correction_capacity(&self) -> usize {
+        self.parity / 2
+    }
+
+    /// Encodes `message`, returning `message ‖ parity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `message.len() + parity` exceeds 255 (the RS block length
+    /// over GF(2^8)).
+    pub fn encode(&self, message: &[u8]) -> Vec<u8> {
+        assert!(
+            message.len() + self.parity <= 255,
+            "RS block length over GF(256) is at most 255 symbols"
+        );
+        // Systematic encoding: remainder of msg·x^parity divided by g(x).
+        let mut remainder = vec![0u8; self.parity];
+        for &sym in message {
+            let factor = sym ^ remainder[0];
+            remainder.rotate_left(1);
+            remainder[self.parity - 1] = 0;
+            if factor != 0 {
+                for (r, &g) in remainder.iter_mut().zip(&self.generator[1..]) {
+                    *r ^= self.field.mul(g, factor);
+                }
+            }
+        }
+        let mut out = message.to_vec();
+        out.extend_from_slice(&remainder);
+        out
+    }
+
+    fn syndromes(&self, codeword: &[u8]) -> Vec<u8> {
+        (0..self.parity)
+            .map(|i| self.field.poly_eval(codeword, self.field.alpha_pow(i as i32)))
+            .collect()
+    }
+
+    /// Decodes a codeword, correcting up to `parity/2` symbol errors.
+    /// Returns the message portion (parity stripped).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::TooManyErrors`] if the error count exceeds the
+    /// correction capacity, and [`DecodeError::CodewordTooShort`] if the
+    /// input cannot even contain the parity symbols.
+    pub fn decode(&self, codeword: &[u8]) -> Result<Vec<u8>, DecodeError> {
+        if codeword.len() < self.parity || codeword.len() > 255 {
+            return Err(DecodeError::CodewordTooShort);
+        }
+        let synd = self.syndromes(codeword);
+        if synd.iter().all(|&s| s == 0) {
+            return Ok(codeword[..codeword.len() - self.parity].to_vec());
+        }
+
+        // Berlekamp–Massey: find the error locator polynomial sigma
+        // (lowest-degree LFSR generating the syndrome sequence).
+        let f = &self.field;
+        let mut sigma = vec![1u8]; // current locator, lowest degree first
+        let mut prev = vec![1u8];
+        let mut l = 0usize; // current LFSR length
+        let mut m = 1usize; // steps since last update
+        let mut b = 1u8; // discrepancy at last update
+        for n in 0..self.parity {
+            // discrepancy d = S_n + Σ sigma_i * S_{n-i}
+            let mut d = synd[n];
+            for i in 1..=l {
+                if i < sigma.len() {
+                    d ^= f.mul(sigma[i], synd[n - i]);
+                }
+            }
+            if d == 0 {
+                m += 1;
+            } else if 2 * l <= n {
+                let temp = sigma.clone();
+                let coef = f.div(d, b);
+                // sigma -= (d/b) * x^m * prev
+                let mut shifted = vec![0u8; m];
+                shifted.extend_from_slice(&prev);
+                if shifted.len() > sigma.len() {
+                    sigma.resize(shifted.len(), 0);
+                }
+                for (s, &p) in sigma.iter_mut().zip(shifted.iter()) {
+                    *s ^= f.mul(coef, p);
+                }
+                l = n + 1 - l;
+                prev = temp;
+                b = d;
+                m = 1;
+            } else {
+                let coef = f.div(d, b);
+                let mut shifted = vec![0u8; m];
+                shifted.extend_from_slice(&prev);
+                if shifted.len() > sigma.len() {
+                    sigma.resize(shifted.len(), 0);
+                }
+                for (s, &p) in sigma.iter_mut().zip(shifted.iter()) {
+                    *s ^= f.mul(coef, p);
+                }
+                m += 1;
+            }
+        }
+        while sigma.last() == Some(&0) {
+            sigma.pop();
+        }
+        let num_errors = sigma.len() - 1;
+        if num_errors > self.correction_capacity() {
+            return Err(DecodeError::TooManyErrors);
+        }
+
+        // Chien search: find roots of sigma. Position j (from the end of the
+        // codeword) is an error location if sigma(α^{-j}) == 0.
+        let n_len = codeword.len();
+        let mut error_positions = Vec::new();
+        for j in 0..n_len {
+            let x_inv = f.alpha_pow(-(j as i32));
+            // Evaluate sigma (lowest degree first) at x_inv.
+            let mut acc = 0u8;
+            for (i, &c) in sigma.iter().enumerate() {
+                acc ^= f.mul(c, f.pow(x_inv, i as u32));
+            }
+            if acc == 0 {
+                error_positions.push(n_len - 1 - j);
+            }
+        }
+        if error_positions.len() != num_errors {
+            return Err(DecodeError::TooManyErrors);
+        }
+
+        // Forney: error magnitude at position p is
+        //   e = X * omega(X^-1) / sigma'(X^-1),   X = α^{n-1-p}
+        // where omega = (synd · sigma) mod x^parity.
+        let mut omega = vec![0u8; self.parity];
+        for (i, om) in omega.iter_mut().enumerate() {
+            let mut acc = 0u8;
+            for k in 0..=i {
+                if k < sigma.len() {
+                    acc ^= f.mul(sigma[k], synd[i - k]);
+                }
+            }
+            *om = acc;
+        }
+
+        let mut corrected = codeword.to_vec();
+        for &p in &error_positions {
+            let j = (n_len - 1 - p) as i32;
+            let x_inv = f.alpha_pow(-j);
+            let mut omega_val = 0u8;
+            for (i, &c) in omega.iter().enumerate() {
+                omega_val ^= f.mul(c, f.pow(x_inv, i as u32));
+            }
+            // Formal derivative of sigma at x_inv: odd-power terms only.
+            let mut sigma_deriv = 0u8;
+            for (i, &c) in sigma.iter().enumerate() {
+                if i % 2 == 1 {
+                    sigma_deriv ^= f.mul(c, f.pow(x_inv, (i - 1) as u32));
+                }
+            }
+            if sigma_deriv == 0 {
+                return Err(DecodeError::TooManyErrors);
+            }
+            // Forney with the b = 0 generator convention:
+            //   e = X^(1-b) · Ω(X⁻¹) / Λ'(X⁻¹),  X = α^j.
+            let magnitude = f.mul(f.alpha_pow(j), f.div(omega_val, sigma_deriv));
+            corrected[p] ^= magnitude;
+        }
+
+        // Verify: all syndromes of the corrected word must vanish.
+        if self.syndromes(&corrected).iter().any(|&s| s != 0) {
+            return Err(DecodeError::TooManyErrors);
+        }
+        Ok(corrected[..n_len - self.parity].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_sim::rng::Xoshiro256;
+
+    #[test]
+    fn clean_round_trip() {
+        let rs = ReedSolomon::new(8);
+        let msg = b"the quick brown fox";
+        let cw = rs.encode(msg);
+        assert_eq!(cw.len(), msg.len() + 8);
+        assert_eq!(rs.decode(&cw).unwrap(), msg);
+    }
+
+    #[test]
+    fn corrects_up_to_capacity() {
+        let rs = ReedSolomon::new(16);
+        let msg: Vec<u8> = (0..100).collect();
+        let clean = rs.encode(&msg);
+        let mut rng = Xoshiro256::seed_from(77);
+        for errors in 1..=8 {
+            let mut cw = clean.clone();
+            let mut positions: Vec<usize> = (0..cw.len()).collect();
+            rng.shuffle(&mut positions);
+            for &p in positions.iter().take(errors) {
+                cw[p] ^= (rng.next_u64() % 255 + 1) as u8;
+            }
+            assert_eq!(rs.decode(&cw).unwrap(), msg, "errors={errors}");
+        }
+    }
+
+    #[test]
+    fn detects_too_many_errors() {
+        let rs = ReedSolomon::new(8); // corrects 4
+        let msg: Vec<u8> = (0..50).collect();
+        let mut cw = rs.encode(&msg);
+        let mut rng = Xoshiro256::seed_from(3);
+        // 10 errors in distinct positions: far beyond capacity.
+        let mut positions: Vec<usize> = (0..cw.len()).collect();
+        rng.shuffle(&mut positions);
+        for &p in positions.iter().take(10) {
+            cw[p] ^= 0x55;
+        }
+        // Either an error is reported, or (rarely) miscorrection to a
+        // different codeword; it must never silently return the original.
+        match rs.decode(&cw) {
+            Err(_) => {}
+            Ok(decoded) => assert_ne!(decoded, msg),
+        }
+    }
+
+    #[test]
+    fn corrupt_parity_symbols_also_corrected() {
+        let rs = ReedSolomon::new(8);
+        let msg = b"parity errors too";
+        let mut cw = rs.encode(msg);
+        let n = cw.len();
+        cw[n - 1] ^= 0xA5;
+        cw[n - 3] ^= 0x11;
+        assert_eq!(rs.decode(&cw).unwrap(), msg);
+    }
+
+    #[test]
+    fn max_length_block() {
+        let rs = ReedSolomon::new(32);
+        let msg: Vec<u8> = (0..223).map(|i| i as u8).collect(); // RS(255,223)
+        let mut cw = rs.encode(&msg);
+        assert_eq!(cw.len(), 255);
+        for p in [0usize, 100, 254] {
+            cw[p] ^= 0xFF;
+        }
+        assert_eq!(rs.decode(&cw).unwrap(), msg);
+    }
+
+    #[test]
+    fn burst_errors_within_capacity() {
+        let rs = ReedSolomon::new(16);
+        let msg: Vec<u8> = (0..64).map(|i| (i * 3) as u8).collect();
+        let mut cw = rs.encode(&msg);
+        for p in 10..18 {
+            cw[p] = !cw[p]; // 8 consecutive corrupted symbols
+        }
+        assert_eq!(rs.decode(&cw).unwrap(), msg);
+    }
+
+    #[test]
+    fn rejects_short_codeword() {
+        let rs = ReedSolomon::new(8);
+        assert_eq!(rs.decode(&[1, 2, 3]), Err(DecodeError::CodewordTooShort));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 255")]
+    fn encode_rejects_oversized_block() {
+        let rs = ReedSolomon::new(8);
+        rs.encode(&vec![0u8; 250]);
+    }
+
+    #[test]
+    fn generator_has_expected_degree() {
+        let rs = ReedSolomon::new(12);
+        assert_eq!(rs.correction_capacity(), 6);
+        assert_eq!(rs.parity_len(), 12);
+    }
+}

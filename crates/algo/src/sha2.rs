@@ -1,0 +1,455 @@
+//! SHA-2 family: SHA-256 and SHA-512 (FIPS 180-4).
+//!
+//! Two of the paper's benchmarks need SHA-2: the `SHA` benchmark is a
+//! SHA-512 hashing accelerator (2,218 LoC of Verilog, 200 MHz), and the
+//! `BTC` bitcoin miner performs double SHA-256 over 80-byte block headers.
+//! Both hashers are incremental so the simulated accelerators can feed them
+//! cache-line-sized chunks.
+//!
+//! # Examples
+//!
+//! ```
+//! use optimus_algo::sha2::{sha256, sha512};
+//!
+//! let d = sha256(b"abc");
+//! assert_eq!(d[..4], [0xba, 0x78, 0x16, 0xbf]);
+//! let d = sha512(b"abc");
+//! assert_eq!(d[..4], [0xdd, 0xaf, 0x35, 0xa1]);
+//! ```
+
+/// First 32 bits of the fractional parts of the cube roots of the first 64
+/// primes (the SHA-256 round constants).
+const K256: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// SHA-512 round constants (first 64 bits of the fractional parts of the
+/// cube roots of the first 80 primes).
+const K512: [u64; 80] = [
+    0x428a2f98d728ae22, 0x7137449123ef65cd, 0xb5c0fbcfec4d3b2f, 0xe9b5dba58189dbbc,
+    0x3956c25bf348b538, 0x59f111f1b605d019, 0x923f82a4af194f9b, 0xab1c5ed5da6d8118,
+    0xd807aa98a3030242, 0x12835b0145706fbe, 0x243185be4ee4b28c, 0x550c7dc3d5ffb4e2,
+    0x72be5d74f27b896f, 0x80deb1fe3b1696b1, 0x9bdc06a725c71235, 0xc19bf174cf692694,
+    0xe49b69c19ef14ad2, 0xefbe4786384f25e3, 0x0fc19dc68b8cd5b5, 0x240ca1cc77ac9c65,
+    0x2de92c6f592b0275, 0x4a7484aa6ea6e483, 0x5cb0a9dcbd41fbd4, 0x76f988da831153b5,
+    0x983e5152ee66dfab, 0xa831c66d2db43210, 0xb00327c898fb213f, 0xbf597fc7beef0ee4,
+    0xc6e00bf33da88fc2, 0xd5a79147930aa725, 0x06ca6351e003826f, 0x142929670a0e6e70,
+    0x27b70a8546d22ffc, 0x2e1b21385c26c926, 0x4d2c6dfc5ac42aed, 0x53380d139d95b3df,
+    0x650a73548baf63de, 0x766a0abb3c77b2a8, 0x81c2c92e47edaee6, 0x92722c851482353b,
+    0xa2bfe8a14cf10364, 0xa81a664bbc423001, 0xc24b8b70d0f89791, 0xc76c51a30654be30,
+    0xd192e819d6ef5218, 0xd69906245565a910, 0xf40e35855771202a, 0x106aa07032bbd1b8,
+    0x19a4c116b8d2d0c8, 0x1e376c085141ab53, 0x2748774cdf8eeb99, 0x34b0bcb5e19b48a8,
+    0x391c0cb3c5c95a63, 0x4ed8aa4ae3418acb, 0x5b9cca4f7763e373, 0x682e6ff3d6b2b8a3,
+    0x748f82ee5defb2fc, 0x78a5636f43172f60, 0x84c87814a1f0ab72, 0x8cc702081a6439ec,
+    0x90befffa23631e28, 0xa4506cebde82bde9, 0xbef9a3f7b2c67915, 0xc67178f2e372532b,
+    0xca273eceea26619c, 0xd186b8c721c0c207, 0xeada7dd6cde0eb1e, 0xf57d4f7fee6ed178,
+    0x06f067aa72176fba, 0x0a637dc5a2c898a6, 0x113f9804bef90dae, 0x1b710b35131c471b,
+    0x28db77f523047d84, 0x32caab7b40c72493, 0x3c9ebe0a15c9bebc, 0x431d67c49c100d4c,
+    0x4cc5d4becb3e42b6, 0x597f299cfc657e2a, 0x5fcb6fab3ad6faec, 0x6c44198c4a475817,
+];
+
+/// Incremental SHA-256 hasher.
+#[derive(Debug, Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; 64],
+    buffered: usize,
+    length_bytes: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Creates a hasher in the FIPS 180-4 initial state.
+    pub fn new() -> Self {
+        Self {
+            state: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, //
+                0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+            ],
+            buffer: [0; 64],
+            buffered: 0,
+            length_bytes: 0,
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes(block[4 * i..4 * i + 4].try_into().unwrap());
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K256[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+
+    /// Absorbs `data` into the digest.
+    pub fn update(&mut self, data: &[u8]) {
+        self.length_bytes += data.len() as u64;
+        let mut input = data;
+        if self.buffered > 0 {
+            let take = (64 - self.buffered).min(input.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&input[..take]);
+            self.buffered += take;
+            input = &input[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+            if self.buffered > 0 {
+                // Input fully absorbed into a still-partial buffer.
+                return;
+            }
+        }
+        let mut chunks = input.chunks_exact(64);
+        for chunk in &mut chunks {
+            self.compress(chunk.try_into().unwrap());
+        }
+        let rem = chunks.remainder();
+        self.buffer[..rem.len()].copy_from_slice(rem);
+        self.buffered = rem.len();
+    }
+
+    /// Finalizes and returns the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let bit_len = self.length_bytes.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buffered != 56 {
+            self.update(&[0]);
+        }
+        self.buffer[56..].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buffer;
+        self.compress(&block);
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+}
+
+/// Incremental SHA-512 hasher.
+#[derive(Debug, Clone)]
+pub struct Sha512 {
+    state: [u64; 8],
+    buffer: [u8; 128],
+    buffered: usize,
+    length_bytes: u128,
+}
+
+impl Default for Sha512 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha512 {
+    /// Creates a hasher in the FIPS 180-4 initial state.
+    pub fn new() -> Self {
+        Self {
+            state: [
+                0x6a09e667f3bcc908, 0xbb67ae8584caa73b, 0x3c6ef372fe94f82b, 0xa54ff53a5f1d36f1,
+                0x510e527fade682d1, 0x9b05688c2b3e6c1f, 0x1f83d9abfb41bd6b, 0x5be0cd19137e2179,
+            ],
+            buffer: [0; 128],
+            buffered: 0,
+            length_bytes: 0,
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; 128]) {
+        let mut w = [0u64; 80];
+        for i in 0..16 {
+            w[i] = u64::from_be_bytes(block[8 * i..8 * i + 8].try_into().unwrap());
+        }
+        for i in 16..80 {
+            let s0 = w[i - 15].rotate_right(1) ^ w[i - 15].rotate_right(8) ^ (w[i - 15] >> 7);
+            let s1 = w[i - 2].rotate_right(19) ^ w[i - 2].rotate_right(61) ^ (w[i - 2] >> 6);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..80 {
+            let s1 = e.rotate_right(14) ^ e.rotate_right(18) ^ e.rotate_right(41);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K512[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(28) ^ a.rotate_right(34) ^ a.rotate_right(39);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+
+    /// Absorbs `data` into the digest.
+    pub fn update(&mut self, data: &[u8]) {
+        self.length_bytes += data.len() as u128;
+        let mut input = data;
+        if self.buffered > 0 {
+            let take = (128 - self.buffered).min(input.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&input[..take]);
+            self.buffered += take;
+            input = &input[take..];
+            if self.buffered == 128 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+            if self.buffered > 0 {
+                // Input fully absorbed into a still-partial buffer.
+                return;
+            }
+        }
+        let mut chunks = input.chunks_exact(128);
+        for chunk in &mut chunks {
+            self.compress(chunk.try_into().unwrap());
+        }
+        let rem = chunks.remainder();
+        self.buffer[..rem.len()].copy_from_slice(rem);
+        self.buffered = rem.len();
+    }
+
+    /// Finalizes and returns the 64-byte digest.
+    pub fn finalize(mut self) -> [u8; 64] {
+        let bit_len = self.length_bytes.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buffered != 112 {
+            self.update(&[0]);
+        }
+        self.buffer[112..].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buffer;
+        self.compress(&block);
+        let mut out = [0u8; 64];
+        for (i, word) in self.state.iter().enumerate() {
+            out[8 * i..8 * i + 8].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// Returns the running internal state words.
+    pub fn state(&self) -> [u64; 8] {
+        self.state
+    }
+
+    /// Snapshots the full incremental state (words, length, partial block).
+    pub fn snapshot(&self) -> Sha512Snapshot {
+        Sha512Snapshot {
+            state: self.state,
+            length_bytes: self.length_bytes,
+            buffer: self.buffer[..self.buffered].to_vec(),
+        }
+    }
+
+    /// Rebuilds a hasher from a [`snapshot`](Self::snapshot).
+    pub fn from_snapshot(snap: &Sha512Snapshot) -> Self {
+        let mut h = Self::new();
+        h.state = snap.state;
+        h.length_bytes = snap.length_bytes;
+        h.buffer[..snap.buffer.len()].copy_from_slice(&snap.buffer);
+        h.buffered = snap.buffer.len();
+        h
+    }
+}
+
+/// A resumable snapshot of an incremental SHA-512 computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sha512Snapshot {
+    /// The eight working state words.
+    pub state: [u64; 8],
+    /// Total bytes absorbed.
+    pub length_bytes: u128,
+    /// The partial block not yet compressed (< 128 bytes).
+    pub buffer: Vec<u8>,
+}
+
+/// One-shot SHA-256.
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// One-shot SHA-512.
+pub fn sha512(data: &[u8]) -> [u8; 64] {
+    let mut h = Sha512::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Double SHA-256 (`SHA256(SHA256(data))`), bitcoin's proof-of-work hash.
+pub fn sha256d(data: &[u8]) -> [u8; 32] {
+    sha256(&sha256(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn sha256_nist_vectors() {
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn sha512_nist_vectors() {
+        assert_eq!(
+            hex(&sha512(b"abc")),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a\
+             2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f"
+        );
+        assert_eq!(
+            hex(&sha512(b"")),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce\
+             47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e"
+        );
+    }
+
+    #[test]
+    fn sha512_million_a() {
+        // FIPS 180-4 long vector: one million 'a'.
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(&sha512(&data)),
+            "e718483d0ce769644e2e42c7bc15b4638e1f98b13b2044285632a803afa973eb\
+             de0ff244877ea60a4cb0432ce577c31beb009c5c2c49aa2e4eadb217ad8cc09b"
+        );
+    }
+
+    #[test]
+    fn sha256d_genesis_block() {
+        // Bitcoin genesis block header double-hash (known value).
+        let header = hex_to_bytes(
+            "0100000000000000000000000000000000000000000000000000000000000000\
+             000000003ba3edfd7a7b12b27ac72c3e67768f617fc81bc3888a51323a9fb8aa\
+             4b1e5e4a29ab5f49ffff001d1dac2b7c",
+        );
+        let mut digest = sha256d(&header);
+        digest.reverse(); // display convention
+        assert_eq!(
+            hex(&digest),
+            "000000000019d6689c085ae165831e934ff763ae46a2a6c172b3f1b60a8ce26f"
+        );
+    }
+
+    fn hex_to_bytes(s: &str) -> Vec<u8> {
+        let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn incremental_sha512_matches_oneshot() {
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let mut h = Sha512::new();
+        for chunk in data.chunks(64) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), sha512(&data));
+    }
+
+    #[test]
+    fn incremental_sha256_odd_chunks() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i * 7) as u8).collect();
+        let mut h = Sha256::new();
+        for chunk in data.chunks(13) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn sha512_snapshot_resume() {
+        let data: Vec<u8> = (0..777u32).map(|i| i as u8).collect();
+        let mut h = Sha512::new();
+        h.update(&data[..300]);
+        let snap = h.snapshot();
+        let mut r = Sha512::from_snapshot(&snap);
+        h.update(&data[300..]);
+        r.update(&data[300..]);
+        assert_eq!(h.finalize(), r.finalize());
+    }
+
+    #[test]
+    fn sha512_padding_boundaries() {
+        for len in [111usize, 112, 113, 127, 128, 129, 240] {
+            let data = vec![0x5Au8; len];
+            let mut split = Sha512::new();
+            split.update(&data[..len / 3]);
+            split.update(&data[len / 3..]);
+            assert_eq!(split.finalize(), sha512(&data), "len={len}");
+        }
+    }
+}

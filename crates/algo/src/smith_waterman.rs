@@ -1,0 +1,228 @@
+//! Smith–Waterman local sequence alignment (the `SW` benchmark).
+//!
+//! The paper's `SW` accelerator (1,265 LoC of Verilog, 100 MHz) computes
+//! local alignments — the classic FPGA systolic-array workload, where one
+//! anti-diagonal of the dynamic-programming matrix is computed per clock.
+//! This module implements the full affine-free (linear gap) recurrence with
+//! traceback, plus a score-only variant matching what streaming hardware
+//! returns.
+//!
+//! # Examples
+//!
+//! ```
+//! use optimus_algo::smith_waterman::{align, Scoring};
+//!
+//! let scoring = Scoring::default();
+//! let result = align(b"ACACACTA", b"AGCACACA", &scoring);
+//! assert!(result.score > 0);
+//! ```
+
+/// Scoring parameters for the alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scoring {
+    /// Score added for a matching pair (positive).
+    pub match_score: i32,
+    /// Score added for a mismatching pair (negative).
+    pub mismatch: i32,
+    /// Score added per gap symbol (negative).
+    pub gap: i32,
+}
+
+impl Default for Scoring {
+    /// The textbook parameters: +2 match, −1 mismatch, −1 gap.
+    fn default() -> Self {
+        Self {
+            match_score: 2,
+            mismatch: -1,
+            gap: -1,
+        }
+    }
+}
+
+/// An alignment result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    /// The optimal local alignment score.
+    pub score: i32,
+    /// End position (exclusive) of the alignment in the query.
+    pub query_end: usize,
+    /// End position (exclusive) of the alignment in the target.
+    pub target_end: usize,
+    /// Aligned query fragment with `-` for gaps.
+    pub aligned_query: Vec<u8>,
+    /// Aligned target fragment with `-` for gaps.
+    pub aligned_target: Vec<u8>,
+}
+
+/// Computes only the optimal local alignment score.
+///
+/// This is the quantity a streaming FPGA implementation emits; it uses O(min)
+/// memory (one DP row), which is also how the simulated accelerator scores
+/// line-sized sequence chunks.
+pub fn score_only(query: &[u8], target: &[u8], scoring: &Scoring) -> i32 {
+    if query.is_empty() || target.is_empty() {
+        return 0;
+    }
+    let mut prev = vec![0i32; target.len() + 1];
+    let mut best = 0;
+    for &q in query {
+        let mut diag = 0i32; // prev[j-1] from the previous row
+        for j in 1..=target.len() {
+            let sub = if q == target[j - 1] {
+                scoring.match_score
+            } else {
+                scoring.mismatch
+            };
+            let score = (diag + sub)
+                .max(prev[j] + scoring.gap)
+                .max(prev[j - 1] + scoring.gap)
+                .max(0);
+            diag = prev[j];
+            prev[j] = score;
+            best = best.max(score);
+        }
+        // prev[0] stays 0 (local alignment), diag for next row starts at 0.
+    }
+    best
+}
+
+/// Computes the optimal local alignment with traceback.
+pub fn align(query: &[u8], target: &[u8], scoring: &Scoring) -> Alignment {
+    let rows = query.len() + 1;
+    let cols = target.len() + 1;
+    let mut dp = vec![0i32; rows * cols];
+    let mut best = (0i32, 0usize, 0usize);
+    for i in 1..rows {
+        for j in 1..cols {
+            let sub = if query[i - 1] == target[j - 1] {
+                scoring.match_score
+            } else {
+                scoring.mismatch
+            };
+            let score = (dp[(i - 1) * cols + j - 1] + sub)
+                .max(dp[(i - 1) * cols + j] + scoring.gap)
+                .max(dp[i * cols + j - 1] + scoring.gap)
+                .max(0);
+            dp[i * cols + j] = score;
+            if score > best.0 {
+                best = (score, i, j);
+            }
+        }
+    }
+    // Traceback from the best cell until a zero cell.
+    let (score, mut i, mut j) = best;
+    let (query_end, target_end) = (i, j);
+    let mut aq = Vec::new();
+    let mut at = Vec::new();
+    while i > 0 && j > 0 && dp[i * cols + j] > 0 {
+        let cur = dp[i * cols + j];
+        let sub = if query[i - 1] == target[j - 1] {
+            scoring.match_score
+        } else {
+            scoring.mismatch
+        };
+        if cur == dp[(i - 1) * cols + j - 1] + sub {
+            aq.push(query[i - 1]);
+            at.push(target[j - 1]);
+            i -= 1;
+            j -= 1;
+        } else if cur == dp[(i - 1) * cols + j] + scoring.gap {
+            aq.push(query[i - 1]);
+            at.push(b'-');
+            i -= 1;
+        } else {
+            aq.push(b'-');
+            at.push(target[j - 1]);
+            j -= 1;
+        }
+    }
+    aq.reverse();
+    at.reverse();
+    Alignment {
+        score,
+        query_end,
+        target_end,
+        aligned_query: aq,
+        aligned_target: at,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sequences_score_full_match() {
+        let s = Scoring::default();
+        assert_eq!(score_only(b"ACGT", b"ACGT", &s), 8);
+    }
+
+    #[test]
+    fn disjoint_alphabets_score_zero() {
+        let s = Scoring::default();
+        assert_eq!(score_only(b"AAAA", b"TTTT", &s), 0);
+    }
+
+    #[test]
+    fn classic_textbook_example() {
+        // Wikipedia's example: TGTTACGG vs GGTTGACTA, match +3, mismatch -3, gap -2
+        let s = Scoring {
+            match_score: 3,
+            mismatch: -3,
+            gap: -2,
+        };
+        let result = align(b"TGTTACGG", b"GGTTGACTA", &s);
+        assert_eq!(result.score, 13);
+        assert_eq!(result.aligned_query, b"GTT-AC".to_vec());
+        assert_eq!(result.aligned_target, b"GTTGAC".to_vec());
+    }
+
+    #[test]
+    fn score_only_matches_full_align() {
+        let s = Scoring::default();
+        let cases: [(&[u8], &[u8]); 4] = [
+            (b"ACACACTA", b"AGCACACA"),
+            (b"GATTACA", b"GCATGCU"),
+            (b"AAAA", b"AAAA"),
+            (b"CGTACGTACGT", b"TACG"),
+        ];
+        for (q, t) in cases {
+            assert_eq!(score_only(q, t, &s), align(q, t, &s).score, "{q:?} vs {t:?}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs_score_zero() {
+        let s = Scoring::default();
+        assert_eq!(score_only(b"", b"ACGT", &s), 0);
+        assert_eq!(score_only(b"ACGT", b"", &s), 0);
+    }
+
+    #[test]
+    fn local_alignment_ignores_flanks() {
+        let s = Scoring::default();
+        // The common core "CCCC" aligns regardless of differing flanks.
+        let score = score_only(b"TTTTCCCCGGGG", b"AAAACCCCAAAA", &s);
+        assert_eq!(score, 8);
+    }
+
+    #[test]
+    fn score_is_symmetric() {
+        let s = Scoring::default();
+        let a = b"ACGTACGTTGCA";
+        let b = b"TGCATGCAACGT";
+        assert_eq!(score_only(a, b, &s), score_only(b, a, &s));
+    }
+
+    #[test]
+    fn single_gap_preferred_over_mismatch_run() {
+        let s = Scoring {
+            match_score: 2,
+            mismatch: -3,
+            gap: -1,
+        };
+        let result = align(b"ACGTT", b"ACTT", &s);
+        // Optimal: AC-GTT vs AC-TT with one gap: score 2*4 - 1 = 7
+        assert_eq!(result.score, 7);
+    }
+}

@@ -1,0 +1,68 @@
+//! Fig. 8: preemptive temporal multiplexing — aggregate throughput with
+//! 1–16 virtual accelerators on ONE physical accelerator, normalized to a
+//! single job.
+//!
+//! The paper: LinkedList loses ≈ 0.5 % to preemption, MemBench ≈ 0.7 %,
+//! and the overhead stays constant beyond two jobs (switches happen at a
+//! fixed interval regardless of queue depth). The MD5 "worst case" pads
+//! the saved state with all resources MD5 occupies (the paper estimates
+//! 9 % by simulation).
+
+use optimus_accel::registry::AccelKind;
+use optimus_bench::report;
+use optimus_bench::runner::run_temporal;
+use optimus_bench::scale;
+use optimus_sim::time::ms_to_cycles;
+
+fn main() {
+    let slice = ms_to_cycles(scale::fig8_slice_ms());
+    let per_job = scale::fig8_slices_per_job();
+    // MD5 worst case: conservatively save *all* resources MD5 occupies
+    // (the paper's Cascade-style assumption): the 8-instance BRAM footprint
+    // is ≈ 23 % of the device's 6.6 MB ≈ 1.5 MB, doubled for pipeline and
+    // register state ≈ 3 MB, streamed out and back at the accelerator's
+    // 100 MHz port rate.
+    let md5_worst_state: u64 = 3 << 20;
+    let configs: &[(&str, AccelKind, u64, f64)] = &[
+        ("LinkedList", AccelKind::Ll, 0, 0.5),
+        ("MemBench", AccelKind::Mb, 0, 0.7),
+        ("MD5 worst case", AccelKind::Md5, md5_worst_state, 9.0),
+    ];
+    for &(name, kind, pad, paper_overhead) in configs {
+        let mut rows = Vec::new();
+        let mut base = 0f64;
+        let mut two_job_norm = 1.0;
+        for jobs in [1usize, 2, 4, 8, 16] {
+            let r = run_temporal(kind, jobs, slice, per_job, pad);
+            let rate = r.progress as f64 / r.cycles as f64;
+            if jobs == 1 {
+                base = rate.max(1e-12);
+            }
+            if jobs == 2 {
+                two_job_norm = rate / base;
+            }
+            rows.push(vec![
+                jobs.to_string(),
+                report::f(rate / base, 4),
+                r.switches.to_string(),
+            ]);
+        }
+        report::table(
+            &format!("Fig 8 — {name}: aggregate throughput normalized to 1 job (paper overhead ≈ {paper_overhead}%)"),
+            &["jobs", "normalized", "switches"],
+            &rows,
+        );
+        // Overhead scales as per-switch-cost / slice; report the 10 ms
+        // equivalent for comparison with the paper's numbers.
+        let overhead = 1.0 - two_job_norm;
+        let at_10ms = overhead * (slice as f64 * 2.5e-6) / 10.0 * 100.0;
+        println!(
+            "  measured overhead {:.2}% at {:.1} ms slices ≈ {:.2}% at the paper's 10 ms (paper: {paper_overhead}%)",
+            overhead * 100.0,
+            slice as f64 * 2.5e-6,
+            at_10ms
+        );
+    }
+    println!("\npaper shape: small constant drop from 1→2 jobs, flat thereafter;");
+    println!("the drop is the per-slice preemption cost over the 10 ms slice.");
+}

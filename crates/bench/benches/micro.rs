@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks of the hot paths: auditor translation,
+//! IOTLB lookup, page-table walks, mux-tree arbitration, and the per-line
+//! AES compute.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use optimus_algo::aes::Aes128;
+use optimus_cci::packet::{AccelId, Tag, UpPacket};
+use optimus_fabric::auditor::{Auditor, OutboundReq};
+use optimus_fabric::mux_tree::{MuxTree, TreeConfig};
+use optimus_mem::addr::{Gva, Hpa, Iova, PageSize};
+use optimus_mem::iommu::Iommu;
+use optimus_mem::page_table::{PageFlags, PageTable};
+use std::hint::black_box;
+
+fn bench_auditor(c: &mut Criterion) {
+    let mut auditor = Auditor::new(AccelId(3), 0x13000, 0x1000);
+    auditor.set_offset(64 << 30);
+    c.bench_function("auditor_translate", |b| {
+        b.iter(|| {
+            auditor.translate(OutboundReq {
+                gva: Gva::new(black_box(0x1234_5678)),
+                write: None,
+                tag: Tag(1),
+            })
+        })
+    });
+}
+
+fn bench_iommu(c: &mut Criterion) {
+    let mut iommu = Iommu::new();
+    for i in 0..512u64 {
+        iommu
+            .map(
+                Iova::new(i << 21),
+                Hpa::new(i << 21),
+                PageSize::Huge,
+                PageFlags::rw(),
+            )
+            .unwrap();
+    }
+    let mut i = 0u64;
+    c.bench_function("iotlb_hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % 512;
+            iommu.translate(Iova::new(black_box(i << 21)), false).unwrap()
+        })
+    });
+}
+
+fn bench_page_table_walk(c: &mut Criterion) {
+    let mut pt = PageTable::new();
+    for i in 0..4096u64 {
+        pt.map(i << 21, i << 21, PageSize::Huge, PageFlags::rw()).unwrap();
+    }
+    let mut i = 0u64;
+    c.bench_function("page_table_translate", |b| {
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            pt.translate(black_box(i << 21)).unwrap()
+        })
+    });
+}
+
+fn bench_mux_tree(c: &mut Criterion) {
+    c.bench_function("mux_tree_step_saturated", |b| {
+        let mut tree = MuxTree::new(TreeConfig::default_eight());
+        let mut now = 0u64;
+        let mut tag = 0u32;
+        b.iter(|| {
+            for a in 0..8 {
+                if tree.can_accept(a) {
+                    tree.inject(
+                        a,
+                        UpPacket::DmaRead {
+                            iova: Iova::new(0),
+                            src: AccelId(a as u8),
+                            tag: Tag(tag),
+                        },
+                        now,
+                    );
+                    tag = tag.wrapping_add(1);
+                }
+            }
+            tree.step(now);
+            let popped = tree.pop_root(now);
+            now += 1;
+            popped
+        })
+    });
+}
+
+fn bench_aes_line(c: &mut Criterion) {
+    let aes = Aes128::new(b"0123456789abcdef");
+    c.bench_function("aes_encrypt_line", |b| {
+        let mut line = [0x5Au8; 64];
+        b.iter(|| {
+            aes.encrypt_ecb(&mut line);
+            line[0]
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_auditor,
+    bench_iommu,
+    bench_page_table_walk,
+    bench_mux_tree,
+    bench_aes_line
+);
+criterion_main!(benches);

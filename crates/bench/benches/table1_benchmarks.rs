@@ -1,0 +1,25 @@
+//! Table 1: the benchmark inventory (descriptions, Verilog LoC, clock).
+
+use optimus_accel::registry::AccelKind;
+use optimus_bench::report;
+
+fn main() {
+    let rows: Vec<Vec<String>> = AccelKind::ALL
+        .iter()
+        .map(|k| {
+            let m = k.meta();
+            vec![
+                m.name.to_string(),
+                m.description.to_string(),
+                m.verilog_loc.to_string(),
+                format!("{} MHz", m.freq_mhz),
+                format!("{:.2}", m.demand),
+            ]
+        })
+        .collect();
+    report::table(
+        "Table 1 — benchmarks (LoC and frequency from the paper; demand = modeled monitor-slot share)",
+        &["App", "Description", "LoC", "Freq", "demand"],
+        &rows,
+    );
+}

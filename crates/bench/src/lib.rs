@@ -1,0 +1,14 @@
+//! Shared experiment harness regenerating the paper's tables and figures.
+//!
+//! Each `benches/*.rs` target (all `harness = false`) reproduces one table
+//! or figure; this library holds the machinery they share:
+//!
+//! * [`scale`] — measurement windows and scale factors (env-overridable);
+//! * [`jobs`] — per-benchmark job launchers and progress meters;
+//! * [`runner`] — spatial/latency experiment drivers over the hypervisor;
+//! * [`report`] — uniform paper-vs-measured table printing.
+
+pub mod jobs;
+pub mod report;
+pub mod runner;
+pub mod scale;

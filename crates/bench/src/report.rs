@@ -1,0 +1,36 @@
+//! Uniform table printing for the experiment reports.
+
+/// Prints a titled table with aligned columns.
+pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let joined: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("  {}", joined.join("  "));
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Formats a float with the given precision.
+pub fn f(value: f64, prec: usize) -> String {
+    format!("{value:.prec$}")
+}
+
+/// Formats a paper-vs-measured pair.
+pub fn vs(paper: f64, measured: f64, prec: usize) -> (String, String) {
+    (f(paper, prec), f(measured, prec))
+}

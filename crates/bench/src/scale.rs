@@ -1,0 +1,45 @@
+//! Measurement-scale knobs.
+//!
+//! The paper measures seconds of wall time on real hardware; the simulator
+//! measures steady-state windows of a few milliseconds (hundreds of
+//! thousands to millions of fabric cycles), which is enough for every rate
+//! and latency to converge. Every knob can be raised via environment
+//! variables for higher-fidelity (slower) runs.
+
+use optimus_sim::time::Cycle;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Warm-up cycles before the measurement window opens.
+pub fn warmup_cycles() -> Cycle {
+    env_u64("OPTIMUS_BENCH_WARMUP", 80_000)
+}
+
+/// Measurement-window length in cycles (default 1 M = 2.5 ms).
+pub fn window_cycles() -> Cycle {
+    env_u64("OPTIMUS_BENCH_WINDOW", 300_000)
+}
+
+/// Scale divisor for the Fig. 1 graph (default 80: 10 K vertices,
+/// 0.04 M–0.64 M edges — the paper's shape at tractable simulation cost).
+pub fn fig1_scale() -> u64 {
+    env_u64("OPTIMUS_FIG1_SCALE", 80)
+}
+
+/// Time slice for the Fig. 8 temporal-multiplexing study, in milliseconds.
+/// Default 2 ms (preemption overhead scales as cost/slice; multiply the
+/// measured overhead by slice/10 ms to compare against the paper's 10 ms
+/// numbers, or set OPTIMUS_FIG8_SLICE_US=10000 for a full-length run).
+pub fn fig8_slice_ms() -> f64 {
+    env_u64("OPTIMUS_FIG8_SLICE_US", 2_000) as f64 / 1000.0
+}
+
+/// Slices per virtual accelerator in the Fig. 8 study.
+pub fn fig8_slices_per_job() -> u64 {
+    env_u64("OPTIMUS_FIG8_SLICES", 2)
+}

@@ -1,0 +1,266 @@
+//! UPI and PCIe channel models plus the channel selector.
+//!
+//! Skylake HARP connects its FPGA over one UPI link and two PCIe 3.0 links.
+//! Each channel is modeled with two quantities:
+//!
+//! * a **serialization interval** — the minimum spacing between packets
+//!   entering the link (its bandwidth);
+//! * a **propagation latency** — one-way flight time.
+//!
+//! CCI-P's *virtual auto* (VA) channel lets the shell pick a physical
+//! channel per packet. HARP's selector is "optimized for throughput rather
+//! than latency" (§6.1): it balances load, happily putting reads on PCIe
+//! even though UPI is faster — which makes latency-sensitive workloads
+//! jittery and is why the paper measures LinkedList in pinned UPI-only and
+//! PCIe-only modes. [`SelectorPolicy`] models all three.
+
+use crate::params;
+use optimus_sim::time::Cycle;
+
+/// A physical channel identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelKind {
+    /// The UPI link: lower latency, higher bandwidth.
+    Upi,
+    /// First PCIe 3.0 link.
+    Pcie0,
+    /// Second PCIe 3.0 link.
+    Pcie1,
+}
+
+impl ChannelKind {
+    /// All channels, in selector preference order.
+    pub const ALL: [ChannelKind; 3] = [ChannelKind::Upi, ChannelKind::Pcie0, ChannelKind::Pcie1];
+}
+
+/// The shell's channel selection policy for DMA traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectorPolicy {
+    /// Virtual-auto: throughput-optimized load balancing across all links.
+    #[default]
+    Auto,
+    /// Pin all traffic to UPI (the paper's low-latency configuration).
+    UpiOnly,
+    /// Pin all traffic to PCIe (round-robin across the two links).
+    PcieOnly,
+}
+
+/// One physical link with serialization and latency.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    kind: ChannelKind,
+    /// Cycles between packet entries (f64: fractional rates accumulate).
+    ser_interval: f64,
+    /// One-way latency in cycles.
+    latency: f64,
+    next_free: f64,
+    packets: u64,
+}
+
+impl Channel {
+    /// Creates the channel with its calibrated parameters.
+    pub fn new(kind: ChannelKind) -> Self {
+        let (ser_interval, latency_ns) = match kind {
+            ChannelKind::Upi => (params::UPI_SER_INTERVAL, params::UPI_LATENCY_NS),
+            ChannelKind::Pcie0 | ChannelKind::Pcie1 => {
+                (params::PCIE_SER_INTERVAL, params::PCIE_LATENCY_NS)
+            }
+        };
+        Self {
+            kind,
+            ser_interval,
+            latency: latency_ns / 2.5,
+            next_free: 0.0,
+            packets: 0,
+        }
+    }
+
+    /// The channel identity.
+    pub fn kind(&self) -> ChannelKind {
+        self.kind
+    }
+
+    /// One-way latency in fabric cycles.
+    pub fn latency_cycles(&self) -> f64 {
+        self.latency
+    }
+
+    /// The earliest time a new packet could enter the link.
+    pub fn earliest_entry(&self, now: Cycle) -> f64 {
+        self.next_free.max(now as f64)
+    }
+
+    /// Admits one packet at `now`; returns its arrival time at the far end.
+    pub fn admit(&mut self, now: Cycle) -> f64 {
+        let entry = self.earliest_entry(now);
+        self.next_free = entry + self.ser_interval;
+        self.packets += 1;
+        entry + self.latency
+    }
+
+    /// Packets carried so far.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+}
+
+/// The set of three channels with a selection policy.
+#[derive(Debug, Clone)]
+pub struct ChannelSet {
+    channels: Vec<Channel>,
+    policy: SelectorPolicy,
+    rr: usize,
+    /// Decision counter hashed for tie-breaks: real arbitration has
+    /// physical jitter, and modelling it (deterministically) prevents the
+    /// simulator from phase-locking unlucky requesters onto slow links.
+    decisions: u64,
+}
+
+impl ChannelSet {
+    /// Creates the HARP channel set (UPI + 2 × PCIe) under `policy`.
+    pub fn new(policy: SelectorPolicy) -> Self {
+        Self {
+            channels: ChannelKind::ALL.iter().map(|&k| Channel::new(k)).collect(),
+            policy,
+            rr: 0,
+            decisions: 0,
+        }
+    }
+
+    /// Selects a channel for a packet at `now` per the policy and admits the
+    /// packet. Returns `(arrival_time, channel_kind)`.
+    pub fn admit(&mut self, now: Cycle) -> (f64, ChannelKind) {
+        let idx = match self.policy {
+            SelectorPolicy::UpiOnly => 0,
+            SelectorPolicy::PcieOnly => {
+                // Alternate between the two PCIe links.
+                self.rr = (self.rr + 1) % 2;
+                1 + self.rr
+            }
+            SelectorPolicy::Auto => {
+                // Throughput-optimized: least-loaded (earliest entry). Ties
+                // break pseudo-randomly, which is what spreads
+                // latency-sensitive traffic across fast and slow links
+                // (§6.1's jitter) without phase-locking any requester.
+                self.decisions = self.decisions.wrapping_add(1);
+                let start = (optimus_sim::rng::SplitMix64::mix(self.decisions)
+                    % self.channels.len() as u64) as usize;
+                let mut best = start;
+                let mut best_entry = self.channels[start].earliest_entry(now);
+                for probe in 1..self.channels.len() {
+                    let i = (start + probe) % self.channels.len();
+                    let entry = self.channels[i].earliest_entry(now);
+                    if entry + 1e-9 < best_entry {
+                        best_entry = entry;
+                        best = i;
+                    }
+                }
+                best
+            }
+        };
+        let arrival = self.channels[idx].admit(now);
+        (arrival, self.channels[idx].kind())
+    }
+
+    /// One-way latency of the policy's return path. Responses travel back
+    /// over the same class of link.
+    pub fn response_latency(&self, kind: ChannelKind) -> f64 {
+        self.channels
+            .iter()
+            .find(|c| c.kind() == kind)
+            .expect("channel exists")
+            .latency_cycles()
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> SelectorPolicy {
+        self.policy
+    }
+
+    /// Per-channel packet counts `(upi, pcie0, pcie1)`.
+    pub fn packet_counts(&self) -> (u64, u64, u64) {
+        (
+            self.channels[0].packets(),
+            self.channels[1].packets(),
+            self.channels[2].packets(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_spaces_packets() {
+        let mut ch = Channel::new(ChannelKind::Upi);
+        let a1 = ch.admit(0);
+        let a2 = ch.admit(0);
+        assert!((a2 - a1 - params::UPI_SER_INTERVAL).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_channel_admits_immediately() {
+        let mut ch = Channel::new(ChannelKind::Pcie0);
+        let arrival = ch.admit(100);
+        assert!((arrival - (100.0 + params::PCIE_LATENCY_NS / 2.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn upi_only_uses_upi() {
+        let mut set = ChannelSet::new(SelectorPolicy::UpiOnly);
+        for _ in 0..10 {
+            let (_, kind) = set.admit(0);
+            assert_eq!(kind, ChannelKind::Upi);
+        }
+        let (upi, p0, p1) = set.packet_counts();
+        assert_eq!((upi, p0, p1), (10, 0, 0));
+    }
+
+    #[test]
+    fn pcie_only_alternates_links() {
+        let mut set = ChannelSet::new(SelectorPolicy::PcieOnly);
+        for _ in 0..10 {
+            let (_, kind) = set.admit(0);
+            assert_ne!(kind, ChannelKind::Upi);
+        }
+        let (upi, p0, p1) = set.packet_counts();
+        assert_eq!(upi, 0);
+        assert_eq!(p0, 5);
+        assert_eq!(p1, 5);
+    }
+
+    #[test]
+    fn auto_spreads_load_across_all_channels() {
+        let mut set = ChannelSet::new(SelectorPolicy::Auto);
+        for _ in 0..300 {
+            set.admit(0);
+        }
+        let (upi, p0, p1) = set.packet_counts();
+        assert!(upi > 0 && p0 > 0 && p1 > 0, "{upi}/{p0}/{p1}");
+        // UPI is faster, so under saturation it carries more packets.
+        assert!(upi >= p0 && upi >= p1);
+    }
+
+    #[test]
+    fn auto_latency_is_jittery_when_idle() {
+        // At low load, auto rotates across links, mixing UPI and PCIe
+        // latencies — the paper's motivation for pinning LinkedList.
+        let mut set = ChannelSet::new(SelectorPolicy::Auto);
+        let mut kinds = std::collections::HashSet::new();
+        for i in 0..30 {
+            let now = i * 1000; // far apart: always idle
+            let (_, kind) = set.admit(now);
+            kinds.insert(kind);
+        }
+        assert!(kinds.len() > 1, "auto should rotate across idle channels");
+    }
+
+    #[test]
+    fn aggregate_bandwidth_exceeds_memory_ceiling() {
+        // UPI 2.4 + PCIe 3.6×2 in parallel: combined interval < 1.8.
+        let combined =
+            1.0 / (1.0 / params::UPI_SER_INTERVAL + 2.0 / params::PCIE_SER_INTERVAL);
+        assert!(combined < params::MEM_SERVICE_INTERVAL);
+    }
+}

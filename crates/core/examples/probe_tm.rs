@@ -1,0 +1,41 @@
+use optimus::hypervisor::*;
+use optimus_accel::registry::AccelKind;
+use optimus_accel::hash::reg;
+use optimus_fabric::mmio::accel_reg;
+use optimus_sim::time::ms_to_cycles;
+
+fn main() {
+    let mut cfg = OptimusConfig::new(vec![AccelKind::Md5]);
+    cfg.time_slice = ms_to_cycles(0.1);
+    let mut hv = Optimus::new(cfg);
+    let vm_a = hv.create_vm("a");
+    let vm_b = hv.create_vm("b");
+    let va_a = hv.create_vaccel(vm_a, 0);
+    let va_b = hv.create_vaccel(vm_b, 0);
+    let data_a: Vec<u8> = (0..1_048_576u32).map(|i| i as u8).collect();
+    let data_b: Vec<u8> = (0..1_048_576u32).map(|i| (i ^ 0x77) as u8).collect();
+    let mut dsts = Vec::new();
+    for (va, data) in [(va_a, &data_a), (va_b, &data_b)] {
+        let mut g = hv.guest(va);
+        let src = g.alloc_dma(data.len() as u64);
+        let dst = g.alloc_dma(4096);
+        let state = g.alloc_dma(4096);
+        g.write_mem(src, data);
+        g.set_state_buffer(state);
+        g.mmio_write(accel_reg::APP_BASE + reg::SRC, src.raw());
+        g.mmio_write(accel_reg::APP_BASE + reg::DST, dst.raw());
+        g.mmio_write(accel_reg::APP_BASE + reg::LINES, (data.len() / 64) as u64);
+        g.mmio_write(accel_reg::CTRL_CMD, accel_reg::CMD_START);
+        dsts.push(dst);
+    }
+    let a_done = hv.run_until_done(va_a, 400_000_000);
+    let b_done = hv.run_until_done(va_b, 400_000_000);
+    println!("a_done={a_done} b_done={b_done} switches={} resets={} faults={}",
+        hv.stats().context_switches, hv.stats().forced_resets, hv.device().host().faulted_dmas());
+    let mut out = vec![0u8; 16];
+    hv.guest(va_a).read_mem(dsts[0], &mut out);
+    println!("a digest {:02x?} expect {:02x?}", out, &optimus_algo::md5::md5(&data_a)[..]);
+    hv.guest(va_b).read_mem(dsts[1], &mut out);
+    println!("b digest {:02x?} expect {:02x?}", out, &optimus_algo::md5::md5(&data_b)[..]);
+    println!("stale0={} dropped={}", hv.device().port(0).stale_discarded(), hv.device().dropped_packets());
+}

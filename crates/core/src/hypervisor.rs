@@ -1,0 +1,933 @@
+//! The OPTIMUS hypervisor.
+//!
+//! [`Optimus`] follows the paper's mediated pass-through architecture
+//! (§4): control-plane operations (MMIO) are trapped and emulated, while
+//! the data plane (accelerator DMAs) bypasses software entirely, isolated
+//! by page table slicing in the hardware monitor. The struct owns the
+//! simulated FPGA device, the VMs, the virtual accelerators, and the
+//! per-slot temporal schedulers; [`GuestCtx`] is the guest-visible surface
+//! (the paper's guest driver + userspace library).
+//!
+//! Software costs are charged by advancing the device clock: a trapped
+//! MMIO costs ≈ 2 µs, a native one ≈ 0.3 µs, a shadow-paging hypercall
+//! ≈ 1.5 µs (see `optimus_cci::params::host_costs`). This is what makes the
+//! control-plane cost of virtualization visible in the Fig. 1 comparison.
+
+use crate::alloc::FrameAllocator;
+use crate::scheduler::{SchedPolicy, SliceScheduler};
+use crate::slicing::SlicingConfig;
+use crate::vaccel::{VaccelId, VaccelRun, VirtualAccel};
+use crate::vm::{Vm, VmError, VmId};
+use optimus_accel::registry::{build_accelerator, AccelKind};
+use optimus_cci::channel::SelectorPolicy;
+use optimus_cci::params::host_costs;
+use optimus_fabric::accelerator::CtrlStatus;
+use optimus_fabric::device::FpgaDevice;
+use optimus_fabric::mmio::{accel_mmio_base, accel_reg, vcu_reg, VCU_BASE};
+use optimus_mem::addr::{Gva, Hpa, PageSize, PAGE_2M};
+use optimus_mem::host::FrameFiller;
+use optimus_mem::page_table::PageFlags;
+use optimus_sim::time::{ms_to_cycles, ns_to_cycles, Cycle};
+
+/// MMIO cost model for guest accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrapCost {
+    /// Bare-metal latency (≈ 0.3 µs): the native baselines of Fig. 1.
+    Native,
+    /// Trap-and-emulate latency (≈ 2 µs): every virtualized configuration.
+    Virtualized,
+}
+
+impl TrapCost {
+    fn cycles(self) -> Cycle {
+        match self {
+            TrapCost::Native => ns_to_cycles(host_costs::MMIO_NATIVE_NS),
+            TrapCost::Virtualized => ns_to_cycles(host_costs::MMIO_TRAPPED_NS),
+        }
+    }
+}
+
+/// How a guest DMA region is backed in the host memory model.
+pub enum Backing {
+    /// Ordinary zero-filled memory.
+    Normal,
+    /// Lazily synthesized content (huge deterministic datasets).
+    Lazy(FrameFiller),
+    /// Writes counted but discarded (bulk benchmark output).
+    Scratch,
+}
+
+/// Hypervisor configuration.
+pub struct OptimusConfig {
+    /// Accelerator kinds to configure onto the FPGA (≤ 8).
+    pub accels: Vec<AccelKind>,
+    /// Multiplexer-tree arity (2 = the only arrangement that closes
+    /// 400 MHz timing; others are for ablations).
+    pub arity: usize,
+    /// CCI-P channel selection policy.
+    pub channel_policy: SelectorPolicy,
+    /// Page-table-slicing layout.
+    pub slicing: SlicingConfig,
+    /// Temporal-multiplexing time slice in fabric cycles (default 10 ms).
+    pub time_slice: Cycle,
+    /// Temporal-multiplexing policy.
+    pub sched_policy: SchedPolicy,
+    /// Guest MMIO cost model.
+    pub trap: TrapCost,
+    /// Cycles to wait for `Saved` before forcibly resetting an accelerator
+    /// that fails to cede (§4.2).
+    pub preempt_timeout: Cycle,
+    /// Seed for accelerator-internal randomness.
+    pub seed: u64,
+}
+
+impl OptimusConfig {
+    /// The paper's default configuration for a given accelerator mix.
+    pub fn new(accels: Vec<AccelKind>) -> Self {
+        Self {
+            accels,
+            arity: 2,
+            channel_policy: SelectorPolicy::Auto,
+            slicing: SlicingConfig::default(),
+            time_slice: ms_to_cycles(10.0),
+            sched_policy: SchedPolicy::RoundRobin,
+            trap: TrapCost::Virtualized,
+            preempt_timeout: ms_to_cycles(1.0),
+            seed: 42,
+        }
+    }
+}
+
+/// Hypervisor statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HvStats {
+    /// Guest MMIO traps taken.
+    pub traps: u64,
+    /// Shadow-paging hypercalls processed.
+    pub hypercalls: u64,
+    /// Pages pinned for DMA.
+    pub pinned_pages: u64,
+    /// Context switches performed.
+    pub context_switches: u64,
+    /// Actual preemptions issued (CMD_PREEMPT sent to a running job).
+    pub preemptions: u64,
+    /// Preemption timeouts that forced a reset.
+    pub forced_resets: u64,
+}
+
+struct Slot {
+    sched: SliceScheduler,
+    current: Option<VaccelId>,
+    slice_ends: Cycle,
+}
+
+/// The hypervisor.
+pub struct Optimus {
+    device: FpgaDevice,
+    passthrough: bool,
+    slicing: SlicingConfig,
+    time_slice: Cycle,
+    trap: TrapCost,
+    preempt_timeout: Cycle,
+    vms: Vec<Vm>,
+    vaccels: Vec<VirtualAccel>,
+    slots: Vec<Slot>,
+    frames: FrameAllocator,
+    next_slice: u64,
+    stats: HvStats,
+}
+
+impl Optimus {
+    /// Boots an OPTIMUS-configured FPGA and the hypervisor around it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no accelerators are configured.
+    pub fn new(config: OptimusConfig) -> Self {
+        assert!(!config.accels.is_empty(), "need at least one accelerator");
+        let accels = config
+            .accels
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| build_accelerator(k, config.seed.wrapping_add(i as u64)))
+            .collect();
+        let device = FpgaDevice::new_monitored(accels, config.arity, config.channel_policy);
+        let slots = (0..config.accels.len())
+            .map(|_| Slot {
+                sched: SliceScheduler::new(config.sched_policy.clone(), config.time_slice),
+                current: None,
+                slice_ends: 0,
+            })
+            .collect();
+        let mut hv = Self {
+            device,
+            passthrough: false,
+            slicing: config.slicing,
+            time_slice: config.time_slice,
+            trap: config.trap,
+            preempt_timeout: config.preempt_timeout,
+            vms: Vec::new(),
+            vaccels: Vec::new(),
+            slots,
+            frames: FrameAllocator::new(),
+            next_slice: 0,
+            stats: HvStats::default(),
+        };
+        // Sanity-check the hardware: an OPTIMUS-compatible configuration
+        // advertises itself through the VCU magic register.
+        let magic = hv.device.mmio_read(VCU_BASE + vcu_reg::MAGIC);
+        assert_eq!(magic, vcu_reg::MAGIC_VALUE, "incompatible FPGA configuration");
+        hv
+    }
+
+    /// Boots a pass-through (direct assignment + vIOMMU) baseline: one
+    /// accelerator, no hardware monitor, IOVA = GVA.
+    pub fn new_passthrough(kind: AccelKind, policy: SelectorPolicy, trap: TrapCost) -> Self {
+        let device = FpgaDevice::new_passthrough(build_accelerator(kind, 42), policy);
+        Self {
+            device,
+            passthrough: true,
+            slicing: SlicingConfig::default(),
+            time_slice: ms_to_cycles(10.0),
+            trap,
+            preempt_timeout: ms_to_cycles(1.0),
+            vms: Vec::new(),
+            vaccels: Vec::new(),
+            slots: vec![Slot {
+                sched: SliceScheduler::new(SchedPolicy::RoundRobin, ms_to_cycles(10.0)),
+                current: None,
+                slice_ends: 0,
+            }],
+            frames: FrameAllocator::new(),
+            next_slice: 0,
+            stats: HvStats::default(),
+        }
+    }
+
+    /// The simulated device (read-only observation).
+    pub fn device(&self) -> &FpgaDevice {
+        &self.device
+    }
+
+    /// Mutable device access (benchmark harness instrumentation only).
+    pub fn device_mut(&mut self) -> &mut FpgaDevice {
+        &mut self.device
+    }
+
+    /// Hypervisor statistics.
+    pub fn stats(&self) -> HvStats {
+        self.stats
+    }
+
+    /// Creates a VM.
+    pub fn create_vm(&mut self, name: &str) -> VmId {
+        let id = VmId(self.vms.len() as u32);
+        self.vms.push(Vm::new(id, name));
+        id
+    }
+
+    /// Creates a virtual accelerator for `vm` on physical slot `slot` with
+    /// scheduling weight and priority (both meaningful only under the
+    /// corresponding policies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot index is out of range.
+    pub fn create_vaccel_with(
+        &mut self,
+        vm: VmId,
+        slot: usize,
+        weight: u32,
+        priority: u32,
+    ) -> VaccelId {
+        assert!(slot < self.slots.len(), "no such physical accelerator");
+        let id = VaccelId(self.vaccels.len() as u32);
+        let slice = self.next_slice;
+        self.next_slice += 1;
+        self.vaccels.push(VirtualAccel::new(id, vm, slot, slice));
+        self.slots[slot].sched.add(id.0 as u64, weight, priority);
+        id
+    }
+
+    /// Creates a virtual accelerator with default weight/priority.
+    pub fn create_vaccel(&mut self, vm: VmId, slot: usize) -> VaccelId {
+        self.create_vaccel_with(vm, slot, 1, 0)
+    }
+
+    /// The guest-side handle for a virtual accelerator.
+    pub fn guest(&mut self, va: VaccelId) -> GuestCtx<'_> {
+        GuestCtx { hv: self, va }
+    }
+
+    /// Occupancy accounting for a slot's run queue (§6.8).
+    pub fn slot_occupancy(&self, slot: usize) -> Vec<(u64, Cycle)> {
+        self.slots[slot].sched.occupancy()
+    }
+
+    /// Expected occupancy shares for a slot's policy (§6.8).
+    pub fn slot_expected_shares(&self, slot: usize) -> Vec<(u64, f64)> {
+        self.slots[slot].sched.expected_shares()
+    }
+
+    fn advance(&mut self, cycles: Cycle) {
+        self.device.run(cycles);
+    }
+
+    fn trap_cost(&mut self) {
+        self.stats.traps += 1;
+        let c = self.trap.cycles();
+        self.advance(c);
+    }
+
+    /// Whether `va` is currently occupying its physical slot.
+    fn is_scheduled(&self, va: VaccelId) -> bool {
+        self.slots[self.vaccels[va.0 as usize].slot].current == Some(va)
+    }
+
+    /// Forwards the full cached register file + control state to the
+    /// physical accelerator and starts or resumes the job.
+    fn install(&mut self, va: VaccelId) {
+        let slot = self.vaccels[va.0 as usize].slot;
+        let base = accel_mmio_base(slot);
+        // Clear the physical accelerator's previous occupant's state via
+        // the VCU reset table ("to clear state for isolation purposes on a
+        // VM context switch", §4.1). The outgoing vaccel's state — if it
+        // matters — has already been saved to memory.
+        if !self.passthrough {
+            self.device
+                .mmio_write(VCU_BASE + vcu_reg::RESET_TABLE + slot as u64 * 8, 1);
+        }
+        // Program the offset table with this vaccel's slice (skipped in
+        // pass-through, where IOVA = GVA already).
+        if !self.passthrough {
+            let v = &self.vaccels[va.0 as usize];
+            let offset = self.slicing.offset_for(v.slice, v.dma_base);
+            self.device
+                .mmio_write(VCU_BASE + vcu_reg::OFFSET_TABLE + slot as u64 * 8, offset);
+        }
+        let v = &self.vaccels[va.0 as usize];
+        let state_buffer = v.state_buffer.raw();
+        let regs: Vec<(u64, u64)> = v.app_regs.iter().map(|(&k, &v)| (k, v)).collect();
+        let run = v.run;
+        let pending_start = v.pending_start;
+        self.device.mmio_write(base + accel_reg::CTRL_STATE_ADDR, state_buffer);
+        for (off, val) in regs {
+            self.device.mmio_write(base + accel_reg::APP_BASE + off, val);
+        }
+        match run {
+            VaccelRun::SavedInMemory => {
+                self.device.mmio_write(base + accel_reg::CTRL_CMD, accel_reg::CMD_RESUME);
+            }
+            _ if pending_start => {
+                self.device.mmio_write(base + accel_reg::CTRL_CMD, accel_reg::CMD_START);
+                self.vaccels[va.0 as usize].pending_start = false;
+            }
+            _ => {}
+        }
+        self.vaccels[va.0 as usize].run = VaccelRun::Scheduled;
+        self.slots[slot].current = Some(va);
+        // Let the install MMIOs settle (they are asynchronous writes).
+        self.advance(ns_to_cycles(500.0));
+    }
+
+    /// Preempts the vaccel currently on `slot` (if any), waiting for the
+    /// drain + save and falling back to a forced reset on timeout.
+    fn preempt_slot(&mut self, slot: usize) {
+        let Some(va) = self.slots[slot].current else {
+            return;
+        };
+        let base = accel_mmio_base(slot);
+        // Fast path: a job that already completed needs no save.
+        if self.device.accel(slot).status() == CtrlStatus::Done {
+            self.retire(va);
+            self.slots[slot].current = None;
+            return;
+        }
+        self.device.mmio_write(base + accel_reg::CTRL_CMD, accel_reg::CMD_PREEMPT);
+        self.stats.preemptions += 1;
+        let deadline = self.device.now() + self.preempt_timeout;
+        loop {
+            self.advance(ns_to_cycles(1000.0));
+            match self.device.accel(slot).status() {
+                CtrlStatus::Saved => {
+                    self.vaccels[va.0 as usize].run = VaccelRun::SavedInMemory;
+                    break;
+                }
+                _ if self.device.now() >= deadline => {
+                    // The accelerator failed to cede: force a reset (§4.2).
+                    self.device
+                        .mmio_write(VCU_BASE + vcu_reg::RESET_TABLE + slot as u64 * 8, 1);
+                    self.advance(ns_to_cycles(1000.0));
+                    self.stats.forced_resets += 1;
+                    let v = &mut self.vaccels[va.0 as usize];
+                    v.forced_resets += 1;
+                    // The job's progress is lost; it restarts from its
+                    // cached registers at its next slice.
+                    v.run = VaccelRun::Fresh;
+                    v.pending_start = true;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        self.slots[slot].current = None;
+    }
+
+    /// Marks a vaccel's job complete. The vaccel *stays resident* on its
+    /// physical accelerator (so the guest can still read result registers
+    /// from hardware) until another virtual accelerator needs the slot.
+    fn retire(&mut self, va: VaccelId) {
+        let v = &mut self.vaccels[va.0 as usize];
+        v.run = VaccelRun::Completed;
+        v.shadow_status = CtrlStatus::Done;
+        let slot = v.slot;
+        self.slots[slot].sched.set_runnable(va.0 as u64, false);
+    }
+
+    /// Ensures `slot` has a scheduled vaccel and a slice deadline.
+    fn maybe_schedule(&mut self, slot: usize) {
+        if self.slots[slot].current.is_some() || self.slots[slot].sched.is_empty() {
+            return;
+        }
+        if let Some((key, len)) = self.slots[slot].sched.next_slice() {
+            let va = VaccelId(key as u32);
+            self.install(va);
+            self.slots[slot].slice_ends = self.device.now() + len;
+        }
+    }
+
+    /// Performs the end-of-slice decision for `slot`.
+    fn slice_boundary(&mut self, slot: usize) {
+        self.stats.context_switches += 1;
+        let current = self.slots[slot].current;
+        // Completed jobs retire (but stay resident until displaced, so the
+        // guest can read result registers from hardware).
+        if let Some(va) = current {
+            if self.device.accel(slot).status() == CtrlStatus::Done {
+                self.retire(va);
+            }
+        }
+        match self.slots[slot].sched.next_slice() {
+            Some((key, len)) if Some(VaccelId(key as u32)) == current => {
+                // Same vaccel keeps the accelerator: no preemption needed.
+                self.slots[slot].slice_ends = self.device.now() + len;
+            }
+            Some((key, len)) => {
+                self.preempt_slot(slot);
+                self.install(VaccelId(key as u32));
+                self.slots[slot].slice_ends = self.device.now() + len;
+            }
+            None => {
+                self.preempt_slot(slot);
+                self.slots[slot].slice_ends = self.device.now() + self.time_slice;
+            }
+        }
+    }
+
+    /// Runs the platform for `cycles` fabric cycles, performing temporal
+    /// scheduling at slice boundaries.
+    pub fn run(&mut self, cycles: Cycle) {
+        let end = self.device.now() + cycles;
+        while self.device.now() < end {
+            for slot in 0..self.slots.len() {
+                self.maybe_schedule(slot);
+            }
+            let next_boundary = self
+                .slots
+                .iter()
+                .filter(|s| s.current.is_some())
+                .map(|s| s.slice_ends)
+                .min()
+                .unwrap_or(end);
+            let target = next_boundary.min(end).max(self.device.now() + 1);
+            self.advance(target - self.device.now());
+            if self.device.now() >= end {
+                break;
+            }
+            for slot in 0..self.slots.len() {
+                if self.slots[slot].current.is_some()
+                    && self.slots[slot].slice_ends <= self.device.now()
+                {
+                    self.slice_boundary(slot);
+                }
+            }
+        }
+    }
+
+    /// Runs until the given vaccel's job completes (or `max_cycles` pass).
+    /// Returns whether it completed.
+    pub fn run_until_done(&mut self, va: VaccelId, max_cycles: Cycle) -> bool {
+        let end = self.device.now() + max_cycles;
+        while self.device.now() < end {
+            if self.vaccel_completed(va) {
+                return true;
+            }
+            let chunk = (end - self.device.now()).min(ms_to_cycles(0.05));
+            self.run(chunk);
+        }
+        self.vaccel_completed(va)
+    }
+
+    /// Hypervisor-side (trap-free) completion check.
+    pub fn vaccel_completed(&mut self, va: VaccelId) -> bool {
+        if self.vaccels[va.0 as usize].run == VaccelRun::Completed {
+            return true;
+        }
+        if self.is_scheduled(va) {
+            let slot = self.vaccels[va.0 as usize].slot;
+            if self.device.accel(slot).status() == CtrlStatus::Done {
+                self.retire(va);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// The guest's view of its virtual accelerator: the paper's guest driver
+/// plus userspace library, with every access charged its software cost.
+pub struct GuestCtx<'a> {
+    hv: &'a mut Optimus,
+    va: VaccelId,
+}
+
+impl GuestCtx<'_> {
+    fn v(&self) -> &VirtualAccel {
+        &self.hv.vaccels[self.va.0 as usize]
+    }
+
+    /// Allocates and DMA-registers a guest buffer of `bytes` (rounded up
+    /// to 2 MB pages). Returns the region's base GVA.
+    ///
+    /// Every page is registered with the hypervisor through the
+    /// shadow-paging hypercall: validate (GVA, GPA), pin, and install the
+    /// IOVA→HPA mapping.
+    pub fn alloc_dma(&mut self, bytes: u64) -> Gva {
+        self.alloc_dma_with(bytes, Backing::Normal)
+    }
+
+    /// [`alloc_dma`](Self::alloc_dma) with a lazily synthesized backing
+    /// whose filler needs the region's own addresses (e.g. linked lists
+    /// with absolute next pointers).
+    pub fn alloc_dma_lazy_with(
+        &mut self,
+        bytes: u64,
+        make: impl FnOnce(Gva, Hpa) -> FrameFiller,
+    ) -> Gva {
+        self.alloc_dma_lazy_sized(bytes, PageSize::Huge, make)
+    }
+
+    /// [`alloc_dma_lazy_with`](Self::alloc_dma_lazy_with) with a chosen IO
+    /// page granularity.
+    pub fn alloc_dma_lazy_sized(
+        &mut self,
+        bytes: u64,
+        io_page: PageSize,
+        make: impl FnOnce(Gva, Hpa) -> FrameFiller,
+    ) -> Gva {
+        // Two-phase: allocate normally, then attach the lazy region.
+        let gva = self.alloc_dma_inner(bytes, Backing::Normal, io_page);
+        let hpa = self
+            .gva_to_hpa(gva)
+            .expect("fresh region maps");
+        let pages = bytes.div_ceil(PAGE_2M).max(1);
+        let filler = make(gva, hpa);
+        self.hv
+            .device
+            .host_mut()
+            .memory_mut()
+            .add_lazy_region(hpa, pages * PAGE_2M, filler);
+        gva
+    }
+
+    /// [`alloc_dma`](Self::alloc_dma) but registered with 4 KB IO page
+    /// table entries (the Fig. 5/6 small-page configurations).
+    pub fn alloc_dma_4k(&mut self, bytes: u64, backing: Backing) -> Gva {
+        self.alloc_dma_inner(bytes, backing, PageSize::Small)
+    }
+
+    /// [`alloc_dma`](Self::alloc_dma) with explicit host backing (lazy or
+    /// scratch regions for huge benchmark datasets).
+    pub fn alloc_dma_with(&mut self, bytes: u64, backing: Backing) -> Gva {
+        self.alloc_dma_inner(bytes, backing, PageSize::Huge)
+    }
+
+    fn alloc_dma_inner(&mut self, bytes: u64, backing: Backing, io_page: PageSize) -> Gva {
+        let pages = bytes.div_ceil(PAGE_2M).max(1);
+        let vm_id = self.v().vm;
+        let gva = self.hv.vms[vm_id.0 as usize].alloc_region(pages, &mut self.hv.frames);
+        if self.v().dma_base.raw() == 0 {
+            // First allocation: the guest library reserves the 64 GB slice
+            // and reports its base through the BAR2 register.
+            self.hv.vaccels[self.va.0 as usize].dma_base = gva;
+            self.hv.stats.traps += 1;
+            let c = self.hv.trap.cycles();
+            self.hv.advance(c);
+        }
+        // Host backing for the region.
+        let hpa_base = self.hv.vms[vm_id.0 as usize]
+            .gva_to_hpa(gva)
+            .expect("fresh region maps");
+        match backing {
+            Backing::Normal => {}
+            Backing::Lazy(filler) => {
+                self.hv
+                    .device
+                    .host_mut()
+                    .memory_mut()
+                    .add_lazy_region(hpa_base, pages * PAGE_2M, filler);
+            }
+            Backing::Scratch => {
+                self.hv
+                    .device
+                    .host_mut()
+                    .memory_mut()
+                    .add_scratch_region(hpa_base, pages * PAGE_2M);
+            }
+        }
+        // Register every page (guest driver behaviour: make pages
+        // FPGA-accessible as they are allocated).
+        for i in 0..pages {
+            let page_gva = Gva::new(gva.raw() + i * PAGE_2M);
+            self.register_page_sized(page_gva, io_page);
+        }
+        gva
+    }
+
+    /// The shadow-paging hypercall for one 2 MB page: the guest reports
+    /// (GVA, GPA); the hypervisor validates, pins, and maps IOVA → HPA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the guest's claim fails validation (a driver bug).
+    pub fn register_page(&mut self, gva: Gva) {
+        self.register_page_sized(gva, PageSize::Huge)
+    }
+
+    /// [`register_page`](Self::register_page) with a chosen IO page table
+    /// granularity: `Small` splits the 2 MB guest page into 512 4 KB IOPT
+    /// entries (the paper's 4 KB-page comparison configuration).
+    pub fn register_page_sized(&mut self, gva: Gva, io_page: PageSize) {
+        let vm_id = self.v().vm;
+        let gpa = self.hv.vms[vm_id.0 as usize]
+            .gva_to_gpa(gva)
+            .expect("registering an unmapped page");
+        let hpa = self.hv.vms[vm_id.0 as usize]
+            .validate_hypercall(gva, gpa)
+            .expect("hypercall validation failed");
+        let iova = if self.hv.passthrough {
+            // vIOMMU: the guest's own address space is the IO address space.
+            optimus_mem::addr::Iova::new(gva.raw())
+        } else {
+            let v = self.v();
+            self.hv.slicing.gva_to_iova(v.slice, v.dma_base, gva)
+        };
+        match io_page {
+            PageSize::Huge => {
+                self.hv
+                    .device
+                    .host_mut()
+                    .iommu_mut()
+                    .map(iova, hpa, PageSize::Huge, PageFlags::rw())
+                    .expect("fresh IOVA slice");
+            }
+            PageSize::Small => {
+                for k in 0..(PAGE_2M / 4096) {
+                    self.hv
+                        .device
+                        .host_mut()
+                        .iommu_mut()
+                        .map(
+                            optimus_mem::addr::Iova::new(iova.raw() + k * 4096),
+                            Hpa::new(hpa.raw() + k * 4096),
+                            PageSize::Small,
+                            PageFlags::rw(),
+                        )
+                        .expect("fresh IOVA slice");
+                }
+            }
+        }
+        self.hv.stats.hypercalls += 1;
+        self.hv.stats.pinned_pages += 1;
+        let c = ns_to_cycles(host_costs::HYPERCALL_NS);
+        self.hv.advance(c);
+    }
+
+    /// Writes guest memory (CPU-side access through the two-stage tables).
+    pub fn write_mem(&mut self, gva: Gva, data: &[u8]) {
+        let vm_id = self.v().vm;
+        let mut off = 0usize;
+        while off < data.len() {
+            let cur = Gva::new(gva.raw() + off as u64);
+            let hpa = self.hv.vms[vm_id.0 as usize]
+                .gva_to_hpa(cur)
+                .expect("guest write to unmapped memory");
+            let in_page = (PAGE_2M - cur.page_offset(PAGE_2M)) as usize;
+            let take = in_page.min(data.len() - off);
+            self.hv
+                .device
+                .host_mut()
+                .memory_mut()
+                .write(hpa, &data[off..off + take]);
+            off += take;
+        }
+    }
+
+    /// Reads guest memory.
+    pub fn read_mem(&mut self, gva: Gva, buf: &mut [u8]) {
+        let vm_id = self.v().vm;
+        let mut off = 0usize;
+        while off < buf.len() {
+            let cur = Gva::new(gva.raw() + off as u64);
+            let hpa = self.hv.vms[vm_id.0 as usize]
+                .gva_to_hpa(cur)
+                .expect("guest read of unmapped memory");
+            let in_page = (PAGE_2M - cur.page_offset(PAGE_2M)) as usize;
+            let take = in_page.min(buf.len() - off);
+            let hv: &Optimus = self.hv;
+            hv.device.host().memory().read(hpa, &mut buf[off..off + take]);
+            off += take;
+        }
+    }
+
+    /// Sets the guest's preemption state buffer (BAR0 `CTRL_STATE_ADDR`;
+    /// trapped and virtualized).
+    pub fn set_state_buffer(&mut self, gva: Gva) {
+        self.hv.trap_cost();
+        self.hv.vaccels[self.va.0 as usize].state_buffer = gva;
+        if self.hv.is_scheduled(self.va) {
+            let slot = self.v().slot;
+            self.hv
+                .device
+                .mmio_write(accel_mmio_base(slot) + accel_reg::CTRL_STATE_ADDR, gva.raw());
+        }
+    }
+
+    /// Guest MMIO write to its BAR0 (page-relative offset).
+    ///
+    /// Control registers are emulated; application registers are cached
+    /// and, when the vaccel is scheduled, forwarded.
+    pub fn mmio_write(&mut self, offset: u64, value: u64) {
+        self.hv.trap_cost();
+        match offset {
+            accel_reg::CTRL_CMD => {
+                if value == accel_reg::CMD_START {
+                    let va = self.va;
+                    {
+                        let v = &mut self.hv.vaccels[va.0 as usize];
+                        v.pending_start = true;
+                        v.shadow_status = CtrlStatus::Running;
+                        if v.run == VaccelRun::Completed {
+                            v.run = VaccelRun::Fresh;
+                        }
+                    }
+                    let slot = self.v().slot;
+                    self.hv.slots[slot].sched.set_runnable(va.0 as u64, true);
+                    if self.hv.is_scheduled(va) {
+                        self.hv.vaccels[va.0 as usize].pending_start = false;
+                        self.hv
+                            .device
+                            .mmio_write(accel_mmio_base(slot) + accel_reg::CTRL_CMD, accel_reg::CMD_START);
+                    }
+                }
+                // CMD_PREEMPT / CMD_RESUME are privileged: guests cannot
+                // drive the preemption machinery (silently dropped, as the
+                // hypervisor "hides the hardware status", §4.2).
+            }
+            accel_reg::CTRL_STATE_ADDR => {
+                self.hv.vaccels[self.va.0 as usize].state_buffer = Gva::new(value);
+                if self.hv.is_scheduled(self.va) {
+                    let slot = self.v().slot;
+                    self.hv
+                        .device
+                        .mmio_write(accel_mmio_base(slot) + accel_reg::CTRL_STATE_ADDR, value);
+                }
+            }
+            off if off >= accel_reg::APP_BASE => {
+                let rel = off - accel_reg::APP_BASE;
+                self.hv.vaccels[self.va.0 as usize].cache_app_reg(rel, value);
+                if self.hv.is_scheduled(self.va) {
+                    let slot = self.v().slot;
+                    self.hv.device.mmio_write(accel_mmio_base(slot) + off, value);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Guest MMIO read from its BAR0.
+    pub fn mmio_read(&mut self, offset: u64) -> u64 {
+        self.hv.trap_cost();
+        match offset {
+            accel_reg::CTRL_STATUS => {
+                if self.hv.is_scheduled(self.va) {
+                    let slot = self.v().slot;
+                    let status = self.hv.device.mmio_read(accel_mmio_base(slot) + offset);
+                    let decoded = CtrlStatus::from_u64(status);
+                    if decoded == CtrlStatus::Done {
+                        self.hv.retire(self.va);
+                    }
+                    // Hide hardware states the guest should not see.
+                    match decoded {
+                        CtrlStatus::Saving | CtrlStatus::Saved => CtrlStatus::Running as u64,
+                        s => s as u64,
+                    }
+                } else {
+                    self.hv.vaccels[self.va.0 as usize].shadow_status as u64
+                }
+            }
+            off if off >= accel_reg::APP_BASE => {
+                if self.hv.is_scheduled(self.va) {
+                    let slot = self.v().slot;
+                    self.hv.device.mmio_read(accel_mmio_base(slot) + off)
+                } else {
+                    self.hv.vaccels[self.va.0 as usize].cached_app_reg(off - accel_reg::APP_BASE)
+                }
+            }
+            _ => 0,
+        }
+    }
+
+    /// The backing HPA of a guest address (test observability).
+    pub fn gva_to_hpa(&self, gva: Gva) -> Result<Hpa, VmError> {
+        self.hv.vms[self.v().vm.0 as usize].gva_to_hpa(gva)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn md5_of_guest_buffer(hv: &mut Optimus, va: VaccelId, data: &[u8]) -> Vec<u8> {
+        use optimus_accel::hash::reg;
+        let src;
+        let dst;
+        {
+            let mut g = hv.guest(va);
+            src = g.alloc_dma(data.len() as u64);
+            dst = g.alloc_dma(4096);
+            g.write_mem(src, data);
+            g.mmio_write(accel_reg::APP_BASE + reg::SRC, src.raw());
+            g.mmio_write(accel_reg::APP_BASE + reg::DST, dst.raw());
+            g.mmio_write(accel_reg::APP_BASE + reg::LINES, (data.len() / 64) as u64);
+            g.mmio_write(accel_reg::CTRL_CMD, accel_reg::CMD_START);
+        }
+        assert!(hv.run_until_done(va, 100_000_000), "job never finished");
+        let mut out = vec![0u8; 16];
+        hv.guest(va).read_mem(dst, &mut out);
+        out
+    }
+
+    #[test]
+    fn single_vm_md5_end_to_end() {
+        let mut hv = Optimus::new(OptimusConfig::new(vec![AccelKind::Md5]));
+        let vm = hv.create_vm("vm0");
+        let va = hv.create_vaccel(vm, 0);
+        let data: Vec<u8> = (0..4096u32).map(|i| (i * 13) as u8).collect();
+        let digest = md5_of_guest_buffer(&mut hv, va, &data);
+        assert_eq!(digest, optimus_algo::md5::md5(&data).to_vec());
+        assert!(hv.stats().hypercalls >= 2);
+        assert!(hv.stats().traps >= 4);
+    }
+
+    #[test]
+    fn two_vms_are_isolated_by_slicing() {
+        // Both guests use identical GVAs; each accelerator must read its
+        // own VM's data through its own slice.
+        let mut hv = Optimus::new(OptimusConfig::new(vec![AccelKind::Md5, AccelKind::Md5]));
+        let vm_a = hv.create_vm("a");
+        let vm_b = hv.create_vm("b");
+        let va_a = hv.create_vaccel(vm_a, 0);
+        let va_b = hv.create_vaccel(vm_b, 1);
+        let data_a: Vec<u8> = vec![0xAA; 2048];
+        let data_b: Vec<u8> = vec![0xBB; 2048];
+
+        use optimus_accel::hash::reg;
+        let mut bufs = Vec::new();
+        for (va, data) in [(va_a, &data_a), (va_b, &data_b)] {
+            let mut g = hv.guest(va);
+            let src = g.alloc_dma(4096);
+            let dst = g.alloc_dma(4096);
+            g.write_mem(src, data);
+            g.mmio_write(accel_reg::APP_BASE + reg::SRC, src.raw());
+            g.mmio_write(accel_reg::APP_BASE + reg::DST, dst.raw());
+            g.mmio_write(accel_reg::APP_BASE + reg::LINES, (data.len() / 64) as u64);
+            g.mmio_write(accel_reg::CTRL_CMD, accel_reg::CMD_START);
+            bufs.push(dst);
+        }
+        // Identical guest virtual addresses on both sides.
+        assert_eq!(bufs[0], bufs[1]);
+        assert!(hv.run_until_done(va_a, 100_000_000));
+        assert!(hv.run_until_done(va_b, 100_000_000));
+        let mut out_a = vec![0u8; 16];
+        let mut out_b = vec![0u8; 16];
+        hv.guest(va_a).read_mem(bufs[0], &mut out_a);
+        hv.guest(va_b).read_mem(bufs[1], &mut out_b);
+        assert_eq!(out_a, optimus_algo::md5::md5(&data_a).to_vec());
+        assert_eq!(out_b, optimus_algo::md5::md5(&data_b).to_vec());
+        assert_ne!(out_a, out_b);
+        // No isolation violations anywhere.
+        assert_eq!(hv.device().host().faulted_dmas(), 0);
+    }
+
+    #[test]
+    fn passthrough_runs_the_same_job() {
+        let mut hv =
+            Optimus::new_passthrough(AccelKind::Md5, SelectorPolicy::Auto, TrapCost::Native);
+        let vm = hv.create_vm("pt");
+        let va = hv.create_vaccel(vm, 0);
+        let data: Vec<u8> = (0..2048u32).map(|i| (i * 7) as u8).collect();
+        let digest = md5_of_guest_buffer(&mut hv, va, &data);
+        assert_eq!(digest, optimus_algo::md5::md5(&data).to_vec());
+    }
+
+    #[test]
+    fn temporal_multiplexing_two_jobs_one_accelerator() {
+        let mut cfg = OptimusConfig::new(vec![AccelKind::Md5]);
+        cfg.time_slice = ms_to_cycles(0.1);
+        let mut hv = Optimus::new(cfg);
+        let vm_a = hv.create_vm("a");
+        let vm_b = hv.create_vm("b");
+        let va_a = hv.create_vaccel(vm_a, 0);
+        let va_b = hv.create_vaccel(vm_b, 0);
+        // ~1 MB each: several slices of work per job at 6.4 GB/s.
+        let data_a: Vec<u8> = (0..1_048_576u32).map(|i| i as u8).collect();
+        let data_b: Vec<u8> = (0..1_048_576u32).map(|i| (i ^ 0x77) as u8).collect();
+
+        use optimus_accel::hash::reg;
+        let mut dsts = Vec::new();
+        for (va, data) in [(va_a, &data_a), (va_b, &data_b)] {
+            let mut g = hv.guest(va);
+            let src = g.alloc_dma(data.len() as u64);
+            let dst = g.alloc_dma(4096);
+            let state = g.alloc_dma(4096);
+            g.write_mem(src, data);
+            g.set_state_buffer(state);
+            g.mmio_write(accel_reg::APP_BASE + reg::SRC, src.raw());
+            g.mmio_write(accel_reg::APP_BASE + reg::DST, dst.raw());
+            g.mmio_write(accel_reg::APP_BASE + reg::LINES, (data.len() / 64) as u64);
+            g.mmio_write(accel_reg::CTRL_CMD, accel_reg::CMD_START);
+            dsts.push(dst);
+        }
+        assert!(hv.run_until_done(va_a, 400_000_000));
+        assert!(hv.run_until_done(va_b, 400_000_000));
+        let mut out = vec![0u8; 16];
+        hv.guest(va_a).read_mem(dsts[0], &mut out);
+        assert_eq!(out, optimus_algo::md5::md5(&data_a).to_vec());
+        hv.guest(va_b).read_mem(dsts[1], &mut out);
+        assert_eq!(out, optimus_algo::md5::md5(&data_b).to_vec());
+        assert!(hv.stats().context_switches > 2);
+        assert_eq!(hv.stats().forced_resets, 0);
+    }
+
+    #[test]
+    fn completed_vaccel_reports_done_status() {
+        let mut hv = Optimus::new(OptimusConfig::new(vec![AccelKind::Md5]));
+        let vm = hv.create_vm("v");
+        let va = hv.create_vaccel(vm, 0);
+        let data = vec![1u8; 1024];
+        md5_of_guest_buffer(&mut hv, va, &data);
+        let status = hv.guest(va).mmio_read(accel_reg::CTRL_STATUS);
+        assert_eq!(CtrlStatus::from_u64(status), CtrlStatus::Done);
+    }
+}

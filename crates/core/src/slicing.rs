@@ -1,0 +1,139 @@
+//! Page table slicing: the IO virtual address space layout.
+//!
+//! The IOMMU gives the FPGA exactly one IO page table, so guest virtual
+//! addresses from different applications would collide if used directly as
+//! IOVAs. OPTIMUS partitions the 48-bit IO virtual address space into
+//! per-virtual-accelerator slices (§4.1, §5):
+//!
+//! * each slice is **64 GB** by default;
+//! * an extra **128 MB** gap is inserted between slices so that
+//!   consecutive slices start 64 IOTLB sets apart (512 sets ÷ 8
+//!   accelerators), giving each accelerator 128 MB of conflict-free reach
+//!   — without the gap, 64 GB-aligned slices all map page *k* to the same
+//!   direct-mapped IOTLB set and evict each other;
+//! * the accelerator's offset-table entry holds `slice_base − g`, where
+//!   `g` is the base GVA of the guest's DMA region, so the auditor
+//!   translates GVAs to IOVAs with a single add.
+
+use optimus_mem::addr::{Gva, Iova};
+
+/// Slice layout configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlicingConfig {
+    /// Bytes per slice (default 64 GB; raisable on bigger-memory hosts).
+    pub slice_bytes: u64,
+    /// Whether the 128 MB IOTLB-conflict-mitigation gap is inserted
+    /// (default true; the ablation benchmark turns it off).
+    pub iotlb_mitigation: bool,
+}
+
+impl Default for SlicingConfig {
+    fn default() -> Self {
+        Self {
+            slice_bytes: 64 << 30,
+            iotlb_mitigation: true,
+        }
+    }
+}
+
+/// The conflict-mitigation gap between slices (1 GB of IOTLB reach divided
+/// among 8 accelerators).
+pub const MITIGATION_GAP: u64 = 128 << 20;
+
+impl SlicingConfig {
+    /// Distance between consecutive slice bases.
+    pub fn stride(&self) -> u64 {
+        self.slice_bytes + if self.iotlb_mitigation { MITIGATION_GAP } else { 0 }
+    }
+
+    /// Base IOVA of slice `index`.
+    ///
+    /// Slice 0 starts one stride up, keeping IOVA 0 unmapped so that null
+    /// or wild accelerator pointers fault instead of aliasing slice 0.
+    pub fn slice_base(&self, index: u64) -> Iova {
+        Iova::new((index + 1) * self.stride())
+    }
+
+    /// The offset-table value for a virtual accelerator using slice
+    /// `index` whose guest DMA region starts at `dma_base`: the value the
+    /// auditor adds to every GVA.
+    pub fn offset_for(&self, index: u64, dma_base: Gva) -> u64 {
+        self.slice_base(index).raw().wrapping_sub(dma_base.raw())
+    }
+
+    /// Translates a GVA in the region to its IOVA (hypervisor-side mirror
+    /// of the auditor's add).
+    pub fn gva_to_iova(&self, index: u64, dma_base: Gva, gva: Gva) -> Iova {
+        Iova::new(gva.raw().wrapping_add(self.offset_for(index, dma_base)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_mem::addr::PageSize;
+    use optimus_mem::iommu::IoTlb;
+
+    #[test]
+    fn default_stride_is_64g_plus_128m() {
+        let cfg = SlicingConfig::default();
+        assert_eq!(cfg.stride(), (64 << 30) + (128 << 20));
+    }
+
+    #[test]
+    fn slices_do_not_overlap() {
+        let cfg = SlicingConfig::default();
+        for i in 0..8u64 {
+            let a = cfg.slice_base(i).raw();
+            let b = cfg.slice_base(i + 1).raw();
+            assert!(a + cfg.slice_bytes <= b);
+        }
+    }
+
+    #[test]
+    fn round_trip_through_offset() {
+        let cfg = SlicingConfig::default();
+        let dma_base = Gva::new(0x7f00_0000_0000);
+        let gva = Gva::new(0x7f00_0012_3456);
+        let iova = cfg.gva_to_iova(3, dma_base, gva);
+        // IOVA − offset recovers the GVA.
+        let back = iova.raw().wrapping_sub(cfg.offset_for(3, dma_base));
+        assert_eq!(back, gva.raw());
+        // And the IOVA lands inside slice 3.
+        assert!(iova.raw() >= cfg.slice_base(3).raw());
+        assert!(iova.raw() < cfg.slice_base(3).raw() + cfg.slice_bytes);
+    }
+
+    #[test]
+    fn mitigation_staggers_iotlb_sets_by_64() {
+        let cfg = SlicingConfig::default();
+        let sets: Vec<usize> = (0..8)
+            .map(|i| IoTlb::set_index(cfg.slice_base(i), PageSize::Huge))
+            .collect();
+        // Consecutive slices are 64 sets apart (mod 512).
+        for w in sets.windows(2) {
+            assert_eq!((w[1] + 512 - w[0]) % 512, 64, "sets {sets:?}");
+        }
+        // All eight slices start at distinct sets.
+        let unique: std::collections::HashSet<_> = sets.iter().collect();
+        assert_eq!(unique.len(), 8);
+    }
+
+    #[test]
+    fn without_mitigation_all_slices_share_set_zero_pattern() {
+        let cfg = SlicingConfig {
+            iotlb_mitigation: false,
+            ..SlicingConfig::default()
+        };
+        let sets: Vec<usize> = (0..8)
+            .map(|i| IoTlb::set_index(cfg.slice_base(i), PageSize::Huge))
+            .collect();
+        assert!(sets.iter().all(|&s| s == sets[0]), "sets {sets:?}");
+    }
+
+    #[test]
+    fn slice_zero_leaves_low_iova_unmapped() {
+        let cfg = SlicingConfig::default();
+        assert!(cfg.slice_base(0).raw() > 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Virtual machines: guest address spaces.
+//!
+//! Each VM owns a guest page table (GVA → GPA, maintained by the guest
+//! kernel) and an EPT (GPA → HPA, maintained by the hypervisor) — the full
+//! two-stage translation of Fig. 2. The shadow-paging hypercall reports
+//! (GVA, GPA) pairs; the hypervisor validates them against the guest page
+//! table before composing `IOVA → HPA = EPT(GPA)` entries, so a buggy or
+//! malicious guest driver cannot register pages it has not mapped.
+
+use crate::alloc::FrameAllocator;
+use optimus_mem::addr::{Gpa, Gva, Hpa, PageSize, PAGE_2M};
+use optimus_mem::page_table::{MapError, PageFlags, PageTable};
+
+/// VM identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VmId(pub u32);
+
+/// A guest virtual machine's address-space state.
+#[derive(Debug)]
+pub struct Vm {
+    id: VmId,
+    name: String,
+    guest_pt: PageTable,
+    ept: PageTable,
+    /// Next guest virtual address handed out by the guest-side allocator
+    /// (models the guest libc's `mmap(MAP_NORESERVE)` of the DMA region).
+    next_gva: u64,
+    allocated_bytes: u64,
+}
+
+/// Errors from VM memory operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmError {
+    /// The GVA is not mapped in the guest page table.
+    GvaUnmapped,
+    /// The GPA is not mapped in the EPT.
+    GpaUnmapped,
+    /// The guest page table disagrees with the hypercall's (GVA, GPA) pair.
+    GvaGpaMismatch,
+    /// A page-table update failed.
+    Map(MapError),
+}
+
+impl core::fmt::Display for VmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            VmError::GvaUnmapped => write!(f, "guest virtual address not mapped"),
+            VmError::GpaUnmapped => write!(f, "guest physical address not mapped in EPT"),
+            VmError::GvaGpaMismatch => {
+                write!(f, "hypercall (GVA, GPA) pair contradicts the guest page table")
+            }
+            VmError::Map(e) => write!(f, "page table update failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl From<MapError> for VmError {
+    fn from(e: MapError) -> Self {
+        VmError::Map(e)
+    }
+}
+
+impl Vm {
+    /// Creates an empty VM.
+    pub fn new(id: VmId, name: &str) -> Self {
+        Self {
+            id,
+            name: name.to_string(),
+            guest_pt: PageTable::new(),
+            ept: PageTable::new(),
+            // Guest DMA regions start at the canonical x86-64 mmap area.
+            next_gva: 0x7f00_0000_0000,
+            allocated_bytes: 0,
+        }
+    }
+
+    /// The VM's identifier.
+    pub fn id(&self) -> VmId {
+        self.id
+    }
+
+    /// The VM's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Bytes of guest memory allocated so far.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated_bytes
+    }
+
+    /// Guest-side huge-page allocation: reserves GVA space, builds guest
+    /// page table entries (GVA → GPA, with GPA tracking GVA one-to-one in
+    /// this guest's simple direct-mapped kernel), and backs the GPAs with
+    /// host frames in the EPT. Returns the region's base GVA.
+    pub fn alloc_region(&mut self, huge_pages: u64, frames: &mut FrameAllocator) -> Gva {
+        let base_gva = self.next_gva;
+        self.next_gva += huge_pages * PAGE_2M;
+        let hpa_base = frames.alloc_huge(huge_pages);
+        for i in 0..huge_pages {
+            let gva = base_gva + i * PAGE_2M;
+            let gpa = gva; // direct-mapped guest kernel
+            let hpa = hpa_base.raw() + i * PAGE_2M;
+            self.guest_pt
+                .map(gva, gpa, PageSize::Huge, PageFlags::rw())
+                .expect("fresh GVA range");
+            self.ept
+                .map(gpa, hpa, PageSize::Huge, PageFlags::rw())
+                .expect("fresh GPA range");
+        }
+        self.allocated_bytes += huge_pages * PAGE_2M;
+        Gva::new(base_gva)
+    }
+
+    /// Translates GVA → GPA through the guest page table.
+    pub fn gva_to_gpa(&self, gva: Gva) -> Result<Gpa, VmError> {
+        self.guest_pt
+            .translate(gva.raw())
+            .map(|(pa, _)| Gpa::new(pa))
+            .ok_or(VmError::GvaUnmapped)
+    }
+
+    /// Translates GPA → HPA through the EPT.
+    pub fn gpa_to_hpa(&self, gpa: Gpa) -> Result<Hpa, VmError> {
+        self.ept
+            .translate(gpa.raw())
+            .map(|(pa, _)| Hpa::new(pa))
+            .ok_or(VmError::GpaUnmapped)
+    }
+
+    /// Full two-stage translation GVA → HPA (what the MMU does for the
+    /// guest application's own accesses).
+    pub fn gva_to_hpa(&self, gva: Gva) -> Result<Hpa, VmError> {
+        self.gpa_to_hpa(self.gva_to_gpa(gva)?)
+    }
+
+    /// Validates a shadow-paging hypercall pair: the guest claims `gva`
+    /// maps to `gpa`. Returns the page's HPA if the claim checks out
+    /// against the guest page table and EPT (the "hypervisor checks page
+    /// permissions" step of §5).
+    pub fn validate_hypercall(&self, gva: Gva, gpa: Gpa) -> Result<Hpa, VmError> {
+        let actual = self.gva_to_gpa(gva)?;
+        if actual != gpa {
+            return Err(VmError::GvaGpaMismatch);
+        }
+        self.gpa_to_hpa(gpa)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_region_builds_both_stages() {
+        let mut frames = FrameAllocator::new();
+        let mut vm = Vm::new(VmId(0), "test");
+        let base = vm.alloc_region(4, &mut frames);
+        let hpa = vm.gva_to_hpa(base.add(PAGE_2M + 0x123)).unwrap();
+        assert_eq!(hpa.raw() & (PAGE_2M - 1), 0x123);
+        assert_eq!(vm.allocated_bytes(), 4 * PAGE_2M);
+    }
+
+    #[test]
+    fn two_vms_get_disjoint_frames() {
+        let mut frames = FrameAllocator::new();
+        let mut a = Vm::new(VmId(0), "a");
+        let mut b = Vm::new(VmId(1), "b");
+        let ga = a.alloc_region(1, &mut frames);
+        let gb = b.alloc_region(1, &mut frames);
+        // Identical guest virtual addresses...
+        assert_eq!(ga, gb);
+        // ...backed by different host frames.
+        assert_ne!(a.gva_to_hpa(ga).unwrap(), b.gva_to_hpa(gb).unwrap());
+    }
+
+    #[test]
+    fn unmapped_accesses_error() {
+        let vm = Vm::new(VmId(0), "x");
+        assert_eq!(vm.gva_to_gpa(Gva::new(0x1000)), Err(VmError::GvaUnmapped));
+        assert_eq!(vm.gpa_to_hpa(Gpa::new(0x1000)), Err(VmError::GpaUnmapped));
+    }
+
+    #[test]
+    fn hypercall_validation_rejects_lies() {
+        let mut frames = FrameAllocator::new();
+        let mut vm = Vm::new(VmId(0), "v");
+        let base = vm.alloc_region(2, &mut frames);
+        let gpa = vm.gva_to_gpa(base).unwrap();
+        // Honest claim passes.
+        assert!(vm.validate_hypercall(base, gpa).is_ok());
+        // Lying about the GPA is caught.
+        assert_eq!(
+            vm.validate_hypercall(base, Gpa::new(gpa.raw() + PAGE_2M)),
+            Err(VmError::GvaGpaMismatch)
+        );
+        // Unmapped GVA is caught.
+        assert_eq!(
+            vm.validate_hypercall(Gva::new(0x1000), gpa),
+            Err(VmError::GvaUnmapped)
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests of the hypervisor's address math and schedulers.
+
+use optimus::scheduler::{SchedPolicy, SliceScheduler};
+use optimus::slicing::SlicingConfig;
+use optimus_mem::addr::Gva;
+use proptest::prelude::*;
+
+proptest! {
+    /// Slicing GVA→IOVA→GVA round-trips for any slice and DMA base, and
+    /// distinct slices never produce the same IOVA for the same in-slice
+    /// offset.
+    #[test]
+    fn slicing_round_trips_and_isolates(
+        slice_a in 0u64..8,
+        slice_b in 0u64..8,
+        dma_base in (0u64..1 << 46).prop_map(|v| v & !0x1F_FFFF),
+        offset in 0u64..(64u64 << 30),
+    ) {
+        let cfg = SlicingConfig::default();
+        let base = Gva::new(dma_base);
+        let gva = Gva::new(dma_base + offset);
+        let iova = cfg.gva_to_iova(slice_a, base, gva);
+        // Round trip.
+        let back = iova.raw().wrapping_sub(cfg.offset_for(slice_a, base));
+        prop_assert_eq!(back, gva.raw());
+        // Containment in the slice window.
+        prop_assert!(iova.raw() >= cfg.slice_base(slice_a).raw());
+        prop_assert!(iova.raw() < cfg.slice_base(slice_a).raw() + cfg.slice_bytes);
+        // Isolation: different slices, same in-slice offset, different IOVA.
+        if slice_a != slice_b {
+            let other = cfg.gva_to_iova(slice_b, base, gva);
+            prop_assert_ne!(iova.raw(), other.raw());
+        }
+    }
+
+    /// Round-robin occupancy never deviates more than one slice from fair.
+    #[test]
+    fn round_robin_is_within_one_slice(members in 1usize..10, slices in 1usize..200) {
+        let mut s = SliceScheduler::new(SchedPolicy::RoundRobin, 100);
+        for k in 0..members as u64 {
+            s.add(k, 1, 0);
+        }
+        for _ in 0..slices {
+            s.next_slice();
+        }
+        let occ = s.occupancy();
+        let max = occ.iter().map(|&(_, c)| c).max().unwrap();
+        let min = occ.iter().map(|&(_, c)| c).min().unwrap();
+        prop_assert!(max - min <= 100);
+    }
+
+    /// Weighted occupancy converges to the weight ratios.
+    #[test]
+    fn weighted_shares_converge(weights in proptest::collection::vec(1u32..8, 2..6)) {
+        let mut s = SliceScheduler::new(SchedPolicy::Weighted, 10);
+        for (k, &w) in weights.iter().enumerate() {
+            s.add(k as u64, w, 0);
+        }
+        for _ in 0..weights.len() * 50 {
+            s.next_slice();
+        }
+        let occ = s.occupancy();
+        let total: u64 = occ.iter().map(|&(_, c)| c).sum();
+        let wsum: u32 = weights.iter().sum();
+        for (k, &w) in weights.iter().enumerate() {
+            let actual = occ[k].1 as f64 / total as f64;
+            let expect = w as f64 / wsum as f64;
+            prop_assert!((actual - expect).abs() < 0.05,
+                "member {k}: {actual} vs {expect}");
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Auditors: the isolation checkpoint in front of every accelerator.
+//!
+//! The multiplexer tree does *lazy* routing (§4.1): it never inspects
+//! addresses, it just propagates packets. Isolation decisions are deferred
+//! to one auditor per physical accelerator, which:
+//!
+//! * translates outgoing DMA addresses from guest virtual addresses to IO
+//!   virtual addresses by adding the accelerator's page-table-slicing
+//!   offset (a single add — one cycle in hardware);
+//! * stamps outgoing DMAs with the accelerator's ID, and on the return path
+//!   forwards a DMA packet to its accelerator only if the packet's ID
+//!   matches, discarding strays;
+//! * forwards an incoming MMIO packet only if it falls inside the
+//!   accelerator's MMIO page, discarding the rest.
+
+use optimus_cci::packet::{AccelId, DownPacket, Line, Tag, UpPacket};
+use optimus_mem::addr::{Gva, Iova};
+
+/// A request emitted by an accelerator, before auditor translation.
+#[derive(Debug)]
+pub struct OutboundReq {
+    /// The guest virtual address the accelerator used.
+    pub gva: Gva,
+    /// Write payload, or `None` for a read.
+    pub write: Option<Box<Line>>,
+    /// The port-assigned tag.
+    pub tag: Tag,
+}
+
+/// What an auditor decided about an incoming downstream packet.
+#[derive(Debug, PartialEq, Eq)]
+pub enum AuditVerdict {
+    /// Deliver to the accelerator: a DMA response with matching ID.
+    DeliverDma {
+        /// The matched request tag.
+        tag: Tag,
+        /// Line data (None for write acks).
+        data: Option<Box<Line>>,
+    },
+    /// Deliver an MMIO access (page-relative offset).
+    DeliverMmio {
+        /// Offset within the accelerator's MMIO page.
+        offset: u64,
+        /// `Some(value)` for a write, `None` for a read.
+        write: Option<u64>,
+    },
+    /// Not addressed to this accelerator.
+    NotMine,
+    /// Addressed at this accelerator but rejected (isolation violation).
+    Discarded,
+}
+
+/// Per-accelerator auditor.
+#[derive(Debug)]
+pub struct Auditor {
+    id: AccelId,
+    offset: u64,
+    mmio_base: u64,
+    mmio_size: u64,
+    discarded_dma: u64,
+    discarded_mmio: u64,
+}
+
+impl Auditor {
+    /// Creates the auditor for accelerator `id` guarding the MMIO page at
+    /// `[mmio_base, mmio_base + mmio_size)`.
+    pub fn new(id: AccelId, mmio_base: u64, mmio_size: u64) -> Self {
+        Self {
+            id,
+            offset: 0,
+            mmio_base,
+            mmio_size,
+            discarded_dma: 0,
+            discarded_mmio: 0,
+        }
+    }
+
+    /// The accelerator this auditor guards.
+    pub fn id(&self) -> AccelId {
+        self.id
+    }
+
+    /// The current page-table-slicing offset (IOVA − GVA).
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Installs a new slicing offset (driven by the VCU offset table).
+    pub fn set_offset(&mut self, offset: u64) {
+        self.offset = offset;
+    }
+
+    /// Translates an accelerator request into an interconnect packet:
+    /// adds the slicing offset and stamps the accelerator ID.
+    pub fn translate(&self, req: OutboundReq) -> UpPacket {
+        let iova = Iova::new(req.gva.raw().wrapping_add(self.offset));
+        match req.write {
+            Some(data) => UpPacket::DmaWrite {
+                iova,
+                data,
+                src: self.id,
+                tag: req.tag,
+            },
+            None => UpPacket::DmaRead {
+                iova,
+                src: self.id,
+                tag: req.tag,
+            },
+        }
+    }
+
+    /// Audits a downstream packet.
+    ///
+    /// DMA packets are matched on the accelerator-ID field; MMIO packets on
+    /// the address range. Packets that target this accelerator but fail the
+    /// check are discarded and counted.
+    pub fn audit(&mut self, pkt: &DownPacket) -> AuditVerdict {
+        match pkt {
+            DownPacket::DmaReadResp { data, dst, tag } => {
+                if *dst == self.id {
+                    AuditVerdict::DeliverDma {
+                        tag: *tag,
+                        data: Some(data.clone()),
+                    }
+                } else {
+                    AuditVerdict::NotMine
+                }
+            }
+            DownPacket::DmaWriteAck { dst, tag } => {
+                if *dst == self.id {
+                    AuditVerdict::DeliverDma {
+                        tag: *tag,
+                        data: None,
+                    }
+                } else {
+                    AuditVerdict::NotMine
+                }
+            }
+            DownPacket::MmioWrite { addr, value } => {
+                if self.in_mmio_range(*addr) {
+                    AuditVerdict::DeliverMmio {
+                        offset: addr - self.mmio_base,
+                        write: Some(*value),
+                    }
+                } else {
+                    AuditVerdict::NotMine
+                }
+            }
+            DownPacket::MmioRead { addr } => {
+                if self.in_mmio_range(*addr) {
+                    AuditVerdict::DeliverMmio {
+                        offset: addr - self.mmio_base,
+                        write: None,
+                    }
+                } else {
+                    AuditVerdict::NotMine
+                }
+            }
+        }
+    }
+
+    /// Records a discarded DMA packet that claimed this accelerator's
+    /// identity but failed validation (used by the device when a response's
+    /// tag is unknown, e.g. after a reset, or under fault injection).
+    pub fn count_discarded_dma(&mut self) {
+        self.discarded_dma += 1;
+    }
+
+    /// Records an out-of-range MMIO discard.
+    pub fn count_discarded_mmio(&mut self) {
+        self.discarded_mmio += 1;
+    }
+
+    /// (discarded DMA, discarded MMIO) counters.
+    pub fn discard_counts(&self) -> (u64, u64) {
+        (self.discarded_dma, self.discarded_mmio)
+    }
+
+    fn in_mmio_range(&self, addr: u64) -> bool {
+        addr >= self.mmio_base && addr < self.mmio_base + self.mmio_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn auditor() -> Auditor {
+        Auditor::new(AccelId(2), 0x13000, 0x1000)
+    }
+
+    #[test]
+    fn translate_adds_offset_and_stamps_id() {
+        let mut a = auditor();
+        a.set_offset(64 << 30); // a 64 GB slice
+        let pkt = a.translate(OutboundReq {
+            gva: Gva::new(0x1000),
+            write: None,
+            tag: Tag(5),
+        });
+        match pkt {
+            UpPacket::DmaRead { iova, src, tag } => {
+                assert_eq!(iova.raw(), (64u64 << 30) + 0x1000);
+                assert_eq!(src, AccelId(2));
+                assert_eq!(tag, Tag(5));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_translation_keeps_payload() {
+        let a = auditor();
+        let pkt = a.translate(OutboundReq {
+            gva: Gva::new(0),
+            write: Some(Box::new([7; 64])),
+            tag: Tag(0),
+        });
+        assert!(matches!(pkt, UpPacket::DmaWrite { ref data, .. } if data[0] == 7));
+    }
+
+    #[test]
+    fn accepts_own_dma_rejects_foreign() {
+        let mut a = auditor();
+        let own = DownPacket::DmaWriteAck {
+            dst: AccelId(2),
+            tag: Tag(1),
+        };
+        assert!(matches!(a.audit(&own), AuditVerdict::DeliverDma { .. }));
+        let foreign = DownPacket::DmaWriteAck {
+            dst: AccelId(3),
+            tag: Tag(1),
+        };
+        assert_eq!(a.audit(&foreign), AuditVerdict::NotMine);
+    }
+
+    #[test]
+    fn mmio_range_check() {
+        let mut a = auditor();
+        let inside = DownPacket::MmioWrite {
+            addr: 0x13040,
+            value: 9,
+        };
+        assert_eq!(
+            a.audit(&inside),
+            AuditVerdict::DeliverMmio {
+                offset: 0x40,
+                write: Some(9)
+            }
+        );
+        let outside = DownPacket::MmioWrite {
+            addr: 0x14000,
+            value: 9,
+        };
+        assert_eq!(a.audit(&outside), AuditVerdict::NotMine);
+    }
+
+    #[test]
+    fn discard_counters_accumulate() {
+        let mut a = auditor();
+        a.count_discarded_dma();
+        a.count_discarded_mmio();
+        a.count_discarded_mmio();
+        assert_eq!(a.discard_counts(), (1, 2));
+    }
+}

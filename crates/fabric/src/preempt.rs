@@ -1,0 +1,311 @@
+//! Reusable implementation of the preemption interface's data movement.
+//!
+//! OPTIMUS leaves *what* to save to the accelerator designer (§4.2) — a
+//! linked-list walker saves one pointer, a hash accelerator saves its
+//! digest state — but the mechanics are common to every design: after the
+//! hypervisor's `CMD_PREEMPT`, drain in-flight transactions, stream the
+//! serialized state to the guest-provided memory buffer as ordinary DMA
+//! writes, and raise `Saved`; on `CMD_RESUME`, stream it back and continue.
+//!
+//! [`PreemptEngine`] implements exactly that streaming, so each benchmark
+//! only supplies `serialize`/`deserialize` of its architectural state.
+
+use crate::accelerator::AccelPort;
+use optimus_mem::addr::Gva;
+use optimus_sim::time::Cycle;
+
+/// Progress of an active save or restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PreemptProgress {
+    /// Still streaming.
+    InProgress,
+    /// All state lines written and acknowledged.
+    SaveDone,
+    /// All state lines read back; the payload is the serialized state.
+    RestoreDone(Vec<u8>),
+    /// Engine idle.
+    Idle,
+}
+
+#[derive(Debug)]
+enum Mode {
+    Idle,
+    Saving {
+        buffer: Vec<u8>,
+        issued: usize,
+        acked: usize,
+    },
+    /// First restore stage: fetch line 0, which carries the length header.
+    RestoringHeader {
+        issued: bool,
+    },
+    Restoring {
+        buffer: Vec<u8>,
+        payload_len: usize,
+        issued: usize,
+        received: usize,
+    },
+}
+
+/// Streams serialized accelerator state to/from the state buffer.
+#[derive(Debug)]
+pub struct PreemptEngine {
+    state_addr: Gva,
+    mode: Mode,
+}
+
+impl Default for PreemptEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PreemptEngine {
+    /// Creates an idle engine.
+    pub fn new() -> Self {
+        Self {
+            state_addr: Gva::new(0),
+            mode: Mode::Idle,
+        }
+    }
+
+    /// Sets the guest virtual address of the state buffer (the
+    /// `CTRL_STATE_ADDR` register).
+    pub fn set_state_addr(&mut self, gva: Gva) {
+        self.state_addr = gva;
+    }
+
+    /// The configured state buffer address.
+    pub fn state_addr(&self) -> Gva {
+        self.state_addr
+    }
+
+    /// Whether a save or restore is in flight.
+    pub fn is_active(&self) -> bool {
+        !matches!(self.mode, Mode::Idle)
+    }
+
+    /// Begins saving `state`. The blob is made self-describing (an 8-byte
+    /// length header is prepended) so that a later resume — possibly after
+    /// other virtual accelerators used this physical accelerator — can
+    /// recover the exact length from memory alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is already active.
+    pub fn begin_save(&mut self, state: Vec<u8>) {
+        assert!(!self.is_active(), "preempt engine already active");
+        let mut framed = Vec::with_capacity(8 + state.len());
+        framed.extend_from_slice(&(state.len() as u64).to_le_bytes());
+        framed.extend_from_slice(&state);
+        while framed.len() % 64 != 0 {
+            framed.push(0);
+        }
+        self.mode = Mode::Saving {
+            buffer: framed,
+            issued: 0,
+            acked: 0,
+        };
+    }
+
+    /// Begins restoring state from the buffer. The length is read back from
+    /// the blob's own header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is already active.
+    pub fn begin_restore(&mut self) {
+        assert!(!self.is_active(), "preempt engine already active");
+        self.mode = Mode::RestoringHeader { issued: false };
+    }
+
+    /// Advances the streaming by one accelerator cycle.
+    ///
+    /// The caller must route *all* port responses here while the engine is
+    /// active (the accelerator is drained of application traffic first, so
+    /// there is no ambiguity).
+    pub fn step(&mut self, now: Cycle, port: &mut AccelPort) -> PreemptProgress {
+        match &mut self.mode {
+            Mode::Idle => PreemptProgress::Idle,
+            Mode::Saving {
+                buffer,
+                issued,
+                acked,
+            } => {
+                let total_lines = buffer.len() / 64;
+                // Consume write acknowledgments.
+                while let Some(resp) = port.pop_response() {
+                    debug_assert!(resp.data.is_none(), "unexpected read during save");
+                    *acked += 1;
+                }
+                // Issue further write lines.
+                while *issued < total_lines && port.can_issue() {
+                    let mut line = [0u8; 64];
+                    line.copy_from_slice(&buffer[*issued * 64..*issued * 64 + 64]);
+                    port.write(
+                        Gva::new(self.state_addr.raw() + (*issued as u64) * 64),
+                        Box::new(line),
+                        now,
+                    );
+                    *issued += 1;
+                }
+                if *acked == total_lines {
+                    self.mode = Mode::Idle;
+                    PreemptProgress::SaveDone
+                } else {
+                    PreemptProgress::InProgress
+                }
+            }
+            Mode::RestoringHeader { issued } => {
+                if let Some(resp) = port.pop_response() {
+                    let data = resp.data.expect("restore expects read data");
+                    let payload_len =
+                        u64::from_le_bytes(data[0..8].try_into().unwrap()) as usize;
+                    let total = (8 + payload_len).div_ceil(64) * 64;
+                    let mut buffer = vec![0u8; total];
+                    buffer[..64].copy_from_slice(&data[..]);
+                    if total == 64 {
+                        let out = buffer[8..8 + payload_len].to_vec();
+                        self.mode = Mode::Idle;
+                        return PreemptProgress::RestoreDone(out);
+                    }
+                    self.mode = Mode::Restoring {
+                        buffer,
+                        payload_len,
+                        issued: 1,
+                        received: 1,
+                    };
+                    return PreemptProgress::InProgress;
+                }
+                if !*issued && port.can_issue() {
+                    port.read(self.state_addr, now);
+                    *issued = true;
+                }
+                PreemptProgress::InProgress
+            }
+            Mode::Restoring {
+                buffer,
+                payload_len,
+                issued,
+                received,
+            } => {
+                let total_lines = buffer.len() / 64;
+                while let Some(resp) = port.pop_response() {
+                    let data = resp.data.expect("restore expects read data");
+                    // Reads issue in order through one FIFO port path, so
+                    // arrival order matches line order past the header.
+                    let line_idx = *received;
+                    buffer[line_idx * 64..line_idx * 64 + 64].copy_from_slice(&data[..]);
+                    *received += 1;
+                }
+                while *issued < total_lines && port.can_issue() {
+                    port.read(
+                        Gva::new(self.state_addr.raw() + (*issued as u64) * 64),
+                        now,
+                    );
+                    *issued += 1;
+                }
+                if *received == total_lines {
+                    let payload_len = *payload_len;
+                    let out = buffer[8..8 + payload_len].to_vec();
+                    self.mode = Mode::Idle;
+                    PreemptProgress::RestoreDone(out)
+                } else {
+                    PreemptProgress::InProgress
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives the engine against a loopback port that acknowledges
+    /// immediately in order.
+    fn loopback(engine: &mut PreemptEngine, port: &mut AccelPort, store: &mut Vec<u8>) -> PreemptProgress {
+        for now in 0..10_000u64 {
+            let progress = engine.step(now, port);
+            match progress {
+                PreemptProgress::InProgress => {}
+                done => return done,
+            }
+            // Service pending requests like a 1-cycle memory.
+            while let Some(req) = port.take_pending() {
+                let base = req.gva.raw() as usize;
+                match req.write {
+                    Some(data) => {
+                        if store.len() < base + 64 {
+                            store.resize(base + 64, 0);
+                        }
+                        store[base..base + 64].copy_from_slice(&data[..]);
+                        port.deliver(req.tag, None, now);
+                    }
+                    None => {
+                        let mut line = [0u8; 64];
+                        line.copy_from_slice(&store[base..base + 64]);
+                        port.deliver(req.tag, Some(Box::new(line)), now);
+                    }
+                }
+            }
+        }
+        panic!("engine never completed");
+    }
+
+    #[test]
+    fn save_then_restore_round_trips() {
+        let mut engine = PreemptEngine::new();
+        engine.set_state_addr(Gva::new(0x100 * 64));
+        let state: Vec<u8> = (0..200u32).map(|i| i as u8).collect();
+        let mut port = AccelPort::new();
+        let mut store = Vec::new();
+
+        engine.begin_save(state.clone());
+        assert!(engine.is_active());
+        assert_eq!(
+            loopback(&mut engine, &mut port, &mut store),
+            PreemptProgress::SaveDone
+        );
+        assert!(!engine.is_active());
+
+        engine.begin_restore();
+        let got = match loopback(&mut engine, &mut port, &mut store) {
+            PreemptProgress::RestoreDone(v) => v,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(&got[..state.len()], &state[..]);
+    }
+
+    #[test]
+    fn empty_state_still_writes_the_header_line() {
+        let mut engine = PreemptEngine::new();
+        let mut port = AccelPort::new();
+        let mut store = Vec::new();
+        engine.begin_save(Vec::new());
+        assert_eq!(
+            loopback(&mut engine, &mut port, &mut store),
+            PreemptProgress::SaveDone
+        );
+        engine.begin_restore();
+        match loopback(&mut engine, &mut port, &mut store) {
+            PreemptProgress::RestoreDone(v) => assert!(v.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn idle_engine_reports_idle() {
+        let mut engine = PreemptEngine::new();
+        let mut port = AccelPort::new();
+        assert_eq!(engine.step(0, &mut port), PreemptProgress::Idle);
+    }
+
+    #[test]
+    #[should_panic(expected = "already active")]
+    fn double_begin_panics() {
+        let mut engine = PreemptEngine::new();
+        engine.begin_save(vec![0; 64]);
+        engine.begin_restore();
+    }
+}

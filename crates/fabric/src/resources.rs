@@ -1,0 +1,136 @@
+//! FPGA resource accounting (Table 2's raw material).
+//!
+//! The evaluation board is an Intel Arria 10 GX 1150: 427,200 adaptive
+//! logic modules (ALMs) and 2,713 M20K block RAMs. Table 2 reports each
+//! component's utilization as a percentage of those totals. The hardware
+//! monitor's cost is *structural* — it is the sum of its parts, and this
+//! module prices each part so that the default configuration (VCU + 7 mux
+//! nodes + 8 auditors) lands at the paper's measured 6.16 % ALM / 0.48 %
+//! BRAM.
+
+use crate::mux_tree::TreeConfig;
+
+/// Total ALMs on the Arria 10 GX 1150.
+pub const TOTAL_ALMS: u64 = 427_200;
+/// Total M20K BRAM blocks on the Arria 10 GX 1150.
+pub const TOTAL_BRAMS: u64 = 2_713;
+
+/// A resource quantity expressed as percentages of the device totals.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Usage {
+    /// Percent of ALMs.
+    pub alm_pct: f64,
+    /// Percent of M20K blocks.
+    pub bram_pct: f64,
+}
+
+impl Usage {
+    /// Creates a usage record.
+    pub fn new(alm_pct: f64, bram_pct: f64) -> Self {
+        Self { alm_pct, bram_pct }
+    }
+
+    /// Component-wise sum.
+    pub fn plus(self, other: Usage) -> Usage {
+        Usage {
+            alm_pct: self.alm_pct + other.alm_pct,
+            bram_pct: self.bram_pct + other.bram_pct,
+        }
+    }
+
+    /// Scales both quantities.
+    pub fn times(self, k: f64) -> Usage {
+        Usage {
+            alm_pct: self.alm_pct * k,
+            bram_pct: self.bram_pct * k,
+        }
+    }
+
+    /// Absolute ALM count implied by the percentage.
+    pub fn alms(&self) -> u64 {
+        (self.alm_pct / 100.0 * TOTAL_ALMS as f64).round() as u64
+    }
+
+    /// Absolute M20K count implied by the percentage.
+    pub fn brams(&self) -> u64 {
+        (self.bram_pct / 100.0 * TOTAL_BRAMS as f64).round() as u64
+    }
+}
+
+/// The HARP shell's fixed cost (Table 2, both configurations).
+pub fn shell_usage() -> Usage {
+    Usage::new(23.44, 6.57)
+}
+
+/// Per-component monitor costs, priced so the default configuration totals
+/// the paper's measurement.
+pub mod monitor_parts {
+    use super::Usage;
+
+    /// The virtualization control unit (tables + management decode).
+    pub fn vcu() -> Usage {
+        Usage::new(0.90, 0.16)
+    }
+
+    /// One multiplexer-tree node (round-robin arbiter + buffers).
+    pub fn mux_node() -> Usage {
+        Usage::new(0.45, 0.0)
+    }
+
+    /// One auditor (offset adder, ID tagger, range checker).
+    pub fn auditor() -> Usage {
+        Usage::new(0.26, 0.04)
+    }
+}
+
+/// Total hardware-monitor cost for a tree configuration.
+pub fn monitor_usage(config: TreeConfig) -> Usage {
+    let nodes = crate::mux_tree::MuxTree::new(config).node_count() as f64;
+    let auditors = config.leaves as f64;
+    monitor_parts::vcu()
+        .plus(monitor_parts::mux_node().times(nodes))
+        .plus(monitor_parts::auditor().times(auditors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_monitor_matches_table2() {
+        let u = monitor_usage(TreeConfig::default_eight());
+        // Paper: 6.16 % ALM, 0.48 % BRAM, "less than 7 % of resources".
+        assert!((u.alm_pct - 6.16).abs() < 0.15, "ALM {}", u.alm_pct);
+        assert!((u.bram_pct - 0.48).abs() < 0.05, "BRAM {}", u.bram_pct);
+        assert!(u.alm_pct < 7.0);
+    }
+
+    #[test]
+    fn monitor_scales_down_with_fewer_accelerators() {
+        let big = monitor_usage(TreeConfig::default_eight());
+        let small = monitor_usage(TreeConfig { leaves: 2, arity: 2 });
+        assert!(small.alm_pct < big.alm_pct);
+    }
+
+    #[test]
+    fn usage_arithmetic() {
+        let a = Usage::new(1.0, 2.0);
+        let b = Usage::new(0.5, 0.25);
+        let sum = a.plus(b.times(2.0));
+        assert!((sum.alm_pct - 2.0).abs() < 1e-12);
+        assert!((sum.bram_pct - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absolute_counts() {
+        let u = Usage::new(10.0, 10.0);
+        assert_eq!(u.alms(), 42_720);
+        assert_eq!(u.brams(), 271);
+    }
+
+    #[test]
+    fn shell_is_fixed() {
+        let s = shell_usage();
+        assert_eq!((s.alm_pct, s.bram_pct), (23.44, 6.57));
+    }
+}

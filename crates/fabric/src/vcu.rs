@@ -1,0 +1,156 @@
+//! The virtualization control unit (VCU).
+//!
+//! The VCU is the hypervisor's management interface on the FPGA (§4.1). It
+//! owns two tables:
+//!
+//! * the **offset table** — per-accelerator page-table-slicing offsets
+//!   (IOVA − GVA), consulted by the auditors on every DMA;
+//! * the **reset table** — per-accelerator reset lines, letting the
+//!   hypervisor clear an individual accelerator's state on a VM context
+//!   switch without touching its neighbours.
+//!
+//! It also answers configuration queries (accelerator count, compatibility
+//! magic, tree depth) through read-only registers. MMIO packets whose
+//! address falls inside the VCU's 4 KB page are intercepted here and never
+//! reach the multiplexer tree.
+
+use crate::mmio::vcu_reg;
+
+/// Effects a VCU register write can have on the rest of the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VcuEffect {
+    /// No side effect outside the VCU.
+    None,
+    /// Accelerator `index`'s slicing offset changed; auditors must reload.
+    OffsetUpdated {
+        /// The accelerator whose offset changed.
+        index: usize,
+    },
+    /// Accelerator `index`'s reset line pulsed.
+    ResetPulsed {
+        /// The accelerator being reset.
+        index: usize,
+    },
+    /// The write targeted an invalid register and was ignored.
+    Ignored,
+}
+
+/// The virtualization control unit.
+#[derive(Debug, Clone)]
+pub struct Vcu {
+    offsets: Vec<u64>,
+    tree_levels: u32,
+}
+
+impl Vcu {
+    /// Creates a VCU managing `num_accels` accelerators behind a
+    /// `tree_levels`-deep multiplexer tree.
+    pub fn new(num_accels: usize, tree_levels: u32) -> Self {
+        Self {
+            offsets: vec![0; num_accels],
+            tree_levels,
+        }
+    }
+
+    /// Number of physical accelerators.
+    pub fn num_accels(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Accelerator `index`'s current slicing offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn offset(&self, index: usize) -> u64 {
+        self.offsets[index]
+    }
+
+    /// Handles an MMIO write at `offset` within the VCU page.
+    pub fn write(&mut self, offset: u64, value: u64) -> VcuEffect {
+        if let Some(index) = table_index(offset, vcu_reg::OFFSET_TABLE, self.offsets.len()) {
+            self.offsets[index] = value;
+            return VcuEffect::OffsetUpdated { index };
+        }
+        if let Some(index) = table_index(offset, vcu_reg::RESET_TABLE, self.offsets.len()) {
+            if value & 1 == 1 {
+                return VcuEffect::ResetPulsed { index };
+            }
+            return VcuEffect::None;
+        }
+        VcuEffect::Ignored
+    }
+
+    /// Handles an MMIO read at `offset` within the VCU page.
+    pub fn read(&self, offset: u64) -> u64 {
+        if let Some(index) = table_index(offset, vcu_reg::OFFSET_TABLE, self.offsets.len()) {
+            return self.offsets[index];
+        }
+        match offset {
+            vcu_reg::NUM_ACCELS => self.offsets.len() as u64,
+            vcu_reg::MAGIC => vcu_reg::MAGIC_VALUE,
+            vcu_reg::TREE_LEVELS => self.tree_levels as u64,
+            _ => 0,
+        }
+    }
+}
+
+/// Decodes `offset` as an index into an 8-byte-strided table at `base`.
+fn table_index(offset: u64, base: u64, len: usize) -> Option<usize> {
+    if offset < base {
+        return None;
+    }
+    let rel = offset - base;
+    if rel % 8 != 0 {
+        return None;
+    }
+    let index = (rel / 8) as usize;
+    (index < len).then_some(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offset_table_round_trips() {
+        let mut vcu = Vcu::new(8, 3);
+        let effect = vcu.write(vcu_reg::OFFSET_TABLE + 3 * 8, 0xDEAD_0000);
+        assert_eq!(effect, VcuEffect::OffsetUpdated { index: 3 });
+        assert_eq!(vcu.offset(3), 0xDEAD_0000);
+        assert_eq!(vcu.read(vcu_reg::OFFSET_TABLE + 3 * 8), 0xDEAD_0000);
+    }
+
+    #[test]
+    fn reset_table_pulses_on_one() {
+        let mut vcu = Vcu::new(4, 2);
+        assert_eq!(
+            vcu.write(vcu_reg::RESET_TABLE + 2 * 8, 1),
+            VcuEffect::ResetPulsed { index: 2 }
+        );
+        assert_eq!(vcu.write(vcu_reg::RESET_TABLE + 2 * 8, 0), VcuEffect::None);
+    }
+
+    #[test]
+    fn config_registers_read_back() {
+        let vcu = Vcu::new(8, 3);
+        assert_eq!(vcu.read(vcu_reg::NUM_ACCELS), 8);
+        assert_eq!(vcu.read(vcu_reg::MAGIC), vcu_reg::MAGIC_VALUE);
+        assert_eq!(vcu.read(vcu_reg::TREE_LEVELS), 3);
+    }
+
+    #[test]
+    fn out_of_range_writes_ignored() {
+        let mut vcu = Vcu::new(2, 1);
+        assert_eq!(vcu.write(vcu_reg::OFFSET_TABLE + 5 * 8, 1), VcuEffect::Ignored);
+        assert_eq!(vcu.write(0xF00, 1), VcuEffect::Ignored);
+        // Misaligned offsets are not table entries.
+        assert_eq!(vcu.write(vcu_reg::OFFSET_TABLE + 4, 1), VcuEffect::Ignored);
+    }
+
+    #[test]
+    fn unknown_reads_return_zero() {
+        let vcu = Vcu::new(2, 1);
+        assert_eq!(vcu.read(0xF00), 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Strongly-typed addresses and page-size arithmetic.
+//!
+//! Page table slicing juggles four address kinds; mixing them up is the
+//! exact class of bug a hypervisor cannot afford. Each kind gets a newtype
+//! ([`Gva`], [`Gpa`], [`Hpa`], [`Iova`]) so the compiler rejects, for
+//! example, installing a GVA where the IOMMU expects an HPA.
+//!
+//! # Examples
+//!
+//! ```
+//! use optimus_mem::addr::{Gva, Iova};
+//!
+//! let gva = Gva::new(0x1000);
+//! let slice_offset: u64 = 64 << 30; // a 64 GB slice
+//! let iova = Iova::new(gva.raw() + slice_offset);
+//! assert_eq!(iova.raw() - slice_offset, gva.raw());
+//! ```
+
+/// Bytes in a 4 KB page.
+pub const PAGE_4K: u64 = 4096;
+/// Bytes in a 2 MB huge page.
+pub const PAGE_2M: u64 = 2 * 1024 * 1024;
+/// Bytes in a DMA cache line.
+pub const CACHE_LINE: u64 = 64;
+
+macro_rules! address_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Wraps a raw 64-bit address.
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// The raw 64-bit address.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// This address advanced by `bytes`.
+            pub const fn add(self, bytes: u64) -> Self {
+                Self(self.0 + bytes)
+            }
+
+            /// The containing page base for `page_size`.
+            pub const fn page_base(self, page_size: u64) -> Self {
+                Self(self.0 & !(page_size - 1))
+            }
+
+            /// The offset within the containing page.
+            pub const fn page_offset(self, page_size: u64) -> u64 {
+                self.0 & (page_size - 1)
+            }
+
+            /// The containing cache-line base.
+            pub const fn line_base(self) -> Self {
+                Self(self.0 & !(CACHE_LINE - 1))
+            }
+
+            /// `true` if the address is aligned to `align` bytes.
+            pub const fn is_aligned(self, align: u64) -> bool {
+                self.0 & (align - 1) == 0
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "{}({:#x})", stringify!($name), self.0)
+            }
+        }
+
+        impl core::fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                core::fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+    };
+}
+
+address_newtype! {
+    /// A guest virtual address: what both the guest application and its
+    /// accelerator use to name memory.
+    Gva
+}
+address_newtype! {
+    /// A guest physical address: output of the guest's own page table.
+    Gpa
+}
+address_newtype! {
+    /// A host physical address: what DRAM is actually indexed by.
+    Hpa
+}
+address_newtype! {
+    /// An IO virtual address: index into the single IO page table shared by
+    /// every accelerator; under page table slicing, `IOVA = GVA + offset`.
+    Iova
+}
+
+/// Page granularity used by a mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageSize {
+    /// 4 KB base pages.
+    Small,
+    /// 2 MB huge pages (the paper's default for DMA memory).
+    Huge,
+}
+
+impl PageSize {
+    /// Size in bytes.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            PageSize::Small => PAGE_4K,
+            PageSize::Huge => PAGE_2M,
+        }
+    }
+
+    /// log2 of the size in bytes (12 or 21).
+    pub const fn shift(self) -> u32 {
+        match self {
+            PageSize::Small => 12,
+            PageSize::Huge => 21,
+        }
+    }
+}
+
+/// Splits a byte range `[start, start+len)` into the cache lines it covers,
+/// returning `(line_base, offset_in_line, bytes_in_line)` triples.
+///
+/// DMA moves whole 64-byte lines; software-visible reads/writes of arbitrary
+/// ranges are decomposed with this helper.
+pub fn split_into_lines(start: u64, len: u64) -> Vec<(u64, usize, usize)> {
+    let mut out = Vec::new();
+    let mut cursor = start;
+    let end = start + len;
+    while cursor < end {
+        let line = cursor & !(CACHE_LINE - 1);
+        let offset = (cursor - line) as usize;
+        let take = ((line + CACHE_LINE).min(end) - cursor) as usize;
+        out.push((line, offset, take));
+        cursor += take as u64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_base_and_offset() {
+        let a = Gva::new(0x20_1234);
+        assert_eq!(a.page_base(PAGE_4K).raw(), 0x20_1000);
+        assert_eq!(a.page_offset(PAGE_4K), 0x234);
+        assert_eq!(a.page_base(PAGE_2M).raw(), 0x20_0000);
+        assert_eq!(a.page_offset(PAGE_2M), 0x1234);
+    }
+
+    #[test]
+    fn line_base_masks_low_bits() {
+        assert_eq!(Hpa::new(0x1003F).line_base().raw(), 0x10000);
+        assert_eq!(Hpa::new(0x10040).line_base().raw(), 0x10040);
+    }
+
+    #[test]
+    fn alignment_checks() {
+        assert!(Iova::new(0x4000).is_aligned(PAGE_4K));
+        assert!(!Iova::new(0x4001).is_aligned(PAGE_4K));
+        assert!(Iova::new(0).is_aligned(PAGE_2M));
+    }
+
+    #[test]
+    fn page_size_constants() {
+        assert_eq!(PageSize::Small.bytes(), 4096);
+        assert_eq!(PageSize::Huge.bytes(), 2 * 1024 * 1024);
+        assert_eq!(1u64 << PageSize::Small.shift(), PageSize::Small.bytes());
+        assert_eq!(1u64 << PageSize::Huge.shift(), PageSize::Huge.bytes());
+    }
+
+    #[test]
+    fn split_single_line() {
+        let parts = split_into_lines(0x100, 8);
+        assert_eq!(parts, vec![(0x100, 0, 8)]);
+    }
+
+    #[test]
+    fn split_unaligned_spanning() {
+        let parts = split_into_lines(0x13C, 16);
+        assert_eq!(parts, vec![(0x100, 0x3C, 4), (0x140, 0, 12)]);
+    }
+
+    #[test]
+    fn split_exact_lines() {
+        let parts = split_into_lines(0x80, 128);
+        assert_eq!(parts, vec![(0x80, 0, 64), (0xC0, 0, 64)]);
+    }
+
+    #[test]
+    fn split_empty_range() {
+        assert!(split_into_lines(0x100, 0).is_empty());
+    }
+
+    #[test]
+    fn newtypes_are_distinct_types() {
+        // Compile-time property: this function only accepts Gva.
+        fn takes_gva(_: Gva) {}
+        takes_gva(Gva::new(1));
+        // The following would not compile:
+        // takes_gva(Hpa::new(1));
+    }
+
+    #[test]
+    fn display_includes_kind() {
+        assert_eq!(format!("{}", Gva::new(0x10)), "Gva(0x10)");
+    }
+}

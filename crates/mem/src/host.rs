@@ -1,0 +1,335 @@
+//! Sparse host DRAM model.
+//!
+//! The evaluation platform has 188 GB of DRAM and several experiments sweep
+//! working sets up to 8 GB. The simulator cannot (and need not) allocate
+//! that much: [`HostMemory`] stores only the 4 KB frames that have actually
+//! been touched, and supports two density optimizations that preserve
+//! observable behaviour:
+//!
+//! * **Zero-fill reads** — reading a never-written frame returns zeros
+//!   without materializing it (exactly what fresh anonymous memory reads as
+//!   on the real machine).
+//! * **Lazy fill regions** — a region can be registered with a deterministic
+//!   generator that synthesizes a frame's contents on first touch. This is
+//!   how multi-gigabyte linked-list workloads exist without being stored:
+//!   the generator computes each node's next-pointer from a Feistel
+//!   permutation (see `optimus-sim::perm`).
+//! * **Scratch regions** — store-free benchmark output regions: writes are
+//!   counted but discarded. Only the performance harness uses these;
+//!   correctness tests always use fully materialized memory.
+//!
+//! # Examples
+//!
+//! ```
+//! use optimus_mem::host::HostMemory;
+//! use optimus_mem::addr::Hpa;
+//!
+//! let mut mem = HostMemory::new();
+//! mem.write(Hpa::new(0x1000), b"hello");
+//! let mut buf = [0u8; 5];
+//! mem.read(Hpa::new(0x1000), &mut buf);
+//! assert_eq!(&buf, b"hello");
+//! ```
+
+use crate::addr::{Hpa, CACHE_LINE, PAGE_4K};
+use std::collections::HashMap;
+
+/// A 4 KB backing frame.
+type Frame = Box<[u8; PAGE_4K as usize]>;
+
+/// A deterministic page-content generator for a lazy region.
+///
+/// Called with the frame's base HPA and the frame buffer to fill.
+pub type FrameFiller = Box<dyn Fn(Hpa, &mut [u8; PAGE_4K as usize]) + Send>;
+
+struct LazyRegion {
+    base: u64,
+    len: u64,
+    filler: FrameFiller,
+}
+
+/// Sparse, lazily materialized host physical memory.
+pub struct HostMemory {
+    frames: HashMap<u64, Frame>,
+    lazy: Vec<LazyRegion>,
+    scratch: Vec<(u64, u64)>,
+    scratch_bytes_discarded: u64,
+}
+
+impl Default for HostMemory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl core::fmt::Debug for HostMemory {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("HostMemory")
+            .field("materialized_frames", &self.frames.len())
+            .field("lazy_regions", &self.lazy.len())
+            .field("scratch_regions", &self.scratch.len())
+            .finish()
+    }
+}
+
+impl HostMemory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self {
+            frames: HashMap::new(),
+            lazy: Vec::new(),
+            scratch: Vec::new(),
+            scratch_bytes_discarded: 0,
+        }
+    }
+
+    /// Registers `[base, base+len)` as a lazy region whose frames are
+    /// synthesized by `filler` on first touch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base`/`len` are not 4 KB aligned.
+    pub fn add_lazy_region(&mut self, base: Hpa, len: u64, filler: FrameFiller) {
+        assert!(base.is_aligned(PAGE_4K) && len % PAGE_4K == 0, "lazy regions are page-granular");
+        self.lazy.push(LazyRegion {
+            base: base.raw(),
+            len,
+            filler,
+        });
+    }
+
+    /// Registers `[base, base+len)` as a scratch region: writes are counted
+    /// and discarded, reads return zeros (or lazy content if also lazy).
+    ///
+    /// Used only by the performance harness for bulk benchmark output; see
+    /// the module docs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base`/`len` are not 4 KB aligned.
+    pub fn add_scratch_region(&mut self, base: Hpa, len: u64) {
+        assert!(base.is_aligned(PAGE_4K) && len % PAGE_4K == 0, "scratch regions are page-granular");
+        self.scratch.push((base.raw(), len));
+    }
+
+    fn in_scratch(&self, addr: u64) -> bool {
+        self.scratch
+            .iter()
+            .any(|&(b, l)| addr >= b && addr < b + l)
+    }
+
+    fn lazy_region_of(&self, addr: u64) -> Option<usize> {
+        self.lazy
+            .iter()
+            .position(|r| addr >= r.base && addr < r.base + r.len)
+    }
+
+    /// Materializes (if needed) and returns the frame containing `addr`.
+    fn frame_mut(&mut self, addr: u64) -> &mut Frame {
+        let frame_base = addr & !(PAGE_4K - 1);
+        if !self.frames.contains_key(&frame_base) {
+            let mut frame: Frame = Box::new([0u8; PAGE_4K as usize]);
+            if let Some(idx) = self.lazy_region_of(frame_base) {
+                (self.lazy[idx].filler)(Hpa::new(frame_base), &mut frame);
+            }
+            self.frames.insert(frame_base, frame);
+        }
+        self.frames.get_mut(&frame_base).unwrap()
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    ///
+    /// Unmaterialized plain memory reads as zeros (without materializing);
+    /// unmaterialized lazy-region frames are synthesized transiently.
+    pub fn read(&self, addr: Hpa, buf: &mut [u8]) {
+        let mut cursor = addr.raw();
+        let mut filled = 0usize;
+        while filled < buf.len() {
+            let frame_base = cursor & !(PAGE_4K - 1);
+            let offset = (cursor - frame_base) as usize;
+            let take = (PAGE_4K as usize - offset).min(buf.len() - filled);
+            match self.frames.get(&frame_base) {
+                Some(frame) => {
+                    buf[filled..filled + take].copy_from_slice(&frame[offset..offset + take]);
+                }
+                None => {
+                    if let Some(idx) = self.lazy_region_of(frame_base) {
+                        // Synthesize without caching: reads alone must not
+                        // grow memory when sweeping huge working sets.
+                        let mut frame = [0u8; PAGE_4K as usize];
+                        (self.lazy[idx].filler)(Hpa::new(frame_base), &mut frame);
+                        buf[filled..filled + take].copy_from_slice(&frame[offset..offset + take]);
+                    } else {
+                        buf[filled..filled + take].fill(0);
+                    }
+                }
+            }
+            filled += take;
+            cursor += take as u64;
+        }
+    }
+
+    /// Writes `data` starting at `addr`, materializing frames as needed.
+    ///
+    /// Writes that fall entirely inside a scratch region are counted and
+    /// discarded.
+    pub fn write(&mut self, addr: Hpa, data: &[u8]) {
+        let mut cursor = addr.raw();
+        let mut consumed = 0usize;
+        while consumed < data.len() {
+            let frame_base = cursor & !(PAGE_4K - 1);
+            let offset = (cursor - frame_base) as usize;
+            let take = (PAGE_4K as usize - offset).min(data.len() - consumed);
+            if self.in_scratch(cursor) && !self.frames.contains_key(&frame_base) {
+                self.scratch_bytes_discarded += take as u64;
+            } else {
+                let frame = self.frame_mut(cursor);
+                frame[offset..offset + take].copy_from_slice(&data[consumed..consumed + take]);
+            }
+            consumed += take;
+            cursor += take as u64;
+        }
+    }
+
+    /// Reads one 64-byte cache line (the DMA unit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not line-aligned.
+    pub fn read_line(&self, addr: Hpa) -> [u8; CACHE_LINE as usize] {
+        assert!(addr.is_aligned(CACHE_LINE), "DMA reads are line-aligned");
+        let mut line = [0u8; CACHE_LINE as usize];
+        self.read(addr, &mut line);
+        line
+    }
+
+    /// Writes one 64-byte cache line (the DMA unit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not line-aligned.
+    pub fn write_line(&mut self, addr: Hpa, line: &[u8; CACHE_LINE as usize]) {
+        assert!(addr.is_aligned(CACHE_LINE), "DMA writes are line-aligned");
+        self.write(addr, line);
+    }
+
+    /// Number of materialized 4 KB frames.
+    pub fn materialized_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Bytes written into scratch regions and discarded.
+    pub fn scratch_bytes_discarded(&self) -> u64 {
+        self.scratch_bytes_discarded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_reads_do_not_materialize() {
+        let mem = HostMemory::new();
+        let mut buf = [0xFFu8; 128];
+        mem.read(Hpa::new(0x12345000), &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+        assert_eq!(mem.materialized_frames(), 0);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut mem = HostMemory::new();
+        let data: Vec<u8> = (0..=255).collect();
+        mem.write(Hpa::new(0xFF8), &data); // spans two frames
+        let mut buf = vec![0u8; 256];
+        mem.read(Hpa::new(0xFF8), &mut buf);
+        assert_eq!(buf, data);
+        assert_eq!(mem.materialized_frames(), 2);
+    }
+
+    #[test]
+    fn line_helpers_round_trip() {
+        let mut mem = HostMemory::new();
+        let mut line = [0u8; 64];
+        for (i, b) in line.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        mem.write_line(Hpa::new(0x40), &line);
+        assert_eq!(mem.read_line(Hpa::new(0x40)), line);
+    }
+
+    #[test]
+    #[should_panic(expected = "line-aligned")]
+    fn misaligned_line_read_panics() {
+        HostMemory::new().read_line(Hpa::new(0x41));
+    }
+
+    #[test]
+    fn lazy_region_synthesizes_content() {
+        let mut mem = HostMemory::new();
+        mem.add_lazy_region(
+            Hpa::new(0x10000),
+            0x4000,
+            Box::new(|base, frame| {
+                // Each byte = low bits of its own address.
+                for (i, b) in frame.iter_mut().enumerate() {
+                    *b = (base.raw() as usize + i) as u8;
+                }
+            }),
+        );
+        let mut buf = [0u8; 4];
+        mem.read(Hpa::new(0x10100), &mut buf);
+        assert_eq!(buf, [0x00, 0x01, 0x02, 0x03]);
+        // Reads alone do not materialize.
+        assert_eq!(mem.materialized_frames(), 0);
+    }
+
+    #[test]
+    fn lazy_region_write_preserves_rest_of_frame() {
+        let mut mem = HostMemory::new();
+        mem.add_lazy_region(
+            Hpa::new(0x0),
+            0x1000,
+            Box::new(|_, frame| frame.fill(0xAA)),
+        );
+        mem.write(Hpa::new(0x10), &[0x55]);
+        let mut buf = [0u8; 3];
+        mem.read(Hpa::new(0xF), &mut buf);
+        // Byte before and after the write keep their lazy content.
+        assert_eq!(buf, [0xAA, 0x55, 0xAA]);
+        assert_eq!(mem.materialized_frames(), 1);
+    }
+
+    #[test]
+    fn scratch_writes_are_counted_not_stored() {
+        let mut mem = HostMemory::new();
+        mem.add_scratch_region(Hpa::new(0x100000), 0x10000);
+        mem.write(Hpa::new(0x100040), &[1u8; 64]);
+        assert_eq!(mem.materialized_frames(), 0);
+        assert_eq!(mem.scratch_bytes_discarded(), 64);
+        let mut buf = [9u8; 4];
+        mem.read(Hpa::new(0x100040), &mut buf);
+        assert_eq!(buf, [0; 4]);
+    }
+
+    #[test]
+    fn non_scratch_writes_nearby_still_stored() {
+        let mut mem = HostMemory::new();
+        mem.add_scratch_region(Hpa::new(0x100000), 0x1000);
+        mem.write(Hpa::new(0xFFFC0), &[7u8; 64]); // just below the region
+        assert_eq!(mem.read_line(Hpa::new(0xFFFC0)), [7u8; 64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "page-granular")]
+    fn lazy_region_must_be_page_aligned() {
+        HostMemory::new().add_lazy_region(Hpa::new(0x10), 0x1000, Box::new(|_, _| {}));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let repr = format!("{:?}", HostMemory::new());
+        assert!(repr.contains("HostMemory"));
+    }
+}

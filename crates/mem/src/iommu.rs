@@ -1,0 +1,521 @@
+//! IOMMU and IOTLB models.
+//!
+//! On Skylake HARP the IOMMU is implemented as soft IP in the FPGA shell
+//! (§2.2 of the paper) and translates every accelerator DMA through a
+//! *single* IO page table — the root limitation that motivates page table
+//! slicing. Its translation cache, the IOTLB, is the dominant performance
+//! effect in Figs. 5 and 6:
+//!
+//! * it holds **512 entries** regardless of page size, so its reach is 1 GB
+//!   with 2 MB pages but only 2 MB with 4 KB pages;
+//! * it is **direct mapped** with the set index taken from the bits just
+//!   above the page offset (bits 21–29 for 2 MB pages), so two pages whose
+//!   indices coincide — `p1 ≡ p2 (mod 2^9)` — evict each other even when
+//!   the TLB is mostly empty. With naive 64 GB-aligned slices every
+//!   accelerator's page *k* collides, which is why OPTIMUS inserts a 128 MB
+//!   gap between slices;
+//! * on a miss the IOMMU must fetch the IO page table **over the system
+//!   interconnect** (HARP's IOMMU is not integrated into the CPU), so a
+//!   miss costs a multi-hundred-nanosecond walk, one access per radix level
+//!   ([`PageTable::walk_depth`]);
+//! * consecutive accesses that stay within one 2 MB region appear to take a
+//!   **speculative fast path** (the paper's explanation for the anomalously
+//!   high single-job read throughput in Fig. 6b), modeled here as the
+//!   [`TlbLookup::HitSpeculative`] outcome.
+
+use crate::addr::{Hpa, Iova, PageSize};
+use crate::page_table::{PageFlags, PageTable};
+
+/// Number of IOTLB entries (sets × ways = 512 × 1).
+pub const IOTLB_ENTRIES: usize = 512;
+
+/// Result of an IOTLB probe, consumed by the interconnect latency model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlbLookup {
+    /// Same 2 MB region as the immediately preceding access: the pipeline's
+    /// speculative region reuse applies.
+    HitSpeculative,
+    /// Ordinary IOTLB hit.
+    Hit,
+    /// Miss: the IOMMU walked `walk_steps` page-table levels over the
+    /// interconnect.
+    Miss {
+        /// Page-table levels touched by the hardware walker.
+        walk_steps: u32,
+    },
+}
+
+/// Errors surfaced to the auditor/accelerator when a DMA cannot translate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IommuError {
+    /// No IO page table mapping covers the IOVA. The IOMMU cannot handle
+    /// page faults (which is why OPTIMUS pins FPGA-accessible pages), so the
+    /// DMA is aborted.
+    Fault {
+        /// The faulting IO virtual address.
+        iova: Iova,
+    },
+    /// The mapping exists but forbids writes.
+    WriteDenied {
+        /// The offending IO virtual address.
+        iova: Iova,
+    },
+}
+
+impl core::fmt::Display for IommuError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            IommuError::Fault { iova } => write!(f, "IO page fault at {iova}"),
+            IommuError::WriteDenied { iova } => write!(f, "DMA write denied at {iova}"),
+        }
+    }
+}
+
+impl std::error::Error for IommuError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TlbEntry {
+    /// Virtual page number (IOVA >> shift for this entry's size).
+    vpn: u64,
+    /// Physical page number.
+    pfn: u64,
+    size: PageSize,
+    write: bool,
+}
+
+/// The 512-entry direct-mapped IOTLB.
+#[derive(Debug, Clone)]
+pub struct IoTlb {
+    sets: Vec<Option<TlbEntry>>,
+    /// 2 MB region of the last access (for the speculative fast path).
+    last_region: Option<u64>,
+    hits: u64,
+    speculative_hits: u64,
+    misses: u64,
+    conflict_evictions: u64,
+}
+
+impl Default for IoTlb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IoTlb {
+    /// Creates an empty IOTLB.
+    pub fn new() -> Self {
+        Self {
+            sets: vec![None; IOTLB_ENTRIES],
+            last_region: None,
+            hits: 0,
+            speculative_hits: 0,
+            misses: 0,
+            conflict_evictions: 0,
+        }
+    }
+
+    /// The direct-mapped set index for an address under a page size: the 9
+    /// bits immediately above the page offset.
+    pub fn set_index(iova: Iova, size: PageSize) -> usize {
+        ((iova.raw() >> size.shift()) & (IOTLB_ENTRIES as u64 - 1)) as usize
+    }
+
+    fn probe(&self, iova: Iova, size: PageSize) -> Option<TlbEntry> {
+        let set = Self::set_index(iova, size);
+        match self.sets[set] {
+            Some(e) if e.size == size && e.vpn == iova.raw() >> size.shift() => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Probes for `iova`; records hit/speculative-hit statistics.
+    ///
+    /// Returns the translated HPA and lookup class on a hit.
+    pub fn lookup(&mut self, iova: Iova) -> Option<(Hpa, TlbLookup, bool)> {
+        let region = iova.raw() >> PageSize::Huge.shift();
+        let speculative = self.last_region == Some(region);
+        self.last_region = Some(region);
+        // Dual probe: huge first (the common configuration), then small.
+        let entry = self
+            .probe(iova, PageSize::Huge)
+            .or_else(|| self.probe(iova, PageSize::Small))?;
+        let offset = iova.raw() & (entry.size.bytes() - 1);
+        let hpa = Hpa::new((entry.pfn << entry.size.shift()) + offset);
+        let outcome = if speculative {
+            self.speculative_hits += 1;
+            TlbLookup::HitSpeculative
+        } else {
+            self.hits += 1;
+            TlbLookup::Hit
+        };
+        Some((hpa, outcome, entry.write))
+    }
+
+    /// Records a miss and installs a new entry after a walk.
+    pub fn fill(&mut self, iova: Iova, hpa_base: Hpa, size: PageSize, write: bool) {
+        self.misses += 1;
+        let set = Self::set_index(iova, size);
+        if let Some(old) = self.sets[set] {
+            let new_vpn = iova.raw() >> size.shift();
+            if old.vpn != new_vpn || old.size != size {
+                self.conflict_evictions += 1;
+            }
+        }
+        self.sets[set] = Some(TlbEntry {
+            vpn: iova.raw() >> size.shift(),
+            pfn: hpa_base.raw() >> size.shift(),
+            size,
+            write,
+        });
+    }
+
+    /// Invalidates every entry (used on VM context switches and after
+    /// unmapping).
+    pub fn invalidate_all(&mut self) {
+        self.sets.iter_mut().for_each(|s| *s = None);
+        self.last_region = None;
+    }
+
+    /// Invalidates any entry covering `iova`.
+    pub fn invalidate(&mut self, iova: Iova) {
+        for size in [PageSize::Huge, PageSize::Small] {
+            let set = Self::set_index(iova, size);
+            if let Some(e) = self.sets[set] {
+                if e.size == size && e.vpn == iova.raw() >> size.shift() {
+                    self.sets[set] = None;
+                }
+            }
+        }
+    }
+
+    /// (hits, speculative hits, misses, conflict evictions).
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
+        (self.hits, self.speculative_hits, self.misses, self.conflict_evictions)
+    }
+
+    /// Fraction of lookups that missed (0 if no lookups yet).
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.speculative_hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// The IOMMU: an IOTLB in front of the single IO page table.
+#[derive(Debug, Clone, Default)]
+pub struct Iommu {
+    tlb: IoTlb,
+    iopt: PageTable,
+    faults: u64,
+}
+
+/// A successful translation with its latency class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// The host physical address of the access.
+    pub hpa: Hpa,
+    /// TLB outcome, consumed by the interconnect latency model.
+    pub lookup: TlbLookup,
+}
+
+impl Iommu {
+    /// Creates an IOMMU with an empty IO page table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The IO page table, for the hypervisor's shadow-paging code.
+    pub fn iopt(&self) -> &PageTable {
+        &self.iopt
+    }
+
+    /// Mutable access to the IO page table (hypervisor only).
+    pub fn iopt_mut(&mut self) -> &mut PageTable {
+        &mut self.iopt
+    }
+
+    /// The IOTLB (for statistics inspection).
+    pub fn tlb(&self) -> &IoTlb {
+        &self.tlb
+    }
+
+    /// Mutable IOTLB access (for invalidations).
+    pub fn tlb_mut(&mut self) -> &mut IoTlb {
+        &mut self.tlb
+    }
+
+    /// Number of aborted DMAs due to IO page faults.
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+
+    /// Translates a DMA at `iova`.
+    ///
+    /// # Errors
+    ///
+    /// * [`IommuError::Fault`] if no mapping covers `iova`;
+    /// * [`IommuError::WriteDenied`] if `is_write` and the mapping is
+    ///   read-only.
+    pub fn translate(&mut self, iova: Iova, is_write: bool) -> Result<Translation, IommuError> {
+        if let Some((hpa, lookup, writable)) = self.tlb.lookup(iova) {
+            if is_write && !writable {
+                return Err(IommuError::WriteDenied { iova });
+            }
+            return Ok(Translation { hpa, lookup });
+        }
+        // Miss: hardware walk of the IO page table.
+        let walk_steps = self.iopt.walk_depth(iova.raw());
+        match self.iopt.translate(iova.raw()) {
+            Some((pa, flags)) => {
+                if is_write && !flags.write {
+                    return Err(IommuError::WriteDenied { iova });
+                }
+                let size = self
+                    .iopt
+                    .mapping_size(iova.raw())
+                    .expect("translate succeeded, mapping must exist");
+                let page_base = Hpa::new(pa & !(size.bytes() - 1));
+                self.tlb.fill(iova, page_base, size, flags.write);
+                Ok(Translation {
+                    hpa: Hpa::new(pa),
+                    lookup: TlbLookup::Miss { walk_steps },
+                })
+            }
+            None => {
+                self.faults += 1;
+                Err(IommuError::Fault { iova })
+            }
+        }
+    }
+
+    /// Installs an IO page table mapping and invalidates any stale IOTLB
+    /// entry for the range.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::page_table::MapError`] from the underlying table.
+    pub fn map(
+        &mut self,
+        iova: Iova,
+        hpa: Hpa,
+        size: PageSize,
+        flags: PageFlags,
+    ) -> Result<(), crate::page_table::MapError> {
+        self.iopt.map(iova.raw(), hpa.raw(), size, flags)?;
+        self.tlb.invalidate(iova);
+        Ok(())
+    }
+
+    /// Removes a mapping and invalidates the IOTLB entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::page_table::MapError::NotMapped`].
+    pub fn unmap(&mut self, iova: Iova) -> Result<(), crate::page_table::MapError> {
+        self.iopt.unmap(iova.raw())?;
+        self.tlb.invalidate(iova);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{PAGE_2M, PAGE_4K};
+
+    fn mapped_iommu(pages: u64, size: PageSize) -> Iommu {
+        let mut iommu = Iommu::new();
+        for i in 0..pages {
+            iommu
+                .map(
+                    Iova::new(i * size.bytes()),
+                    Hpa::new((i + 1000) * size.bytes()),
+                    size,
+                    PageFlags::rw(),
+                )
+                .unwrap();
+        }
+        iommu
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut iommu = mapped_iommu(4, PageSize::Huge);
+        let t1 = iommu.translate(Iova::new(0x1000), false).unwrap();
+        assert!(matches!(t1.lookup, TlbLookup::Miss { .. }));
+        assert_eq!(t1.hpa.raw(), 1000 * PAGE_2M + 0x1000);
+        // Different 2 MB region to avoid the speculative path, then return.
+        iommu.translate(Iova::new(PAGE_2M), false).unwrap();
+        let t2 = iommu.translate(Iova::new(0x2000), false).unwrap();
+        assert_eq!(t2.lookup, TlbLookup::Hit);
+    }
+
+    #[test]
+    fn same_region_access_is_speculative() {
+        let mut iommu = mapped_iommu(1, PageSize::Huge);
+        iommu.translate(Iova::new(0x0), false).unwrap();
+        let t = iommu.translate(Iova::new(0x40), false).unwrap();
+        assert_eq!(t.lookup, TlbLookup::HitSpeculative);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mut iommu = Iommu::new();
+        let err = iommu.translate(Iova::new(0x5000), false).unwrap_err();
+        assert_eq!(err, IommuError::Fault { iova: Iova::new(0x5000) });
+        assert_eq!(iommu.faults(), 1);
+    }
+
+    #[test]
+    fn write_to_readonly_denied() {
+        let mut iommu = Iommu::new();
+        iommu
+            .map(Iova::new(0), Hpa::new(0x10000), PageSize::Small, PageFlags::ro())
+            .unwrap();
+        assert!(iommu.translate(Iova::new(0x10), false).is_ok());
+        let err = iommu.translate(Iova::new(0x10), true).unwrap_err();
+        assert!(matches!(err, IommuError::WriteDenied { .. }));
+    }
+
+    #[test]
+    fn write_denied_even_on_tlb_hit() {
+        let mut iommu = Iommu::new();
+        iommu
+            .map(Iova::new(0), Hpa::new(0x10000), PageSize::Small, PageFlags::ro())
+            .unwrap();
+        iommu.translate(Iova::new(0), false).unwrap(); // fill TLB
+        let err = iommu.translate(Iova::new(4), true).unwrap_err();
+        assert!(matches!(err, IommuError::WriteDenied { .. }));
+    }
+
+    #[test]
+    fn set_index_bits_21_to_29_for_huge_pages() {
+        // Pages 2^9 huge-pages apart share a set (the paper's conflict rule:
+        // p1 ≡ p2 mod 2^9).
+        let a = Iova::new(0);
+        let b = Iova::new(512 * PAGE_2M);
+        let c = Iova::new(513 * PAGE_2M);
+        assert_eq!(
+            IoTlb::set_index(a, PageSize::Huge),
+            IoTlb::set_index(b, PageSize::Huge)
+        );
+        assert_ne!(
+            IoTlb::set_index(a, PageSize::Huge),
+            IoTlb::set_index(c, PageSize::Huge)
+        );
+    }
+
+    #[test]
+    fn conflicting_pages_evict_each_other() {
+        let mut iommu = Iommu::new();
+        let a = Iova::new(0);
+        let b = Iova::new(512 * PAGE_2M); // same set as a
+        for (iova, hpa) in [(a, 0x10000000u64), (b, 0x20000000)] {
+            iommu
+                .map(iova, Hpa::new(hpa), PageSize::Huge, PageFlags::rw())
+                .unwrap();
+        }
+        iommu.translate(a, false).unwrap(); // miss, fill
+        iommu.translate(b, false).unwrap(); // conflict miss, evicts a
+        let t = iommu.translate(a, false).unwrap(); // must miss again
+        assert!(matches!(t.lookup, TlbLookup::Miss { .. }));
+        let (_, _, _, conflicts) = iommu.tlb().stats();
+        assert!(conflicts >= 2, "conflict evictions {conflicts}");
+    }
+
+    #[test]
+    fn non_conflicting_pages_coexist() {
+        let mut iommu = mapped_iommu(8, PageSize::Huge);
+        for i in 0..8u64 {
+            iommu.translate(Iova::new(i * PAGE_2M), false).unwrap();
+        }
+        // Re-touch: all hits (interleave regions to defeat speculation).
+        for i in 0..8u64 {
+            let t = iommu.translate(Iova::new(((i + 3) % 8) * PAGE_2M), false).unwrap();
+            assert_eq!(t.lookup, TlbLookup::Hit, "page {i}");
+        }
+    }
+
+    #[test]
+    fn capacity_is_512_entries() {
+        // 513 huge pages wrap the index space: at least one conflict.
+        let mut iommu = mapped_iommu(513, PageSize::Huge);
+        for i in 0..513u64 {
+            iommu.translate(Iova::new(i * PAGE_2M), false).unwrap();
+        }
+        let (_, _, misses, _) = iommu.tlb().stats();
+        assert_eq!(misses, 513);
+        // Page 0 was evicted by page 512.
+        let t = iommu.translate(Iova::new(0), false).unwrap();
+        assert!(matches!(t.lookup, TlbLookup::Miss { .. }));
+    }
+
+    #[test]
+    fn four_k_reach_is_two_megabytes() {
+        // 512 4K pages cover exactly 2 MB; accessing 1024 thrash.
+        let mut iommu = mapped_iommu(1024, PageSize::Small);
+        for round in 0..2 {
+            for i in 0..1024u64 {
+                iommu.translate(Iova::new(i * PAGE_4K), false).unwrap();
+            }
+            let _ = round;
+        }
+        let (_, _, misses, _) = iommu.tlb().stats();
+        // Every access conflicts (1024 pages, 512 sets, 2 pages per set).
+        assert_eq!(misses, 2048);
+    }
+
+    #[test]
+    fn invalidate_all_forces_misses() {
+        let mut iommu = mapped_iommu(4, PageSize::Huge);
+        for i in 0..4u64 {
+            iommu.translate(Iova::new(i * PAGE_2M), false).unwrap();
+        }
+        iommu.tlb_mut().invalidate_all();
+        let t = iommu.translate(Iova::new(0), false).unwrap();
+        assert!(matches!(t.lookup, TlbLookup::Miss { .. }));
+    }
+
+    #[test]
+    fn unmap_invalidates_tlb() {
+        let mut iommu = mapped_iommu(1, PageSize::Huge);
+        iommu.translate(Iova::new(0), false).unwrap();
+        iommu.unmap(Iova::new(0)).unwrap();
+        assert!(iommu.translate(Iova::new(0), false).is_err());
+    }
+
+    #[test]
+    fn mixed_page_sizes_translate() {
+        let mut iommu = Iommu::new();
+        iommu
+            .map(Iova::new(0), Hpa::new(PAGE_2M), PageSize::Huge, PageFlags::rw())
+            .unwrap();
+        iommu
+            .map(
+                Iova::new(4 * PAGE_2M),
+                Hpa::new(0x7000),
+                PageSize::Small,
+                PageFlags::rw(),
+            )
+            .unwrap();
+        assert_eq!(
+            iommu.translate(Iova::new(0x123), false).unwrap().hpa.raw(),
+            PAGE_2M + 0x123
+        );
+        assert_eq!(
+            iommu
+                .translate(Iova::new(4 * PAGE_2M + 5), false)
+                .unwrap()
+                .hpa
+                .raw(),
+            0x7005
+        );
+        // Both hit after interleaving.
+        iommu.translate(Iova::new(0x200), false).unwrap();
+        let t = iommu.translate(Iova::new(4 * PAGE_2M + 64), false).unwrap();
+        assert_ne!(t.lookup, TlbLookup::HitSpeculative);
+    }
+}

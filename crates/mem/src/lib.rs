@@ -1,0 +1,37 @@
+//! Memory substrate for the OPTIMUS reproduction.
+//!
+//! Shared-memory FPGA virtualization is, at its heart, an address
+//! translation problem: a guest application and its accelerator share one
+//! virtual address space, but four different address kinds are in play
+//! (Fig. 2 of the paper):
+//!
+//! * **GVA** — guest virtual addresses, used by the application *and* by the
+//!   accelerator when it issues DMAs;
+//! * **GPA** — guest physical addresses, produced by the guest's own page
+//!   table;
+//! * **HPA** — host physical addresses, produced by the EPT (for CPU
+//!   accesses) or the IO page table (for DMAs);
+//! * **IOVA** — IO virtual addresses: under page table slicing each virtual
+//!   accelerator's DMA region is a 64 GB slice of the single IO virtual
+//!   address space, at `GVA + slice_offset`.
+//!
+//! This crate implements every piece of that machinery:
+//!
+//! * [`addr`] — strongly-typed address newtypes and page-size math;
+//! * [`host`] — a sparse, lazily-materialized host DRAM model that can hold
+//!   multi-gigabyte working sets without multi-gigabyte allocations;
+//! * [`page_table`] — 4-level radix page tables (used for the guest MMU
+//!   tables, the EPT, and the IO page table);
+//! * [`iommu`] — the IOMMU with its 512-entry direct-mapped IOTLB, whose
+//!   set-index behaviour produces the conflict pathology that motivates the
+//!   paper's 128 MB inter-slice gap.
+
+pub mod addr;
+pub mod host;
+pub mod iommu;
+pub mod page_table;
+
+pub use addr::{Gpa, Gva, Hpa, Iova, PageSize, CACHE_LINE, PAGE_2M, PAGE_4K};
+pub use host::HostMemory;
+pub use iommu::{IoTlb, Iommu, IommuError, TlbLookup};
+pub use page_table::{MapError, PageFlags, PageTable};

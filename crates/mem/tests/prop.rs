@@ -1,0 +1,97 @@
+//! Property-based tests of the memory substrate's invariants.
+
+use optimus_mem::addr::{split_into_lines, Hpa, Iova, PageSize, PAGE_2M, PAGE_4K};
+use optimus_mem::host::HostMemory;
+use optimus_mem::iommu::Iommu;
+use optimus_mem::page_table::{PageFlags, PageTable};
+use proptest::prelude::*;
+
+proptest! {
+    /// Mapped pages translate exactly; mapping count is consistent.
+    #[test]
+    fn page_table_translate_round_trips(
+        pages in proptest::collection::hash_map(0u64..1 << 20, 0u64..1 << 20, 1..40),
+        probe_offset in 0u64..PAGE_4K,
+    ) {
+        let mut pt = PageTable::new();
+        for (&vpn, &pfn) in &pages {
+            pt.map(vpn * PAGE_4K, pfn * PAGE_4K, PageSize::Small, PageFlags::rw()).unwrap();
+        }
+        for (&vpn, &pfn) in &pages {
+            let va = vpn * PAGE_4K + probe_offset;
+            let (pa, _) = pt.translate(va).expect("mapped page translates");
+            prop_assert_eq!(pa, pfn * PAGE_4K + probe_offset);
+        }
+        prop_assert_eq!(pt.mapped_pages(), pages.len());
+    }
+
+    /// Unmap removes exactly the requested mapping.
+    #[test]
+    fn unmap_is_precise(count in 2usize..30, victim_idx in 0usize..30) {
+        let mut pt = PageTable::new();
+        for i in 0..count as u64 {
+            pt.map(i * PAGE_2M, i * PAGE_2M, PageSize::Huge, PageFlags::rw()).unwrap();
+        }
+        let victim = (victim_idx % count) as u64;
+        pt.unmap(victim * PAGE_2M).unwrap();
+        for i in 0..count as u64 {
+            let hit = pt.translate(i * PAGE_2M).is_some();
+            prop_assert_eq!(hit, i != victim);
+        }
+    }
+
+    /// split_into_lines exactly tiles the byte range.
+    #[test]
+    fn split_tiles_exactly(start in 0u64..1 << 30, len in 0u64..4096) {
+        let parts = split_into_lines(start, len);
+        let total: usize = parts.iter().map(|&(_, _, n)| n).sum();
+        prop_assert_eq!(total as u64, len);
+        let mut cursor = start;
+        for (line, off, n) in parts {
+            prop_assert_eq!(line % 64, 0);
+            prop_assert_eq!(line + off as u64, cursor);
+            prop_assert!(off + n <= 64);
+            cursor += n as u64;
+        }
+    }
+
+    /// Host memory reads back exactly what was written, anywhere.
+    #[test]
+    fn host_memory_read_your_writes(
+        addr in 0u64..1 << 34,
+        data in proptest::collection::vec(any::<u8>(), 1..300),
+    ) {
+        let mut mem = HostMemory::new();
+        mem.write(Hpa::new(addr), &data);
+        let mut buf = vec![0u8; data.len()];
+        mem.read(Hpa::new(addr), &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    /// The IOMMU never returns a wrong translation: hit or miss, the HPA
+    /// always matches the IO page table, and unmapped IOVAs always fault.
+    #[test]
+    fn iommu_translations_always_correct(
+        pages in proptest::collection::hash_map(0u64..4096, 0u64..1 << 20, 1..32),
+        probes in proptest::collection::vec((0u64..4096, 0u64..PAGE_2M), 1..64),
+    ) {
+        let mut iommu = Iommu::new();
+        for (&vpn, &pfn) in &pages {
+            iommu.map(
+                Iova::new(vpn * PAGE_2M),
+                Hpa::new(pfn * PAGE_2M),
+                PageSize::Huge,
+                PageFlags::rw(),
+            ).unwrap();
+        }
+        for &(vpn, off) in &probes {
+            let iova = Iova::new(vpn * PAGE_2M + off);
+            match (iommu.translate(iova, false), pages.get(&vpn)) {
+                (Ok(t), Some(&pfn)) => prop_assert_eq!(t.hpa.raw(), pfn * PAGE_2M + off),
+                (Err(_), None) => {}
+                (Ok(t), None) => prop_assert!(false, "phantom translation {:?}", t),
+                (Err(e), Some(_)) => prop_assert!(false, "spurious fault {e:?}"),
+            }
+        }
+    }
+}

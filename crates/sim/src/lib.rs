@@ -1,0 +1,41 @@
+//! Deterministic simulation kernel for the OPTIMUS reproduction.
+//!
+//! This crate provides the infrastructure shared by every simulated hardware
+//! component in the workspace:
+//!
+//! * [`rng`] — deterministic, seedable pseudo-random number generators
+//!   (SplitMix64 and xoshiro256\*\*). Experiments must be reproducible, so the
+//!   simulator never uses ambient OS entropy.
+//! * [`perm`] — O(1) pseudo-random permutations built from a Feistel network,
+//!   used to lay out multi-gigabyte linked lists lazily without materializing
+//!   them.
+//! * [`time`] — the fabric clock domain (400 MHz), nanosecond/cycle
+//!   conversions, and clock dividers for slower accelerator clocks.
+//! * [`queue`] — latency-carrying FIFOs used to model pipelined links.
+//! * [`stats`] — throughput and latency accounting used by the benchmark
+//!   harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use optimus_sim::rng::Xoshiro256;
+//! use optimus_sim::time::{ns_to_cycles, FABRIC_HZ};
+//!
+//! let mut rng = Xoshiro256::seed_from(42);
+//! let sample = rng.next_u64();
+//! assert_eq!(sample, Xoshiro256::seed_from(42).next_u64());
+//! assert_eq!(FABRIC_HZ, 400_000_000);
+//! assert_eq!(ns_to_cycles(33.0), 13); // one multiplexer-tree level
+//! ```
+
+pub mod perm;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use perm::FeistelPermutation;
+pub use queue::TimedQueue;
+pub use rng::{SplitMix64, Xoshiro256};
+pub use stats::{LatencyStats, ThroughputMeter};
+pub use time::{ClockDivider, Cycle};

@@ -1,0 +1,221 @@
+//! O(1) pseudo-random permutations.
+//!
+//! The paper's `LinkedList` micro-benchmark walks a linked list whose nodes
+//! are "distributed randomly in DRAM" across working sets of up to 8 GB.
+//! Materializing such a list up front would defeat the lazily allocated
+//! [`HostMemory`](../../optimus_mem/index.html) model, so instead the list
+//! layout is defined by a *pseudo-random permutation* `π` over node indices:
+//! the node stored in slot `i` points at slot `π(i)`. A permutation is
+//! computable in O(1) in both directions from a seed, so any memory page of
+//! the list region can be synthesized on first touch.
+//!
+//! [`FeistelPermutation`] implements a balanced 4-round Feistel network over
+//! the smallest even-width bit domain covering the requested size, with
+//! cycle-walking to restrict the domain to exactly `[0, n)`.
+
+use crate::rng::SplitMix64;
+
+/// A seeded pseudo-random permutation of `[0, n)`.
+///
+/// Both [`apply`](Self::apply) (forward) and [`invert`](Self::invert)
+/// (backward) run in expected O(1) time.
+///
+/// # Examples
+///
+/// ```
+/// use optimus_sim::perm::FeistelPermutation;
+///
+/// let p = FeistelPermutation::new(1000, 0xfeed);
+/// let image = p.apply(123);
+/// assert!(image < 1000);
+/// assert_eq!(p.invert(image), 123);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeistelPermutation {
+    n: u64,
+    half_bits: u32,
+    keys: [u64; 4],
+}
+
+const ROUNDS: usize = 4;
+
+impl FeistelPermutation {
+    /// Creates a permutation of `[0, n)` from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: u64, seed: u64) -> Self {
+        assert!(n > 0, "permutation domain must be non-empty");
+        // Smallest even bit-width whose domain covers n.
+        let bits = 64 - (n - 1).leading_zeros().max(0);
+        let bits = bits.max(2);
+        let half_bits = bits.div_ceil(2);
+        let mut sm = SplitMix64::new(seed);
+        let keys = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        Self { n, half_bits, keys }
+    }
+
+    /// The size of the permuted domain.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Returns `true` if the domain has exactly one element.
+    ///
+    /// (A permutation domain is never empty; see [`new`](Self::new).)
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn round(&self, r: usize, x: u64) -> u64 {
+        let mask = (1u64 << self.half_bits) - 1;
+        SplitMix64::mix(x ^ self.keys[r]) & mask
+    }
+
+    fn encrypt_once(&self, v: u64) -> u64 {
+        let mask = (1u64 << self.half_bits) - 1;
+        let mut left = (v >> self.half_bits) & mask;
+        let mut right = v & mask;
+        for r in 0..ROUNDS {
+            let next_left = right;
+            right = left ^ self.round(r, right);
+            left = next_left;
+        }
+        (left << self.half_bits) | right
+    }
+
+    fn decrypt_once(&self, v: u64) -> u64 {
+        let mask = (1u64 << self.half_bits) - 1;
+        let mut left = (v >> self.half_bits) & mask;
+        let mut right = v & mask;
+        for r in (0..ROUNDS).rev() {
+            let prev_right = left;
+            left = right ^ self.round(r, left);
+            right = prev_right;
+        }
+        (left << self.half_bits) | right
+    }
+
+    /// Maps `index` through the permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= n`.
+    pub fn apply(&self, index: u64) -> u64 {
+        assert!(index < self.n, "index {index} out of domain 0..{}", self.n);
+        // Cycle-walk until the value lands back inside [0, n). The Feistel
+        // network permutes the padded power-of-two domain, so walking visits
+        // each out-of-range value at most once and terminates.
+        let mut v = self.encrypt_once(index);
+        while v >= self.n {
+            v = self.encrypt_once(v);
+        }
+        v
+    }
+
+    /// Inverts the permutation: `invert(apply(i)) == i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= n`.
+    pub fn invert(&self, index: u64) -> u64 {
+        assert!(index < self.n, "index {index} out of domain 0..{}", self.n);
+        let mut v = self.decrypt_once(index);
+        while v >= self.n {
+            v = self.decrypt_once(v);
+        }
+        v
+    }
+
+    /// The successor function used for linked-list layouts.
+    ///
+    /// Defines a traversal `i → successor(i)` whose orbit from any starting
+    /// node eventually revisits the start (the permutation decomposes the
+    /// domain into disjoint cycles). For a random Feistel permutation the
+    /// expected cycle length containing a random element is `Θ(n)`, which is
+    /// long enough for every latency experiment in the paper.
+    pub fn successor(&self, index: u64) -> u64 {
+        self.apply(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn small_domain_is_bijective() {
+        for n in [1u64, 2, 3, 5, 8, 100, 1000, 4097] {
+            let p = FeistelPermutation::new(n, 0xABCD);
+            let mut seen = HashSet::new();
+            for i in 0..n {
+                let v = p.apply(i);
+                assert!(v < n);
+                assert!(seen.insert(v), "duplicate image for n={n}, i={i}");
+            }
+            assert_eq!(seen.len() as u64, n);
+        }
+    }
+
+    #[test]
+    fn invert_round_trips() {
+        let p = FeistelPermutation::new(12345, 7);
+        for i in (0..12345).step_by(17) {
+            assert_eq!(p.invert(p.apply(i)), i);
+            assert_eq!(p.apply(p.invert(i)), i);
+        }
+    }
+
+    #[test]
+    fn large_domain_round_trips() {
+        // 8 GB of 64-byte nodes = 2^27 nodes.
+        let p = FeistelPermutation::new(1 << 27, 99);
+        for i in [0u64, 1, 12_345_678, (1 << 27) - 1] {
+            let v = p.apply(i);
+            assert!(v < (1 << 27));
+            assert_eq!(p.invert(v), i);
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_permutations() {
+        let a = FeistelPermutation::new(1 << 20, 1);
+        let b = FeistelPermutation::new(1 << 20, 2);
+        let same = (0..64).filter(|&i| a.apply(i) == b.apply(i)).count();
+        assert!(same < 8, "permutations nearly identical: {same}/64 fixed");
+    }
+
+    #[test]
+    fn successor_walk_does_not_short_cycle() {
+        let n = 1u64 << 16;
+        let p = FeistelPermutation::new(n, 0xC0FFEE);
+        let start = 0u64;
+        let mut cur = start;
+        let mut steps = 0u64;
+        loop {
+            cur = p.successor(cur);
+            steps += 1;
+            if cur == start || steps >= n {
+                break;
+            }
+        }
+        // The expected cycle length through a random element is ~n/2; reject
+        // pathologically short cycles which would break latency experiments.
+        assert!(steps > n / 64, "cycle length only {steps} of {n}");
+    }
+
+    #[test]
+    fn domain_of_one_is_identity() {
+        let p = FeistelPermutation::new(1, 5);
+        assert_eq!(p.apply(0), 0);
+        assert_eq!(p.invert(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of domain")]
+    fn apply_rejects_out_of_range() {
+        FeistelPermutation::new(10, 0).apply(10);
+    }
+}

@@ -1,0 +1,163 @@
+//! Latency-carrying FIFOs.
+//!
+//! Hardware links in the simulator — multiplexer-tree hops, UPI/PCIe
+//! channels, the IOMMU pipeline — are modeled as FIFOs whose entries become
+//! visible only after a *ready time*. [`TimedQueue`] preserves arrival order
+//! (it is a pipeline, not a reorder buffer) while delaying visibility, which
+//! is exactly how a fixed-latency pipelined link behaves.
+
+use crate::time::Cycle;
+use std::collections::VecDeque;
+
+/// A FIFO whose entries become poppable only once the clock reaches their
+/// ready time.
+///
+/// Entries must be pushed with monotonically non-decreasing ready times
+/// (enforced by clamping), matching a physical pipeline where a packet can
+/// never overtake its predecessor.
+///
+/// # Examples
+///
+/// ```
+/// use optimus_sim::queue::TimedQueue;
+///
+/// let mut q = TimedQueue::new();
+/// q.push("pkt", 10);
+/// assert_eq!(q.pop_ready(9), None);
+/// assert_eq!(q.pop_ready(10), Some("pkt"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimedQueue<T> {
+    items: VecDeque<(Cycle, T)>,
+    last_ready: Cycle,
+}
+
+impl<T> TimedQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            items: VecDeque::new(),
+            last_ready: 0,
+        }
+    }
+
+    /// Pushes `item`, visible from cycle `ready_at` onward.
+    ///
+    /// If `ready_at` precedes the ready time of the queue tail, it is clamped
+    /// so the FIFO ordering (no overtaking) is preserved.
+    pub fn push(&mut self, item: T, ready_at: Cycle) {
+        let ready = ready_at.max(self.last_ready);
+        self.last_ready = ready;
+        self.items.push_back((ready, item));
+    }
+
+    /// Pops the head if its ready time has been reached.
+    pub fn pop_ready(&mut self, now: Cycle) -> Option<T> {
+        match self.items.front() {
+            Some(&(ready, _)) if ready <= now => self.items.pop_front().map(|(_, t)| t),
+            _ => None,
+        }
+    }
+
+    /// Peeks at the head if its ready time has been reached.
+    pub fn peek_ready(&self, now: Cycle) -> Option<&T> {
+        match self.items.front() {
+            Some(&(ready, ref item)) if ready <= now => Some(item),
+            _ => None,
+        }
+    }
+
+    /// Number of queued entries (ready or not).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if no entries are queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Drops all entries and resets the monotonic ready-time clamp.
+    ///
+    /// Used when an accelerator is reset: in-flight packets on its private
+    /// links are discarded.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.last_ready = 0;
+    }
+
+    /// Iterates over queued entries in FIFO order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter().map(|(_, t)| t)
+    }
+}
+
+impl<T> Default for TimedQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_ready_time() {
+        let mut q = TimedQueue::new();
+        q.push(1, 5);
+        assert!(q.pop_ready(4).is_none());
+        assert_eq!(q.pop_ready(5), Some(1));
+        assert!(q.pop_ready(100).is_none());
+    }
+
+    #[test]
+    fn preserves_fifo_order() {
+        let mut q = TimedQueue::new();
+        q.push("a", 3);
+        q.push("b", 3);
+        q.push("c", 4);
+        assert_eq!(q.pop_ready(10), Some("a"));
+        assert_eq!(q.pop_ready(10), Some("b"));
+        assert_eq!(q.pop_ready(10), Some("c"));
+    }
+
+    #[test]
+    fn no_overtaking_clamps_ready_time() {
+        let mut q = TimedQueue::new();
+        q.push("slow", 100);
+        q.push("fast", 10); // clamped to 100
+        assert!(q.pop_ready(99).is_none());
+        assert_eq!(q.pop_ready(100), Some("slow"));
+        assert_eq!(q.pop_ready(100), Some("fast"));
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = TimedQueue::new();
+        q.push(7, 0);
+        assert_eq!(q.peek_ready(0), Some(&7));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_ready(0), Some(7));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_clamp() {
+        let mut q = TimedQueue::new();
+        q.push(1, 1000);
+        q.clear();
+        q.push(2, 1);
+        assert_eq!(q.pop_ready(1), Some(2));
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut q = TimedQueue::new();
+        for i in 0..5 {
+            q.push(i, i as u64);
+        }
+        let v: Vec<_> = q.iter().copied().collect();
+        assert_eq!(v, [0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,281 @@
+//! Measurement utilities for the benchmark harness.
+//!
+//! Every figure in the paper reports either a latency distribution
+//! ([`LatencyStats`]) or an aggregate bandwidth over a measurement window
+//! ([`ThroughputMeter`]). Both support *warm-up exclusion*: the paper's
+//! numbers are steady-state, so the harness discards samples collected
+//! before caches, IOTLBs, and arbitration pipelines settle.
+
+use crate::time::{cycles_to_ns, gbps, Cycle};
+
+/// Online latency accumulator (count / mean / min / max / percentiles).
+///
+/// Stores raw samples so exact percentiles can be computed; experiment
+/// windows in this workspace collect at most a few hundred thousand samples,
+/// so this stays cheap.
+///
+/// # Examples
+///
+/// ```
+/// use optimus_sim::stats::LatencyStats;
+///
+/// let mut stats = LatencyStats::new();
+/// for v in [10, 20, 30] {
+///     stats.record(v);
+/// }
+/// assert_eq!(stats.count(), 3);
+/// assert_eq!(stats.mean_cycles(), 20.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    samples: Vec<Cycle>,
+    sorted: bool,
+}
+
+impl LatencyStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample, in fabric cycles.
+    pub fn record(&mut self, cycles: Cycle) {
+        self.samples.push(cycles);
+        self.sorted = false;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean latency in fabric cycles (0 if empty).
+    pub fn mean_cycles(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+    }
+
+    /// Mean latency in nanoseconds (0 if empty).
+    pub fn mean_ns(&self) -> f64 {
+        self.mean_cycles() * cycles_to_ns(1)
+    }
+
+    /// Minimum sample in cycles (0 if empty).
+    pub fn min_cycles(&self) -> Cycle {
+        self.samples.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Maximum sample in cycles (0 if empty).
+    pub fn max_cycles(&self) -> Cycle {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Exact percentile (`q` in `[0, 1]`) in cycles; 0 if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile_cycles(&mut self, q: f64) -> Cycle {
+        assert!((0.0..=1.0).contains(&q), "percentile must be in [0, 1]");
+        if self.samples.is_empty() {
+            return 0;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((self.samples.len() - 1) as f64 * q).round() as usize;
+        self.samples[rank]
+    }
+
+    /// Discards the first `n` samples (warm-up exclusion).
+    pub fn discard_prefix(&mut self, n: usize) {
+        let n = n.min(self.samples.len());
+        self.samples.drain(..n);
+        self.sorted = false;
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+}
+
+/// Byte counter over an explicit measurement window.
+///
+/// Components call [`add_bytes`](Self::add_bytes) on every data transfer;
+/// the harness brackets the steady-state region with
+/// [`open_window`](Self::open_window) / [`close_window`](Self::close_window)
+/// and reads back GB/s.
+///
+/// # Examples
+///
+/// ```
+/// use optimus_sim::stats::ThroughputMeter;
+///
+/// let mut m = ThroughputMeter::new();
+/// m.open_window(0);
+/// m.add_bytes(64 * 400_000_000);
+/// m.close_window(400_000_000); // one second of fabric cycles
+/// assert!((m.gbps() - 25.6).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThroughputMeter {
+    bytes: u64,
+    window_start: Cycle,
+    window_end: Option<Cycle>,
+    counting: bool,
+}
+
+impl ThroughputMeter {
+    /// Creates a meter; counting is disabled until a window opens.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts the measurement window at cycle `now`, zeroing the counter.
+    pub fn open_window(&mut self, now: Cycle) {
+        self.bytes = 0;
+        self.window_start = now;
+        self.window_end = None;
+        self.counting = true;
+    }
+
+    /// Ends the measurement window at cycle `now`.
+    pub fn close_window(&mut self, now: Cycle) {
+        self.window_end = Some(now.max(self.window_start));
+        self.counting = false;
+    }
+
+    /// Accumulates transferred bytes if a window is open.
+    pub fn add_bytes(&mut self, bytes: u64) {
+        if self.counting {
+            self.bytes += bytes;
+        }
+    }
+
+    /// Total bytes observed inside the window.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Window length in cycles (0 if the window never closed).
+    pub fn window_cycles(&self) -> Cycle {
+        self.window_end
+            .map(|end| end - self.window_start)
+            .unwrap_or(0)
+    }
+
+    /// Measured bandwidth in GB/s (0 if the window never closed or is empty).
+    pub fn gbps(&self) -> f64 {
+        gbps(self.bytes, self.window_cycles())
+    }
+}
+
+/// Formats a ratio as a percentage string with one decimal, e.g. `"90.1%"`.
+pub fn pct(ratio: f64) -> String {
+    format!("{:.1}%", ratio * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_basic_moments() {
+        let mut s = LatencyStats::new();
+        for v in [1u64, 2, 3, 4, 5] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.mean_cycles(), 3.0);
+        assert_eq!(s.min_cycles(), 1);
+        assert_eq!(s.max_cycles(), 5);
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let mut s = LatencyStats::new();
+        for v in 1..=100u64 {
+            s.record(v);
+        }
+        assert_eq!(s.percentile_cycles(0.0), 1);
+        assert_eq!(s.percentile_cycles(1.0), 100);
+        let p50 = s.percentile_cycles(0.5);
+        assert!((49..=51).contains(&p50));
+    }
+
+    #[test]
+    fn latency_empty_is_zero() {
+        let mut s = LatencyStats::new();
+        assert_eq!(s.mean_cycles(), 0.0);
+        assert_eq!(s.percentile_cycles(0.5), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn latency_discard_prefix() {
+        let mut s = LatencyStats::new();
+        for v in [100u64, 100, 1, 1] {
+            s.record(v);
+        }
+        s.discard_prefix(2);
+        assert_eq!(s.mean_cycles(), 1.0);
+        s.discard_prefix(10); // more than remaining: empties, no panic
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn latency_merge() {
+        let mut a = LatencyStats::new();
+        a.record(10);
+        let mut b = LatencyStats::new();
+        b.record(20);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean_cycles(), 15.0);
+    }
+
+    #[test]
+    fn throughput_window_brackets_counting() {
+        let mut m = ThroughputMeter::new();
+        m.add_bytes(1_000_000); // before window: ignored
+        m.open_window(100);
+        m.add_bytes(640);
+        m.close_window(200);
+        m.add_bytes(1_000_000); // after window: ignored
+        assert_eq!(m.bytes(), 640);
+        assert_eq!(m.window_cycles(), 100);
+    }
+
+    #[test]
+    fn throughput_full_line_rate() {
+        let mut m = ThroughputMeter::new();
+        m.open_window(0);
+        m.add_bytes(64 * 400_000_000);
+        m.close_window(400_000_000);
+        assert!((m.gbps() - 25.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_unclosed_window_reports_zero() {
+        let mut m = ThroughputMeter::new();
+        m.open_window(0);
+        m.add_bytes(640);
+        assert_eq!(m.gbps(), 0.0);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.901), "90.1%");
+        assert_eq!(pct(1.242), "124.2%");
+    }
+}

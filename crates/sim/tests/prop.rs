@@ -1,0 +1,64 @@
+//! Property-based tests of the simulation kernel's invariants.
+
+use optimus_sim::perm::FeistelPermutation;
+use optimus_sim::queue::TimedQueue;
+use optimus_sim::rng::Xoshiro256;
+use proptest::prelude::*;
+
+proptest! {
+    /// apply/invert are mutually inverse over the whole domain.
+    #[test]
+    fn permutation_round_trips(n in 1u64..50_000, seed: u64, probe in 0u64..50_000) {
+        let p = FeistelPermutation::new(n, seed);
+        let i = probe % n;
+        let v = p.apply(i);
+        prop_assert!(v < n);
+        prop_assert_eq!(p.invert(v), i);
+    }
+
+    /// The permutation is injective on any sampled subset.
+    #[test]
+    fn permutation_is_injective(n in 2u64..5_000, seed: u64) {
+        let p = FeistelPermutation::new(n, seed);
+        let mut seen = std::collections::HashSet::new();
+        for i in (0..n).step_by((n as usize / 64).max(1)) {
+            prop_assert!(seen.insert(p.apply(i)));
+        }
+    }
+
+    /// gen_range never leaves its bounds, for arbitrary ranges.
+    #[test]
+    fn gen_range_in_bounds(seed: u64, lo in 0u64..1 << 40, span in 1u64..1 << 20) {
+        let mut rng = Xoshiro256::seed_from(seed);
+        for _ in 0..64 {
+            let v = rng.gen_range(lo..lo + span);
+            prop_assert!((lo..lo + span).contains(&v));
+        }
+    }
+
+    /// TimedQueue is FIFO regardless of the (possibly decreasing) ready
+    /// times pushed.
+    #[test]
+    fn timed_queue_is_fifo(ready_times in proptest::collection::vec(0u64..1000, 1..50)) {
+        let mut q = TimedQueue::new();
+        for (i, &r) in ready_times.iter().enumerate() {
+            q.push(i, r);
+        }
+        let mut out = Vec::new();
+        for now in 0..4000u64 {
+            while let Some(v) = q.pop_ready(now) {
+                out.push(v);
+            }
+        }
+        prop_assert_eq!(out, (0..ready_times.len()).collect::<Vec<_>>());
+    }
+
+    /// Entries never surface before their ready time.
+    #[test]
+    fn timed_queue_respects_time(ready in 1u64..10_000) {
+        let mut q = TimedQueue::new();
+        q.push((), ready);
+        prop_assert!(q.pop_ready(ready - 1).is_none());
+        prop_assert!(q.pop_ready(ready).is_some());
+    }
+}

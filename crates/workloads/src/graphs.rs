@@ -1,0 +1,60 @@
+//! Graph generation for the SSSP benchmarks.
+
+use optimus_algo::graph::CsrGraph;
+use optimus_sim::rng::Xoshiro256;
+
+/// Generates a uniform random directed graph with `vertices` vertices and
+/// `edges` edges, weights in `[1, 100)` — the shape of the paper's SSSP
+/// inputs (a fixed vertex count with an increasing edge count).
+pub fn random_graph(vertices: usize, edges: usize, seed: u64) -> CsrGraph {
+    let mut rng = Xoshiro256::seed_from(seed);
+    let list: Vec<(u32, u32, u32)> = (0..edges)
+        .map(|_| {
+            (
+                rng.gen_range(0..vertices as u64) as u32,
+                rng.gen_range(0..vertices as u64) as u32,
+                rng.gen_range(1..100) as u32,
+            )
+        })
+        .collect();
+    CsrGraph::from_edges(vertices, &list)
+}
+
+/// The Fig. 1 sweep at 1/`scale` of the paper's size: the paper uses 800 K
+/// vertices and 3.2 M–51.2 M edges; `fig1_graph(edges_m, scale)` produces
+/// `800_000 / scale` vertices and `edges_m · 1e6 / scale` edges.
+pub fn fig1_graph(edges_millions: f64, scale: u64, seed: u64) -> CsrGraph {
+    let vertices = 800_000 / scale as usize;
+    let edges = (edges_millions * 1e6 / scale as f64) as usize;
+    random_graph(vertices, edges, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_algo::graph::sssp;
+
+    #[test]
+    fn random_graph_is_deterministic() {
+        let a = random_graph(100, 500, 1);
+        let b = random_graph(100, 500, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.vertices(), 100);
+        assert_eq!(a.edges(), 500);
+    }
+
+    #[test]
+    fn fig1_scaling() {
+        let g = fig1_graph(3.2, 100, 0);
+        assert_eq!(g.vertices(), 8000);
+        assert_eq!(g.edges(), 32_000);
+    }
+
+    #[test]
+    fn generated_graphs_are_mostly_connected_from_source_zero() {
+        let g = random_graph(1000, 8000, 3);
+        let dist = sssp(&g, 0);
+        let reachable = dist.iter().filter(|&&d| d != u32::MAX).count();
+        assert!(reachable > 900, "only {reachable}/1000 reachable");
+    }
+}

@@ -1,0 +1,102 @@
+//! Byte-stream and structured-stream generators.
+
+use optimus_algo::reed_solomon::ReedSolomon;
+use optimus_sim::rng::Xoshiro256;
+
+/// A deterministic pseudo-random byte buffer.
+pub fn random_bytes(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = Xoshiro256::seed_from(seed);
+    let mut out = vec![0u8; len];
+    rng.fill_bytes(&mut out);
+    out
+}
+
+/// A stream of `count` RS(255, 223) codewords (each padded to 256 bytes)
+/// with `errors_per_codeword` random symbol corruptions, plus the clean
+/// messages for verification.
+pub fn rs_codeword_stream(
+    count: usize,
+    errors_per_codeword: usize,
+    seed: u64,
+) -> (Vec<u8>, Vec<Vec<u8>>) {
+    let codec = ReedSolomon::new(32);
+    let mut rng = Xoshiro256::seed_from(seed);
+    let mut packed = Vec::with_capacity(count * 256);
+    let mut messages = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut msg = vec![0u8; 223];
+        rng.fill_bytes(&mut msg);
+        let mut cw = codec.encode(&msg);
+        for _ in 0..errors_per_codeword {
+            let pos = rng.gen_range(0..cw.len() as u64) as usize;
+            cw[pos] ^= rng.gen_range(1..256) as u8;
+        }
+        packed.extend_from_slice(&cw);
+        packed.push(0);
+        messages.push(msg);
+    }
+    (packed, messages)
+}
+
+/// A 64-pixel-wide grayscale test image with smooth structure plus noise,
+/// as flat row-major bytes (one cache line per row).
+pub fn test_image_rows(rows: usize, seed: u64) -> Vec<u8> {
+    let mut rng = Xoshiro256::seed_from(seed);
+    let mut out = vec![0u8; rows * 64];
+    for (i, px) in out.iter_mut().enumerate() {
+        let x = (i % 64) as f64;
+        let y = (i / 64) as f64;
+        let base = 128.0 + 80.0 * ((x / 9.0).sin() * (y / 7.0).cos());
+        *px = (base + rng.gen_range(0..16) as f64) as u8;
+    }
+    out
+}
+
+/// A stream of 16-bit samples (two sinusoids plus noise) packed as
+/// little-endian bytes for the FIR benchmark.
+pub fn signal_samples(count: usize, seed: u64) -> Vec<u8> {
+    let mut rng = Xoshiro256::seed_from(seed);
+    let mut out = Vec::with_capacity(count * 2);
+    for i in 0..count {
+        let t = i as f64;
+        let s = 8000.0 * (t * 0.05).sin() + 4000.0 * (t * 0.9).sin()
+            + rng.gen_range(0..400) as f64
+            - 200.0;
+        out.extend_from_slice(&(s as i16).to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_bytes_deterministic() {
+        assert_eq!(random_bytes(100, 1), random_bytes(100, 1));
+        assert_ne!(random_bytes(100, 1), random_bytes(100, 2));
+    }
+
+    #[test]
+    fn rs_stream_decodes() {
+        let (packed, messages) = rs_codeword_stream(3, 8, 5);
+        assert_eq!(packed.len(), 3 * 256);
+        let codec = ReedSolomon::new(32);
+        for (i, msg) in messages.iter().enumerate() {
+            let cw = &packed[i * 256..i * 256 + 255];
+            assert_eq!(&codec.decode(cw).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn image_rows_sized_correctly() {
+        let img = test_image_rows(16, 0);
+        assert_eq!(img.len(), 1024);
+    }
+
+    #[test]
+    fn signal_is_little_endian_pairs() {
+        let s = signal_samples(32, 3);
+        assert_eq!(s.len(), 64);
+    }
+}

@@ -1,0 +1,17 @@
+//! Workspace umbrella crate for the OPTIMUS reproduction.
+//!
+//! This crate exists to host the workspace-spanning integration tests
+//! (`tests/`) and the runnable examples (`examples/`). It re-exports every
+//! member crate under a short alias so tests and examples read naturally.
+//!
+//! See the repository `README.md` for a tour and `DESIGN.md` for the full
+//! system inventory.
+
+pub use optimus as hypervisor;
+pub use optimus_accel as accel;
+pub use optimus_algo as algo;
+pub use optimus_cci as cci;
+pub use optimus_fabric as fabric;
+pub use optimus_mem as mem;
+pub use optimus_sim as sim;
+pub use optimus_workloads as workloads;
