@@ -1,4 +1,6 @@
-//! Property-based tests of the algorithm implementations.
+//! Property-based tests of the algorithm implementations, on the in-tree
+//! `optimus-testkit` harness (replay failures with
+//! `OPTIMUS_PROP_SEED=<printed seed>`).
 
 use optimus_algo::aes::Aes128;
 use optimus_algo::graph::{sssp, sssp_dijkstra, CsrGraph};
@@ -6,99 +8,160 @@ use optimus_algo::md5::{md5, Md5};
 use optimus_algo::reed_solomon::ReedSolomon;
 use optimus_algo::sha2::{sha512, Sha512};
 use optimus_algo::smith_waterman::{align, score_only, Scoring};
-use proptest::prelude::*;
+use optimus_testkit::gens;
+use optimus_testkit::runner::check;
+use optimus_testkit::{prop_assert, prop_assert_eq};
 
-proptest! {
-    /// AES decrypt(encrypt(x)) == x for every key and block.
-    #[test]
-    fn aes_round_trips(key: [u8; 16], block: [u8; 16]) {
+/// AES decrypt(encrypt(x)) == x for every key and block.
+#[test]
+fn aes_round_trips() {
+    let gen = gens::zip2(gens::bytes16(), gens::bytes16());
+    check("aes_round_trips", &gen, |&(key, block)| {
         let aes = Aes128::new(&key);
         prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
-    }
+        Ok(())
+    });
+}
 
-    /// MD5 over arbitrary chunkings equals the one-shot digest.
-    #[test]
-    fn md5_chunking_invariant(data in proptest::collection::vec(any::<u8>(), 0..600),
-                              cut in 0usize..600) {
-        let cut = cut.min(data.len());
+/// MD5 over arbitrary chunkings equals the one-shot digest.
+#[test]
+fn md5_chunking_invariant() {
+    let gen = gens::zip2(
+        gens::vec_of(gens::byte_any(), 0..600),
+        gens::usize_in(0..600),
+    );
+    check("md5_chunking_invariant", &gen, |(data, cut): &(Vec<u8>, usize)| {
+        let cut = (*cut).min(data.len());
         let mut h = Md5::new();
         h.update(&data[..cut]);
         h.update(&data[cut..]);
-        prop_assert_eq!(h.finalize(), md5(&data));
-    }
+        prop_assert_eq!(h.finalize(), md5(data));
+        Ok(())
+    });
+}
 
-    /// SHA-512 over arbitrary chunkings equals the one-shot digest.
-    #[test]
-    fn sha512_chunking_invariant(data in proptest::collection::vec(any::<u8>(), 0..600),
-                                 cut in 0usize..600) {
-        let cut = cut.min(data.len());
-        let mut h = Sha512::new();
-        h.update(&data[..cut]);
-        h.update(&data[cut..]);
-        prop_assert_eq!(h.finalize().to_vec(), sha512(&data).to_vec());
-    }
+/// SHA-512 over arbitrary chunkings equals the one-shot digest.
+#[test]
+fn sha512_chunking_invariant() {
+    let gen = gens::zip2(
+        gens::vec_of(gens::byte_any(), 0..600),
+        gens::usize_in(0..600),
+    );
+    check(
+        "sha512_chunking_invariant",
+        &gen,
+        |(data, cut): &(Vec<u8>, usize)| {
+            let cut = (*cut).min(data.len());
+            let mut h = Sha512::new();
+            h.update(&data[..cut]);
+            h.update(&data[cut..]);
+            prop_assert_eq!(h.finalize().to_vec(), sha512(data).to_vec());
+            Ok(())
+        },
+    );
+}
 
-    /// Reed–Solomon corrects any error pattern within capacity.
-    #[test]
-    fn rs_corrects_within_capacity(
-        msg in proptest::collection::vec(any::<u8>(), 1..200),
-        errors in proptest::collection::vec((0usize..232, 1u8..=255), 0..8),
-    ) {
-        let rs = ReedSolomon::new(16); // corrects 8
-        let clean = rs.encode(&msg);
-        let mut cw = clean.clone();
-        let mut touched = std::collections::HashSet::new();
-        for &(pos, flip) in &errors {
-            let p = pos % cw.len();
-            if touched.insert(p) {
-                cw[p] ^= flip;
+/// Reed–Solomon corrects any error pattern within capacity.
+#[test]
+fn rs_corrects_within_capacity() {
+    let gen = gens::zip2(
+        gens::vec_of(gens::byte_any(), 1..200),
+        gens::vec_of(
+            gens::zip2(
+                gens::usize_in(0..232),
+                // Non-zero flip byte, 1..=255.
+                gens::u64_in(1..256).map(|v| v as u8),
+            ),
+            0..8,
+        ),
+    );
+    check(
+        "rs_corrects_within_capacity",
+        &gen,
+        |(msg, errors): &(Vec<u8>, Vec<(usize, u8)>)| {
+            let rs = ReedSolomon::new(16); // corrects 8
+            let clean = rs.encode(msg);
+            let mut cw = clean.clone();
+            let mut touched = std::collections::HashSet::new();
+            for &(pos, flip) in errors {
+                let p = pos % cw.len();
+                if touched.insert(p) {
+                    cw[p] ^= flip;
+                }
             }
-        }
-        prop_assert_eq!(rs.decode(&cw).unwrap(), msg);
-    }
+            prop_assert_eq!(rs.decode(&cw).unwrap(), msg.clone());
+            Ok(())
+        },
+    );
+}
 
-    /// Smith–Waterman: score-only equals full alignment; score is
-    /// symmetric and bounded by 2·min(len).
-    #[test]
-    fn sw_score_properties(
-        a in proptest::collection::vec(proptest::sample::select(vec![b'A', b'C', b'G', b'T']), 0..40),
-        b in proptest::collection::vec(proptest::sample::select(vec![b'A', b'C', b'G', b'T']), 0..40),
-    ) {
+/// Smith–Waterman: score-only equals full alignment; score is symmetric
+/// and bounded by 2·min(len).
+#[test]
+fn sw_score_properties() {
+    let dna = || gens::vec_of(gens::choose(vec![b'A', b'C', b'G', b'T']), 0..40);
+    let gen = gens::zip2(dna(), dna());
+    check("sw_score_properties", &gen, |(a, b): &(Vec<u8>, Vec<u8>)| {
         let s = Scoring::default();
-        let fwd = score_only(&a, &b, &s);
-        prop_assert_eq!(fwd, align(&a, &b, &s).score);
-        prop_assert_eq!(fwd, score_only(&b, &a, &s));
+        let fwd = score_only(a, b, &s);
+        prop_assert_eq!(fwd, align(a, b, &s).score);
+        prop_assert_eq!(fwd, score_only(b, a, &s));
         prop_assert!(fwd >= 0);
         prop_assert!(fwd <= 2 * a.len().min(b.len()) as i32);
-    }
+        Ok(())
+    });
+}
 
-    /// The frontier SSSP always equals Dijkstra.
-    #[test]
-    fn sssp_matches_dijkstra(
-        n in 1usize..60,
-        edges in proptest::collection::vec((0u32..60, 0u32..60, 1u32..50), 0..300),
-        source in 0u32..60,
-    ) {
-        let edges: Vec<(u32, u32, u32)> = edges
-            .into_iter()
-            .map(|(a, b, w)| (a % n as u32, b % n as u32, w))
-            .collect();
-        let g = CsrGraph::from_edges(n, &edges);
-        let src = source % n as u32;
-        prop_assert_eq!(sssp(&g, src), sssp_dijkstra(&g, src));
-    }
+/// The frontier SSSP always equals Dijkstra.
+#[test]
+fn sssp_matches_dijkstra() {
+    let gen = gens::zip3(
+        gens::usize_in(1..60),
+        gens::vec_of(
+            gens::zip3(gens::u32_in(0..60), gens::u32_in(0..60), gens::u32_in(1..50)),
+            0..300,
+        ),
+        gens::u32_in(0..60),
+    );
+    check(
+        "sssp_matches_dijkstra",
+        &gen,
+        |(n, edges, source): &(usize, Vec<(u32, u32, u32)>, u32)| {
+            let n = *n;
+            let edges: Vec<(u32, u32, u32)> = edges
+                .iter()
+                .map(|&(a, b, w)| (a % n as u32, b % n as u32, w))
+                .collect();
+            let g = CsrGraph::from_edges(n, &edges);
+            let src = source % n as u32;
+            prop_assert_eq!(sssp(&g, src), sssp_dijkstra(&g, src));
+            Ok(())
+        },
+    );
+}
 
-    /// Graph DRAM serialization round-trips.
-    #[test]
-    fn graph_layout_round_trips(
-        n in 1usize..40,
-        edges in proptest::collection::vec((0u32..40, 0u32..40, 0u32..100), 0..200),
-    ) {
-        let edges: Vec<(u32, u32, u32)> = edges
-            .into_iter()
-            .map(|(a, b, w)| (a % n as u32, b % n as u32, w))
-            .collect();
-        let g = CsrGraph::from_edges(n, &edges);
-        prop_assert_eq!(CsrGraph::from_dram_layout(&g.to_dram_layout()), g);
-    }
+/// Graph DRAM serialization round-trips.
+#[test]
+fn graph_layout_round_trips() {
+    let gen = gens::zip2(
+        gens::usize_in(1..40),
+        gens::vec_of(
+            gens::zip3(gens::u32_in(0..40), gens::u32_in(0..40), gens::u32_in(0..100)),
+            0..200,
+        ),
+    );
+    check(
+        "graph_layout_round_trips",
+        &gen,
+        |(n, edges): &(usize, Vec<(u32, u32, u32)>)| {
+            let n = *n;
+            let edges: Vec<(u32, u32, u32)> = edges
+                .iter()
+                .map(|&(a, b, w)| (a % n as u32, b % n as u32, w))
+                .collect();
+            let g = CsrGraph::from_edges(n, &edges);
+            prop_assert_eq!(CsrGraph::from_dram_layout(&g.to_dram_layout()), g);
+            Ok(())
+        },
+    );
 }

@@ -40,6 +40,7 @@ fn mb_aggregate(mitigation: bool, jobs_count: usize, ws_per_job: u64) -> f64 {
 }
 
 fn main() {
+    let mut rep = report::Report::new("ablations");
     // 1. Conflict mitigation on/off.
     let mut rows = Vec::new();
     for ws_mb in [16u64, 64, 96] {
@@ -51,7 +52,7 @@ fn main() {
             report::f(without, 2),
         ]);
     }
-    report::table(
+    rep.table(
         "Ablation — IOTLB conflict mitigation (8-job MemBench aggregate GB/s)",
         &["WS per job", "with 128MB gap", "without"],
         &rows,
@@ -73,11 +74,12 @@ fn main() {
             if closes { "yes" } else { "NO" }.to_string(),
         ]);
     }
-    report::table(
+    rep.table(
         "Ablation — multiplexer arrangement vs 400 MHz timing closure",
         &["arrangement", "levels", "node fmax MHz", "closes 400MHz"],
         &rows,
     );
-    println!("\npaper: only the binary tree closes 400 MHz; AmorphOS-style flat");
-    println!("muxes are viable only at lower clock rates (§5, §7.2).");
+    rep.note("\npaper: only the binary tree closes 400 MHz; AmorphOS-style flat");
+    rep.note("muxes are viable only at lower clock rates (§5, §7.2).");
+    rep.finish().expect("write bench report");
 }

@@ -68,11 +68,12 @@ fn run_shared_memory(graph: &CsrGraph, virtualized: bool) -> Cycle {
 }
 
 fn main() {
+    let mut rep = report::Report::new("fig1_sssp_models");
     let scale_div = scale::fig1_scale();
     let edge_points = [3.2f64, 6.4, 12.8, 25.6, 51.2];
-    println!(
+    rep.note(format!(
         "Fig 1 — SSSP processing time (simulated ms) at 1/{scale_div} of the paper's graph size"
-    );
+    ));
     let mut rows = Vec::new();
     for &edges_m in &edge_points {
         let graph = optimus_workloads::graphs::fig1_graph(edges_m, scale_div, 11);
@@ -95,11 +96,12 @@ fn main() {
             report::f(hc_cfg_virt as f64 / sm_virt as f64, 2),
         ]);
     }
-    report::table(
+    rep.table(
         "Fig 1 — processing time (ms, simulated)",
         &["edges", "SM", "HC+Cfg", "HC+Copy", "SM(V)", "HC+Cfg(V)", "HC+Copy(V)", "cfg/SM", "cfg/SM(V)"],
         &rows,
     );
-    println!("\npaper shape: SM fastest at every size; the HC gap widens under");
-    println!("virtualization (trap-and-emulate per DMA configuration).");
+    rep.note("\npaper shape: SM fastest at every size; the HC gap widens under");
+    rep.note("virtualization (trap-and-emulate per DMA configuration).");
+    rep.finish().expect("write bench report");
 }

@@ -13,6 +13,7 @@ use optimus_bench::scale;
 use optimus_cci::channel::SelectorPolicy;
 
 fn main() {
+    let mut rep = report::Report::new("fig4_overhead");
     let window = scale::window_cycles();
     // (a) LinkedList latency, one job, 64 MB working set (inside IOTLB reach).
     let mut rows = Vec::new();
@@ -40,7 +41,7 @@ fn main() {
             report::f(paper_pct, 1),
         ]);
     }
-    report::table(
+    rep.table(
         "Fig 4a — LinkedList latency (normalized % of pass-through)",
         &["channel", "PT ns", "OPTIMUS ns", "measured %", "paper %"],
         &rows,
@@ -68,9 +69,10 @@ fn main() {
             report::f(paper_pct, 1),
         ]);
     }
-    report::table(
+    rep.table(
         "Fig 4b — throughput normalized to pass-through (%)",
         &["app", "measured %", "paper %"],
         &rows,
     );
+    rep.finish().expect("write bench report");
 }

@@ -14,7 +14,13 @@ use optimus_bench::scale;
 use optimus_cci::channel::SelectorPolicy;
 use optimus_mem::addr::PageSize;
 
-fn sweep(page: PageSize, policy: SelectorPolicy, sizes: &[(&str, u64)], jobs_list: &[usize]) {
+fn sweep(
+    rep: &mut report::Report,
+    page: PageSize,
+    policy: SelectorPolicy,
+    sizes: &[(&str, u64)],
+    jobs_list: &[usize],
+) {
     let window = scale::window_cycles();
     let mut rows = Vec::new();
     for &(label, total_ws) in sizes {
@@ -44,22 +50,24 @@ fn sweep(page: PageSize, policy: SelectorPolicy, sizes: &[(&str, u64)], jobs_lis
     let mut headers = vec!["total WS"];
     let labels: Vec<String> = jobs_list.iter().map(|j| format!("{j} job(s)")).collect();
     headers.extend(labels.iter().map(|s| s.as_str()));
-    report::table(&title, &headers, &rows);
+    rep.table(&title, &headers, &rows);
 }
 
 fn main() {
+    let mut rep = report::Report::new("fig5_latency");
     let huge_sizes: &[(&str, u64)] = &[
         ("16M", 16 << 20), ("64M", 64 << 20), ("256M", 256 << 20),
         ("1G", 1 << 30), ("2G", 2 << 30), ("4G", 4u64 << 30), ("8G", 8u64 << 30),
     ];
     let jobs = [1usize, 2, 4, 8];
-    sweep(PageSize::Huge, SelectorPolicy::UpiOnly, huge_sizes, &jobs);
-    sweep(PageSize::Huge, SelectorPolicy::PcieOnly, huge_sizes, &jobs);
+    sweep(&mut rep, PageSize::Huge, SelectorPolicy::UpiOnly, huge_sizes, &jobs);
+    sweep(&mut rep, PageSize::Huge, SelectorPolicy::PcieOnly, huge_sizes, &jobs);
     let small_sizes: &[(&str, u64)] = &[
         ("128K", 128 << 10), ("512K", 512 << 10), ("1M", 1 << 20),
         ("2M", 2 << 20), ("4M", 4 << 20), ("16M", 16 << 20),
     ];
-    sweep(PageSize::Small, SelectorPolicy::UpiOnly, small_sizes, &jobs);
-    println!("\npaper shape: flat below the IOTLB reach (1 GB @2M, 2 MB @4K);");
-    println!("slight rise at 2 GB; steep, job-count-sensitive climb at 4–8 GB.");
+    sweep(&mut rep, PageSize::Small, SelectorPolicy::UpiOnly, small_sizes, &jobs);
+    rep.note("\npaper shape: flat below the IOTLB reach (1 GB @2M, 2 MB @4K);");
+    rep.note("slight rise at 2 GB; steep, job-count-sensitive climb at 4–8 GB.");
+    rep.finish().expect("write bench report");
 }

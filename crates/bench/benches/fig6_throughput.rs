@@ -13,7 +13,13 @@ use optimus_bench::runner::{run_spatial, SpatialExp};
 use optimus_bench::scale;
 use optimus_mem::addr::PageSize;
 
-fn sweep(page: PageSize, mode: u64, sizes: &[(&str, u64)], jobs_list: &[usize]) {
+fn sweep(
+    rep: &mut report::Report,
+    page: PageSize,
+    mode: u64,
+    sizes: &[(&str, u64)],
+    jobs_list: &[usize],
+) {
     let window = scale::window_cycles();
     let mut rows = Vec::new();
     for &(label, total_ws) in sizes {
@@ -43,22 +49,24 @@ fn sweep(page: PageSize, mode: u64, sizes: &[(&str, u64)], jobs_list: &[usize]) 
     let mut headers = vec!["total WS"];
     let labels: Vec<String> = jobs_list.iter().map(|j| format!("{j} job(s)")).collect();
     headers.extend(labels.iter().map(|s| s.as_str()));
-    report::table(&title, &headers, &rows);
+    rep.table(&title, &headers, &rows);
 }
 
 fn main() {
+    let mut rep = report::Report::new("fig6_throughput");
     let huge_sizes: &[(&str, u64)] = &[
         ("16M", 16 << 20), ("64M", 64 << 20), ("256M", 256 << 20),
         ("1G", 1 << 30), ("2G", 2 << 30), ("4G", 4u64 << 30), ("8G", 8u64 << 30),
     ];
     let jobs = [1usize, 2, 4, 8];
-    sweep(PageSize::Huge, 0, huge_sizes, &jobs);
-    sweep(PageSize::Huge, 1, huge_sizes, &jobs);
+    sweep(&mut rep, PageSize::Huge, 0, huge_sizes, &jobs);
+    sweep(&mut rep, PageSize::Huge, 1, huge_sizes, &jobs);
     let small_sizes: &[(&str, u64)] = &[
         ("128K", 128 << 10), ("512K", 512 << 10), ("1M", 1 << 20),
         ("2M", 2 << 20), ("4M", 4 << 20), ("16M", 16 << 20),
     ];
-    sweep(PageSize::Small, 0, small_sizes, &jobs);
-    println!("\npaper shape: ~12.8 GB/s plateau, job-count-insensitive; cliff past");
-    println!("the IOTLB reach; 1-job small-WS read boosted by region speculation.");
+    sweep(&mut rep, PageSize::Small, 0, small_sizes, &jobs);
+    rep.note("\npaper shape: ~12.8 GB/s plateau, job-count-insensitive; cliff past");
+    rep.note("the IOTLB reach; 1-job small-WS read boosted by region speculation.");
+    rep.finish().expect("write bench report");
 }

@@ -12,6 +12,7 @@ use optimus_bench::runner::{run_spatial, SpatialExp};
 use optimus_bench::scale;
 
 fn main() {
+    let mut rep = report::Report::new("fig7_realworld");
     let window = scale::window_cycles();
     let jobs_list = [1usize, 2, 4, 8];
     let mut rows = Vec::new();
@@ -36,13 +37,16 @@ fn main() {
         }
         rows.push(row);
     }
-    report::table(
+    rep.table(
         "Fig 7 — aggregate throughput normalized to 1 job",
         &["app", "1", "2", "4", "8"],
         &rows,
     );
     let min = eight_job_ratios.iter().map(|&(_, r)| r).fold(f64::MAX, f64::min);
     let max = eight_job_ratios.iter().map(|&(_, r)| r).fold(0.0, f64::max);
-    println!("\nheadline: measured 8-job aggregate range {min:.2}x–{max:.2}x (paper: 1.98x–7x)");
-    println!("paper shape: MD5 ~2x; GAU/GRS/SBL/SSSP saturate near 4; light apps scale ~linearly.");
+    rep.note(format!(
+        "\nheadline: measured 8-job aggregate range {min:.2}x–{max:.2}x (paper: 1.98x–7x)"
+    ));
+    rep.note("paper shape: MD5 ~2x; GAU/GRS/SBL/SSSP saturate near 4; light apps scale ~linearly.");
+    rep.finish().expect("write bench report");
 }

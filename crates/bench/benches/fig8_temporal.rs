@@ -15,6 +15,7 @@ use optimus_bench::scale;
 use optimus_sim::time::ms_to_cycles;
 
 fn main() {
+    let mut rep = report::Report::new("fig8_temporal");
     let slice = ms_to_cycles(scale::fig8_slice_ms());
     let per_job = scale::fig8_slices_per_job();
     // MD5 worst case: conservatively save *all* resources MD5 occupies
@@ -47,7 +48,7 @@ fn main() {
                 r.switches.to_string(),
             ]);
         }
-        report::table(
+        rep.table(
             &format!("Fig 8 — {name}: aggregate throughput normalized to 1 job (paper overhead ≈ {paper_overhead}%)"),
             &["jobs", "normalized", "switches"],
             &rows,
@@ -56,13 +57,14 @@ fn main() {
         // equivalent for comparison with the paper's numbers.
         let overhead = 1.0 - two_job_norm;
         let at_10ms = overhead * (slice as f64 * 2.5e-6) / 10.0 * 100.0;
-        println!(
+        rep.note(format!(
             "  measured overhead {:.2}% at {:.1} ms slices ≈ {:.2}% at the paper's 10 ms (paper: {paper_overhead}%)",
             overhead * 100.0,
             slice as f64 * 2.5e-6,
             at_10ms
-        );
+        ));
     }
-    println!("\npaper shape: small constant drop from 1→2 jobs, flat thereafter;");
-    println!("the drop is the per-slice preemption cost over the 10 ms slice.");
+    rep.note("\npaper shape: small constant drop from 1→2 jobs, flat thereafter;");
+    rep.note("the drop is the per-slice preemption cost over the 10 ms slice.");
+    rep.finish().expect("write bench report");
 }

@@ -1,8 +1,9 @@
-//! Criterion micro-benchmarks of the hot paths: auditor translation,
-//! IOTLB lookup, page-table walks, mux-tree arbitration, and the per-line
-//! AES compute.
+//! Micro-benchmarks of the hot paths: auditor translation, IOTLB lookup,
+//! page-table walks, mux-tree arbitration, and the per-line AES compute.
+//!
+//! Runs on the in-tree `optimus-testkit` bench runner (criterion-like
+//! `bench_function` API, warm-up exclusion, `BENCH_micro.json` report).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use optimus_algo::aes::Aes128;
 use optimus_cci::packet::{AccelId, Tag, UpPacket};
 use optimus_fabric::auditor::{Auditor, OutboundReq};
@@ -10,9 +11,10 @@ use optimus_fabric::mux_tree::{MuxTree, TreeConfig};
 use optimus_mem::addr::{Gva, Hpa, Iova, PageSize};
 use optimus_mem::iommu::Iommu;
 use optimus_mem::page_table::{PageFlags, PageTable};
+use optimus_testkit::bench::Bench;
 use std::hint::black_box;
 
-fn bench_auditor(c: &mut Criterion) {
+fn bench_auditor(c: &mut Bench) {
     let mut auditor = Auditor::new(AccelId(3), 0x13000, 0x1000);
     auditor.set_offset(64 << 30);
     c.bench_function("auditor_translate", |b| {
@@ -26,7 +28,7 @@ fn bench_auditor(c: &mut Criterion) {
     });
 }
 
-fn bench_iommu(c: &mut Criterion) {
+fn bench_iommu(c: &mut Bench) {
     let mut iommu = Iommu::new();
     for i in 0..512u64 {
         iommu
@@ -47,7 +49,7 @@ fn bench_iommu(c: &mut Criterion) {
     });
 }
 
-fn bench_page_table_walk(c: &mut Criterion) {
+fn bench_page_table_walk(c: &mut Bench) {
     let mut pt = PageTable::new();
     for i in 0..4096u64 {
         pt.map(i << 21, i << 21, PageSize::Huge, PageFlags::rw()).unwrap();
@@ -61,7 +63,7 @@ fn bench_page_table_walk(c: &mut Criterion) {
     });
 }
 
-fn bench_mux_tree(c: &mut Criterion) {
+fn bench_mux_tree(c: &mut Bench) {
     c.bench_function("mux_tree_step_saturated", |b| {
         let mut tree = MuxTree::new(TreeConfig::default_eight());
         let mut now = 0u64;
@@ -89,7 +91,7 @@ fn bench_mux_tree(c: &mut Criterion) {
     });
 }
 
-fn bench_aes_line(c: &mut Criterion) {
+fn bench_aes_line(c: &mut Bench) {
     let aes = Aes128::new(b"0123456789abcdef");
     c.bench_function("aes_encrypt_line", |b| {
         let mut line = [0x5Au8; 64];
@@ -100,12 +102,12 @@ fn bench_aes_line(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_auditor,
-    bench_iommu,
-    bench_page_table_walk,
-    bench_mux_tree,
-    bench_aes_line
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Bench::new("micro");
+    bench_auditor(&mut c);
+    bench_iommu(&mut c);
+    bench_page_table_walk(&mut c);
+    bench_mux_tree(&mut c);
+    bench_aes_line(&mut c);
+    c.finish().expect("write bench report");
+}

@@ -37,6 +37,7 @@ fn run_policy(policy: SchedPolicy, weights: &[(u32, u32)]) -> Vec<(f64, f64)> {
 }
 
 fn main() {
+    let mut rep = report::Report::new("sec68_sched_fairness");
     let cases: &[(&str, SchedPolicy, &[(u32, u32)])] = &[
         ("round-robin ×4", SchedPolicy::RoundRobin, &[(1, 0); 4]),
         ("weighted 1:2:4", SchedPolicy::Weighted, &[(1, 0), (2, 0), (4, 0)]),
@@ -62,14 +63,15 @@ fn main() {
             ]);
         }
     }
-    report::table(
+    rep.table(
         "§6.8 — scheduler policy enforcement (occupancy % of the physical accelerator)",
         &["policy", "member", "expected %", "actual %", "|dev| pp"],
         &rows,
     );
-    println!(
+    rep.note(format!(
         "\nmean |deviation| {:.2} pp, worst {:.2} pp (paper: 0.32 % mean, 1.42 % worst)",
         sum / count as f64,
         worst
-    );
+    ));
+    rep.finish().expect("write bench report");
 }

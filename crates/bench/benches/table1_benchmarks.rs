@@ -1,9 +1,10 @@
 //! Table 1: the benchmark inventory (descriptions, Verilog LoC, clock).
 
 use optimus_accel::registry::AccelKind;
-use optimus_bench::report;
+use optimus_bench::report::Report;
 
 fn main() {
+    let mut rep = Report::new("table1_benchmarks");
     let rows: Vec<Vec<String>> = AccelKind::ALL
         .iter()
         .map(|k| {
@@ -17,9 +18,10 @@ fn main() {
             ]
         })
         .collect();
-    report::table(
+    rep.table(
         "Table 1 — benchmarks (LoC and frequency from the paper; demand = modeled monitor-slot share)",
         &["App", "Description", "LoC", "Freq", "demand"],
         &rows,
     );
+    rep.finish().expect("write bench report");
 }

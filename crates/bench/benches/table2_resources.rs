@@ -28,11 +28,12 @@ fn paper_optimus(kind: AccelKind) -> (f64, f64) {
 }
 
 fn main() {
+    let mut rep = report::Report::new("table2_resources");
     let tree = TreeConfig::default_eight();
     let shell = shell_usage();
     let monitor = monitor_usage(tree);
-    println!("Shell:            ALM {:6.2}% (paper 23.44)   BRAM {:5.2}% (paper 6.57)", shell.alm_pct, shell.bram_pct);
-    println!("Hardware monitor: ALM {:6.2}% (paper  6.16)   BRAM {:5.2}% (paper 0.48)", monitor.alm_pct, monitor.bram_pct);
+    rep.note(format!("Shell:            ALM {:6.2}% (paper 23.44)   BRAM {:5.2}% (paper 6.57)", shell.alm_pct, shell.bram_pct));
+    rep.note(format!("Hardware monitor: ALM {:6.2}% (paper  6.16)   BRAM {:5.2}% (paper 0.48)", monitor.alm_pct, monitor.bram_pct));
 
     let mut rows = Vec::new();
     for kind in AccelKind::ALL {
@@ -50,9 +51,10 @@ fn main() {
             report::f(pt.accels.bram_pct, 2),
         ]);
     }
-    report::table(
+    rep.table(
         "Table 2 — accelerator utilization: measured = synthesis model, paper = published",
         &["App", "ALM(8x)", "paperALM", "ALM(PT)", "BRAM(8x)", "paperBRAM", "BRAM(PT)"],
         &rows,
     );
+    rep.finish().expect("write bench report");
 }

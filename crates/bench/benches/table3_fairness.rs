@@ -6,11 +6,12 @@
 
 use optimus_accel::registry::AccelKind;
 use optimus_bench::jobs::JobParams;
-use optimus_bench::report;
+use optimus_bench::report::Report;
 use optimus_bench::runner::{run_spatial, SpatialExp};
 use optimus_bench::scale;
 
 fn main() {
+    let mut rep = Report::new("table3_fairness");
     let window = scale::window_cycles();
     let mut rows = Vec::new();
     for kind in AccelKind::ALL {
@@ -28,10 +29,11 @@ fn main() {
             format!("{:.2}", range * 1e4),
         ]);
     }
-    report::table(
+    rep.table(
         "Table 3 — normalized throughput range among 8 homogeneous accelerators (×10⁻⁴)",
         &["app", "range ×1e-4"],
         &rows,
     );
-    println!("\npaper: 0.468–595 ×10⁻⁴ (every accelerator within ~1% of its 1/8 share)");
+    rep.note("\npaper: 0.468–595 ×10⁻⁴ (every accelerator within ~1% of its 1/8 share)");
+    rep.finish().expect("write bench report");
 }

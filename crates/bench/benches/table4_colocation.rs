@@ -21,6 +21,7 @@ fn paper_share(kind: AccelKind) -> f64 {
 }
 
 fn main() {
+    let mut rep = report::Report::new("table4_colocation");
     let window = scale::window_cycles();
     // Baseline: standalone MemBench on the 8-slot device.
     let mut exp = SpatialExp::homogeneous(AccelKind::Mb, 1);
@@ -49,9 +50,10 @@ fn main() {
             report::f(paper_share(kind), 2),
         ]);
     }
-    report::table(
+    rep.table(
         "Table 4 — MemBench normalized throughput when co-located",
         &["co-tenant", "measured", "paper"],
         &rows,
     );
+    rep.finish().expect("write bench report");
 }

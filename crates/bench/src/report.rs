@@ -1,28 +1,16 @@
 //! Uniform table printing for the experiment reports.
+//!
+//! The table format (and the JSON report sessions the bench binaries use)
+//! lives in [`optimus_testkit::bench`]; this module keeps the printing
+//! entry point plus the small formatting helpers the binaries share.
 
-/// Prints a titled table with aligned columns.
+pub use optimus_testkit::bench::Report;
+
+/// Prints a titled table with aligned columns (no JSON recording; bench
+/// binaries use a [`Report`] session instead so the table also lands in
+/// `BENCH_*.json`).
 pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
-    println!("\n=== {title} ===");
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
-    for row in rows {
-        for (i, cell) in row.iter().enumerate() {
-            if i < widths.len() {
-                widths[i] = widths[i].max(cell.len());
-            }
-        }
-    }
-    let line = |cells: Vec<String>| {
-        let joined: Vec<String> = cells
-            .iter()
-            .enumerate()
-            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
-            .collect();
-        println!("  {}", joined.join("  "));
-    };
-    line(headers.iter().map(|s| s.to_string()).collect());
-    for row in rows {
-        line(row.clone());
-    }
+    optimus_testkit::bench::print_table(title, headers, rows);
 }
 
 /// Formats a float with the given precision.

@@ -1,57 +1,79 @@
-//! Property-based tests of the hypervisor's address math and schedulers.
+//! Property-based tests of the hypervisor's address math and schedulers,
+//! on the in-tree `optimus-testkit` harness (replay failures with
+//! `OPTIMUS_PROP_SEED=<printed seed>`).
 
 use optimus::scheduler::{SchedPolicy, SliceScheduler};
 use optimus::slicing::SlicingConfig;
 use optimus_mem::addr::Gva;
-use proptest::prelude::*;
+use optimus_testkit::gens;
+use optimus_testkit::runner::check;
+use optimus_testkit::{prop_assert, prop_assert_eq, prop_assert_ne};
 
-proptest! {
-    /// Slicing GVA→IOVA→GVA round-trips for any slice and DMA base, and
-    /// distinct slices never produce the same IOVA for the same in-slice
-    /// offset.
-    #[test]
-    fn slicing_round_trips_and_isolates(
-        slice_a in 0u64..8,
-        slice_b in 0u64..8,
-        dma_base in (0u64..1 << 46).prop_map(|v| v & !0x1F_FFFF),
-        offset in 0u64..(64u64 << 30),
-    ) {
-        let cfg = SlicingConfig::default();
-        let base = Gva::new(dma_base);
-        let gva = Gva::new(dma_base + offset);
-        let iova = cfg.gva_to_iova(slice_a, base, gva);
-        // Round trip.
-        let back = iova.raw().wrapping_sub(cfg.offset_for(slice_a, base));
-        prop_assert_eq!(back, gva.raw());
-        // Containment in the slice window.
-        prop_assert!(iova.raw() >= cfg.slice_base(slice_a).raw());
-        prop_assert!(iova.raw() < cfg.slice_base(slice_a).raw() + cfg.slice_bytes);
-        // Isolation: different slices, same in-slice offset, different IOVA.
-        if slice_a != slice_b {
-            let other = cfg.gva_to_iova(slice_b, base, gva);
-            prop_assert_ne!(iova.raw(), other.raw());
-        }
-    }
+/// Slicing GVA→IOVA→GVA round-trips for any slice and DMA base, and
+/// distinct slices never produce the same IOVA for the same in-slice
+/// offset.
+#[test]
+fn slicing_round_trips_and_isolates() {
+    let gen = gens::zip4(
+        gens::u64_in(0..8),
+        gens::u64_in(0..8),
+        // 2 MB-aligned DMA base below 1<<46 (quotient of the alignment).
+        gens::u64_in(0..1 << 25).map(|q| q << 21),
+        gens::u64_in(0..64 << 30),
+    );
+    check(
+        "slicing_round_trips_and_isolates",
+        &gen,
+        |&(slice_a, slice_b, dma_base, offset)| {
+            let cfg = SlicingConfig::default();
+            let base = Gva::new(dma_base);
+            let gva = Gva::new(dma_base + offset);
+            let iova = cfg.gva_to_iova(slice_a, base, gva);
+            // Round trip.
+            let back = iova.raw().wrapping_sub(cfg.offset_for(slice_a, base));
+            prop_assert_eq!(back, gva.raw());
+            // Containment in the slice window.
+            prop_assert!(iova.raw() >= cfg.slice_base(slice_a).raw());
+            prop_assert!(iova.raw() < cfg.slice_base(slice_a).raw() + cfg.slice_bytes);
+            // Isolation: different slices, same in-slice offset, different IOVA.
+            if slice_a != slice_b {
+                let other = cfg.gva_to_iova(slice_b, base, gva);
+                prop_assert_ne!(iova.raw(), other.raw());
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Round-robin occupancy never deviates more than one slice from fair.
-    #[test]
-    fn round_robin_is_within_one_slice(members in 1usize..10, slices in 1usize..200) {
-        let mut s = SliceScheduler::new(SchedPolicy::RoundRobin, 100);
-        for k in 0..members as u64 {
-            s.add(k, 1, 0);
-        }
-        for _ in 0..slices {
-            s.next_slice();
-        }
-        let occ = s.occupancy();
-        let max = occ.iter().map(|&(_, c)| c).max().unwrap();
-        let min = occ.iter().map(|&(_, c)| c).min().unwrap();
-        prop_assert!(max - min <= 100);
-    }
+/// Round-robin occupancy never deviates more than one slice from fair.
+#[test]
+fn round_robin_is_within_one_slice() {
+    let gen = gens::zip2(gens::usize_in(1..10), gens::usize_in(1..200));
+    check(
+        "round_robin_is_within_one_slice",
+        &gen,
+        |&(members, slices)| {
+            let mut s = SliceScheduler::new(SchedPolicy::RoundRobin, 100);
+            for k in 0..members as u64 {
+                s.add(k, 1, 0);
+            }
+            for _ in 0..slices {
+                s.next_slice();
+            }
+            let occ = s.occupancy();
+            let max = occ.iter().map(|&(_, c)| c).max().unwrap();
+            let min = occ.iter().map(|&(_, c)| c).min().unwrap();
+            prop_assert!(max - min <= 100);
+            Ok(())
+        },
+    );
+}
 
-    /// Weighted occupancy converges to the weight ratios.
-    #[test]
-    fn weighted_shares_converge(weights in proptest::collection::vec(1u32..8, 2..6)) {
+/// Weighted occupancy converges to the weight ratios.
+#[test]
+fn weighted_shares_converge() {
+    let gen = gens::vec_of(gens::u32_in(1..8), 2..6);
+    check("weighted_shares_converge", &gen, |weights: &Vec<u32>| {
         let mut s = SliceScheduler::new(SchedPolicy::Weighted, 10);
         for (k, &w) in weights.iter().enumerate() {
             s.add(k as u64, w, 0);
@@ -65,8 +87,11 @@ proptest! {
         for (k, &w) in weights.iter().enumerate() {
             let actual = occ[k].1 as f64 / total as f64;
             let expect = w as f64 / wsum as f64;
-            prop_assert!((actual - expect).abs() < 0.05,
-                "member {k}: {actual} vs {expect}");
+            prop_assert!(
+                (actual - expect).abs() < 0.05,
+                "member {k}: {actual} vs {expect}"
+            );
         }
-    }
+        Ok(())
+    });
 }

@@ -1,36 +1,52 @@
-//! Property-based tests of the memory substrate's invariants.
+//! Property-based tests of the memory substrate's invariants, on the
+//! in-tree `optimus-testkit` harness (replay failures with
+//! `OPTIMUS_PROP_SEED=<printed seed>`).
 
 use optimus_mem::addr::{split_into_lines, Hpa, Iova, PageSize, PAGE_2M, PAGE_4K};
 use optimus_mem::host::HostMemory;
 use optimus_mem::iommu::Iommu;
 use optimus_mem::page_table::{PageFlags, PageTable};
-use proptest::prelude::*;
+use optimus_testkit::gens;
+use optimus_testkit::runner::check;
+use optimus_testkit::{prop_assert, prop_assert_eq};
+use std::collections::HashMap;
 
-proptest! {
-    /// Mapped pages translate exactly; mapping count is consistent.
-    #[test]
-    fn page_table_translate_round_trips(
-        pages in proptest::collection::hash_map(0u64..1 << 20, 0u64..1 << 20, 1..40),
-        probe_offset in 0u64..PAGE_4K,
-    ) {
-        let mut pt = PageTable::new();
-        for (&vpn, &pfn) in &pages {
-            pt.map(vpn * PAGE_4K, pfn * PAGE_4K, PageSize::Small, PageFlags::rw()).unwrap();
-        }
-        for (&vpn, &pfn) in &pages {
-            let va = vpn * PAGE_4K + probe_offset;
-            let (pa, _) = pt.translate(va).expect("mapped page translates");
-            prop_assert_eq!(pa, pfn * PAGE_4K + probe_offset);
-        }
-        prop_assert_eq!(pt.mapped_pages(), pages.len());
-    }
+/// Mapped pages translate exactly; mapping count is consistent.
+#[test]
+fn page_table_translate_round_trips() {
+    let gen = gens::zip2(
+        gens::hash_map_of(gens::u64_in(0..1 << 20), gens::u64_in(0..1 << 20), 1..40),
+        gens::u64_in(0..PAGE_4K),
+    );
+    check(
+        "page_table_translate_round_trips",
+        &gen,
+        |(pages, probe_offset): &(HashMap<u64, u64>, u64)| {
+            let mut pt = PageTable::new();
+            for (&vpn, &pfn) in pages {
+                pt.map(vpn * PAGE_4K, pfn * PAGE_4K, PageSize::Small, PageFlags::rw())
+                    .unwrap();
+            }
+            for (&vpn, &pfn) in pages {
+                let va = vpn * PAGE_4K + probe_offset;
+                let (pa, _) = pt.translate(va).expect("mapped page translates");
+                prop_assert_eq!(pa, pfn * PAGE_4K + probe_offset);
+            }
+            prop_assert_eq!(pt.mapped_pages(), pages.len());
+            Ok(())
+        },
+    );
+}
 
-    /// Unmap removes exactly the requested mapping.
-    #[test]
-    fn unmap_is_precise(count in 2usize..30, victim_idx in 0usize..30) {
+/// Unmap removes exactly the requested mapping.
+#[test]
+fn unmap_is_precise() {
+    let gen = gens::zip2(gens::usize_in(2..30), gens::usize_in(0..30));
+    check("unmap_is_precise", &gen, |&(count, victim_idx)| {
         let mut pt = PageTable::new();
         for i in 0..count as u64 {
-            pt.map(i * PAGE_2M, i * PAGE_2M, PageSize::Huge, PageFlags::rw()).unwrap();
+            pt.map(i * PAGE_2M, i * PAGE_2M, PageSize::Huge, PageFlags::rw())
+                .unwrap();
         }
         let victim = (victim_idx % count) as u64;
         pt.unmap(victim * PAGE_2M).unwrap();
@@ -38,11 +54,15 @@ proptest! {
             let hit = pt.translate(i * PAGE_2M).is_some();
             prop_assert_eq!(hit, i != victim);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// split_into_lines exactly tiles the byte range.
-    #[test]
-    fn split_tiles_exactly(start in 0u64..1 << 30, len in 0u64..4096) {
+/// split_into_lines exactly tiles the byte range.
+#[test]
+fn split_tiles_exactly() {
+    let gen = gens::zip2(gens::u64_in(0..1 << 30), gens::u64_in(0..4096));
+    check("split_tiles_exactly", &gen, |&(start, len)| {
         let parts = split_into_lines(start, len);
         let total: usize = parts.iter().map(|&(_, _, n)| n).sum();
         prop_assert_eq!(total as u64, len);
@@ -53,45 +73,67 @@ proptest! {
             prop_assert!(off + n <= 64);
             cursor += n as u64;
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Host memory reads back exactly what was written, anywhere.
-    #[test]
-    fn host_memory_read_your_writes(
-        addr in 0u64..1 << 34,
-        data in proptest::collection::vec(any::<u8>(), 1..300),
-    ) {
-        let mut mem = HostMemory::new();
-        mem.write(Hpa::new(addr), &data);
-        let mut buf = vec![0u8; data.len()];
-        mem.read(Hpa::new(addr), &mut buf);
-        prop_assert_eq!(buf, data);
-    }
+/// Host memory reads back exactly what was written, anywhere.
+#[test]
+fn host_memory_read_your_writes() {
+    let gen = gens::zip2(
+        gens::u64_in(0..1 << 34),
+        gens::vec_of(gens::byte_any(), 1..300),
+    );
+    check(
+        "host_memory_read_your_writes",
+        &gen,
+        |(addr, data): &(u64, Vec<u8>)| {
+            let mut mem = HostMemory::new();
+            mem.write(Hpa::new(*addr), data);
+            let mut buf = vec![0u8; data.len()];
+            mem.read(Hpa::new(*addr), &mut buf);
+            prop_assert_eq!(&buf, data);
+            Ok(())
+        },
+    );
+}
 
-    /// The IOMMU never returns a wrong translation: hit or miss, the HPA
-    /// always matches the IO page table, and unmapped IOVAs always fault.
-    #[test]
-    fn iommu_translations_always_correct(
-        pages in proptest::collection::hash_map(0u64..4096, 0u64..1 << 20, 1..32),
-        probes in proptest::collection::vec((0u64..4096, 0u64..PAGE_2M), 1..64),
-    ) {
-        let mut iommu = Iommu::new();
-        for (&vpn, &pfn) in &pages {
-            iommu.map(
-                Iova::new(vpn * PAGE_2M),
-                Hpa::new(pfn * PAGE_2M),
-                PageSize::Huge,
-                PageFlags::rw(),
-            ).unwrap();
-        }
-        for &(vpn, off) in &probes {
-            let iova = Iova::new(vpn * PAGE_2M + off);
-            match (iommu.translate(iova, false), pages.get(&vpn)) {
-                (Ok(t), Some(&pfn)) => prop_assert_eq!(t.hpa.raw(), pfn * PAGE_2M + off),
-                (Err(_), None) => {}
-                (Ok(t), None) => prop_assert!(false, "phantom translation {:?}", t),
-                (Err(e), Some(_)) => prop_assert!(false, "spurious fault {e:?}"),
+/// The IOMMU never returns a wrong translation: hit or miss, the HPA
+/// always matches the IO page table, and unmapped IOVAs always fault.
+#[test]
+fn iommu_translations_always_correct() {
+    let gen = gens::zip2(
+        gens::hash_map_of(gens::u64_in(0..4096), gens::u64_in(0..1 << 20), 1..32),
+        gens::vec_of(
+            gens::zip2(gens::u64_in(0..4096), gens::u64_in(0..PAGE_2M)),
+            1..64,
+        ),
+    );
+    check(
+        "iommu_translations_always_correct",
+        &gen,
+        |(pages, probes): &(HashMap<u64, u64>, Vec<(u64, u64)>)| {
+            let mut iommu = Iommu::new();
+            for (&vpn, &pfn) in pages {
+                iommu
+                    .map(
+                        Iova::new(vpn * PAGE_2M),
+                        Hpa::new(pfn * PAGE_2M),
+                        PageSize::Huge,
+                        PageFlags::rw(),
+                    )
+                    .unwrap();
             }
-        }
-    }
+            for &(vpn, off) in probes {
+                let iova = Iova::new(vpn * PAGE_2M + off);
+                match (iommu.translate(iova, false), pages.get(&vpn)) {
+                    (Ok(t), Some(&pfn)) => prop_assert_eq!(t.hpa.raw(), pfn * PAGE_2M + off),
+                    (Err(_), None) => {}
+                    (Ok(t), None) => prop_assert!(false, "phantom translation {:?}", t),
+                    (Err(e), Some(_)) => prop_assert!(false, "spurious fault {e:?}"),
+                }
+            }
+            Ok(())
+        },
+    );
 }

@@ -1,45 +1,70 @@
-//! Property-based tests of the simulation kernel's invariants.
+//! Property-based tests of the simulation kernel's invariants, on the
+//! in-tree `optimus-testkit` harness (replay failures with
+//! `OPTIMUS_PROP_SEED=<printed seed>`).
 
 use optimus_sim::perm::FeistelPermutation;
 use optimus_sim::queue::TimedQueue;
 use optimus_sim::rng::Xoshiro256;
-use proptest::prelude::*;
+use optimus_testkit::gens;
+use optimus_testkit::runner::check;
+use optimus_testkit::{prop_assert, prop_assert_eq};
 
-proptest! {
-    /// apply/invert are mutually inverse over the whole domain.
-    #[test]
-    fn permutation_round_trips(n in 1u64..50_000, seed: u64, probe in 0u64..50_000) {
+/// apply/invert are mutually inverse over the whole domain.
+#[test]
+fn permutation_round_trips() {
+    let gen = gens::zip3(
+        gens::u64_in(1..50_000),
+        gens::u64_any(),
+        gens::u64_in(0..50_000),
+    );
+    check("permutation_round_trips", &gen, |&(n, seed, probe)| {
         let p = FeistelPermutation::new(n, seed);
         let i = probe % n;
         let v = p.apply(i);
         prop_assert!(v < n);
         prop_assert_eq!(p.invert(v), i);
-    }
+        Ok(())
+    });
+}
 
-    /// The permutation is injective on any sampled subset.
-    #[test]
-    fn permutation_is_injective(n in 2u64..5_000, seed: u64) {
+/// The permutation is injective on any sampled subset.
+#[test]
+fn permutation_is_injective() {
+    let gen = gens::zip2(gens::u64_in(2..5_000), gens::u64_any());
+    check("permutation_is_injective", &gen, |&(n, seed)| {
         let p = FeistelPermutation::new(n, seed);
         let mut seen = std::collections::HashSet::new();
         for i in (0..n).step_by((n as usize / 64).max(1)) {
             prop_assert!(seen.insert(p.apply(i)));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// gen_range never leaves its bounds, for arbitrary ranges.
-    #[test]
-    fn gen_range_in_bounds(seed: u64, lo in 0u64..1 << 40, span in 1u64..1 << 20) {
+/// gen_range never leaves its bounds, for arbitrary ranges.
+#[test]
+fn gen_range_in_bounds() {
+    let gen = gens::zip3(
+        gens::u64_any(),
+        gens::u64_in(0..1 << 40),
+        gens::u64_in(1..1 << 20),
+    );
+    check("gen_range_in_bounds", &gen, |&(seed, lo, span)| {
         let mut rng = Xoshiro256::seed_from(seed);
         for _ in 0..64 {
             let v = rng.gen_range(lo..lo + span);
             prop_assert!((lo..lo + span).contains(&v));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// TimedQueue is FIFO regardless of the (possibly decreasing) ready
-    /// times pushed.
-    #[test]
-    fn timed_queue_is_fifo(ready_times in proptest::collection::vec(0u64..1000, 1..50)) {
+/// TimedQueue is FIFO regardless of the (possibly decreasing) ready times
+/// pushed.
+#[test]
+fn timed_queue_is_fifo() {
+    let gen = gens::vec_of(gens::u64_in(0..1000), 1..50);
+    check("timed_queue_is_fifo", &gen, |ready_times: &Vec<u64>| {
         let mut q = TimedQueue::new();
         for (i, &r) in ready_times.iter().enumerate() {
             q.push(i, r);
@@ -51,14 +76,19 @@ proptest! {
             }
         }
         prop_assert_eq!(out, (0..ready_times.len()).collect::<Vec<_>>());
-    }
+        Ok(())
+    });
+}
 
-    /// Entries never surface before their ready time.
-    #[test]
-    fn timed_queue_respects_time(ready in 1u64..10_000) {
+/// Entries never surface before their ready time.
+#[test]
+fn timed_queue_respects_time() {
+    let gen = gens::u64_in(1..10_000);
+    check("timed_queue_respects_time", &gen, |&ready| {
         let mut q = TimedQueue::new();
         q.push((), ready);
         prop_assert!(q.pop_ready(ready - 1).is_none());
         prop_assert!(q.pop_ready(ready).is_some());
-    }
+        Ok(())
+    });
 }

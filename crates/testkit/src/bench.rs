@@ -1,0 +1,360 @@
+//! Criterion-like bench runner and per-figure report sessions.
+//!
+//! Two layers:
+//!
+//! * [`Bench`] / [`Bencher`] — wall-clock micro-benchmarking with the
+//!   familiar `bench_function(name, |b| b.iter(..))` shape. Samples are
+//!   collected into [`LatencyStats`] (in picoseconds, so sub-nanosecond
+//!   per-iteration costs keep precision) and the configured number of
+//!   warm-up samples is excluded via [`LatencyStats::discard_prefix`]
+//!   before statistics are computed.
+//! * [`Report`] — a figure/table session used by the paper-reproduction
+//!   bench binaries: prints the aligned paper-vs-measured tables exactly as
+//!   before, records everything, and writes a `BENCH_<name>.json` document
+//!   on [`finish`](Report::finish).
+//!
+//! Reports land in `$OPTIMUS_BENCH_DIR`, defaulting to
+//! `<workspace>/target/bench-reports`.
+//!
+//! Environment knobs for the micro-runner: `OPTIMUS_TESTKIT_WARMUP`
+//! (warm-up samples to discard, default 10), `OPTIMUS_TESTKIT_SAMPLES`
+//! (measured samples, default 50), `OPTIMUS_TESTKIT_ITERS` (iterations per
+//! sample; default auto-calibrated to ~200 µs per sample).
+
+use crate::json::Json;
+use optimus_sim::stats::LatencyStats;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Where `BENCH_*.json` reports are written.
+pub fn report_dir() -> PathBuf {
+    match std::env::var("OPTIMUS_BENCH_DIR") {
+        Ok(d) if !d.is_empty() => PathBuf::from(d),
+        _ => Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("target/bench-reports"),
+    }
+}
+
+/// Micro-runner configuration.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Leading samples discarded as warm-up.
+    pub warmup_samples: usize,
+    /// Samples kept after warm-up exclusion.
+    pub measured_samples: usize,
+    /// Iterations per sample; `None` auto-calibrates.
+    pub iters_per_sample: Option<u64>,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            warmup_samples: env_usize("OPTIMUS_TESTKIT_WARMUP", 10),
+            measured_samples: env_usize("OPTIMUS_TESTKIT_SAMPLES", 50),
+            iters_per_sample: std::env::var("OPTIMUS_TESTKIT_ITERS")
+                .ok()
+                .and_then(|v| v.parse().ok()),
+        }
+    }
+}
+
+/// Statistics for one benched function, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct FnStats {
+    pub name: String,
+    /// Samples that survived warm-up exclusion.
+    pub samples: usize,
+    /// Samples discarded as warm-up.
+    pub warmup_discarded: usize,
+    pub iters_per_sample: u64,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+    pub p50_ns: f64,
+    pub p95_ns: f64,
+    pub max_ns: f64,
+}
+
+impl FnStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::s(&self.name)),
+            ("samples", Json::Num(self.samples as f64)),
+            ("warmup_discarded", Json::Num(self.warmup_discarded as f64)),
+            ("iters_per_sample", Json::Num(self.iters_per_sample as f64)),
+            ("mean_ns", Json::Num(self.mean_ns)),
+            ("min_ns", Json::Num(self.min_ns)),
+            ("p50_ns", Json::Num(self.p50_ns)),
+            ("p95_ns", Json::Num(self.p95_ns)),
+            ("max_ns", Json::Num(self.max_ns)),
+        ])
+    }
+}
+
+/// Per-iteration timing collector handed to the bench closure.
+pub struct Bencher {
+    iters: u64,
+    /// Picoseconds per iteration, one entry per sample (warm-up included
+    /// until [`Bench`] strips it).
+    sample_ps: LatencyStats,
+    total_samples: usize,
+}
+
+impl Bencher {
+    /// Runs `f` for one sample batch per configured sample, timing each
+    /// batch. Mirrors criterion's `Bencher::iter`.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        for _ in 0..self.total_samples {
+            let start = Instant::now();
+            for _ in 0..self.iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            let ps = (elapsed.as_nanos() as u64).saturating_mul(1000) / self.iters.max(1);
+            self.sample_ps.record(ps);
+        }
+    }
+}
+
+/// The micro-benchmark session: owns a [`Report`] and appends one
+/// [`FnStats`] per `bench_function` call.
+pub struct Bench {
+    report: Report,
+    config: BenchConfig,
+}
+
+impl Bench {
+    /// Creates a session writing `BENCH_<name>.json` on finish.
+    pub fn new(name: &str) -> Self {
+        Self::with_config(name, BenchConfig::default())
+    }
+
+    /// Creates a session with an explicit configuration (self-tests).
+    pub fn with_config(name: &str, config: BenchConfig) -> Self {
+        Self {
+            report: Report::new(name),
+            config,
+        }
+    }
+
+    /// Benchmarks one function; criterion-compatible call shape.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &FnStats {
+        // Calibrate with a probe Bencher running a single sample of one
+        // iteration, unless the iteration count is pinned.
+        let iters = match self.config.iters_per_sample {
+            Some(n) => n.max(1),
+            None => {
+                let mut probe = Bencher {
+                    iters: 256,
+                    sample_ps: LatencyStats::new(),
+                    total_samples: 1,
+                };
+                f(&mut probe);
+                // Scale the probe's per-iteration cost to ~200 µs samples.
+                let probe_ns = (probe.sample_ps.max_cycles() / 1000).max(1);
+                (200_000 / probe_ns).clamp(1, 1 << 22)
+            }
+        };
+        let total = self.config.warmup_samples + self.config.measured_samples;
+        let mut bencher = Bencher {
+            iters,
+            sample_ps: LatencyStats::new(),
+            total_samples: total,
+        };
+        f(&mut bencher);
+        let mut stats = bencher.sample_ps;
+        // Warm-up exclusion: drop exactly the configured leading samples.
+        stats.discard_prefix(self.config.warmup_samples);
+        let ps = |v: u64| v as f64 / 1000.0;
+        let fs = FnStats {
+            name: id.to_string(),
+            samples: stats.count(),
+            warmup_discarded: total - stats.count(),
+            iters_per_sample: iters,
+            mean_ns: stats.mean_cycles() / 1000.0,
+            min_ns: ps(stats.min_cycles()),
+            p50_ns: ps(stats.percentile_cycles(0.5)),
+            p95_ns: ps(stats.percentile_cycles(0.95)),
+            max_ns: ps(stats.max_cycles()),
+        };
+        println!(
+            "{:<32} mean {:>12.1} ns   p50 {:>12.1} ns   p95 {:>12.1} ns   ({} samples x {} iters, {} warm-up discarded)",
+            fs.name, fs.mean_ns, fs.p50_ns, fs.p95_ns, fs.samples, fs.iters_per_sample, fs.warmup_discarded
+        );
+        self.report.functions.push(fs);
+        self.report.functions.last().unwrap()
+    }
+
+    /// Writes the JSON report; returns its path.
+    pub fn finish(self) -> std::io::Result<PathBuf> {
+        self.report.finish()
+    }
+}
+
+/// One printed table, kept for the JSON report.
+#[derive(Debug, Clone)]
+struct TableData {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+/// A figure/table report session: prints as it records, then serializes
+/// everything to `BENCH_<name>.json`.
+pub struct Report {
+    name: String,
+    tables: Vec<TableData>,
+    notes: Vec<String>,
+    functions: Vec<FnStats>,
+}
+
+/// Prints a titled table with right-aligned columns (the workspace's
+/// uniform report format).
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let joined: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("  {}", joined.join("  "));
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+impl Report {
+    /// Creates a report session named after its figure/table.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            tables: Vec::new(),
+            notes: Vec::new(),
+            functions: Vec::new(),
+        }
+    }
+
+    /// Prints and records a table.
+    pub fn table(&mut self, title: &str, headers: &[&str], rows: &[Vec<String>]) {
+        print_table(title, headers, rows);
+        self.tables.push(TableData {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: rows.to_vec(),
+        });
+    }
+
+    /// Prints and records a free-form note line.
+    pub fn note(&mut self, text: impl Into<String>) {
+        let text = text.into();
+        println!("{text}");
+        self.notes.push(text);
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::s("optimus-testkit/bench-report/v1")),
+            ("bench", Json::s(&self.name)),
+            (
+                "tables",
+                Json::Arr(
+                    self.tables
+                        .iter()
+                        .map(|t| {
+                            Json::obj(vec![
+                                ("title", Json::s(&t.title)),
+                                (
+                                    "headers",
+                                    Json::Arr(t.headers.iter().map(Json::s).collect()),
+                                ),
+                                (
+                                    "rows",
+                                    Json::Arr(
+                                        t.rows
+                                            .iter()
+                                            .map(|r| {
+                                                Json::Arr(r.iter().map(Json::s).collect())
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "functions",
+                Json::Arr(self.functions.iter().map(FnStats::to_json).collect()),
+            ),
+            (
+                "notes",
+                Json::Arr(self.notes.iter().map(Json::s).collect()),
+            ),
+        ])
+    }
+
+    /// Writes `BENCH_<name>.json` into [`report_dir`]; returns its path.
+    pub fn finish(self) -> std::io::Result<PathBuf> {
+        let dir = report_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json().render() + "\n")?;
+        println!("\nreport: {}", path.display());
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_exclusion_drops_exactly_the_configured_samples() {
+        let cfg = BenchConfig {
+            warmup_samples: 7,
+            measured_samples: 5,
+            iters_per_sample: Some(1),
+        };
+        let mut bench = Bench::with_config("selftest_warmup", cfg);
+        let calls = std::cell::Cell::new(0u64);
+        let stats = bench.bench_function("noop", |b| {
+            b.iter(|| calls.set(calls.get() + 1))
+        });
+        assert_eq!(stats.samples, 5);
+        assert_eq!(stats.warmup_discarded, 7);
+        // With iters pinned to 1, the closure ran once per sample and the
+        // calibration probe never ran.
+        assert_eq!(calls.get(), 12);
+    }
+
+    #[test]
+    fn report_json_round_trips_table_shape() {
+        let mut r = Report::new("unit");
+        r.table("t", &["a", "b"], &[vec!["1".into(), "2".into()]]);
+        r.note("hello");
+        let doc = r.to_json().render();
+        assert!(doc.contains(r#""bench":"unit""#));
+        assert!(doc.contains(r#""headers":["a","b"]"#));
+        assert!(doc.contains(r#""rows":[["1","2"]]"#));
+        assert!(doc.contains(r#""notes":["hello"]"#));
+    }
+}

@@ -1,0 +1,449 @@
+//! Generator combinators with value-based greedy shrinking.
+//!
+//! A [`Gen<T>`] pairs a *generator* (an arbitrary function of a
+//! [`Xoshiro256`] stream) with a *shrinker* that proposes simpler variants
+//! of a failing value. The [`runner`](crate::runner) repeatedly applies the
+//! shrinker, keeping any candidate that still falsifies the property, until
+//! no candidate does — greedy descent to a locally minimal counterexample.
+//!
+//! Shrinkers operate on values (not on the random stream), so combinators
+//! that lose the source value ([`Gen::map`]) also lose shrinking unless one
+//! is re-attached with [`Gen::with_shrink`].
+
+use optimus_sim::rng::Xoshiro256;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// A deterministic value generator with an attached shrinker.
+pub struct Gen<T> {
+    generate: Rc<dyn Fn(&mut Xoshiro256) -> T>,
+    shrink: Rc<dyn Fn(&T) -> Vec<T>>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Self {
+            generate: self.generate.clone(),
+            shrink: self.shrink.clone(),
+        }
+    }
+}
+
+impl<T> Gen<T> {
+    /// Draws one value from the stream.
+    pub fn generate(&self, rng: &mut Xoshiro256) -> T {
+        (self.generate)(rng)
+    }
+
+    /// Proposes strictly simpler candidates for a failing value.
+    pub fn shrink(&self, value: &T) -> Vec<T> {
+        (self.shrink)(value)
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// Creates a generator from explicit generate and shrink functions.
+    pub fn new(
+        generate: impl Fn(&mut Xoshiro256) -> T + 'static,
+        shrink: impl Fn(&T) -> Vec<T> + 'static,
+    ) -> Self {
+        Self {
+            generate: Rc::new(generate),
+            shrink: Rc::new(shrink),
+        }
+    }
+
+    /// Creates a generator whose values never shrink.
+    pub fn no_shrink(generate: impl Fn(&mut Xoshiro256) -> T + 'static) -> Self {
+        Self::new(generate, |_| Vec::new())
+    }
+
+    /// Maps generated values through `f`. The mapped generator does not
+    /// shrink (the source value is gone); attach a value-level shrinker
+    /// with [`with_shrink`](Self::with_shrink) if one exists.
+    pub fn map<U: 'static>(self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        let g = self.generate;
+        Gen::no_shrink(move |rng| f(g(rng)))
+    }
+
+    /// Replaces the shrinker.
+    pub fn with_shrink(self, shrink: impl Fn(&T) -> Vec<T> + 'static) -> Self {
+        Self {
+            generate: self.generate,
+            shrink: Rc::new(shrink),
+        }
+    }
+}
+
+/// Shrink candidates for an integer, moving toward `lo`.
+fn shrink_u64_toward(lo: u64, v: u64) -> Vec<u64> {
+    if v <= lo {
+        return Vec::new();
+    }
+    let mut out = vec![lo];
+    let mid = lo + (v - lo) / 2;
+    if mid != lo && mid != v {
+        out.push(mid);
+    }
+    out.push(v - 1);
+    out.dedup();
+    out
+}
+
+/// Uniform `u64` in `range`, shrinking toward the low end.
+pub fn u64_in(range: Range<u64>) -> Gen<u64> {
+    let lo = range.start;
+    Gen::new(
+        move |rng| rng.gen_range(range.clone()),
+        move |&v| shrink_u64_toward(lo, v),
+    )
+}
+
+/// Arbitrary `u64`, shrinking toward zero.
+pub fn u64_any() -> Gen<u64> {
+    Gen::new(|rng| rng.next_u64(), |&v| shrink_u64_toward(0, v))
+}
+
+/// Uniform `u32` in `range`, shrinking toward the low end.
+pub fn u32_in(range: Range<u32>) -> Gen<u32> {
+    u64_in(range.start as u64..range.end as u64).map_int()
+}
+
+/// Uniform `u8` in `range`, shrinking toward the low end.
+pub fn u8_in(range: Range<u8>) -> Gen<u8> {
+    u64_in(range.start as u64..range.end as u64).map_int()
+}
+
+/// Arbitrary byte, shrinking toward zero.
+pub fn byte_any() -> Gen<u8> {
+    Gen::new(
+        |rng| (rng.next_u64() & 0xFF) as u8,
+        |&v| {
+            shrink_u64_toward(0, v as u64)
+                .into_iter()
+                .map(|x| x as u8)
+                .collect()
+        },
+    )
+}
+
+/// Uniform `usize` in `range`, shrinking toward the low end.
+pub fn usize_in(range: Range<usize>) -> Gen<usize> {
+    u64_in(range.start as u64..range.end as u64).map_int()
+}
+
+trait MapInt<U> {
+    fn map_int(self) -> Gen<U>;
+}
+
+macro_rules! impl_map_int {
+    ($($ty:ty),*) => {$(
+        impl MapInt<$ty> for Gen<u64> {
+            fn map_int(self) -> Gen<$ty> {
+                let g = self.generate;
+                let s = self.shrink;
+                Gen::new(
+                    move |rng| g(rng) as $ty,
+                    move |&v| s(&(v as u64)).into_iter().map(|x| x as $ty).collect(),
+                )
+            }
+        }
+    )*};
+}
+impl_map_int!(u8, u16, u32, usize);
+
+/// Fixed-size array of 16 arbitrary bytes (AES keys/blocks), shrinking by
+/// zeroing bytes one at a time.
+pub fn bytes16() -> Gen<[u8; 16]> {
+    Gen::new(
+        |rng| {
+            let mut b = [0u8; 16];
+            rng.fill_bytes(&mut b);
+            b
+        },
+        |v| {
+            let mut out = Vec::new();
+            if v.iter().any(|&b| b != 0) {
+                out.push([0u8; 16]);
+                for i in 0..16 {
+                    if v[i] != 0 {
+                        let mut c = *v;
+                        c[i] = 0;
+                        out.push(c);
+                    }
+                }
+            }
+            out
+        },
+    )
+}
+
+/// Picks uniformly from a fixed list, shrinking toward the first element.
+pub fn choose<T: Clone + PartialEq + 'static>(items: Vec<T>) -> Gen<T> {
+    assert!(!items.is_empty(), "choose requires a non-empty list");
+    let pick = items.clone();
+    Gen::new(
+        move |rng| pick[rng.gen_range(0..pick.len() as u64) as usize].clone(),
+        move |v| {
+            match items.iter().position(|i| i == v) {
+                // Everything strictly earlier in the list is simpler.
+                Some(pos) => items[..pos].to_vec(),
+                None => Vec::new(),
+            }
+        },
+    )
+}
+
+/// Vector of `elem` values with a length drawn from `len`, shrinking first
+/// by shortening (never below `len.start`) and then element-wise.
+pub fn vec_of<T: Clone + 'static>(elem: Gen<T>, len: Range<usize>) -> Gen<Vec<T>> {
+    let min_len = len.start;
+    let elem_gen = elem.clone();
+    Gen::new(
+        move |rng| {
+            let n = rng.gen_range(len.start as u64..len.end as u64) as usize;
+            (0..n).map(|_| elem_gen.generate(rng)).collect()
+        },
+        move |v: &Vec<T>| {
+            let mut out: Vec<Vec<T>> = Vec::new();
+            // Structural shrinks: truncate to the minimum, halve, drop one.
+            if v.len() > min_len {
+                out.push(v[..min_len].to_vec());
+                let half = (v.len() / 2).max(min_len);
+                if half != min_len && half != v.len() {
+                    out.push(v[..half].to_vec());
+                }
+                out.push(v[..v.len() - 1].to_vec());
+                for i in 0..v.len().min(16) {
+                    let mut c = v.clone();
+                    c.remove(i);
+                    out.push(c);
+                }
+            }
+            // Element-wise shrinks on a bounded prefix. All candidates are
+            // kept (element shrinkers are already small) so greedy descent
+            // can reach exact boundaries like `v-1`.
+            for i in 0..v.len().min(8) {
+                for cand in elem.shrink(&v[i]) {
+                    let mut c = v.clone();
+                    c[i] = cand;
+                    out.push(c);
+                }
+            }
+            out
+        },
+    )
+}
+
+/// Hash map with `len` entries (keys drawn until distinct), shrinking by
+/// removing entries in sorted-key order, never below `len.start`.
+pub fn hash_map_of<K, V>(key: Gen<K>, val: Gen<V>, len: Range<usize>) -> Gen<HashMap<K, V>>
+where
+    K: Clone + Eq + Hash + Ord + 'static,
+    V: Clone + 'static,
+{
+    let min_len = len.start;
+    let kg = key.clone();
+    let vg = val.clone();
+    Gen::new(
+        move |rng| {
+            let target = rng.gen_range(len.start as u64..len.end as u64) as usize;
+            let mut m = HashMap::new();
+            // Keys may collide; bound the attempts so narrow key spaces
+            // terminate with fewer entries rather than spinning.
+            let mut attempts = 0;
+            while m.len() < target && attempts < target * 10 + 16 {
+                m.insert(kg.generate(rng), vg.generate(rng));
+                attempts += 1;
+            }
+            m
+        },
+        move |m: &HashMap<K, V>| {
+            if m.len() <= min_len {
+                return Vec::new();
+            }
+            let mut keys: Vec<&K> = m.keys().collect();
+            keys.sort();
+            keys.into_iter()
+                .take(24)
+                .map(|k| {
+                    let mut c = m.clone();
+                    c.remove(k);
+                    c
+                })
+                .collect()
+        },
+    )
+}
+
+/// Pairs two generators; shrinks componentwise.
+pub fn zip2<A: Clone + 'static, B: Clone + 'static>(a: Gen<A>, b: Gen<B>) -> Gen<(A, B)> {
+    let (ag, bg) = (a.clone(), b.clone());
+    Gen::new(
+        move |rng| (ag.generate(rng), bg.generate(rng)),
+        move |(va, vb)| {
+            let mut out = Vec::new();
+            for ca in a.shrink(va) {
+                out.push((ca, vb.clone()));
+            }
+            for cb in b.shrink(vb) {
+                out.push((va.clone(), cb));
+            }
+            out
+        },
+    )
+}
+
+/// Triples three generators; shrinks componentwise.
+pub fn zip3<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+) -> Gen<(A, B, C)> {
+    zip2(zip2(a, b), c).remap3()
+}
+
+/// Quadruples four generators; shrinks componentwise.
+pub fn zip4<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static, D: Clone + 'static>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+    d: Gen<D>,
+) -> Gen<(A, B, C, D)> {
+    zip2(zip2(a, b), zip2(c, d)).remap4()
+}
+
+trait Remap3<A, B, C> {
+    fn remap3(self) -> Gen<(A, B, C)>;
+}
+
+impl<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static> Remap3<A, B, C>
+    for Gen<((A, B), C)>
+{
+    fn remap3(self) -> Gen<(A, B, C)> {
+        let g = self.generate;
+        let s = self.shrink;
+        Gen::new(
+            move |rng| {
+                let ((a, b), c) = g(rng);
+                (a, b, c)
+            },
+            move |(a, b, c)| {
+                s(&((a.clone(), b.clone()), c.clone()))
+                    .into_iter()
+                    .map(|((a, b), c)| (a, b, c))
+                    .collect()
+            },
+        )
+    }
+}
+
+trait Remap4<A, B, C, D> {
+    fn remap4(self) -> Gen<(A, B, C, D)>;
+}
+
+impl<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static, D: Clone + 'static>
+    Remap4<A, B, C, D> for Gen<((A, B), (C, D))>
+{
+    fn remap4(self) -> Gen<(A, B, C, D)> {
+        let g = self.generate;
+        let s = self.shrink;
+        Gen::new(
+            move |rng| {
+                let ((a, b), (c, d)) = g(rng);
+                (a, b, c, d)
+            },
+            move |(a, b, c, d)| {
+                s(&((a.clone(), b.clone()), (c.clone(), d.clone())))
+                    .into_iter()
+                    .map(|((a, b), (c, d))| (a, b, c, d))
+                    .collect()
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Xoshiro256 {
+        Xoshiro256::seed_from(0xDECADE)
+    }
+
+    #[test]
+    fn u64_in_respects_bounds() {
+        let g = u64_in(10..20);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = g.generate(&mut r);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn u64_shrink_moves_toward_low_end() {
+        let g = u64_in(3..100);
+        for cand in g.shrink(&57) {
+            assert!(cand < 57 && cand >= 3);
+        }
+        assert!(g.shrink(&3).is_empty());
+    }
+
+    #[test]
+    fn vec_of_respects_length_bounds() {
+        let g = vec_of(byte_any(), 2..7);
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = g.generate(&mut r);
+            assert!((2..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn vec_shrink_never_goes_below_min_len() {
+        let g = vec_of(byte_any(), 2..7);
+        let v = vec![9u8, 8, 7, 6];
+        for cand in g.shrink(&v) {
+            assert!(cand.len() >= 2, "shrunk below min: {cand:?}");
+        }
+    }
+
+    #[test]
+    fn hash_map_of_meets_min_entries_in_wide_key_space() {
+        let g = hash_map_of(u64_in(0..1 << 40), u64_any(), 3..10);
+        let mut r = rng();
+        for _ in 0..100 {
+            let m = g.generate(&mut r);
+            assert!((3..10).contains(&m.len()));
+        }
+    }
+
+    #[test]
+    fn choose_only_emits_listed_items_and_shrinks_earlier() {
+        let g = choose(vec![b'A', b'C', b'G', b'T']);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(b"ACGT".contains(&g.generate(&mut r)));
+        }
+        assert_eq!(g.shrink(&b'G'), vec![b'A', b'C']);
+        assert!(g.shrink(&b'A').is_empty());
+    }
+
+    #[test]
+    fn zip_shrinks_componentwise() {
+        let g = zip2(u64_in(0..10), u64_in(0..10));
+        let cands = g.shrink(&(4, 6));
+        assert!(cands.iter().all(|&(a, b)| (a, b) != (4, 6)));
+        assert!(cands.iter().any(|&(a, b)| a < 4 && b == 6));
+        assert!(cands.iter().any(|&(a, b)| a == 4 && b < 6));
+    }
+
+    #[test]
+    fn map_drops_shrinking() {
+        let g = u64_in(0..32).map(|v| v * 2);
+        assert!(g.shrink(&40).is_empty());
+    }
+}

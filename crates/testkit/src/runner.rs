@@ -1,0 +1,250 @@
+//! The property-test case runner: seeded generation, failure replay, and
+//! greedy shrinking.
+//!
+//! Each test calls [`check`] with a generator and a property. The runner
+//! derives one RNG seed per case from a base seed (itself derived from the
+//! property name, so distinct properties explore distinct streams), runs
+//! the property, and on failure shrinks the counterexample greedily before
+//! panicking with the case seed and a one-line replay recipe.
+//!
+//! Environment knobs:
+//!
+//! * `OPTIMUS_PROP_CASES` — cases per property (default 64);
+//! * `OPTIMUS_PROP_SEED` — run exactly one case from this seed (accepts
+//!   decimal or `0x`-prefixed hex); this is what a failure message prints;
+//! * `OPTIMUS_PROP_SHRINKS` — shrink-step budget (default 4096).
+
+use crate::gens::Gen;
+use optimus_sim::rng::{SplitMix64, Xoshiro256};
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Outcome of one property evaluation: `Ok(())` or a failure message.
+pub type PropResult = Result<(), String>;
+
+/// Runner configuration; [`Config::from_env`] is what [`check`] uses.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u64,
+    /// Upper bound on total shrink evaluations.
+    pub max_shrink_steps: u64,
+    /// Replay seed: when set, run exactly one case from this seed.
+    pub replay_seed: Option<u64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            cases: 64,
+            max_shrink_steps: 4096,
+            replay_seed: None,
+        }
+    }
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+impl Config {
+    /// Reads the runner configuration from the environment.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Some(c) = std::env::var("OPTIMUS_PROP_CASES").ok().and_then(|v| v.parse().ok()) {
+            cfg.cases = c;
+        }
+        if let Some(s) = std::env::var("OPTIMUS_PROP_SHRINKS").ok().and_then(|v| v.parse().ok()) {
+            cfg.max_shrink_steps = s;
+        }
+        cfg.replay_seed = std::env::var("OPTIMUS_PROP_SEED").ok().and_then(|v| parse_seed(&v));
+        cfg
+    }
+}
+
+/// Stable 64-bit hash of the property name (FNV-1a, then mixed), so each
+/// property gets its own deterministic case-seed stream.
+fn name_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    SplitMix64::mix(h)
+}
+
+/// The seed for case `index` of a property whose base seed is `base`.
+fn case_seed(base: u64, index: u64) -> u64 {
+    SplitMix64::mix(base ^ SplitMix64::mix(index))
+}
+
+/// Evaluates the property, treating a panic as a failure (so panicking
+/// counterexamples still shrink).
+fn eval<T>(prop: &impl Fn(&T) -> PropResult, value: &T) -> PropResult {
+    match catch_unwind(AssertUnwindSafe(|| prop(value))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(format!("panicked: {msg}"))
+        }
+    }
+}
+
+/// Greedy shrink: repeatedly take the first candidate that still fails.
+fn shrink_to_minimal<T: Clone + Debug>(
+    gen: &Gen<T>,
+    prop: &impl Fn(&T) -> PropResult,
+    start: T,
+    first_error: String,
+    budget: u64,
+) -> (T, String, u64) {
+    let mut current = start;
+    let mut error = first_error;
+    let mut steps = 0u64;
+    'outer: loop {
+        for cand in gen.shrink(&current) {
+            if steps >= budget {
+                break 'outer;
+            }
+            steps += 1;
+            if let Err(e) = eval(prop, &cand) {
+                current = cand;
+                error = e;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, error, steps)
+}
+
+/// Runs `prop` against cases drawn from `gen`, shrinking and panicking on
+/// the first falsified case. This is the entry point every ported
+/// `tests/prop.rs` uses.
+pub fn check<T: Clone + Debug>(name: &str, gen: &Gen<T>, prop: impl Fn(&T) -> PropResult) {
+    check_with(&Config::from_env(), name, gen, prop)
+}
+
+/// [`check`] with an explicit configuration (used by the self-tests).
+pub fn check_with<T: Clone + Debug>(
+    cfg: &Config,
+    name: &str,
+    gen: &Gen<T>,
+    prop: impl Fn(&T) -> PropResult,
+) {
+    let seeds: Vec<u64> = match cfg.replay_seed {
+        Some(s) => vec![s],
+        None => {
+            let base = name_seed(name);
+            (0..cfg.cases).map(|i| case_seed(base, i)).collect()
+        }
+    };
+    for (index, seed) in seeds.iter().copied().enumerate() {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let value = gen.generate(&mut rng);
+        if let Err(error) = eval(&prop, &value) {
+            let (minimal, min_error, steps) =
+                shrink_to_minimal(gen, &prop, value.clone(), error, cfg.max_shrink_steps);
+            panic!(
+                "property '{name}' falsified at case {index} (seed 0x{seed:016x})\n\
+                 \x20 original: {value:?}\n\
+                 \x20 shrunk ({steps} steps): {minimal:?}\n\
+                 \x20 error: {min_error}\n\
+                 \x20 replay: OPTIMUS_PROP_SEED=0x{seed:x} cargo test <this test>"
+            );
+        }
+    }
+}
+
+/// Generates the cases [`check`] would test, without running a property.
+/// Exposed so determinism ("same seed, same cases") is itself testable.
+pub fn sample_cases<T>(cfg: &Config, name: &str, gen: &Gen<T>) -> Vec<T>
+where
+    T: Clone + 'static,
+{
+    let base = name_seed(name);
+    (0..cfg.cases)
+        .map(|i| {
+            let mut rng = Xoshiro256::seed_from(case_seed(base, i));
+            gen.generate(&mut rng)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gens;
+
+    #[test]
+    fn passing_property_completes() {
+        let cfg = Config::default();
+        check_with(&cfg, "tautology", &gens::u64_in(0..100), |_| Ok(()));
+    }
+
+    #[test]
+    fn failing_property_panics_with_seed() {
+        let cfg = Config::default();
+        let result = catch_unwind(|| {
+            check_with(&cfg, "always_false", &gens::u64_in(0..100), |_| {
+                Err("nope".to_string())
+            })
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("falsified"), "{msg}");
+        assert!(msg.contains("seed 0x"), "{msg}");
+        assert!(msg.contains("OPTIMUS_PROP_SEED"), "{msg}");
+    }
+
+    #[test]
+    fn replay_seed_runs_exactly_that_case() {
+        let mut cfg = Config::default();
+        cfg.replay_seed = Some(0xFEED);
+        let mut expected = Xoshiro256::seed_from(0xFEED);
+        let want = gens::u64_any().generate(&mut expected);
+        let seen = std::cell::Cell::new(None);
+        check_with(&cfg, "capture", &gens::u64_any(), |&v| {
+            seen.set(Some(v));
+            Ok(())
+        });
+        assert_eq!(seen.get(), Some(want));
+    }
+
+    #[test]
+    fn panicking_property_is_caught_and_shrunk() {
+        let cfg = Config::default();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check_with(&cfg, "panics_above", &gens::u64_in(0..10_000), |&v| {
+                assert!(v < 1, "boom at {v}");
+                Ok(())
+            })
+        }));
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("panicked"), "{msg}");
+        // Greedy shrink on `v >= 1` must land exactly on 1.
+        assert!(msg.contains("shrunk") && msg.contains(": 1"), "{msg}");
+    }
+
+    #[test]
+    fn seed_parsing_accepts_hex_and_decimal() {
+        assert_eq!(parse_seed("0x10"), Some(16));
+        assert_eq!(parse_seed("16"), Some(16));
+        assert_eq!(parse_seed("0Xff"), Some(255));
+        assert_eq!(parse_seed("zzz"), None);
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_streams() {
+        assert_ne!(name_seed("a"), name_seed("b"));
+        assert_ne!(case_seed(1, 0), case_seed(1, 1));
+    }
+}

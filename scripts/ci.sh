@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Offline CI gate for the OPTIMUS reproduction.
+#
+#  1. Hermetic-build check: no Cargo.toml may declare a registry dependency
+#     (everything must be an in-tree path dependency).
+#  2. Tier-1: cargo build --release && cargo test -q (plus the full
+#     workspace test suite).
+#  3. Bench smoke: run every bench target once at tiny scales and check
+#     that each emits its BENCH_<target>.json report.
+#
+# The whole script runs with no network access.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== [1/3] registry-dependency check =="
+python3 - <<'PYEOF'
+import glob, re, sys
+
+DEP_SECTIONS = re.compile(
+    r"^\[(?:workspace\.)?(?:dependencies|dev-dependencies|build-dependencies)"
+    r"(?:\.[A-Za-z0-9_-]+)?\]$"
+)
+offenders = []
+for path in sorted(glob.glob("Cargo.toml") + glob.glob("crates/*/Cargo.toml")):
+    in_deps = False
+    for lineno, raw in enumerate(open(path), 1):
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        if line.startswith("["):
+            in_deps = bool(DEP_SECTIONS.match(line.strip()))
+            continue
+        if not in_deps:
+            continue
+        # A path dep looks like `name = { path = "..." }` or
+        # `name.workspace = true`. Anything versioned, git-sourced, or
+        # registry-sourced is a hermeticity violation.
+        if re.match(r'^\s*[A-Za-z0-9_-]+\s*=\s*"', line):
+            offenders.append((path, lineno, line.strip()))
+        elif re.search(r'\b(version|git|registry)\s*=', line):
+            offenders.append((path, lineno, line.strip()))
+        elif "path" not in line and "workspace" not in line:
+            offenders.append((path, lineno, line.strip()))
+
+if offenders:
+    print("FAIL: registry-style dependencies found (the workspace must stay hermetic):")
+    for path, lineno, line in offenders:
+        print(f"  {path}:{lineno}: {line}")
+    sys.exit(1)
+print("ok: all dependencies are in-tree path dependencies")
+PYEOF
+
+echo "== [2/3] tier-1: build + tests =="
+cargo build --release
+cargo test -q
+cargo test --workspace -q
+
+echo "== [3/3] bench smoke (tiny scales, one JSON report per target) =="
+BENCH_DIR="target/bench-reports-ci"
+rm -rf "$BENCH_DIR"
+export OPTIMUS_BENCH_DIR="$PWD/$BENCH_DIR"
+# Shrink every knob so the full sweep finishes in seconds.
+export OPTIMUS_BENCH_WARMUP=20000
+export OPTIMUS_BENCH_WINDOW=60000
+export OPTIMUS_FIG1_SCALE=400
+export OPTIMUS_FIG8_SLICE_US=500
+export OPTIMUS_FIG8_SLICES=1
+export OPTIMUS_TESTKIT_WARMUP=1
+export OPTIMUS_TESTKIT_SAMPLES=3
+export OPTIMUS_TESTKIT_ITERS=5
+
+BENCHES=$(ls crates/bench/benches/*.rs | xargs -n1 basename | sed 's/\.rs$//')
+for b in $BENCHES; do
+    echo "-- bench smoke: $b"
+    cargo bench -q -p optimus-bench --bench "$b" >/dev/null
+    if [ ! -s "$BENCH_DIR/BENCH_${b}.json" ]; then
+        echo "FAIL: bench '$b' did not emit $BENCH_DIR/BENCH_${b}.json"
+        exit 1
+    fi
+done
+echo "ok: $(ls "$BENCH_DIR" | wc -l) bench reports in $BENCH_DIR"
+
+echo "CI PASSED"
