@@ -55,6 +55,17 @@ pub trait Kernel {
 
     /// Returns all state to power-on values.
     fn reset(&mut self);
+
+    /// Quiescence hint while the harness is in the running phase; mirrors
+    /// [`optimus_fabric::accelerator::Accelerator::next_event`]. A kernel
+    /// may return `None` (or a future cycle) only when its `step` is a pure
+    /// no-op until then given an empty response queue — the harness already
+    /// forces an event whenever responses are queued. The default
+    /// `Some(now)` never skips.
+    fn next_event(&self, now: Cycle, port: &AccelPort) -> Option<Cycle> {
+        let _ = port;
+        Some(now)
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -194,6 +205,35 @@ impl<K: Kernel> Accelerator for Harnessed<K> {
             Phase::Saving => CtrlStatus::Saving,
             Phase::Saved => CtrlStatus::Saved,
             Phase::Done => CtrlStatus::Done,
+        }
+    }
+
+    fn next_event(&self, now: Cycle, port: &AccelPort) -> Option<Cycle> {
+        match self.phase {
+            Phase::Idle | Phase::Saved | Phase::Done => None,
+            Phase::Running => {
+                // The kernel sees the queued responses on its next step, so
+                // that is always an event; otherwise defer to its own hint.
+                if port.queued_responses() > 0 {
+                    Some(now)
+                } else {
+                    self.kernel.next_event(now, port)
+                }
+            }
+            Phase::Draining => {
+                if port.queued_responses() > 0 || port.is_drained() {
+                    Some(now)
+                } else {
+                    None
+                }
+            }
+            Phase::Saving | Phase::Restoring => {
+                if port.queued_responses() > 0 || (self.engine.wants_issue() && port.can_issue()) {
+                    Some(now)
+                } else {
+                    None
+                }
+            }
         }
     }
 }

@@ -184,6 +184,20 @@ impl Kernel for Md5Kernel {
     fn reset(&mut self) {
         *self = Md5Kernel::new();
     }
+
+    fn next_event(&self, now: Cycle, port: &AccelPort) -> Option<Cycle> {
+        // With an empty response queue (the harness checks), a step only
+        // does something if it can issue read-ahead, consume an arrived
+        // line, or write the final digest.
+        let can_read = self.engine.wants_reads() && port.can_issue();
+        let can_finish =
+            self.engine.input_exhausted() && !self.digest_written && port.can_issue();
+        if can_read || self.engine.has_next() || can_finish {
+            Some(now)
+        } else {
+            None
+        }
+    }
 }
 
 /// Per-line cost of the SHA-512 pipeline at 200 MHz.
@@ -306,6 +320,23 @@ impl Kernel for Sha512Kernel {
 
     fn reset(&mut self) {
         *self = Sha512Kernel::new();
+    }
+
+    fn next_event(&self, now: Cycle, port: &AccelPort) -> Option<Cycle> {
+        // Same conditions as MD5, plus the pacer: a tick below the credit
+        // cap mutates state, so the kernel is only quiescent once the bank
+        // is saturated (the min-clamp then re-assigns exactly the cap).
+        if !self.pacer.saturated(2.0 * SHA_LINE_COST) {
+            return Some(now);
+        }
+        let can_read = self.engine.wants_reads() && port.can_issue();
+        let can_finish =
+            self.engine.input_exhausted() && !self.digest_written && port.can_issue();
+        if can_read || self.engine.has_next() || can_finish {
+            Some(now)
+        } else {
+            None
+        }
     }
 }
 

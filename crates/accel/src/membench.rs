@@ -187,6 +187,21 @@ impl Kernel for MbKernel {
     fn reset(&mut self) {
         *self = MbKernel::new(self.seed);
     }
+
+    fn next_event(&self, now: Cycle, port: &AccelPort) -> Option<Cycle> {
+        // With no responses queued (the harness checks), a step only does
+        // something if it can issue: region valid, ops remaining, port
+        // willing. Otherwise the kernel idles against port backpressure.
+        if self.bytes < 64 {
+            return None;
+        }
+        let want_issue = self.ops_target == 0 || self.issued < self.ops_target;
+        if want_issue && port.can_issue() {
+            Some(now)
+        } else {
+            None
+        }
+    }
 }
 
 #[cfg(test)]

@@ -113,6 +113,13 @@ impl StreamEngine {
         }
     }
 
+    /// Whether [`issue_reads`](Self::issue_reads) would issue anything given
+    /// a willing port (fast-forward hint: engine-side conditions only).
+    pub fn wants_reads(&self) -> bool {
+        self.read_cursor < self.total_lines
+            && self.reorder.len() + self.inflight.len() < self.window
+    }
+
     /// Whether the next in-order line has arrived.
     pub fn has_next(&self) -> bool {
         self.reorder.contains_key(&self.consume_cursor)
@@ -144,6 +151,15 @@ impl Pacer {
     /// Accrues one cycle of credit (capped to avoid unbounded bursts).
     pub fn tick(&mut self, max_bank: f64) {
         self.credit = (self.credit + 1.0).min(max_bank);
+    }
+
+    /// Whether the bank is at its cap, making a further
+    /// [`tick`](Self::tick) with the same `max_bank` a bitwise no-op (the
+    /// min-clamp assigns exactly `max_bank` again). Fast-forward hint: a
+    /// kernel whose only remaining activity is credit accrual is quiescent
+    /// once saturated.
+    pub fn saturated(&self, max_bank: f64) -> bool {
+        self.credit >= max_bank
     }
 
     /// Attempts to spend `cost` credits; returns whether the work may run.

@@ -5,9 +5,14 @@
 //! `bench_function` API, warm-up exclusion, `BENCH_micro.json` report).
 
 use optimus_algo::aes::Aes128;
+use optimus_cci::channel::SelectorPolicy;
 use optimus_cci::packet::{AccelId, Tag, UpPacket};
+use optimus_fabric::accelerator::Accelerator;
 use optimus_fabric::auditor::{Auditor, OutboundReq};
+use optimus_fabric::device::FpgaDevice;
+use optimus_fabric::mmio::{accel_mmio_base, accel_reg};
 use optimus_fabric::mux_tree::{MuxTree, TreeConfig};
+use optimus_fabric::testing::StreamCopier;
 use optimus_mem::addr::{Gva, Hpa, Iova, PageSize};
 use optimus_mem::iommu::Iommu;
 use optimus_mem::page_table::{PageFlags, PageTable};
@@ -102,6 +107,51 @@ fn bench_aes_line(c: &mut Bench) {
     });
 }
 
+fn copier_device() -> FpgaDevice {
+    let accels: Vec<Box<dyn Accelerator>> = (0..2)
+        .map(|_| Box::new(StreamCopier::new()) as Box<dyn Accelerator>)
+        .collect();
+    let mut dev = FpgaDevice::new_monitored(accels, 2, SelectorPolicy::Auto);
+    for i in 0..128u64 {
+        dev.host_mut()
+            .iommu_mut()
+            .map(
+                Iova::new(i * PageSize::Huge.bytes()),
+                Hpa::new(i * PageSize::Huge.bytes()),
+                PageSize::Huge,
+                PageFlags::rw(),
+            )
+            .unwrap();
+    }
+    dev
+}
+
+/// Raw `FpgaDevice::step` cost — the quantity fast-forward exists to avoid
+/// paying on idle cycles, measured both idle and under a live copy.
+fn bench_device_step(c: &mut Bench) {
+    c.bench_function("fpga_device_step_idle", |b| {
+        let mut dev = copier_device();
+        b.iter(|| {
+            dev.step();
+            dev.now()
+        })
+    });
+    c.bench_function("fpga_device_step_loaded", |b| {
+        let mut dev = copier_device();
+        let base = accel_mmio_base(0);
+        dev.mmio_write(base + StreamCopier::REG_SRC, 0x100_000);
+        dev.mmio_write(base + StreamCopier::REG_DST, 0x4_000_000);
+        // Large enough that the copy outlives any sample batch.
+        dev.mmio_write(base + StreamCopier::REG_LINES, u64::MAX >> 8);
+        dev.mmio_write(base + accel_reg::CTRL_CMD, accel_reg::CMD_START);
+        dev.run(1_000); // reach steady state
+        b.iter(|| {
+            dev.step();
+            dev.now()
+        })
+    });
+}
+
 fn main() {
     let mut c = Bench::new("micro");
     bench_auditor(&mut c);
@@ -109,5 +159,6 @@ fn main() {
     bench_page_table_walk(&mut c);
     bench_mux_tree(&mut c);
     bench_aes_line(&mut c);
+    bench_device_step(&mut c);
     c.finish().expect("write bench report");
 }

@@ -139,6 +139,19 @@ impl DmaEngine {
         }
     }
 
+    /// Whether a step could issue a read given a willing host
+    /// (fast-forward hint: engine-side conditions only — the injection
+    /// interval and host backpressure are timed separately).
+    pub fn wants_issue(&self) -> bool {
+        self.issued < self.total && self.outstanding < params::MAX_OUTSTANDING
+    }
+
+    /// Earliest cycle at which the injection-interval gate permits the
+    /// next read (fast-forward hint; may be in the past).
+    pub fn next_issue_ready(&self) -> Cycle {
+        self.next_inject
+    }
+
     /// Offers a host→FPGA packet to the engine. Returns `true` if consumed.
     ///
     /// Responses are re-ordered back into descriptor order before entering

@@ -68,6 +68,7 @@ struct HcPlatform {
     host: HostSide,
     engine: DmaEngine,
     now: Cycle,
+    fastfwd: bool,
 }
 
 impl HcPlatform {
@@ -90,28 +91,59 @@ impl HcPlatform {
             host,
             engine: DmaEngine::new(AccelId(0)),
             now: 0,
+            fastfwd: optimus_sim::simrate::fast_forward_enabled(),
         }
+    }
+
+    /// Earliest cycle ≥ `now` at which an active engine's step or the
+    /// response drain could do anything; `None` if the platform is fully
+    /// quiescent (nothing in flight, nothing issuable).
+    fn next_event(&self) -> Option<Cycle> {
+        let mut horizon: Option<Cycle> = self.host.next_event(self.now);
+        if self.engine.wants_issue() {
+            let t = self
+                .engine
+                .next_issue_ready()
+                .max(self.host.next_accept(self.now))
+                .max(self.now);
+            horizon = Some(horizon.map_or(t, |h| h.min(t)));
+        }
+        horizon.map(|h| h.max(self.now))
     }
 
     /// Advances the platform clock, pumping the engine. When the engine is
     /// idle the clock fast-forwards (nothing observable happens cycle by
-    /// cycle while the CPU is busy trapping or copying).
+    /// cycle while the CPU is busy trapping or copying); while a transfer
+    /// is in flight the clock jumps between event horizons unless
+    /// `OPTIMUS_NO_FASTFWD` pins it to per-cycle stepping.
     fn advance(&mut self, cycles: Cycle) {
-        if self.engine.is_done() {
-            self.now += cycles;
-            // Drain any residual responses (acks of the final lines).
-            while let Some(pkt) = self.host.pop_response(self.now) {
-                self.engine.deliver(&pkt);
+        let end = self.now + cycles;
+        while self.now < end && !self.engine.is_done() {
+            if self.fastfwd {
+                match self.next_event() {
+                    None => break,
+                    Some(t) if t > self.now => {
+                        self.now = t.min(end);
+                        continue;
+                    }
+                    _ => {}
+                }
             }
-            return;
-        }
-        for _ in 0..cycles {
             self.engine.step(self.now, &mut self.host);
             while let Some(pkt) = self.host.pop_response(self.now) {
                 self.engine.deliver(&pkt);
             }
             self.now += 1;
         }
+        if self.now < end {
+            // Engine done (or quiescent): nothing observable remains cycle
+            // by cycle. Jump, then drain residual acks of the final lines.
+            self.now = end;
+            while let Some(pkt) = self.host.pop_response(self.now) {
+                self.engine.deliver(&pkt);
+            }
+        }
+        optimus_sim::simrate::add_cycles(cycles);
     }
 
     /// Runs a configured transfer to completion, draining the FIFO.

@@ -307,13 +307,17 @@ impl Optimus {
         }
         let v = &self.vaccels[va.0 as usize];
         let state_buffer = v.state_buffer.raw();
-        let regs: Vec<(u64, u64)> = v.app_regs.iter().map(|(&k, &v)| (k, v)).collect();
         let run = v.run;
         let pending_start = v.pending_start;
         self.device.mmio_write(base + accel_reg::CTRL_STATE_ADDR, state_buffer);
-        for (off, val) in regs {
+        // Move the cached register file out, replay it, and move it back:
+        // installs happen on every context switch, so avoid re-collecting
+        // the map into a fresh Vec each time.
+        let regs = std::mem::take(&mut self.vaccels[va.0 as usize].app_regs);
+        for (&off, &val) in regs.iter() {
             self.device.mmio_write(base + accel_reg::APP_BASE + off, val);
         }
+        self.vaccels[va.0 as usize].app_regs = regs;
         match run {
             VaccelRun::SavedInMemory => {
                 self.device.mmio_write(base + accel_reg::CTRL_CMD, accel_reg::CMD_RESUME);

@@ -2,8 +2,14 @@
 //! on the in-tree `optimus-testkit` harness (replay failures with
 //! `OPTIMUS_PROP_SEED=<printed seed>`).
 
+use optimus::hypervisor::{Optimus, OptimusConfig};
 use optimus::scheduler::{SchedPolicy, SliceScheduler};
 use optimus::slicing::SlicingConfig;
+use optimus_accel::hash::reg as hash_reg;
+use optimus_accel::linked_list::LlKernel;
+use optimus_accel::membench::MbKernel;
+use optimus_accel::registry::AccelKind;
+use optimus_fabric::mmio::accel_reg;
 use optimus_mem::addr::Gva;
 use optimus_testkit::gens;
 use optimus_testkit::runner::check;
@@ -40,6 +46,123 @@ fn slicing_round_trips_and_isolates() {
                 let other = cfg.gva_to_iova(slice_b, base, gva);
                 prop_assert_ne!(iova.raw(), other.raw());
             }
+            Ok(())
+        },
+    );
+}
+
+/// Runs two time-sliced jobs of `kind` through the full hypervisor stack
+/// (traps, hypercalls, install/preempt, mux tree, IOMMU) in the given
+/// fast-forward mode and returns an exhaustive fingerprint of everything
+/// the measured figures derive from.
+fn hypervisor_fingerprint(ff: bool, kind_sel: u8, work: u64, slice: u64, seed: u64) -> Vec<u64> {
+    let kind = match kind_sel % 3 {
+        0 => AccelKind::Ll,
+        1 => AccelKind::Mb,
+        _ => AccelKind::Md5,
+    };
+    let mut cfg = OptimusConfig::new(vec![kind]);
+    cfg.time_slice = slice;
+    let mut hv = Optimus::new(cfg);
+    hv.device_mut().set_fast_forward(ff);
+    let vms = [hv.create_vm("a"), hv.create_vm("b")];
+    let vas = [hv.create_vaccel(vms[0], 0), hv.create_vaccel(vms[1], 0)];
+    for (i, &va) in vas.iter().enumerate() {
+        // Per-guest job size, deterministically derived but distinct.
+        let work = work / (i as u64 + 1);
+        let mut g = hv.guest(va);
+        let state = g.alloc_dma(1 << 21);
+        g.set_state_buffer(state);
+        match kind {
+            AccelKind::Ll => {
+                let nodes = 64u64;
+                let region = g.alloc_dma(nodes * 64);
+                let mut blob = vec![0u8; (nodes * 64) as usize];
+                for n in 0..nodes {
+                    let next = region.raw() + ((n * 7 + 1) % nodes) * 64;
+                    blob[(n * 64) as usize..(n * 64 + 8) as usize]
+                        .copy_from_slice(&next.to_le_bytes());
+                }
+                g.write_mem(region, &blob);
+                g.mmio_write(accel_reg::APP_BASE + LlKernel::REG_START, region.raw());
+                g.mmio_write(accel_reg::APP_BASE + LlKernel::REG_STEPS, 20 + work % 60);
+            }
+            AccelKind::Mb => {
+                let region = g.alloc_dma(1 << 21);
+                g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_REGION, region.raw());
+                g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_BYTES, 1 << 16);
+                g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_OPS, 100 + work % 300);
+                g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_SEED, seed ^ i as u64);
+            }
+            _ => {
+                let lines = 16 + work % 48;
+                let region = g.alloc_dma(1 << 21);
+                let data: Vec<u8> = (0..lines * 64)
+                    .map(|b| (b as u8).wrapping_mul(31).wrapping_add(seed as u8))
+                    .collect();
+                g.write_mem(region, &data);
+                g.mmio_write(accel_reg::APP_BASE + hash_reg::SRC, region.raw());
+                g.mmio_write(accel_reg::APP_BASE + hash_reg::DST, region.raw() + lines * 64);
+                g.mmio_write(accel_reg::APP_BASE + hash_reg::LINES, lines);
+            }
+        }
+        g.mmio_write(accel_reg::CTRL_CMD, accel_reg::CMD_START);
+    }
+    let done = [
+        hv.run_until_done(vas[0], 4_000_000),
+        hv.run_until_done(vas[1], 4_000_000),
+    ];
+    let stats = hv.stats();
+    let mut fp = vec![
+        hv.device().now(),
+        done[0] as u64,
+        done[1] as u64,
+        stats.traps,
+        stats.hypercalls,
+        stats.pinned_pages,
+        stats.context_switches,
+        stats.preemptions,
+        stats.forced_resets,
+        hv.device().dropped_packets(),
+        hv.device().host().faulted_dmas(),
+        hv.device().host().total_dma_bytes(),
+        hv.device().port(0).stale_discarded(),
+    ];
+    let (read, written) = hv.device().port(0).byte_counts();
+    fp.push(read);
+    fp.push(written);
+    // Guest-visible progress registers (the measured-figure inputs).
+    let progress_reg = match kind {
+        AccelKind::Ll => LlKernel::REG_DONE_STEPS,
+        AccelKind::Mb => MbKernel::REG_COMPLETED,
+        _ => hash_reg::DIGEST0,
+    };
+    for &va in &vas {
+        fp.push(hv.guest(va).mmio_read(accel_reg::APP_BASE + progress_reg));
+    }
+    fp.push(hv.device().now());
+    fp
+}
+
+/// Differential equivalence at the hypervisor level: fast-forwarding
+/// yields bit-identical cycle counts, trap/preemption statistics, port
+/// byte counts, and guest-visible results for random time-sliced
+/// workloads on each of LinkedList, MemBench, and MD5.
+#[test]
+fn fast_forward_is_bit_exact_under_the_hypervisor() {
+    let gen = gens::zip4(
+        gens::u8_in(0..3),
+        gens::u64_in(0..1000),
+        gens::u64_in(3_000..12_000),
+        gens::u64_any(),
+    );
+    check(
+        "fast_forward_is_bit_exact_under_the_hypervisor",
+        &gen,
+        |&(kind_sel, work, slice, seed)| {
+            let fast = hypervisor_fingerprint(true, kind_sel, work, slice, seed);
+            let slow = hypervisor_fingerprint(false, kind_sel, work, slice, seed);
+            prop_assert_eq!(&fast, &slow, "fingerprints diverge");
             Ok(())
         },
     );

@@ -177,6 +177,15 @@ impl AccelPort {
         self.responses.pop_front()
     }
 
+    /// Number of delivered responses the accelerator has not yet popped.
+    ///
+    /// Used by the fast-forward machinery: a non-empty response queue means
+    /// the next `step` is never a no-op, regardless of what the
+    /// accelerator's own quiescence hint says.
+    pub fn queued_responses(&self) -> usize {
+        self.responses.len()
+    }
+
     /// Number of requests issued but not yet answered.
     pub fn outstanding(&self) -> usize {
         self.in_flight.len()
@@ -297,6 +306,23 @@ pub trait Accelerator {
     /// Whether the programmed job has completed.
     fn is_done(&self) -> bool {
         self.status() == CtrlStatus::Done
+    }
+
+    /// Quiescence hint for event-horizon fast-forwarding.
+    ///
+    /// Returning `Some(t)` with `t > now` (or `None`, meaning "indefinitely
+    /// quiescent") asserts that every [`step`](Self::step) before `t` is a
+    /// *pure no-op* — no state change, no port activity — provided no new
+    /// responses are delivered and no MMIO register is written in the gap
+    /// (the device re-polls the hint after either). The device additionally
+    /// never skips while the port has queued responses or pending requests,
+    /// so hints only need to reason about the accelerator's own state.
+    ///
+    /// The default `Some(now)` ("an event this cycle") disables skipping, so
+    /// implementations are correct by default and opt in incrementally.
+    fn next_event(&self, now: Cycle, port: &AccelPort) -> Option<Cycle> {
+        let _ = port;
+        Some(now)
     }
 }
 

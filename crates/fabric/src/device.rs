@@ -52,6 +52,7 @@ pub struct FpgaDevice {
     pt_next_inject: Cycle,
     shell_regs: HashMap<u64, u64>,
     dropped_packets: u64,
+    fastfwd: bool,
 }
 
 impl core::fmt::Debug for FpgaDevice {
@@ -107,6 +108,7 @@ impl FpgaDevice {
             pt_next_inject: 0,
             shell_regs: HashMap::new(),
             dropped_packets: 0,
+            fastfwd: optimus_sim::simrate::fast_forward_enabled(),
         }
     }
 
@@ -132,6 +134,7 @@ impl FpgaDevice {
             pt_next_inject: 0,
             shell_regs: HashMap::new(),
             dropped_packets: 0,
+            fastfwd: optimus_sim::simrate::fast_forward_enabled(),
         }
     }
 
@@ -268,23 +271,114 @@ impl FpgaDevice {
         self.now += 1;
     }
 
+    /// Whether event-horizon fast-forwarding is active on this device.
+    pub fn fast_forward_enabled(&self) -> bool {
+        self.fastfwd
+    }
+
+    /// Overrides the fast-forward mode sampled from `OPTIMUS_NO_FASTFWD` at
+    /// construction. Used by the differential equivalence tests to run two
+    /// identical devices in opposite modes within one process.
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.fastfwd = on;
+    }
+
+    /// Earliest future cycle at which [`step`](Self::step) can do anything,
+    /// or `None` if the whole machine is quiescent until externally poked.
+    ///
+    /// A cycle may be skipped only if stepping it is provably a pure no-op;
+    /// every term below is conservative (`Some(now)` whenever in doubt), so
+    /// fast-forward is bit-exact by construction.
+    pub fn next_event(&self) -> Option<Cycle> {
+        let now = self.now;
+        let mut horizon: Option<Cycle> = None;
+        let mut merge = |t: Cycle| {
+            let t = t.max(now);
+            horizon = Some(horizon.map_or(t, |h: Cycle| h.min(t)));
+        };
+
+        // 1. Downstream pipeline delivery.
+        if let Some(t) = self.down_pipe.next_ready() {
+            merge(t);
+        }
+        // 6. Host responses (DMA completions, CPU MMIO ops in flight).
+        if let Some(t) = self.host.next_event(now) {
+            merge(t);
+        }
+        // 4/5. Tree arbitration and root drain.
+        if let Some(tree) = self.tree.as_ref() {
+            if let Some(t) = tree.next_event(now) {
+                merge(t);
+            }
+        }
+        // 2/3. Accelerator edges and auditor forwarding.
+        for i in 0..self.accels.len() {
+            if self.ports[i].has_pending() {
+                // The auditor forwards pending requests every fabric cycle.
+                merge(now);
+                continue;
+            }
+            let hint = if self.ports[i].queued_responses() > 0 {
+                Some(now)
+            } else {
+                self.accels[i].next_event(now, &self.ports[i])
+            };
+            if let Some(t) = hint {
+                merge(self.dividers[i].next_edge(t.max(now)));
+            }
+        }
+        horizon
+    }
+
+    /// Advances toward `end`: skips directly to the next event when
+    /// fast-forwarding is on and the machine is provably idle, otherwise
+    /// executes one cycle.
+    fn advance_toward(&mut self, end: Cycle) {
+        if self.fastfwd {
+            match self.next_event() {
+                None => {
+                    self.now = end;
+                    return;
+                }
+                Some(t) if t > self.now => {
+                    self.now = t.min(end);
+                    return;
+                }
+                _ => {}
+            }
+        }
+        self.step();
+    }
+
     /// Runs the machine for `cycles` fabric cycles.
     pub fn run(&mut self, cycles: Cycle) {
-        for _ in 0..cycles {
-            self.step();
+        let end = self.now + cycles;
+        while self.now < end {
+            self.advance_toward(end);
         }
+        optimus_sim::simrate::add_cycles(cycles);
     }
 
     /// Runs until `predicate` returns true, up to `max_cycles`.
     /// Returns `true` if the predicate fired.
+    ///
+    /// With fast-forwarding on, the predicate is evaluated only at event
+    /// cycles (device state is constant across skipped gaps, so any
+    /// state-derived predicate fires at the same cycle either way).
     pub fn run_until(&mut self, max_cycles: Cycle, mut predicate: impl FnMut(&Self) -> bool) -> bool {
-        for _ in 0..max_cycles {
+        let start = self.now;
+        let end = self.now + max_cycles;
+        let mut fired = false;
+        while self.now < end {
             if predicate(self) {
-                return true;
+                fired = true;
+                break;
             }
-            self.step();
+            self.advance_toward(end);
         }
-        predicate(self)
+        let hit = fired || predicate(self);
+        optimus_sim::simrate::add_cycles(self.now - start);
+        hit
     }
 
     fn dispatch_down(&mut self, pkt: DownPacket, now: Cycle) {
@@ -400,12 +494,19 @@ impl FpgaDevice {
     /// wiring bug, since even discarded reads master-abort).
     pub fn mmio_read(&mut self, addr: u64) -> u64 {
         self.host.inject_mmio_read(addr, self.now);
-        for _ in 0..1_000_000 {
-            self.step();
+        let start = self.now;
+        let end = self.now + 1_000_000;
+        while self.now < end {
+            // Poll before stepping: the response surfaces at the cycle it
+            // becomes ready, with the same final `now` in both modes (the
+            // per-cycle path never executes the step of the ready cycle
+            // either, since the old loop checked after incrementing).
             if let Some((raddr, value)) = self.host.take_mmio_response(self.now) {
                 debug_assert_eq!(raddr, addr, "interleaved MMIO reads are not supported");
+                optimus_sim::simrate::add_cycles(self.now - start);
                 return value;
             }
+            self.advance_toward(end);
         }
         panic!("MMIO read of {addr:#x} never completed");
     }

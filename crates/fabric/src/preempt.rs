@@ -85,6 +85,20 @@ impl PreemptEngine {
         !matches!(self.mode, Mode::Idle)
     }
 
+    /// Whether the engine would issue a request if the port allowed it.
+    ///
+    /// Fast-forward hint: while active but not wanting to issue, the engine
+    /// is purely waiting on responses, so a `step` with an empty response
+    /// queue is a no-op.
+    pub fn wants_issue(&self) -> bool {
+        match &self.mode {
+            Mode::Idle => false,
+            Mode::Saving { buffer, issued, .. } => *issued < buffer.len() / 64,
+            Mode::RestoringHeader { issued } => !*issued,
+            Mode::Restoring { buffer, issued, .. } => *issued < buffer.len() / 64,
+        }
+    }
+
     /// Begins saving `state`. The blob is made self-describing (an 8-byte
     /// length header is prepended) so that a later resume — possibly after
     /// other virtual accelerators used this physical accelerator — can

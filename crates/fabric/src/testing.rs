@@ -260,6 +260,40 @@ impl Accelerator for StreamCopier {
             Phase::Done => CtrlStatus::Done,
         }
     }
+
+    fn next_event(&self, now: Cycle, port: &AccelPort) -> Option<Cycle> {
+        // Quiescence hint: each arm mirrors `step` — `Some(now)` whenever
+        // that arm could pop a response, issue a request, or change phase.
+        match self.phase {
+            Phase::Idle | Phase::Saved | Phase::Done => None,
+            Phase::Running => {
+                if port.queued_responses() > 0 || self.written == self.lines {
+                    return Some(now);
+                }
+                let write_ready = self.reorder.contains_key(&self.write_cursor);
+                let read_ready = self.read_cursor < self.lines && self.reorder.len() < 16;
+                if port.can_issue() && (write_ready || read_ready) {
+                    Some(now)
+                } else {
+                    None
+                }
+            }
+            Phase::Draining => {
+                if port.queued_responses() > 0 || port.is_drained() {
+                    Some(now)
+                } else {
+                    None
+                }
+            }
+            Phase::Saving | Phase::Restoring => {
+                if port.queued_responses() > 0 || (self.engine.wants_issue() && port.can_issue()) {
+                    Some(now)
+                } else {
+                    None
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -14,6 +14,8 @@
 //! * [`queue`] — latency-carrying FIFOs used to model pipelined links.
 //! * [`stats`] — throughput and latency accounting used by the benchmark
 //!   harness.
+//! * [`simrate`] — process-wide simulated-cycle accounting and the
+//!   `OPTIMUS_NO_FASTFWD` fast-forward toggle.
 //!
 //! # Examples
 //!
@@ -31,6 +33,7 @@
 pub mod perm;
 pub mod queue;
 pub mod rng;
+pub mod simrate;
 pub mod stats;
 pub mod time;
 

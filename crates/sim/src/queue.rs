@@ -59,6 +59,30 @@ impl<T> TimedQueue<T> {
         }
     }
 
+    /// Ready time of the head entry, if any.
+    ///
+    /// Because pushes clamp ready times monotonically (no overtaking), the
+    /// head's ready time is the earliest cycle at which *any* entry becomes
+    /// poppable — i.e. the queue's next event horizon. `None` means the
+    /// queue is empty and will stay silent until something is pushed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use optimus_sim::queue::TimedQueue;
+    ///
+    /// let mut q = TimedQueue::new();
+    /// assert_eq!(q.next_ready(), None);
+    /// q.push("pkt", 10);
+    /// q.push("later", 3); // clamped to 10: cannot overtake
+    /// assert_eq!(q.next_ready(), Some(10));
+    /// assert_eq!(q.pop_ready(10), Some("pkt"));
+    /// assert_eq!(q.next_ready(), Some(10));
+    /// ```
+    pub fn next_ready(&self) -> Option<Cycle> {
+        self.items.front().map(|&(ready, _)| ready)
+    }
+
     /// Peeks at the head if its ready time has been reached.
     pub fn peek_ready(&self, now: Cycle) -> Option<&T> {
         match self.items.front() {
@@ -149,6 +173,38 @@ mod tests {
         q.clear();
         q.push(2, 1);
         assert_eq!(q.pop_ready(1), Some(2));
+    }
+
+    #[test]
+    fn next_ready_tracks_head() {
+        let mut q = TimedQueue::new();
+        assert_eq!(q.next_ready(), None);
+        q.push("a", 7);
+        q.push("b", 9);
+        assert_eq!(q.next_ready(), Some(7));
+        assert_eq!(q.pop_ready(7), Some("a"));
+        assert_eq!(q.next_ready(), Some(9));
+        assert_eq!(q.pop_ready(9), Some("b"));
+        assert_eq!(q.next_ready(), None);
+    }
+
+    #[test]
+    fn next_ready_respects_no_overtaking_clamp() {
+        let mut q = TimedQueue::new();
+        q.push("slow", 50);
+        assert_eq!(q.pop_ready(50), Some("slow"));
+        // The clamp outlives the pop: a later push cannot rewind the head.
+        q.push("fast", 1);
+        assert_eq!(q.next_ready(), Some(50));
+    }
+
+    #[test]
+    fn next_ready_is_never_poppable_early() {
+        let mut q = TimedQueue::new();
+        q.push(1, 12);
+        let horizon = q.next_ready().unwrap();
+        assert!(q.pop_ready(horizon - 1).is_none());
+        assert_eq!(q.pop_ready(horizon), Some(1));
     }
 
     #[test]

@@ -114,6 +114,27 @@ impl ClockDivider {
         now % self.divisor == 0
     }
 
+    /// First fabric cycle at or after `at` that carries a rising edge.
+    ///
+    /// The divider is stateless modulo arithmetic, so skipping fabric cycles
+    /// between edges cannot perturb it — this is what makes clock dividers
+    /// safe under event-horizon fast-forwarding.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use optimus_sim::time::ClockDivider;
+    ///
+    /// let d = ClockDivider::from_mhz(100); // edge every 4 fabric cycles
+    /// assert_eq!(d.next_edge(0), 0);
+    /// assert_eq!(d.next_edge(1), 4);
+    /// assert_eq!(d.next_edge(4), 4);
+    /// assert_eq!(d.next_edge(5), 8);
+    /// ```
+    pub fn next_edge(&self, at: Cycle) -> Cycle {
+        at.div_ceil(self.divisor) * self.divisor
+    }
+
     /// The divisor relative to the fabric clock.
     pub fn divisor(&self) -> u64 {
         self.divisor
@@ -172,5 +193,19 @@ mod tests {
     #[should_panic(expected = "does not divide")]
     fn divider_rejects_non_integer_ratio() {
         ClockDivider::from_mhz(300);
+    }
+
+    #[test]
+    fn next_edge_agrees_with_tick() {
+        for mhz in [400u64, 200, 100, 50] {
+            let mut d = ClockDivider::from_mhz(mhz);
+            for at in 0..32u64 {
+                let edge = d.next_edge(at);
+                assert!(edge >= at);
+                assert!(d.tick(edge), "{mhz} MHz: {edge} is not an edge");
+                // No edge strictly between `at` and the reported one.
+                assert!((at..edge).all(|c| !d.tick(c)), "{mhz} MHz at {at}");
+            }
+        }
     }
 }

@@ -213,6 +213,12 @@ pub struct Report {
     tables: Vec<TableData>,
     notes: Vec<String>,
     functions: Vec<FnStats>,
+    /// Session start, for the wall-clock half of `sim_rate`.
+    started: Instant,
+    /// Global simulated-cycle counter at session start, so concurrent or
+    /// sequential reports in one process each attribute only their own
+    /// fabric cycles.
+    start_cycles: u64,
 }
 
 /// Prints a titled table with right-aligned columns (the workspace's
@@ -249,6 +255,24 @@ impl Report {
             tables: Vec::new(),
             notes: Vec::new(),
             functions: Vec::new(),
+            started: Instant::now(),
+            start_cycles: optimus_sim::simrate::cycles(),
+        }
+    }
+
+    /// Simulated fabric cycles attributed to this session so far.
+    fn sim_cycles(&self) -> u64 {
+        optimus_sim::simrate::cycles().saturating_sub(self.start_cycles)
+    }
+
+    /// Simulated fabric cycles per wall-clock second (the sim-rate figure
+    /// every report carries; 0 when nothing was simulated).
+    fn sim_rate(&self) -> f64 {
+        let secs = self.started.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            self.sim_cycles() as f64 / secs
+        } else {
+            0.0
         }
     }
 
@@ -273,6 +297,9 @@ impl Report {
         Json::obj(vec![
             ("schema", Json::s("optimus-testkit/bench-report/v1")),
             ("bench", Json::s(&self.name)),
+            ("sim_cycles", Json::Num(self.sim_cycles() as f64)),
+            ("wall_secs", Json::Num(self.started.elapsed().as_secs_f64())),
+            ("sim_rate", Json::Num(self.sim_rate())),
             (
                 "tables",
                 Json::Arr(
@@ -318,7 +345,13 @@ impl Report {
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("BENCH_{}.json", self.name));
         std::fs::write(&path, self.to_json().render() + "\n")?;
-        println!("\nreport: {}", path.display());
+        println!(
+            "\nsim rate: {:.2} Mcycles/s ({} simulated cycles in {:.2} s)",
+            self.sim_rate() / 1e6,
+            self.sim_cycles(),
+            self.started.elapsed().as_secs_f64()
+        );
+        println!("report: {}", path.display());
         Ok(path)
     }
 }

@@ -56,6 +56,13 @@ cargo build --release
 cargo test -q
 cargo test --workspace -q
 
+echo "== [2b/3] fast-forward differential equivalence (per-cycle mode) =="
+# Re-run the fabric and hypervisor suites with fast-forwarding disabled:
+# the differential property tests then compare per-cycle stepping against
+# an explicitly re-enabled fast path, and every other test exercises the
+# seed's original cycle loop.
+OPTIMUS_NO_FASTFWD=1 cargo test -q -p optimus-fabric -p optimus
+
 echo "== [3/3] bench smoke (tiny scales, one JSON report per target) =="
 BENCH_DIR="target/bench-reports-ci"
 rm -rf "$BENCH_DIR"
