@@ -55,6 +55,21 @@ fn sweep(
 
 fn main() {
     let mut rep = report::Report::new("fig5_latency");
+    if scale::fig5_quick() {
+        // One representative point (OPTIMUS_FIG5_QUICK, CI trace smoke):
+        // two jobs over 4 GB with 2 MB pages on UPI exceeds the IOTLB
+        // reach, so the trace carries misses, walks, and arbitration.
+        sweep(
+            &mut rep,
+            PageSize::Huge,
+            SelectorPolicy::UpiOnly,
+            &[("4G", 4u64 << 30)],
+            &[2],
+        );
+        rep.note("\nquick mode: single sweep point (OPTIMUS_FIG5_QUICK).");
+        rep.finish().expect("write bench report");
+        return;
+    }
     let huge_sizes: &[(&str, u64)] = &[
         ("16M", 16 << 20), ("64M", 64 << 20), ("256M", 256 << 20),
         ("1G", 1 << 30), ("2G", 2 << 30), ("4G", 4u64 << 30), ("8G", 8u64 << 30),

@@ -43,3 +43,11 @@ pub fn fig8_slice_ms() -> f64 {
 pub fn fig8_slices_per_job() -> u64 {
     env_u64("OPTIMUS_FIG8_SLICES", 2)
 }
+
+/// Restricts the Fig. 5 bench to a single representative sweep point
+/// (one working-set size, one job count, one page/channel config).
+/// Used by the CI trace-smoke stage, where one point is enough to
+/// exercise every instrumented layer.
+pub fn fig5_quick() -> bool {
+    matches!(std::env::var("OPTIMUS_FIG5_QUICK"), Ok(v) if !v.is_empty() && v != "0")
+}

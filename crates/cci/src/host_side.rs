@@ -18,12 +18,13 @@
 //! IOMMU cannot fault-and-retry, which is exactly why OPTIMUS pins
 //! FPGA-accessible pages.
 
-use crate::channel::{ChannelSet, SelectorPolicy};
+use crate::channel::{ChannelKind, ChannelSet, SelectorPolicy};
 use crate::packet::{DownPacket, UpPacket};
 use crate::params;
 use optimus_mem::host::HostMemory;
 use optimus_mem::iommu::{Iommu, IommuError, TlbLookup};
 use optimus_sim::time::Cycle;
+use optimus_sim::trace::{self, Track};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -68,6 +69,9 @@ pub struct HostSide {
     total_dma_bytes: u64,
     mmio_latency: Cycle,
     mmio_mailbox: Vec<(Cycle, u64, u64)>,
+    /// Channel chosen for the previous DMA (flight-recorder switch
+    /// detection only; never feeds back into timing).
+    last_kind: Option<ChannelKind>,
 }
 
 impl core::fmt::Debug for HostSide {
@@ -96,7 +100,26 @@ impl HostSide {
             total_dma_bytes: 0,
             mmio_latency: params::mmio_fabric_latency(),
             mmio_mailbox: Vec::new(),
+            last_kind: None,
         }
+    }
+
+    /// Flight-recorder bookkeeping for one admitted DMA: a
+    /// `channel_switch` instant when the selector moved to a different
+    /// physical channel, plus per-channel packet counters.
+    fn trace_channel(&mut self, kind: ChannelKind, now: Cycle) {
+        let idx = ChannelKind::ALL.iter().position(|&k| k == kind).unwrap_or(0) as u64;
+        if self.last_kind.is_some_and(|prev| prev != kind) {
+            trace::instant(Track::channels(), "channel_switch", now, &[("channel", idx)]);
+            trace::count(Track::channels(), "channel_switches", 1);
+        }
+        self.last_kind = Some(kind);
+        let counter = match kind {
+            ChannelKind::Upi => "upi_packets",
+            ChannelKind::Pcie0 => "pcie0_packets",
+            ChannelKind::Pcie1 => "pcie1_packets",
+        };
+        trace::count(Track::channels(), counter, 1);
     }
 
     /// Host DRAM (CPU-side accesses go straight through; only DMAs pay the
@@ -162,13 +185,21 @@ impl HostSide {
             }
             UpPacket::DmaRead { iova, src, tag } => {
                 let (arrival, kind) = self.channels.admit(now);
-                match self.iommu.translate(iova, false) {
+                if trace::enabled() {
+                    self.trace_channel(kind, now);
+                }
+                match self.iommu.translate_at(iova, false, now) {
                     Ok(tr) => {
                         let done = self.schedule_service(arrival, tr.lookup);
                         let data = Box::new(self.memory.read_line(tr.hpa));
                         self.total_dma_bytes += 64;
                         let ready =
                             (done + self.channels.response_latency(kind)).ceil() as Cycle;
+                        if trace::enabled() {
+                            let link = Track::link(src.0 as usize);
+                            trace::complete(link, "dma_read", now, ready - now, &[("iova", iova.raw())]);
+                            trace::count(link, "dma_read_bytes", 64);
+                        }
                         self.push_outbound(DownPacket::DmaReadResp { data, dst: src, tag }, ready);
                     }
                     Err(e) => {
@@ -179,13 +210,21 @@ impl HostSide {
             }
             UpPacket::DmaWrite { iova, data, src, tag } => {
                 let (arrival, kind) = self.channels.admit(now);
-                match self.iommu.translate(iova, true) {
+                if trace::enabled() {
+                    self.trace_channel(kind, now);
+                }
+                match self.iommu.translate_at(iova, true, now) {
                     Ok(tr) => {
                         let done = self.schedule_service(arrival, tr.lookup);
                         self.memory.write_line(tr.hpa, &data);
                         self.total_dma_bytes += 64;
                         let ready =
                             (done + self.channels.response_latency(kind)).ceil() as Cycle;
+                        if trace::enabled() {
+                            let link = Track::link(src.0 as usize);
+                            trace::complete(link, "dma_write", now, ready - now, &[("iova", iova.raw())]);
+                            trace::count(link, "dma_write_bytes", 64);
+                        }
                         self.push_outbound(DownPacket::DmaWriteAck { dst: src, tag }, ready);
                     }
                     Err(e) => {
@@ -213,7 +252,20 @@ impl HostSide {
                     .expect("at least one walker");
                 let start = arrival.max(walker_at);
                 self.walker_free[walker_idx] = start + params::WALK_OCCUPANCY_NS / 2.5;
-                start + walk_steps as f64 * params::WALK_STEP_NS / 2.5
+                let done = start + walk_steps as f64 * params::WALK_STEP_NS / 2.5;
+                if trace::enabled() {
+                    // The walk's start/end cycles are only known here,
+                    // where walker contention resolves.
+                    trace::complete(
+                        Track::iommu(),
+                        "page_walk",
+                        start.ceil() as Cycle,
+                        (done - start).ceil() as Cycle,
+                        &[("walker", walker_idx as u64), ("walk_steps", walk_steps as u64)],
+                    );
+                    trace::count(Track::iommu(), "page_walk_cycles", (done - start).ceil() as u64);
+                }
+                done
             }
         };
         let interval = if lookup == TlbLookup::HitSpeculative {

@@ -28,6 +28,7 @@ use optimus_mem::addr::{Gva, Hpa, PageSize, PAGE_2M};
 use optimus_mem::host::FrameFiller;
 use optimus_mem::page_table::PageFlags;
 use optimus_sim::time::{ms_to_cycles, ns_to_cycles, Cycle};
+use optimus_sim::trace::{self, Track};
 
 /// MMIO cost model for guest accesses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -273,9 +274,17 @@ impl Optimus {
         self.device.run(cycles);
     }
 
-    fn trap_cost(&mut self) {
+    /// Charges one trapped-MMIO round trip to `va` (flight-recorded as a
+    /// `mmio_trap` span on the vaccel's track; `offset` is the BAR0
+    /// register that trapped).
+    fn trap_cost(&mut self, va: VaccelId, offset: u64) {
         self.stats.traps += 1;
         let c = self.trap.cycles();
+        if trace::enabled() {
+            let t = Track::vaccel(va.0);
+            trace::complete(t, "mmio_trap", self.device.now(), c, &[("offset", offset)]);
+            trace::count(t, "mmio_traps", 1);
+        }
         self.advance(c);
     }
 
@@ -289,6 +298,7 @@ impl Optimus {
     fn install(&mut self, va: VaccelId) {
         let slot = self.vaccels[va.0 as usize].slot;
         let base = accel_mmio_base(slot);
+        let install_start = self.device.now();
         // Clear the physical accelerator's previous occupant's state via
         // the VCU reset table ("to clear state for isolation purposes on a
         // VM context switch", §4.1). The outgoing vaccel's state — if it
@@ -332,6 +342,21 @@ impl Optimus {
         self.slots[slot].current = Some(va);
         // Let the install MMIOs settle (they are asynchronous writes).
         self.advance(ns_to_cycles(500.0));
+        if trace::enabled() {
+            // Register replay + reset + CMD_RESUME/CMD_START: the restore
+            // half of the preemption machinery (a fresh start shows as
+            // `preempt.install`, resuming saved state as `preempt.restore`).
+            let name = match run {
+                VaccelRun::SavedInMemory => "preempt.restore",
+                _ => "preempt.install",
+            };
+            let t = Track::vaccel(va.0);
+            trace::complete(t, name, install_start, self.device.now() - install_start, &[(
+                "slot",
+                slot as u64,
+            )]);
+            trace::count(t, "installs", 1);
+        }
     }
 
     /// Preempts the vaccel currently on `slot` (if any), waiting for the
@@ -349,12 +374,41 @@ impl Optimus {
         }
         self.device.mmio_write(base + accel_reg::CTRL_CMD, accel_reg::CMD_PREEMPT);
         self.stats.preemptions += 1;
+        let track = Track::vaccel(va.0);
+        if trace::enabled() {
+            // Drain phase: from CMD_PREEMPT until the accelerator reports
+            // it started streaming state out.
+            trace::begin(track, "preempt.drain", self.device.now(), &[("slot", slot as u64)]);
+            trace::count(track, "preemptions", 1);
+        }
+        let mut saving_seen = false;
         let deadline = self.device.now() + self.preempt_timeout;
         loop {
             self.advance(ns_to_cycles(1000.0));
-            match self.device.accel(slot).status() {
+            let status = self.device.accel(slot).status();
+            if trace::enabled()
+                && !saving_seen
+                && matches!(status, CtrlStatus::Saving | CtrlStatus::Saved)
+            {
+                // Drain ended, save streaming began (observed at the
+                // hypervisor's polling granularity; the fabric-side
+                // `preempt.save` span on the accel track is cycle-exact).
+                saving_seen = true;
+                let now = self.device.now();
+                trace::end(track, "preempt.drain", now);
+                trace::begin(track, "preempt.save", now, &[]);
+            }
+            match status {
                 CtrlStatus::Saved => {
                     self.vaccels[va.0 as usize].run = VaccelRun::SavedInMemory;
+                    if trace::enabled() {
+                        let now = self.device.now();
+                        if saving_seen {
+                            trace::end(track, "preempt.save", now);
+                        } else {
+                            trace::end(track, "preempt.drain", now);
+                        }
+                    }
                     break;
                 }
                 _ if self.device.now() >= deadline => {
@@ -369,6 +423,16 @@ impl Optimus {
                     // cached registers at its next slice.
                     v.run = VaccelRun::Fresh;
                     v.pending_start = true;
+                    if trace::enabled() {
+                        let now = self.device.now();
+                        trace::end(
+                            track,
+                            if saving_seen { "preempt.save" } else { "preempt.drain" },
+                            now,
+                        );
+                        trace::instant(track, "preempt.forced_reset", now, &[("slot", slot as u64)]);
+                        trace::count(track, "forced_resets", 1);
+                    }
                     break;
                 }
                 _ => {}
@@ -403,6 +467,11 @@ impl Optimus {
     /// Performs the end-of-slice decision for `slot`.
     fn slice_boundary(&mut self, slot: usize) {
         self.stats.context_switches += 1;
+        if trace::enabled() {
+            let t = Track::hypervisor();
+            trace::instant(t, "slice_boundary", self.device.now(), &[("slot", slot as u64)]);
+            trace::count(t, "context_switches", 1);
+        }
         let current = self.slots[slot].current;
         // Completed jobs retire (but stay resident until displaced, so the
         // guest can read result registers from hardware).
@@ -564,9 +633,10 @@ impl GuestCtx<'_> {
             // First allocation: the guest library reserves the 64 GB slice
             // and reports its base through the BAR2 register.
             self.hv.vaccels[self.va.0 as usize].dma_base = gva;
-            self.hv.stats.traps += 1;
-            let c = self.hv.trap.cycles();
-            self.hv.advance(c);
+            // The BAR2 slice-base report is itself a trapped MMIO write
+            // (no BAR0 offset; recorded as offset 0).
+            let va = self.va;
+            self.hv.trap_cost(va, 0);
         }
         // Host backing for the region.
         let hpa_base = self.hv.vms[vm_id.0 as usize]
@@ -654,6 +724,11 @@ impl GuestCtx<'_> {
         self.hv.stats.hypercalls += 1;
         self.hv.stats.pinned_pages += 1;
         let c = ns_to_cycles(host_costs::HYPERCALL_NS);
+        if trace::enabled() {
+            let t = Track::vaccel(self.va.0);
+            trace::complete(t, "hypercall", self.hv.device.now(), c, &[("gva", gva.raw())]);
+            trace::count(t, "hypercalls", 1);
+        }
         self.hv.advance(c);
     }
 
@@ -697,7 +772,8 @@ impl GuestCtx<'_> {
     /// Sets the guest's preemption state buffer (BAR0 `CTRL_STATE_ADDR`;
     /// trapped and virtualized).
     pub fn set_state_buffer(&mut self, gva: Gva) {
-        self.hv.trap_cost();
+        let va = self.va;
+        self.hv.trap_cost(va, accel_reg::CTRL_STATE_ADDR);
         self.hv.vaccels[self.va.0 as usize].state_buffer = gva;
         if self.hv.is_scheduled(self.va) {
             let slot = self.v().slot;
@@ -712,7 +788,8 @@ impl GuestCtx<'_> {
     /// Control registers are emulated; application registers are cached
     /// and, when the vaccel is scheduled, forwarded.
     pub fn mmio_write(&mut self, offset: u64, value: u64) {
-        self.hv.trap_cost();
+        let va = self.va;
+        self.hv.trap_cost(va, offset);
         match offset {
             accel_reg::CTRL_CMD => {
                 if value == accel_reg::CMD_START {
@@ -761,7 +838,8 @@ impl GuestCtx<'_> {
 
     /// Guest MMIO read from its BAR0.
     pub fn mmio_read(&mut self, offset: u64) -> u64 {
-        self.hv.trap_cost();
+        let va = self.va;
+        self.hv.trap_cost(va, offset);
         match offset {
             accel_reg::CTRL_STATUS => {
                 if self.hv.is_scheduled(self.va) {

@@ -168,6 +168,73 @@ fn fast_forward_is_bit_exact_under_the_hypervisor() {
     );
 }
 
+/// Differential equivalence of the flight recorder: running the same
+/// random time-sliced workload with tracing on and off yields
+/// bit-identical fingerprints — instrumentation is read-only — while
+/// the traced run actually records events (the property is not vacuous).
+#[test]
+fn tracing_is_invisible_to_the_simulation() {
+    use optimus_sim::trace;
+    let gen = gens::zip4(
+        gens::u8_in(0..3),
+        gens::u64_in(0..1000),
+        gens::u64_in(3_000..12_000),
+        gens::u64_any(),
+    );
+    check(
+        "tracing_is_invisible_to_the_simulation",
+        &gen,
+        |&(kind_sel, work, slice, seed)| {
+            trace::set_enabled(false);
+            let off = hypervisor_fingerprint(true, kind_sel, work, slice, seed);
+            trace::set_enabled(true);
+            trace::reset();
+            let on = hypervisor_fingerprint(true, kind_sel, work, slice, seed);
+            let events = trace::event_count();
+            trace::set_enabled(false);
+            trace::reset();
+            prop_assert_eq!(&on, &off, "tracing perturbed the simulation");
+            prop_assert!(events > 0, "traced run recorded no events");
+            Ok(())
+        },
+    );
+}
+
+/// A traced time-sliced run produces events from every instrumented
+/// layer, and the exported Chrome trace is cycle-monotone in file order.
+#[test]
+fn trace_covers_all_layers_with_monotone_cycles() {
+    use optimus_sim::trace;
+    trace::set_enabled(true);
+    trace::reset();
+    let _ = hypervisor_fingerprint(true, 2, 500, 6_000, 42);
+    let json = trace::chrome_trace_json();
+    let counters = trace::counters_dump();
+    trace::set_enabled(false);
+    trace::reset();
+    for needle in [
+        "mmio_trap",
+        "hypercall",
+        "iotlb_miss",
+        "page_walk",
+        "mux_grant",
+        "preempt.",
+    ] {
+        assert!(json.contains(needle), "trace missing {needle} events");
+    }
+    assert!(counters.contains("mmio_traps"), "counter registry empty");
+    let mut last = 0u64;
+    for part in json.split("\"cycle\":").skip(1) {
+        let end = part
+            .find(|c: char| !c.is_ascii_digit())
+            .expect("cycle arg terminates");
+        let cycle: u64 = part[..end].parse().expect("cycle arg is an integer");
+        assert!(cycle >= last, "cycle stamps regressed: {cycle} < {last}");
+        last = cycle;
+    }
+    assert!(last > 0, "no cycle stamps in exported trace");
+}
+
 /// Round-robin occupancy never deviates more than one slice from fair.
 #[test]
 fn round_robin_is_within_one_slice() {

@@ -14,7 +14,7 @@
 //!   directly to the shell, injecting one packet per cycle with no tree
 //!   latency (virtualized by direct device assignment + vIOMMU).
 
-use crate::accelerator::{AccelPort, Accelerator};
+use crate::accelerator::{AccelPort, Accelerator, CtrlStatus};
 use crate::auditor::{AuditVerdict, Auditor};
 use crate::mmio;
 use crate::mux_tree::{MuxTree, TreeConfig};
@@ -53,6 +53,10 @@ pub struct FpgaDevice {
     shell_regs: HashMap<u64, u64>,
     dropped_packets: u64,
     fastfwd: bool,
+    /// Last control status observed per accelerator, for cycle-exact
+    /// flight-recorder preemption-phase edges. Only written while
+    /// tracing; never feeds back into simulation.
+    trace_status: Vec<CtrlStatus>,
 }
 
 impl core::fmt::Debug for FpgaDevice {
@@ -93,6 +97,7 @@ impl FpgaDevice {
             .map(|i| Auditor::new(AccelId(i as u8), mmio::accel_mmio_base(i), mmio::ACCEL_PAGE))
             .collect();
         let n = accels.len();
+        let trace_status = accels.iter().map(|a| a.status()).collect();
         Self {
             mode: FabricMode::Monitored(config),
             now: 0,
@@ -109,12 +114,14 @@ impl FpgaDevice {
             shell_regs: HashMap::new(),
             dropped_packets: 0,
             fastfwd: optimus_sim::simrate::fast_forward_enabled(),
+            trace_status,
         }
     }
 
     /// Builds a pass-through device: one accelerator, directly assigned.
     pub fn new_passthrough(accel: Box<dyn Accelerator>, policy: SelectorPolicy) -> Self {
         let dividers = vec![ClockDivider::from_mhz(accel.meta().freq_mhz)];
+        let trace_status = vec![accel.status()];
         Self {
             mode: FabricMode::PassThrough,
             now: 0,
@@ -135,6 +142,7 @@ impl FpgaDevice {
             shell_regs: HashMap::new(),
             dropped_packets: 0,
             fastfwd: optimus_sim::simrate::fast_forward_enabled(),
+            trace_status,
         }
     }
 
@@ -268,7 +276,40 @@ impl FpgaDevice {
             self.down_pipe.push(pkt, now + self.down_latency);
         }
 
+        if optimus_sim::trace::enabled() {
+            self.trace_preempt_phases(now);
+        }
+
         self.now += 1;
+    }
+
+    /// Flight-recorder edge detection on accelerator control status:
+    /// emits cycle-exact `preempt.save` spans (Saving → Saved) and
+    /// restore markers on each accelerator's own track. Read-only with
+    /// respect to simulation state.
+    fn trace_preempt_phases(&mut self, now: Cycle) {
+        use optimus_sim::trace::{self, Track};
+        for i in 0..self.accels.len() {
+            let status = self.accels[i].status();
+            let prev = self.trace_status[i];
+            if status == prev {
+                continue;
+            }
+            self.trace_status[i] = status;
+            let t = Track::accel(i);
+            match (prev, status) {
+                (_, CtrlStatus::Saving) => trace::begin(t, "preempt.save", now, &[]),
+                (CtrlStatus::Saving, CtrlStatus::Saved) => {
+                    trace::end(t, "preempt.save", now);
+                    trace::count(t, "state_saves", 1);
+                }
+                (CtrlStatus::Saved, CtrlStatus::Running) => {
+                    trace::instant(t, "preempt.restore_begin", now, &[]);
+                    trace::count(t, "state_restores", 1);
+                }
+                _ => trace::instant(t, "ctrl_status", now, &[("status", status as u64)]),
+            }
+        }
     }
 
     /// Whether event-horizon fast-forwarding is active on this device.

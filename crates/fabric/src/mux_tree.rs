@@ -16,6 +16,7 @@ use optimus_cci::packet::UpPacket;
 use optimus_cci::params::{MONITOR_INJECT_INTERVAL, TREE_LEVEL_UP_CYCLES, TREE_QUEUE_CAPACITY};
 use optimus_sim::queue::TimedQueue;
 use optimus_sim::time::Cycle;
+use optimus_sim::trace::{self, Track};
 
 /// Shape of the multiplexer tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -177,6 +178,18 @@ impl MuxTree {
                 None => self.root_out.len() >= TREE_QUEUE_CAPACITY,
             };
             if output_full {
+                if trace::enabled()
+                    && self.nodes[idx]
+                        .inputs
+                        .iter()
+                        .any(|q| q.peek_ready(now).is_some())
+                {
+                    // Backpressure stall: a packet is ready but the level
+                    // above has no room.
+                    let t = Track::mux_node(idx);
+                    trace::instant(t, "mux_stall", now, &[]);
+                    trace::count(t, "stalls", 1);
+                }
                 continue;
             }
             // Round-robin scan for a ready input.
@@ -191,6 +204,11 @@ impl MuxTree {
                 }
             }
             if let Some((i, pkt)) = taken {
+                if trace::enabled() {
+                    let t = Track::mux_node(idx);
+                    trace::instant(t, "mux_grant", now, &[("input", i as u64)]);
+                    trace::count(t, "grants", 1);
+                }
                 self.nodes[idx].rr = (i + 1) % n_inputs;
                 self.nodes[idx].next_slot = now + MONITOR_INJECT_INTERVAL;
                 let ready = now + TREE_LEVEL_UP_CYCLES;

@@ -25,6 +25,8 @@
 
 use crate::addr::{Hpa, Iova, PageSize};
 use crate::page_table::{PageFlags, PageTable};
+use optimus_sim::time::Cycle;
+use optimus_sim::trace::{self, Track};
 
 /// Number of IOTLB entries (sets × ways = 512 × 1).
 pub const IOTLB_ENTRIES: usize = 512;
@@ -254,13 +256,45 @@ impl Iommu {
 
     /// Translates a DMA at `iova`.
     ///
+    /// Equivalent to [`translate_at`](Self::translate_at) with the
+    /// flight-recorder timestamp pinned to cycle 0 (direct callers that
+    /// don't track simulated time, e.g. unit tests).
+    ///
     /// # Errors
     ///
     /// * [`IommuError::Fault`] if no mapping covers `iova`;
     /// * [`IommuError::WriteDenied`] if `is_write` and the mapping is
     ///   read-only.
     pub fn translate(&mut self, iova: Iova, is_write: bool) -> Result<Translation, IommuError> {
+        self.translate_at(iova, is_write, 0)
+    }
+
+    /// Translates a DMA at `iova`, stamping flight-recorder events at
+    /// fabric cycle `now`: an `iotlb_hit` / `iotlb_spec_hit` /
+    /// `iotlb_miss` instant per lookup, plus `iotlb_conflict_evict` when
+    /// a fill displaced a live entry of another page (the Fig. 6
+    /// slice-stride pathology). Instrumentation is read-only: results
+    /// and statistics are identical with tracing on or off.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`translate`](Self::translate).
+    pub fn translate_at(
+        &mut self,
+        iova: Iova,
+        is_write: bool,
+        now: Cycle,
+    ) -> Result<Translation, IommuError> {
         if let Some((hpa, lookup, writable)) = self.tlb.lookup(iova) {
+            if trace::enabled() {
+                let (name, counter) = if lookup == TlbLookup::HitSpeculative {
+                    ("iotlb_spec_hit", "iotlb_speculative_hits")
+                } else {
+                    ("iotlb_hit", "iotlb_hits")
+                };
+                trace::instant(Track::iommu(), name, now, &[("iova", iova.raw())]);
+                trace::count(Track::iommu(), counter, 1);
+            }
             if is_write && !writable {
                 return Err(IommuError::WriteDenied { iova });
             }
@@ -278,7 +312,27 @@ impl Iommu {
                     .mapping_size(iova.raw())
                     .expect("translate succeeded, mapping must exist");
                 let page_base = Hpa::new(pa & !(size.bytes() - 1));
+                let evictions_before = self.tlb.conflict_evictions;
                 self.tlb.fill(iova, page_base, size, flags.write);
+                if trace::enabled() {
+                    let set = IoTlb::set_index(iova, size) as u64;
+                    trace::instant(
+                        Track::iommu(),
+                        "iotlb_miss",
+                        now,
+                        &[("iova", iova.raw()), ("set", set), ("walk_steps", walk_steps as u64)],
+                    );
+                    trace::count(Track::iommu(), "iotlb_misses", 1);
+                    if self.tlb.conflict_evictions > evictions_before {
+                        trace::instant(
+                            Track::iommu(),
+                            "iotlb_conflict_evict",
+                            now,
+                            &[("iova", iova.raw()), ("set", set)],
+                        );
+                        trace::count(Track::iommu(), "iotlb_conflict_evictions", 1);
+                    }
+                }
                 Ok(Translation {
                     hpa: Hpa::new(pa),
                     lookup: TlbLookup::Miss { walk_steps },
@@ -286,6 +340,10 @@ impl Iommu {
             }
             None => {
                 self.faults += 1;
+                if trace::enabled() {
+                    trace::instant(Track::iommu(), "io_page_fault", now, &[("iova", iova.raw())]);
+                    trace::count(Track::iommu(), "io_page_faults", 1);
+                }
                 Err(IommuError::Fault { iova })
             }
         }

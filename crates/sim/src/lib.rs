@@ -16,6 +16,9 @@
 //!   harness.
 //! * [`simrate`] — process-wide simulated-cycle accounting and the
 //!   `OPTIMUS_NO_FASTFWD` fast-forward toggle.
+//! * [`trace`] — the flight recorder: cycle-stamped events from every
+//!   layer into a bounded ring buffer, exported as Chrome `trace_event`
+//!   JSON for Perfetto, gated behind `OPTIMUS_TRACE`.
 //!
 //! # Examples
 //!
@@ -36,6 +39,7 @@ pub mod rng;
 pub mod simrate;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use perm::FeistelPermutation;
 pub use queue::TimedQueue;

@@ -12,7 +12,10 @@ use crate::time::{cycles_to_ns, gbps, Cycle};
 ///
 /// Stores raw samples so exact percentiles can be computed; experiment
 /// windows in this workspace collect at most a few hundred thousand samples,
-/// so this stays cheap.
+/// so this stays cheap. `samples` is always kept in insertion
+/// (chronological) order — percentile queries sort a lazily rebuilt
+/// scratch copy instead, so [`discard_prefix`](Self::discard_prefix)
+/// removes the *earliest* samples no matter what was queried before.
 ///
 /// # Examples
 ///
@@ -29,7 +32,8 @@ use crate::time::{cycles_to_ns, gbps, Cycle};
 #[derive(Debug, Clone, Default)]
 pub struct LatencyStats {
     samples: Vec<Cycle>,
-    sorted: bool,
+    scratch: Vec<Cycle>,
+    scratch_valid: bool,
 }
 
 impl LatencyStats {
@@ -41,7 +45,7 @@ impl LatencyStats {
     /// Records one latency sample, in fabric cycles.
     pub fn record(&mut self, cycles: Cycle) {
         self.samples.push(cycles);
-        self.sorted = false;
+        self.scratch_valid = false;
     }
 
     /// Number of recorded samples.
@@ -79,6 +83,26 @@ impl LatencyStats {
 
     /// Exact percentile (`q` in `[0, 1]`) in cycles; 0 if empty.
     ///
+    /// Uses the standard *nearest-rank* definition: the smallest sample
+    /// such that at least `q · N` samples are less than or equal to it
+    /// (rank `⌈q·N⌉`, with `q = 0` mapping to the minimum). For an
+    /// even-count sample the median is therefore the *lower* middle
+    /// element, never an interpolated or upper value.
+    ///
+    /// Sorting happens in a scratch copy, so the chronological order of
+    /// the recorded samples is preserved for
+    /// [`discard_prefix`](Self::discard_prefix).
+    ///
+    /// ```
+    /// use optimus_sim::stats::LatencyStats;
+    ///
+    /// let mut stats = LatencyStats::new();
+    /// for v in [1, 2, 3, 4] {
+    ///     stats.record(v);
+    /// }
+    /// assert_eq!(stats.percentile_cycles(0.5), 2); // nearest rank ⌈0.5·4⌉ = 2
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]`.
@@ -87,25 +111,29 @@ impl LatencyStats {
         if self.samples.is_empty() {
             return 0;
         }
-        if !self.sorted {
-            self.samples.sort_unstable();
-            self.sorted = true;
+        if !self.scratch_valid {
+            self.scratch.clear();
+            self.scratch.extend_from_slice(&self.samples);
+            self.scratch.sort_unstable();
+            self.scratch_valid = true;
         }
-        let rank = ((self.samples.len() - 1) as f64 * q).round() as usize;
-        self.samples[rank]
+        let rank = ((self.scratch.len() as f64 * q).ceil() as usize).max(1);
+        self.scratch[rank - 1]
     }
 
-    /// Discards the first `n` samples (warm-up exclusion).
+    /// Discards the first `n` samples *in recording order* (warm-up
+    /// exclusion). Chronological even if a percentile was queried first.
     pub fn discard_prefix(&mut self, n: usize) {
         let n = n.min(self.samples.len());
         self.samples.drain(..n);
-        self.sorted = false;
+        self.scratch_valid = false;
     }
 
-    /// Merges another accumulator into this one.
+    /// Merges another accumulator into this one; `other`'s samples are
+    /// appended after this accumulator's in chronological position.
     pub fn merge(&mut self, other: &LatencyStats) {
         self.samples.extend_from_slice(&other.samples);
-        self.sorted = false;
+        self.scratch_valid = false;
     }
 }
 
@@ -133,6 +161,7 @@ pub struct ThroughputMeter {
     window_start: Cycle,
     window_end: Option<Cycle>,
     counting: bool,
+    window_inverted: bool,
 }
 
 impl ThroughputMeter {
@@ -147,12 +176,34 @@ impl ThroughputMeter {
         self.window_start = now;
         self.window_end = None;
         self.counting = true;
+        self.window_inverted = false;
     }
 
     /// Ends the measurement window at cycle `now`.
+    ///
+    /// Closing a window *before* it opened means the measurement code is
+    /// mis-bracketed: this panics in debug builds and latches
+    /// [`window_inverted`](Self::window_inverted) in release builds (the
+    /// window length still clamps to zero so `gbps()` never goes
+    /// negative, but the mistake is no longer silent).
     pub fn close_window(&mut self, now: Cycle) {
+        if now < self.window_start {
+            self.window_inverted = true;
+            debug_assert!(
+                false,
+                "throughput window closed at cycle {now} before it opened at cycle {}",
+                self.window_start
+            );
+        }
         self.window_end = Some(now.max(self.window_start));
         self.counting = false;
+    }
+
+    /// Returns `true` if a window was ever closed before it opened
+    /// (mis-bracketed measurement code). Latched until the next
+    /// [`open_window`](Self::open_window).
+    pub fn window_inverted(&self) -> bool {
+        self.window_inverted
     }
 
     /// Accumulates transferred bytes if a window is open.
@@ -233,6 +284,40 @@ mod tests {
         assert!(s.is_empty());
     }
 
+    /// Regression: `percentile_cycles` used to sort `samples` in place,
+    /// so a percentile query followed by `discard_prefix` dropped the
+    /// *smallest* n samples instead of the *earliest* n.
+    #[test]
+    fn latency_discard_prefix_is_chronological_after_percentile() {
+        let mut s = LatencyStats::new();
+        for v in [100u64, 100, 1, 1] {
+            s.record(v);
+        }
+        let _ = s.percentile_cycles(0.5); // must not reorder the samples
+        s.discard_prefix(2); // warm-up exclusion: drop the two 100s
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean_cycles(), 1.0, "discard dropped smallest, not earliest");
+        assert_eq!(s.max_cycles(), 1);
+        // And the percentiles of what's left are consistent.
+        assert_eq!(s.percentile_cycles(1.0), 1);
+    }
+
+    /// Regression: the fractional-rank `round()` made the median of an
+    /// even-count sample resolve to the upper middle; nearest-rank says
+    /// the median of `[1,2,3,4]` is 2.
+    #[test]
+    fn latency_even_median_is_lower_middle() {
+        let mut s = LatencyStats::new();
+        for v in [1u64, 2, 3, 4] {
+            s.record(v);
+        }
+        assert_eq!(s.percentile_cycles(0.5), 2);
+        assert_eq!(s.percentile_cycles(0.25), 1);
+        assert_eq!(s.percentile_cycles(0.75), 3);
+        assert_eq!(s.percentile_cycles(0.0), 1);
+        assert_eq!(s.percentile_cycles(1.0), 4);
+    }
+
     #[test]
     fn latency_merge() {
         let mut a = LatencyStats::new();
@@ -271,6 +356,29 @@ mod tests {
         m.open_window(0);
         m.add_bytes(640);
         assert_eq!(m.gbps(), 0.0);
+    }
+
+    /// Regression: closing a window before it opened used to clamp
+    /// silently to a zero-length window (reading as 0 GB/s); now it
+    /// panics in debug builds and latches `window_inverted`.
+    #[test]
+    fn throughput_inverted_window_fails_loudly() {
+        let mut m = ThroughputMeter::new();
+        m.open_window(100);
+        m.add_bytes(640);
+        let closed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.close_window(50)
+        }));
+        if cfg!(debug_assertions) {
+            assert!(closed.is_err(), "debug build must panic on inverted window");
+        } else {
+            assert!(closed.is_ok());
+        }
+        assert!(m.window_inverted(), "inverted close must be latched");
+        // A fresh window clears the latch.
+        m.open_window(0);
+        m.close_window(10);
+        assert!(!m.window_inverted());
     }
 
     #[test]

@@ -5,6 +5,7 @@
 use optimus_sim::perm::FeistelPermutation;
 use optimus_sim::queue::TimedQueue;
 use optimus_sim::rng::Xoshiro256;
+use optimus_sim::stats::LatencyStats;
 use optimus_testkit::gens;
 use optimus_testkit::runner::check;
 use optimus_testkit::{prop_assert, prop_assert_eq};
@@ -78,6 +79,130 @@ fn timed_queue_is_fifo() {
         prop_assert_eq!(out, (0..ready_times.len()).collect::<Vec<_>>());
         Ok(())
     });
+}
+
+/// Merging two accumulators is equivalent to recording the concatenated
+/// sample stream into one, for every statistic (including percentiles
+/// and subsequent chronological discards).
+#[test]
+fn latency_merge_equals_concatenation() {
+    let gen = gens::zip2(
+        gens::vec_of(gens::u64_in(0..1_000_000), 0..60),
+        gens::vec_of(gens::u64_in(0..1_000_000), 0..60),
+    );
+    check(
+        "latency_merge_equals_concatenation",
+        &gen,
+        |(a, b): &(Vec<u64>, Vec<u64>)| {
+            let mut left = LatencyStats::new();
+            a.iter().for_each(|&v| left.record(v));
+            let mut right = LatencyStats::new();
+            b.iter().for_each(|&v| right.record(v));
+            let mut concat = LatencyStats::new();
+            a.iter().chain(b.iter()).for_each(|&v| concat.record(v));
+            left.merge(&right);
+            prop_assert_eq!(left.count(), concat.count());
+            prop_assert_eq!(left.mean_cycles(), concat.mean_cycles());
+            prop_assert_eq!(left.min_cycles(), concat.min_cycles());
+            prop_assert_eq!(left.max_cycles(), concat.max_cycles());
+            for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+                prop_assert_eq!(left.percentile_cycles(q), concat.percentile_cycles(q));
+            }
+            // Merge must also preserve chronology: discarding a prefix
+            // afterwards removes `a`'s samples first.
+            let n = a.len().min(left.count());
+            left.discard_prefix(n);
+            concat.discard_prefix(n);
+            prop_assert_eq!(left.mean_cycles(), concat.mean_cycles());
+            Ok(())
+        },
+    );
+}
+
+/// Percentiles are monotone non-decreasing in `q` and bounded by
+/// min/max, under the nearest-rank definition.
+#[test]
+fn latency_percentile_monotone_in_q() {
+    let gen = gens::zip2(
+        gens::vec_of(gens::u64_in(0..1_000_000), 1..80),
+        gens::vec_of(gens::u64_in(0..101), 2..12),
+    );
+    check(
+        "latency_percentile_monotone_in_q",
+        &gen,
+        |(samples, qs): &(Vec<u64>, Vec<u64>)| {
+            let mut s = LatencyStats::new();
+            samples.iter().for_each(|&v| s.record(v));
+            let mut qs: Vec<f64> = qs.iter().map(|&q| q as f64 / 100.0).collect();
+            qs.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            let mut prev = s.min_cycles();
+            for &q in &qs {
+                let p = s.percentile_cycles(q);
+                prop_assert!(p >= prev, "p({q}) = {p} < previous {prev}");
+                prop_assert!(p >= s.min_cycles() && p <= s.max_cycles());
+                prev = p;
+            }
+            prop_assert_eq!(s.percentile_cycles(0.0), s.min_cycles());
+            prop_assert_eq!(s.percentile_cycles(1.0), s.max_cycles());
+            Ok(())
+        },
+    );
+}
+
+/// `discard_prefix` removes the *earliest* samples under any
+/// interleaving of percentile queries with records and discards
+/// (regression property for the in-place-sort bug).
+#[test]
+fn latency_discard_prefix_chronological_under_queries() {
+    // Ops: (op % 4): 0/1 = record, 2 = percentile query, 3 = discard.
+    let gen = gens::vec_of(
+        gens::zip2(gens::u64_in(0..4), gens::u64_in(0..1_000_000)),
+        1..80,
+    );
+    check(
+        "latency_discard_prefix_chronological_under_queries",
+        &gen,
+        |ops: &Vec<(u64, u64)>| {
+            let mut s = LatencyStats::new();
+            // Model: the plain chronological sample list.
+            let mut model: Vec<u64> = Vec::new();
+            for &(op, v) in ops {
+                match op {
+                    0 | 1 => {
+                        s.record(v);
+                        model.push(v);
+                    }
+                    2 => {
+                        let q = (v % 101) as f64 / 100.0;
+                        let got = s.percentile_cycles(q);
+                        // Nearest-rank against the model.
+                        let mut sorted = model.clone();
+                        sorted.sort_unstable();
+                        let expect = if sorted.is_empty() {
+                            0
+                        } else {
+                            let rank = ((sorted.len() as f64 * q).ceil() as usize).max(1);
+                            sorted[rank - 1]
+                        };
+                        prop_assert_eq!(got, expect);
+                    }
+                    _ => {
+                        let n = (v as usize) % (model.len() + 1);
+                        s.discard_prefix(n);
+                        model.drain(..n);
+                    }
+                }
+                prop_assert_eq!(s.count(), model.len());
+                let mean = if model.is_empty() {
+                    0.0
+                } else {
+                    model.iter().sum::<u64>() as f64 / model.len() as f64
+                };
+                prop_assert_eq!(s.mean_cycles(), mean);
+            }
+            Ok(())
+        },
+    );
 }
 
 /// Entries never surface before their ready time.

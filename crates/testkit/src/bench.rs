@@ -294,7 +294,7 @@ impl Report {
     }
 
     fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("schema", Json::s("optimus-testkit/bench-report/v1")),
             ("bench", Json::s(&self.name)),
             ("sim_cycles", Json::Num(self.sim_cycles() as f64)),
@@ -336,7 +336,29 @@ impl Report {
                 "notes",
                 Json::Arr(self.notes.iter().map(Json::s).collect()),
             ),
-        ])
+        ];
+        if optimus_sim::trace::enabled() {
+            // Plain-text flight-recorder counter dump, one
+            // "layer/track counter = value" line per registry entry.
+            fields.push((
+                "trace_counters",
+                Json::Arr(
+                    optimus_sim::trace::counters()
+                        .iter()
+                        .map(|(k, v)| Json::s(&format!("{k} = {v}")))
+                        .collect(),
+                ),
+            ));
+            fields.push((
+                "trace_events",
+                Json::Num(optimus_sim::trace::event_count() as f64),
+            ));
+            fields.push((
+                "trace_dropped",
+                Json::Num(optimus_sim::trace::dropped() as f64),
+            ));
+        }
+        Json::obj(fields)
     }
 
     /// Writes `BENCH_<name>.json` into [`report_dir`]; returns its path.
@@ -345,6 +367,16 @@ impl Report {
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("BENCH_{}.json", self.name));
         std::fs::write(&path, self.to_json().render() + "\n")?;
+        if optimus_sim::trace::enabled() {
+            let trace_path = dir.join(format!("TRACE_{}.json", self.name));
+            optimus_sim::trace::write_chrome_trace(&trace_path)?;
+            println!(
+                "trace: {} ({} events, {} overwritten)",
+                trace_path.display(),
+                optimus_sim::trace::event_count(),
+                optimus_sim::trace::dropped()
+            );
+        }
         println!(
             "\nsim rate: {:.2} Mcycles/s ({} simulated cycles in {:.2} s)",
             self.sim_rate() / 1e6,

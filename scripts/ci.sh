@@ -7,13 +7,16 @@
 #     workspace test suite).
 #  3. Bench smoke: run every bench target once at tiny scales and check
 #     that each emits its BENCH_<target>.json report.
+#  4. Trace smoke: run one fig5 sweep point with OPTIMUS_TRACE=1, validate
+#     the exported Chrome-trace JSON offline, then re-run with tracing off
+#     and assert the bench fingerprint is byte-identical.
 #
 # The whole script runs with no network access.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/3] registry-dependency check =="
+echo "== [1/4] registry-dependency check =="
 python3 - <<'PYEOF'
 import glob, re, sys
 
@@ -51,19 +54,19 @@ if offenders:
 print("ok: all dependencies are in-tree path dependencies")
 PYEOF
 
-echo "== [2/3] tier-1: build + tests =="
+echo "== [2/4] tier-1: build + tests =="
 cargo build --release
 cargo test -q
 cargo test --workspace -q
 
-echo "== [2b/3] fast-forward differential equivalence (per-cycle mode) =="
+echo "== [2b/4] fast-forward differential equivalence (per-cycle mode) =="
 # Re-run the fabric and hypervisor suites with fast-forwarding disabled:
 # the differential property tests then compare per-cycle stepping against
 # an explicitly re-enabled fast path, and every other test exercises the
 # seed's original cycle loop.
 OPTIMUS_NO_FASTFWD=1 cargo test -q -p optimus-fabric -p optimus
 
-echo "== [3/3] bench smoke (tiny scales, one JSON report per target) =="
+echo "== [3/4] bench smoke (tiny scales, one JSON report per target) =="
 BENCH_DIR="target/bench-reports-ci"
 rm -rf "$BENCH_DIR"
 export OPTIMUS_BENCH_DIR="$PWD/$BENCH_DIR"
@@ -87,5 +90,71 @@ for b in $BENCHES; do
     fi
 done
 echo "ok: $(ls "$BENCH_DIR" | wc -l) bench reports in $BENCH_DIR"
+
+echo "== [4/4] trace smoke (flight recorder on one fig5 point) =="
+TRACE_DIR="target/trace-smoke-ci"
+rm -rf "$TRACE_DIR" "$TRACE_DIR-off"
+# Traced run: one fig5 sweep point with the flight recorder on.
+OPTIMUS_BENCH_DIR="$PWD/$TRACE_DIR" OPTIMUS_FIG5_QUICK=1 OPTIMUS_TRACE=1 \
+    cargo bench -q -p optimus-bench --bench fig5_latency >/dev/null
+# Untraced run of the identical point, for the fingerprint comparison.
+OPTIMUS_BENCH_DIR="$PWD/$TRACE_DIR-off" OPTIMUS_FIG5_QUICK=1 \
+    cargo bench -q -p optimus-bench --bench fig5_latency >/dev/null
+python3 - "$TRACE_DIR" "$TRACE_DIR-off" <<'PYEOF'
+import json, sys
+
+traced_dir, plain_dir = sys.argv[1], sys.argv[2]
+
+# --- 1. The exported Chrome trace is well-formed and complete. ---
+doc = json.load(open(f"{traced_dir}/TRACE_fig5_latency.json"))
+events = doc["traceEvents"]
+if not isinstance(events, list) or not events:
+    sys.exit("FAIL: traceEvents missing or empty")
+
+names = {e.get("name") for e in events}
+required = ["mmio_trap", "iotlb_miss", "page_walk", "mux_grant"]
+missing = [n for n in required if n not in names]
+if not any(isinstance(n, str) and n.startswith("preempt.") for n in names):
+    missing.append("preempt.*")
+if missing:
+    sys.exit(f"FAIL: trace lacks required event classes: {missing}")
+
+# Perfetto-loadability basics: metadata tracks + required fields per event.
+if not any(e.get("ph") == "M" and e.get("name") == "thread_name" for e in events):
+    sys.exit("FAIL: no thread_name metadata tracks")
+last = -1
+for e in events:
+    if e.get("ph") == "M":
+        continue
+    for field in ("ph", "pid", "tid", "ts", "name", "args"):
+        if field not in e:
+            sys.exit(f"FAIL: event missing {field}: {e}")
+    cycle = e["args"]["cycle"]
+    if cycle < last:
+        sys.exit(f"FAIL: cycle stamps not monotone: {cycle} after {last}")
+    last = cycle
+print(f"ok: trace JSON valid ({len(events)} events, {len(names)} distinct names)")
+
+# --- 2. The bench JSON carries the plain-text counter dump. ---
+traced = json.load(open(f"{traced_dir}/BENCH_fig5_latency.json"))
+counters = traced.get("trace_counters", [])
+if not counters or not all(" = " in line for line in counters):
+    sys.exit("FAIL: BENCH json lacks the trace counter dump")
+print(f"ok: {len(counters)} trace counters appended to BENCH json")
+
+# --- 3. Tracing never changes the measurement: the bench fingerprint
+# (everything except wall-clock-dependent and trace-only fields) is
+# byte-identical between the traced and untraced runs. ---
+plain = json.load(open(f"{plain_dir}/BENCH_fig5_latency.json"))
+VOLATILE = ("wall_secs", "sim_rate", "trace_counters", "trace_events", "trace_dropped")
+def fingerprint(d):
+    return json.dumps(
+        {k: v for k, v in d.items() if k not in VOLATILE},
+        sort_keys=True,
+    ).encode()
+if fingerprint(traced) != fingerprint(plain):
+    sys.exit("FAIL: tracing changed the bench fingerprint")
+print("ok: bench fingerprint byte-identical with tracing on and off")
+PYEOF
 
 echo "CI PASSED"
