@@ -23,7 +23,7 @@ use optimus_sim::time::Cycle;
 /// point describes a clean prefix of the job. The harness guarantees
 /// [`Kernel::step`] is never called between a preempt command and the
 /// subsequent resume.
-pub trait Kernel {
+pub trait Kernel: Send {
     /// Static metadata (Table 1/Table 2 inputs).
     fn meta(&self) -> &AccelMeta;
 

@@ -6,15 +6,17 @@
 //! The single-job small-working-set *read* case shows anomalously high
 //! throughput (the speculative same-region fast path).
 
+use optimus::hypervisor::HvStats;
 use optimus_accel::registry::AccelKind;
 use optimus_bench::jobs::JobParams;
 use optimus_bench::report;
-use optimus_bench::runner::{run_spatial, SpatialExp};
+use optimus_bench::runner::{run_spatial_with_stats, SpatialExp};
 use optimus_bench::scale;
 use optimus_mem::addr::PageSize;
 
 fn sweep(
     rep: &mut report::Report,
+    integrity: &mut HvStats,
     page: PageSize,
     mode: u64,
     sizes: &[(&str, u64)],
@@ -35,7 +37,8 @@ fn sweep(
             let mut exp = SpatialExp::homogeneous(AccelKind::Mb, jobs);
             exp.params = params;
             exp.window = window;
-            let results = run_spatial(&exp);
+            let (results, stats) = run_spatial_with_stats(&exp);
+            integrity.accumulate(&stats);
             let agg: f64 = results.iter().map(|r| r.gbps).sum();
             row.push(report::f(agg, 2));
         }
@@ -54,19 +57,21 @@ fn sweep(
 
 fn main() {
     let mut rep = report::Report::new("fig6_throughput");
+    let mut integrity = HvStats::default();
     let huge_sizes: &[(&str, u64)] = &[
         ("16M", 16 << 20), ("64M", 64 << 20), ("256M", 256 << 20),
         ("1G", 1 << 30), ("2G", 2 << 30), ("4G", 4u64 << 30), ("8G", 8u64 << 30),
     ];
     let jobs = [1usize, 2, 4, 8];
-    sweep(&mut rep, PageSize::Huge, 0, huge_sizes, &jobs);
-    sweep(&mut rep, PageSize::Huge, 1, huge_sizes, &jobs);
+    sweep(&mut rep, &mut integrity, PageSize::Huge, 0, huge_sizes, &jobs);
+    sweep(&mut rep, &mut integrity, PageSize::Huge, 1, huge_sizes, &jobs);
     let small_sizes: &[(&str, u64)] = &[
         ("128K", 128 << 10), ("512K", 512 << 10), ("1M", 1 << 20),
         ("2M", 2 << 20), ("4M", 4 << 20), ("16M", 16 << 20),
     ];
-    sweep(&mut rep, PageSize::Small, 0, small_sizes, &jobs);
+    sweep(&mut rep, &mut integrity, PageSize::Small, 0, small_sizes, &jobs);
     rep.note("\npaper shape: ~12.8 GB/s plateau, job-count-insensitive; cliff past");
     rep.note("the IOTLB reach; 1-job small-WS read boosted by region speculation.");
+    report::integrity_note(&mut rep, "fig6", &integrity);
     rep.finish().expect("write bench report");
 }

@@ -22,3 +22,14 @@ pub fn f(value: f64, prec: usize) -> String {
 pub fn vs(paper: f64, measured: f64, prec: usize) -> (String, String) {
     (f(paper, prec), f(measured, prec))
 }
+
+/// Records the isolation/robustness counters accumulated over a bench
+/// run — shell packet drops and per-auditor discards — so violations are
+/// visible in `BENCH_*.json` instead of stranded on the device. The
+/// counters are simulation-deterministic, so the note is fingerprint-safe.
+pub fn integrity_note(rep: &mut Report, label: &str, stats: &optimus::hypervisor::HvStats) {
+    rep.note(&format!(
+        "integrity[{label}]: dropped_packets={} discarded_dma={} discarded_mmio={}",
+        stats.dropped_packets, stats.discarded_dma, stats.discarded_mmio
+    ));
+}

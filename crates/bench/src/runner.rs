@@ -2,10 +2,11 @@
 
 use crate::jobs::{self, JobParams};
 use crate::scale;
-use optimus::hypervisor::{Optimus, OptimusConfig, TrapCost};
+use optimus::hypervisor::{HvStats, Optimus, OptimusConfig, TrapCost};
 use optimus::scheduler::SchedPolicy;
 use optimus_accel::registry::AccelKind;
 use optimus_cci::channel::SelectorPolicy;
+use optimus_sim::rng::derive_seed;
 use optimus_sim::time::{cycles_to_ns, gbps, Cycle};
 
 /// Result for one accelerator slot in a spatial experiment.
@@ -51,10 +52,17 @@ impl SpatialExp {
 /// Runs a spatial-multiplexing experiment on the OPTIMUS device and
 /// returns per-slot results for the active jobs.
 pub fn run_spatial(exp: &SpatialExp) -> Vec<SlotResult> {
+    run_spatial_with_stats(exp).0
+}
+
+/// [`run_spatial`] plus the hypervisor's final statistics (including the
+/// device's isolation counters), for reports that surface them.
+pub fn run_spatial_with_stats(exp: &SpatialExp) -> (Vec<SlotResult>, HvStats) {
     let mut cfg = OptimusConfig::new(exp.slots.clone());
     cfg.channel_policy = exp.policy;
     let mut hv = Optimus::new(cfg);
-    launch_and_measure(&mut hv, exp)
+    let results = launch_and_measure(&mut hv, exp);
+    (results, hv.stats())
 }
 
 /// Runs the same experiment on the pass-through baseline (one slot only).
@@ -76,7 +84,7 @@ fn launch_and_measure(hv: &mut Optimus, exp: &SpatialExp) -> Vec<SlotResult> {
         let vm = hv.create_vm(&format!("vm{slot}"));
         let va = hv.create_vaccel(vm, slot);
         let mut params = exp.params;
-        params.seed = exp.params.seed.wrapping_add(slot as u64 * 1000 + 1);
+        params.seed = derive_seed(exp.params.seed, slot as u64);
         let mut g = hv.guest(va);
         jobs::launch(&mut g, exp.slots[slot], &params);
     }
@@ -137,7 +145,7 @@ pub fn run_temporal(
         let vm = hv.create_vm(&format!("vm{j}"));
         let va = hv.create_vaccel(vm, 0);
         let mut p = params;
-        p.seed = 100 + j as u64;
+        p.seed = derive_seed(params.seed, j as u64);
         let mut g = hv.guest(va);
         let state = g.alloc_dma((state_pad + 1_048_576).max(1 << 21));
         g.set_state_buffer(state);

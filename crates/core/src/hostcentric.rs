@@ -29,6 +29,7 @@ use optimus_cci::packet::AccelId;
 use optimus_cci::params::host_costs;
 use optimus_mem::addr::{Hpa, Iova, PageSize, PAGE_2M};
 use optimus_mem::page_table::PageFlags;
+use optimus_sim::clock::PlatformClock;
 use optimus_sim::time::{ns_to_cycles, Cycle};
 
 /// The two host-centric strategies of Fig. 1.
@@ -95,45 +96,16 @@ impl HcPlatform {
         }
     }
 
-    /// Earliest cycle ≥ `now` at which an active engine's step or the
-    /// response drain could do anything; `None` if the platform is fully
-    /// quiescent (nothing in flight, nothing issuable).
-    fn next_event(&self) -> Option<Cycle> {
-        let mut horizon: Option<Cycle> = self.host.next_event(self.now);
-        if self.engine.wants_issue() {
-            let t = self
-                .engine
-                .next_issue_ready()
-                .max(self.host.next_accept(self.now))
-                .max(self.now);
-            horizon = Some(horizon.map_or(t, |h| h.min(t)));
-        }
-        horizon.map(|h| h.max(self.now))
-    }
-
     /// Advances the platform clock, pumping the engine. When the engine is
     /// idle the clock fast-forwards (nothing observable happens cycle by
     /// cycle while the CPU is busy trapping or copying); while a transfer
     /// is in flight the clock jumps between event horizons unless
-    /// `OPTIMUS_NO_FASTFWD` pins it to per-cycle stepping.
+    /// `OPTIMUS_NO_FASTFWD` pins it to per-cycle stepping — the shared
+    /// [`PlatformClock::advance_toward`] kernel.
     fn advance(&mut self, cycles: Cycle) {
         let end = self.now + cycles;
         while self.now < end && !self.engine.is_done() {
-            if self.fastfwd {
-                match self.next_event() {
-                    None => break,
-                    Some(t) if t > self.now => {
-                        self.now = t.min(end);
-                        continue;
-                    }
-                    _ => {}
-                }
-            }
-            self.engine.step(self.now, &mut self.host);
-            while let Some(pkt) = self.host.pop_response(self.now) {
-                self.engine.deliver(&pkt);
-            }
-            self.now += 1;
+            self.advance_toward(end);
         }
         if self.now < end {
             // Engine done (or quiescent): nothing observable remains cycle
@@ -161,6 +133,44 @@ impl HcPlatform {
             TrapCost::Virtualized => host_costs::MMIO_TRAPPED_NS,
         };
         self.advance(ns_to_cycles(ns * MMIO_PER_CONFIG as f64));
+    }
+}
+
+impl PlatformClock for HcPlatform {
+    fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Earliest cycle ≥ `now` at which an active engine's step or the
+    /// response drain could do anything; `None` if the platform is fully
+    /// quiescent (nothing in flight, nothing issuable).
+    fn next_event(&self) -> Option<Cycle> {
+        let mut horizon: Option<Cycle> = self.host.next_event(self.now);
+        if self.engine.wants_issue() {
+            let t = self
+                .engine
+                .next_issue_ready()
+                .max(self.host.next_accept(self.now))
+                .max(self.now);
+            horizon = Some(horizon.map_or(t, |h| h.min(t)));
+        }
+        horizon.map(|h| h.max(self.now))
+    }
+
+    fn step_cycle(&mut self) {
+        self.engine.step(self.now, &mut self.host);
+        while let Some(pkt) = self.host.pop_response(self.now) {
+            self.engine.deliver(&pkt);
+        }
+        self.now += 1;
+    }
+
+    fn skip_to(&mut self, t: Cycle) {
+        self.now = t;
+    }
+
+    fn fast_forward(&self) -> bool {
+        self.fastfwd
     }
 }
 

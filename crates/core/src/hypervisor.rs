@@ -24,6 +24,7 @@ use optimus_cci::params::host_costs;
 use optimus_fabric::accelerator::CtrlStatus;
 use optimus_fabric::device::FpgaDevice;
 use optimus_fabric::mmio::{accel_mmio_base, accel_reg, vcu_reg, VCU_BASE};
+use optimus_fabric::platform::{DeviceId, FabricError, PlatformDevice};
 use optimus_mem::addr::{Gva, Hpa, PageSize, PAGE_2M};
 use optimus_mem::host::FrameFiller;
 use optimus_mem::page_table::PageFlags;
@@ -114,6 +115,28 @@ pub struct HvStats {
     pub preemptions: u64,
     /// Preemption timeouts that forced a reset.
     pub forced_resets: u64,
+    /// Packets the device dropped at the shell/auditor layer.
+    pub dropped_packets: u64,
+    /// DMA responses the auditors discarded (failed identity audit).
+    pub discarded_dma: u64,
+    /// MMIO accesses the auditors discarded (outside the slice window).
+    pub discarded_mmio: u64,
+}
+
+impl HvStats {
+    /// Adds `other`'s counters into `self` (node-level aggregation across
+    /// devices).
+    pub fn accumulate(&mut self, other: &HvStats) {
+        self.traps += other.traps;
+        self.hypercalls += other.hypercalls;
+        self.pinned_pages += other.pinned_pages;
+        self.context_switches += other.context_switches;
+        self.preemptions += other.preemptions;
+        self.forced_resets += other.forced_resets;
+        self.dropped_packets += other.dropped_packets;
+        self.discarded_dma += other.discarded_dma;
+        self.discarded_mmio += other.discarded_mmio;
+    }
 }
 
 struct Slot {
@@ -123,8 +146,14 @@ struct Slot {
 }
 
 /// The hypervisor.
-pub struct Optimus {
-    device: FpgaDevice,
+///
+/// Generic over the device it mediates: production code uses the default
+/// [`FpgaDevice`]; the node layer and tests only need the
+/// [`PlatformDevice`] surface. Each hypervisor carries the [`DeviceId`]
+/// it is known by within a node (`DeviceId(0)` standalone).
+pub struct Optimus<D: PlatformDevice = FpgaDevice> {
+    device: D,
+    device_id: DeviceId,
     passthrough: bool,
     slicing: SlicingConfig,
     time_slice: Cycle,
@@ -143,16 +172,23 @@ impl Optimus {
     ///
     /// # Panics
     ///
-    /// Panics if no accelerators are configured.
+    /// Panics if the configuration is invalid (e.g. no accelerators);
+    /// [`try_new`](Self::try_new) reports that as a typed error instead.
     pub fn new(config: OptimusConfig) -> Self {
-        assert!(!config.accels.is_empty(), "need at least one accelerator");
+        Self::try_new(config).unwrap_or_else(|e| panic!("Optimus::new: {e}"))
+    }
+
+    /// Fallible variant of [`new`](Self::new), for callers (like a node
+    /// constructing many devices) that need to report which device failed
+    /// and why.
+    pub fn try_new(config: OptimusConfig) -> Result<Self, FabricError> {
         let accels = config
             .accels
             .iter()
             .enumerate()
             .map(|(i, &k)| build_accelerator(k, config.seed.wrapping_add(i as u64)))
             .collect();
-        let device = FpgaDevice::new_monitored(accels, config.arity, config.channel_policy);
+        let device = FpgaDevice::try_new_monitored(accels, config.arity, config.channel_policy)?;
         let slots = (0..config.accels.len())
             .map(|_| Slot {
                 sched: SliceScheduler::new(config.sched_policy.clone(), config.time_slice),
@@ -162,6 +198,7 @@ impl Optimus {
             .collect();
         let mut hv = Self {
             device,
+            device_id: DeviceId(0),
             passthrough: false,
             slicing: config.slicing,
             time_slice: config.time_slice,
@@ -178,7 +215,7 @@ impl Optimus {
         // advertises itself through the VCU magic register.
         let magic = hv.device.mmio_read(VCU_BASE + vcu_reg::MAGIC);
         assert_eq!(magic, vcu_reg::MAGIC_VALUE, "incompatible FPGA configuration");
-        hv
+        Ok(hv)
     }
 
     /// Boots a pass-through (direct assignment + vIOMMU) baseline: one
@@ -187,6 +224,7 @@ impl Optimus {
         let device = FpgaDevice::new_passthrough(build_accelerator(kind, 42), policy);
         Self {
             device,
+            device_id: DeviceId(0),
             passthrough: true,
             slicing: SlicingConfig::default(),
             time_slice: ms_to_cycles(10.0),
@@ -204,20 +242,79 @@ impl Optimus {
             stats: HvStats::default(),
         }
     }
+}
 
+impl<D: PlatformDevice> Optimus<D> {
     /// The simulated device (read-only observation).
-    pub fn device(&self) -> &FpgaDevice {
+    pub fn device(&self) -> &D {
         &self.device
     }
 
     /// Mutable device access (benchmark harness instrumentation only).
-    pub fn device_mut(&mut self) -> &mut FpgaDevice {
+    pub fn device_mut(&mut self) -> &mut D {
         &mut self.device
     }
 
-    /// Hypervisor statistics.
+    /// This hypervisor's device identity within its node.
+    pub fn device_id(&self) -> DeviceId {
+        self.device_id
+    }
+
+    /// Assigns the device identity (called by the node at construction).
+    pub fn set_device_id(&mut self, id: DeviceId) {
+        self.device_id = id;
+    }
+
+    /// The device's current fabric cycle.
+    pub fn now(&self) -> Cycle {
+        self.device.now()
+    }
+
+    /// Number of virtual accelerators created so far.
+    pub fn num_vaccels(&self) -> usize {
+        self.vaccels.len()
+    }
+
+    /// Number of physical accelerator slots.
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of virtual accelerators resident on physical slot `slot`.
+    pub fn slot_population(&self, slot: usize) -> usize {
+        self.vaccels.iter().filter(|v| v.slot == slot).count()
+    }
+
+    /// Hypervisor statistics, including the device's isolation counters.
     pub fn stats(&self) -> HvStats {
-        self.stats
+        let mut s = self.stats;
+        let integrity = self.device.integrity();
+        s.dropped_packets = integrity.dropped_packets;
+        s.discarded_dma = integrity.discarded_dma;
+        s.discarded_mmio = integrity.discarded_mmio;
+        s
+    }
+
+    /// The earliest cycle at which this hypervisor must regain control:
+    /// the nearest slice deadline while any slot is occupied, otherwise
+    /// whatever the device reports through the `next_event` protocol
+    /// (`None` = fully quiescent, free to run ahead).
+    ///
+    /// The node layer uses this to size lock-step chunks: devices never
+    /// interact *during* `run` (only through guest ops between runs), so
+    /// any chunking is state-identical — the horizon just bounds clock
+    /// skew and keeps scheduling decisions inside their own chunk.
+    pub fn next_sync_horizon(&self) -> Option<Cycle> {
+        let slice = self
+            .slots
+            .iter()
+            .filter(|s| s.current.is_some())
+            .map(|s| s.slice_ends)
+            .min();
+        match slice {
+            Some(t) => Some(t.max(self.device.now())),
+            None => self.device.next_event(),
+        }
     }
 
     /// Creates a VM.
@@ -256,7 +353,7 @@ impl Optimus {
     }
 
     /// The guest-side handle for a virtual accelerator.
-    pub fn guest(&mut self, va: VaccelId) -> GuestCtx<'_> {
+    pub fn guest(&mut self, va: VaccelId) -> GuestCtx<'_, D> {
         GuestCtx { hv: self, va }
     }
 
@@ -367,7 +464,7 @@ impl Optimus {
         };
         let base = accel_mmio_base(slot);
         // Fast path: a job that already completed needs no save.
-        if self.device.accel(slot).status() == CtrlStatus::Done {
+        if self.device.accel_status(slot) == CtrlStatus::Done {
             self.retire(va);
             self.slots[slot].current = None;
             return;
@@ -385,7 +482,7 @@ impl Optimus {
         let deadline = self.device.now() + self.preempt_timeout;
         loop {
             self.advance(ns_to_cycles(1000.0));
-            let status = self.device.accel(slot).status();
+            let status = self.device.accel_status(slot);
             if trace::enabled()
                 && !saving_seen
                 && matches!(status, CtrlStatus::Saving | CtrlStatus::Saved)
@@ -476,7 +573,7 @@ impl Optimus {
         // Completed jobs retire (but stay resident until displaced, so the
         // guest can read result registers from hardware).
         if let Some(va) = current {
-            if self.device.accel(slot).status() == CtrlStatus::Done {
+            if self.device.accel_status(slot) == CtrlStatus::Done {
                 self.retire(va);
             }
         }
@@ -548,7 +645,7 @@ impl Optimus {
         }
         if self.is_scheduled(va) {
             let slot = self.vaccels[va.0 as usize].slot;
-            if self.device.accel(slot).status() == CtrlStatus::Done {
+            if self.device.accel_status(slot) == CtrlStatus::Done {
                 self.retire(va);
                 return true;
             }
@@ -559,12 +656,12 @@ impl Optimus {
 
 /// The guest's view of its virtual accelerator: the paper's guest driver
 /// plus userspace library, with every access charged its software cost.
-pub struct GuestCtx<'a> {
-    hv: &'a mut Optimus,
+pub struct GuestCtx<'a, D: PlatformDevice = FpgaDevice> {
+    hv: &'a mut Optimus<D>,
     va: VaccelId,
 }
 
-impl GuestCtx<'_> {
+impl<D: PlatformDevice> GuestCtx<'_, D> {
     fn v(&self) -> &VirtualAccel {
         &self.hv.vaccels[self.va.0 as usize]
     }
@@ -763,7 +860,7 @@ impl GuestCtx<'_> {
                 .expect("guest read of unmapped memory");
             let in_page = (PAGE_2M - cur.page_offset(PAGE_2M)) as usize;
             let take = in_page.min(buf.len() - off);
-            let hv: &Optimus = self.hv;
+            let hv: &Optimus<D> = self.hv;
             hv.device.host().memory().read(hpa, &mut buf[off..off + take]);
             off += take;
         }

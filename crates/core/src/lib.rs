@@ -30,6 +30,7 @@
 //! | [`vaccel`] | virtual accelerator (mdev) state |
 //! | [`scheduler`] | temporal multiplexing policies |
 //! | [`hypervisor`] | [`Optimus`](hypervisor::Optimus) itself + the guest API |
+//! | [`node`] | [`OptimusNode`](node::OptimusNode): multi-FPGA placement + parallel stepping |
 //! | [`hostcentric`] | the host-centric DMA-engine baseline (Fig. 1) |
 //!
 //! # Example
@@ -68,11 +69,13 @@
 pub mod alloc;
 pub mod hostcentric;
 pub mod hypervisor;
+pub mod node;
 pub mod scheduler;
 pub mod slicing;
 pub mod vaccel;
 pub mod vm;
 
 pub use hypervisor::{GuestCtx, Optimus, OptimusConfig, TrapCost};
+pub use node::{NodeConfig, NodeError, NodeVaccel, OptimusNode, Placement};
 pub use scheduler::SchedPolicy;
 pub use slicing::SlicingConfig;

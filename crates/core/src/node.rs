@@ -1,0 +1,430 @@
+//! The multi-FPGA node layer.
+//!
+//! [`OptimusNode`] owns one [`Optimus`] hypervisor per FPGA device and
+//! presents a single facade: tenants are placed onto devices by a
+//! [`Placement`] policy, guest operations are routed to the owning device
+//! via [`NodeVaccel`] handles, and [`run`](OptimusNode::run) advances
+//! every device in lock-step chunks.
+//!
+//! # Why parallel stepping is bit-identical to serial
+//!
+//! Devices never interact *during* a `run`: the only cross-device
+//! channels are guest operations (`guest`, `create_tenant`, …), which
+//! happen strictly between runs on the caller's thread. So each device's
+//! trajectory over a chunk is a pure function of its own state, and any
+//! schedule that executes the same per-device chunk sequence — serially
+//! in index order or concurrently on worker threads — produces the same
+//! per-device state. Chunks are sized by
+//! [`Optimus::next_sync_horizon`] (the nearest slice deadline or
+//! device-reported event, plus one so the boundary decision lands inside
+//! its own chunk), which bounds inter-device clock skew to one horizon
+//! without changing any individual device's step sequence. The two
+//! process-global side effects are made order-independent or explicitly
+//! ordered: `simrate` cycle accounting is a commutative atomic sum, and
+//! flight-recorder events are drained per worker and replayed into the
+//! main thread's recorder in device-index order (see
+//! `optimus_sim::trace::absorb_chunk`), so even the exported trace JSON
+//! is byte-identical. `OPTIMUS_NODE_THREADS=1` forces the serial
+//! schedule, mirroring `OPTIMUS_NO_FASTFWD`.
+
+use crate::hypervisor::{GuestCtx, HvStats, Optimus, OptimusConfig, TrapCost};
+use crate::scheduler::SchedPolicy;
+use crate::vaccel::VaccelId;
+use optimus_accel::registry::AccelKind;
+use optimus_fabric::platform::{DeviceId, FabricError};
+use optimus_sim::rng::derive_seed;
+use optimus_sim::time::{ms_to_cycles, Cycle};
+use optimus_sim::trace;
+
+/// How the node assigns new tenants to devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Cycle through devices in index order.
+    RoundRobin,
+    /// Pick the device with the fewest resident virtual accelerators
+    /// (lowest index on ties).
+    LeastLoaded,
+}
+
+/// Node configuration: `devices` identical FPGAs, each carrying the same
+/// accelerator mix.
+pub struct NodeConfig {
+    /// Accelerator kinds configured onto every device.
+    pub accels: Vec<AccelKind>,
+    /// Number of FPGA devices in the node.
+    pub devices: usize,
+    /// Tenant placement policy.
+    pub placement: Placement,
+    /// Base seed; per-device seeds are split off with
+    /// [`derive_seed`] so device streams never collide.
+    pub seed: u64,
+    /// Temporal-multiplexing time slice (cycles).
+    pub time_slice: Cycle,
+    /// Temporal-multiplexing policy.
+    pub sched_policy: SchedPolicy,
+    /// Worker threads for [`OptimusNode::run`]. `None` consults
+    /// `OPTIMUS_NODE_THREADS`, then the host's available parallelism.
+    pub threads: Option<usize>,
+}
+
+impl NodeConfig {
+    /// Defaults matching [`OptimusConfig::new`] for each device.
+    pub fn new(accels: Vec<AccelKind>, devices: usize) -> Self {
+        Self {
+            accels,
+            devices,
+            placement: Placement::RoundRobin,
+            seed: 42,
+            time_slice: ms_to_cycles(10.0),
+            sched_policy: SchedPolicy::RoundRobin,
+            threads: None,
+        }
+    }
+}
+
+/// A device-level construction failure, tagged with the device at fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeError {
+    /// Which device failed to construct.
+    pub device: DeviceId,
+    /// What went wrong.
+    pub source: FabricError,
+}
+
+impl core::fmt::Display for NodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}: {}", self.device, self.source)
+    }
+}
+
+impl std::error::Error for NodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// A node-level virtual accelerator handle: which device, which vaccel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeVaccel {
+    /// The owning device.
+    pub device: DeviceId,
+    /// The vaccel's identity on that device.
+    pub va: VaccelId,
+}
+
+/// A node of FPGA devices behind one hypervisor facade.
+pub struct OptimusNode {
+    devices: Vec<Optimus>,
+    placement: Placement,
+    rr_next: usize,
+    threads: usize,
+}
+
+impl core::fmt::Debug for OptimusNode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("OptimusNode")
+            .field("devices", &self.devices.len())
+            .field("placement", &self.placement)
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl OptimusNode {
+    /// Boots `cfg.devices` hypervisors, each around its own FPGA.
+    pub fn new(cfg: NodeConfig) -> Result<Self, NodeError> {
+        let mut devices = Vec::with_capacity(cfg.devices);
+        for d in 0..cfg.devices.max(1) {
+            let id = DeviceId(d as u32);
+            let mut c = OptimusConfig::new(cfg.accels.clone());
+            c.seed = derive_seed(cfg.seed, d as u64);
+            c.time_slice = cfg.time_slice;
+            c.sched_policy = cfg.sched_policy.clone();
+            c.trap = TrapCost::Virtualized;
+            let mut hv = Optimus::try_new(c).map_err(|source| NodeError { device: id, source })?;
+            hv.set_device_id(id);
+            devices.push(hv);
+        }
+        let threads = cfg
+            .threads
+            .or_else(env_threads)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            })
+            .clamp(1, devices.len());
+        Ok(Self { devices, placement: cfg.placement, rr_next: 0, threads })
+    }
+
+    /// Number of devices in the node.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Worker threads [`run`](Self::run) will use (1 = serial).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The hypervisor mediating `id` (read-only observation).
+    pub fn device(&self, id: DeviceId) -> &Optimus {
+        &self.devices[id.0 as usize]
+    }
+
+    /// Mutable access to the hypervisor mediating `id`.
+    pub fn device_mut(&mut self, id: DeviceId) -> &mut Optimus {
+        &mut self.devices[id.0 as usize]
+    }
+
+    /// Picks the device for the next tenant per the placement policy.
+    fn place(&mut self) -> DeviceId {
+        match self.placement {
+            Placement::RoundRobin => {
+                let d = self.rr_next % self.devices.len();
+                self.rr_next += 1;
+                DeviceId(d as u32)
+            }
+            Placement::LeastLoaded => {
+                let d = (0..self.devices.len())
+                    .min_by_key(|&d| self.devices[d].num_vaccels())
+                    .expect("node has at least one device");
+                DeviceId(d as u32)
+            }
+        }
+    }
+
+    /// Creates a VM + virtual accelerator for a new tenant, placing it on
+    /// a device per the policy and on that device's least-populated slot.
+    pub fn create_tenant(&mut self, name: &str) -> NodeVaccel {
+        let device = self.place();
+        let hv = &mut self.devices[device.0 as usize];
+        let slot = (0..hv.num_slots())
+            .min_by_key(|&s| hv.slot_population(s))
+            .expect("device has at least one slot");
+        let vm = hv.create_vm(name);
+        let va = hv.create_vaccel(vm, slot);
+        NodeVaccel { device, va }
+    }
+
+    /// The guest-side handle for a tenant's virtual accelerator.
+    pub fn guest(&mut self, h: NodeVaccel) -> GuestCtx<'_> {
+        self.devices[h.device.0 as usize].guest(h.va)
+    }
+
+    /// Hypervisor-side (trap-free) completion check.
+    pub fn vaccel_completed(&mut self, h: NodeVaccel) -> bool {
+        self.devices[h.device.0 as usize].vaccel_completed(h.va)
+    }
+
+    /// The most advanced device clock (devices within one horizon of each
+    /// other).
+    pub fn now(&self) -> Cycle {
+        self.devices.iter().map(|hv| hv.now()).max().unwrap_or(0)
+    }
+
+    /// Node-wide statistics: every device's [`HvStats`] accumulated.
+    pub fn stats(&self) -> HvStats {
+        let mut total = HvStats::default();
+        for hv in &self.devices {
+            total.accumulate(&hv.stats());
+        }
+        total
+    }
+
+    /// Per-device statistics in device-index order.
+    pub fn device_stats(&self) -> Vec<HvStats> {
+        self.devices.iter().map(|hv| hv.stats()).collect()
+    }
+
+    /// Opens throughput measurement windows on every port of every device.
+    pub fn open_windows(&mut self) {
+        for hv in &mut self.devices {
+            hv.device_mut().open_windows();
+        }
+    }
+
+    /// Closes throughput measurement windows on every device.
+    pub fn close_windows(&mut self) {
+        for hv in &mut self.devices {
+            hv.device_mut().close_windows();
+        }
+    }
+
+    /// Runs every device for `cycles` fabric cycles, in lock-step chunks
+    /// bounded by the devices' synchronization horizons. With more than
+    /// one worker thread, devices within a chunk step concurrently; the
+    /// result is bit-identical either way (see the module docs).
+    pub fn run(&mut self, cycles: Cycle) {
+        let mut remaining = cycles;
+        while remaining > 0 {
+            let chunk = self.horizon_chunk(remaining);
+            if self.threads <= 1 || self.devices.len() == 1 {
+                for hv in &mut self.devices {
+                    hv.run(chunk);
+                }
+            } else {
+                self.run_chunk_parallel(chunk);
+            }
+            remaining -= chunk;
+        }
+    }
+
+    /// The next lock-step chunk: the smallest distance to any device's
+    /// sync horizon, plus one cycle so the horizon's scheduling decision
+    /// executes inside the chunk that reaches it. Devices with no horizon
+    /// (fully quiescent) don't constrain the chunk.
+    fn horizon_chunk(&self, remaining: Cycle) -> Cycle {
+        let mut chunk = remaining;
+        for hv in &self.devices {
+            if let Some(h) = hv.next_sync_horizon() {
+                let delta = h.saturating_sub(hv.now()) + 1;
+                chunk = chunk.min(delta);
+            }
+        }
+        chunk.min(remaining).max(1)
+    }
+
+    /// Steps every device by `chunk` on scoped worker threads. Devices
+    /// are split into contiguous index-order groups (one per worker), so
+    /// each worker's trace chunks — and therefore the device-index-order
+    /// replay below — preserve the serial recording order.
+    fn run_chunk_parallel(&mut self, chunk: Cycle) {
+        let tracing = trace::enabled();
+        let workers = self.threads.min(self.devices.len());
+        let per = self.devices.len().div_ceil(workers);
+        let chunks_out: Vec<Vec<trace::TraceChunk>> = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .devices
+                .chunks_mut(per)
+                .map(|group| {
+                    s.spawn(move || {
+                        if tracing {
+                            trace::set_enabled(true);
+                        }
+                        let mut out = Vec::new();
+                        for hv in group.iter_mut() {
+                            hv.run(chunk);
+                            if tracing {
+                                out.push(trace::take_chunk());
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("node worker thread panicked"))
+                .collect()
+        });
+        if tracing {
+            for group in chunks_out {
+                for c in group {
+                    trace::absorb_chunk(c);
+                }
+            }
+        }
+    }
+
+    /// Runs the whole node until `h`'s job completes (or `max_cycles`
+    /// pass), advancing every device together. Returns whether it
+    /// completed.
+    pub fn run_until_done(&mut self, h: NodeVaccel, max_cycles: Cycle) -> bool {
+        let start = self.now();
+        let poll = ms_to_cycles(0.05);
+        while self.now() < start + max_cycles {
+            if self.vaccel_completed(h) {
+                return true;
+            }
+            let budget = start + max_cycles - self.now();
+            self.run(poll.min(budget));
+        }
+        self.vaccel_completed(h)
+    }
+}
+
+/// Parses `OPTIMUS_NODE_THREADS` (values < 1 are ignored).
+fn env_threads() -> Option<usize> {
+    std::env::var("OPTIMUS_NODE_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_fabric::mmio::accel_reg;
+
+    fn mb_node(devices: usize, threads: usize) -> OptimusNode {
+        let mut cfg = NodeConfig::new(vec![AccelKind::Mb, AccelKind::Mb], devices);
+        cfg.threads = Some(threads);
+        OptimusNode::new(cfg).expect("node boots")
+    }
+
+    fn start_mb_job(node: &mut OptimusNode, h: NodeVaccel, ops: u64, seed: u64) {
+        use optimus_accel::membench::MbKernel;
+        let mut g = node.guest(h);
+        let region = g.alloc_dma(1 << 20);
+        g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_REGION, region.raw());
+        g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_BYTES, 1 << 20);
+        g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_OPS, ops);
+        g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_SEED, seed);
+        g.mmio_write(accel_reg::CTRL_CMD, accel_reg::CMD_START);
+    }
+
+    #[test]
+    fn round_robin_placement_cycles_devices() {
+        let mut node = mb_node(3, 1);
+        let handles: Vec<NodeVaccel> = (0..6).map(|i| node.create_tenant(&format!("t{i}"))).collect();
+        for (i, h) in handles.iter().enumerate() {
+            assert_eq!(h.device, DeviceId((i % 3) as u32));
+        }
+    }
+
+    #[test]
+    fn least_loaded_placement_balances() {
+        let mut cfg = NodeConfig::new(vec![AccelKind::Mb], 3);
+        cfg.placement = Placement::LeastLoaded;
+        cfg.threads = Some(1);
+        let mut node = OptimusNode::new(cfg).expect("node boots");
+        let handles: Vec<NodeVaccel> = (0..7).map(|i| node.create_tenant(&format!("t{i}"))).collect();
+        let mut per_device = [0usize; 3];
+        for h in &handles {
+            per_device[h.device.0 as usize] += 1;
+        }
+        let max = per_device.iter().max().unwrap();
+        let min = per_device.iter().min().unwrap();
+        assert!(max - min <= 1, "unbalanced: {per_device:?}");
+    }
+
+    #[test]
+    fn empty_accel_list_reports_the_failing_device() {
+        let cfg = NodeConfig::new(Vec::new(), 2);
+        let err = OptimusNode::new(cfg).expect_err("empty mix must fail");
+        assert_eq!(err.device, DeviceId(0));
+        assert_eq!(err.source, FabricError::NoAccelerators);
+        assert!(err.to_string().contains("fpga0"));
+    }
+
+    #[test]
+    fn per_device_seeds_are_distinct() {
+        let seeds: Vec<u64> = (0..4).map(|d| derive_seed(42, d)).collect();
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), seeds.len());
+    }
+
+    #[test]
+    fn two_device_jobs_complete_in_parallel_mode() {
+        let mut node = mb_node(2, 2);
+        let a = node.create_tenant("a");
+        let b = node.create_tenant("b");
+        start_mb_job(&mut node, a, 400, 1);
+        start_mb_job(&mut node, b, 400, 2);
+        assert!(node.run_until_done(a, 200_000_000), "job a");
+        assert!(node.run_until_done(b, 200_000_000), "job b");
+        assert_eq!(node.stats().forced_resets, 0);
+        assert!(node.stats().traps > 0);
+    }
+}

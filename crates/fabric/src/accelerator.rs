@@ -283,7 +283,7 @@ impl AccelPort {
 /// from the 400 MHz fabric clock via its divider), and may issue at most a
 /// handful of DMA requests through the port per step, subject to
 /// [`AccelPort::can_issue`].
-pub trait Accelerator {
+pub trait Accelerator: Send {
     /// Static metadata (Table 1/Table 2 inputs).
     fn meta(&self) -> &AccelMeta;
 

@@ -18,11 +18,13 @@ use crate::accelerator::{AccelPort, Accelerator, CtrlStatus};
 use crate::auditor::{AuditVerdict, Auditor};
 use crate::mmio;
 use crate::mux_tree::{MuxTree, TreeConfig};
+use crate::platform::{DeviceIntegrity, FabricError, PlatformDevice};
 use crate::vcu::{Vcu, VcuEffect};
 use optimus_cci::channel::SelectorPolicy;
 use optimus_cci::host_side::HostSide;
 use optimus_cci::packet::{AccelId, DownPacket, UpPacket};
 use optimus_cci::params::{PASSTHROUGH_INJECT_INTERVAL, TREE_LEVEL_DOWN_CYCLES};
+use optimus_sim::clock::PlatformClock;
 use optimus_sim::queue::TimedQueue;
 use optimus_sim::time::{ClockDivider, Cycle};
 use std::collections::HashMap;
@@ -76,13 +78,33 @@ impl FpgaDevice {
     /// # Panics
     ///
     /// Panics if `accels` is empty or exceeds the tree's leaf count
-    /// assumptions (255 accelerators).
+    /// assumptions (255 accelerators). Use
+    /// [`try_new_monitored`](Self::try_new_monitored) to handle these as
+    /// typed errors instead.
     pub fn new_monitored(
         accels: Vec<Box<dyn Accelerator>>,
         arity: usize,
         policy: SelectorPolicy,
     ) -> Self {
-        assert!(!accels.is_empty() && accels.len() < 256);
+        Self::try_new_monitored(accels, arity, policy)
+            .unwrap_or_else(|e| panic!("FpgaDevice::new_monitored: {e}"))
+    }
+
+    /// Fallible variant of [`new_monitored`](Self::new_monitored):
+    /// validates the accelerator list and returns a [`FabricError`]
+    /// instead of panicking, so a node constructing many devices can
+    /// report which one failed.
+    pub fn try_new_monitored(
+        accels: Vec<Box<dyn Accelerator>>,
+        arity: usize,
+        policy: SelectorPolicy,
+    ) -> Result<Self, FabricError> {
+        if accels.is_empty() {
+            return Err(FabricError::NoAccelerators);
+        }
+        if accels.len() >= 256 {
+            return Err(FabricError::TooManyAccelerators { requested: accels.len(), max: 255 });
+        }
         let config = TreeConfig {
             leaves: accels.len(),
             arity,
@@ -98,7 +120,7 @@ impl FpgaDevice {
             .collect();
         let n = accels.len();
         let trace_status = accels.iter().map(|a| a.status()).collect();
-        Self {
+        Ok(Self {
             mode: FabricMode::Monitored(config),
             now: 0,
             accels,
@@ -115,7 +137,7 @@ impl FpgaDevice {
             dropped_packets: 0,
             fastfwd: optimus_sim::simrate::fast_forward_enabled(),
             trace_status,
-        }
+        })
     }
 
     /// Builds a pass-through device: one accelerator, directly assigned.
@@ -371,26 +393,6 @@ impl FpgaDevice {
         horizon
     }
 
-    /// Advances toward `end`: skips directly to the next event when
-    /// fast-forwarding is on and the machine is provably idle, otherwise
-    /// executes one cycle.
-    fn advance_toward(&mut self, end: Cycle) {
-        if self.fastfwd {
-            match self.next_event() {
-                None => {
-                    self.now = end;
-                    return;
-                }
-                Some(t) if t > self.now => {
-                    self.now = t.min(end);
-                    return;
-                }
-                _ => {}
-            }
-        }
-        self.step();
-    }
-
     /// Runs the machine for `cycles` fabric cycles.
     pub fn run(&mut self, cycles: Cycle) {
         let end = self.now + cycles;
@@ -559,6 +561,76 @@ impl FpgaDevice {
     }
 }
 
+impl PlatformClock for FpgaDevice {
+    fn now(&self) -> Cycle {
+        self.now
+    }
+
+    fn next_event(&self) -> Option<Cycle> {
+        FpgaDevice::next_event(self)
+    }
+
+    fn step_cycle(&mut self) {
+        self.step();
+    }
+
+    fn skip_to(&mut self, t: Cycle) {
+        self.now = t;
+    }
+
+    fn fast_forward(&self) -> bool {
+        self.fastfwd
+    }
+}
+
+impl PlatformDevice for FpgaDevice {
+    fn run(&mut self, cycles: Cycle) {
+        FpgaDevice::run(self, cycles);
+    }
+
+    fn mmio_read(&mut self, addr: u64) -> u64 {
+        FpgaDevice::mmio_read(self, addr)
+    }
+
+    fn mmio_write(&mut self, addr: u64, value: u64) {
+        FpgaDevice::mmio_write(self, addr, value);
+    }
+
+    fn num_accels(&self) -> usize {
+        FpgaDevice::num_accels(self)
+    }
+
+    fn accel_status(&self, slot: usize) -> CtrlStatus {
+        self.accels[slot].status()
+    }
+
+    fn reset_accel(&mut self, slot: usize) {
+        FpgaDevice::reset_accel(self, slot);
+    }
+
+    fn host(&self) -> &HostSide {
+        FpgaDevice::host(self)
+    }
+
+    fn host_mut(&mut self) -> &mut HostSide {
+        FpgaDevice::host_mut(self)
+    }
+
+    fn integrity(&self) -> DeviceIntegrity {
+        let mut out = DeviceIntegrity { dropped_packets: self.dropped_packets, ..Default::default() };
+        for a in &self.auditors {
+            let (dma, mmio) = a.discard_counts();
+            out.discarded_dma += dma;
+            out.discarded_mmio += mmio;
+        }
+        out
+    }
+
+    fn set_fast_forward(&mut self, on: bool) {
+        FpgaDevice::set_fast_forward(self, on);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -694,6 +766,22 @@ mod tests {
         let value = dev.mmio_read(mmio::accel_mmio_base(5) + 0x40);
         assert_eq!(value, u64::MAX);
         assert!(dev.dropped_packets() > 0);
+    }
+
+    #[test]
+    fn empty_accelerator_list_is_a_typed_error() {
+        let err = FpgaDevice::try_new_monitored(Vec::new(), 2, SelectorPolicy::Auto)
+            .expect_err("empty list must fail");
+        assert_eq!(err, FabricError::NoAccelerators);
+    }
+
+    #[test]
+    fn integrity_counters_surface_shell_drops() {
+        let mut dev = copier_device(1);
+        dev.mmio_read(mmio::accel_mmio_base(5) + 0x40); // master-abort
+        let integrity = PlatformDevice::integrity(&dev);
+        assert!(integrity.dropped_packets > 0);
+        assert_eq!(integrity.discarded_dma, 0);
     }
 
     #[test]

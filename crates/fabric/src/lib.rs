@@ -29,6 +29,10 @@
 //! * [`vcu`] — the virtualization control unit with its offset and reset
 //!   tables;
 //! * [`mmio`] — the MMIO address map (§5 "MMIO Slicing");
+//! * [`platform`] — [`PlatformDevice`](platform::PlatformDevice), the
+//!   device-facing surface the hypervisor programs against, plus
+//!   [`DeviceId`](platform::DeviceId) addressing within a multi-device
+//!   node and typed construction errors;
 //! * [`device`] — [`FpgaDevice`](device::FpgaDevice), the cycle-stepped
 //!   composition of all of the above plus the host side, in monitored
 //!   (OPTIMUS) or pass-through (baseline) mode;
@@ -41,6 +45,7 @@ pub mod auditor;
 pub mod device;
 pub mod mmio;
 pub mod mux_tree;
+pub mod platform;
 pub mod preempt;
 pub mod resources;
 pub mod synthesis;
@@ -51,4 +56,5 @@ pub use accelerator::{AccelMeta, AccelPort, AccelResponse, Accelerator, CtrlStat
 pub use auditor::Auditor;
 pub use device::{FabricMode, FpgaDevice};
 pub use mux_tree::{MuxTree, TreeConfig};
+pub use platform::{DeviceId, DeviceIntegrity, FabricError, PlatformDevice};
 pub use vcu::Vcu;

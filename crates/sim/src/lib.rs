@@ -14,6 +14,9 @@
 //! * [`queue`] — latency-carrying FIFOs used to model pipelined links.
 //! * [`stats`] — throughput and latency accounting used by the benchmark
 //!   harness.
+//! * [`clock`] — the [`clock::PlatformClock`] protocol every steppable
+//!   platform implements (`now`/`next_event`/`step_cycle`/`skip_to`),
+//!   with the event-horizon fast-forward kernel as a provided method.
 //! * [`simrate`] — process-wide simulated-cycle accounting and the
 //!   `OPTIMUS_NO_FASTFWD` fast-forward toggle.
 //! * [`trace`] — the flight recorder: cycle-stamped events from every
@@ -33,6 +36,7 @@
 //! assert_eq!(ns_to_cycles(33.0), 13); // one multiplexer-tree level
 //! ```
 
+pub mod clock;
 pub mod perm;
 pub mod queue;
 pub mod rng;
@@ -41,6 +45,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use clock::PlatformClock;
 pub use perm::FeistelPermutation;
 pub use queue::TimedQueue;
 pub use rng::{SplitMix64, Xoshiro256};

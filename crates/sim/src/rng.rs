@@ -52,6 +52,28 @@ impl SplitMix64 {
     }
 }
 
+/// Derives the seed of independent stream `stream` from a base seed.
+///
+/// This is SplitMix64's canonical stream-splitting construction: the
+/// result equals the `stream`-th output of `SplitMix64::new(base)` (the
+/// state gamma-steps once per stream index and the full output
+/// permutation is applied), so the derived seeds are as well mixed as the
+/// generator's own output sequence. Use this instead of additive schemes
+/// like `base + k * 1000 + 1`, whose streams collide whenever two
+/// (base, k) pairs happen to sum alike.
+///
+/// # Examples
+///
+/// ```
+/// use optimus_sim::rng::derive_seed;
+/// // The old additive derivations collide; the mix does not.
+/// assert_eq!(1 + 1 * 1000 + 1, 1001 + 0 * 1000 + 1);
+/// assert_ne!(derive_seed(1, 1), derive_seed(1001, 0));
+/// ```
+pub fn derive_seed(base: u64, stream: u64) -> u64 {
+    SplitMix64::new(base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream))).next_u64()
+}
+
 /// xoshiro256\*\* generator (Blackman & Vigna).
 ///
 /// The default generator for workloads and accelerator decision logic. It is
@@ -292,5 +314,25 @@ mod tests {
     fn mix_is_stateless_and_stable() {
         assert_eq!(SplitMix64::mix(42), SplitMix64::mix(42));
         assert_ne!(SplitMix64::mix(42), SplitMix64::mix(43));
+    }
+
+    #[test]
+    fn derive_seed_is_the_streamth_splitmix_output() {
+        let mut sm = SplitMix64::new(0xDEAD_BEEF);
+        for stream in 0..16 {
+            assert_eq!(derive_seed(0xDEAD_BEEF, stream), sm.next_u64());
+        }
+    }
+
+    #[test]
+    fn derive_seed_avoids_additive_collisions() {
+        // The bench runner's old derivations, seed + slot*1000 + 1 and
+        // 100 + j, collide across experiments; the mixed streams must not.
+        let mut seen = std::collections::HashSet::new();
+        for base in [1u64, 7, 42, 100, 1001] {
+            for stream in 0..64 {
+                assert!(seen.insert(derive_seed(base, stream)), "collision at ({base}, {stream})");
+            }
+        }
     }
 }

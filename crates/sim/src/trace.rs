@@ -247,6 +247,63 @@ pub fn dropped() -> u64 {
     RECORDER.with(|r| r.borrow().dropped)
 }
 
+/// Events and counters drained from one thread's recorder, for replay on
+/// another thread. The node layer uses this to merge worker-thread
+/// recordings back into the main recorder in device-index order, so a
+/// parallel run's trace is byte-identical to a serial run's.
+///
+/// The contents are opaque: a chunk only moves between recorders.
+#[derive(Debug, Default)]
+pub struct TraceChunk {
+    events: Vec<Event>,
+    counters: BTreeMap<(Track, &'static str), u64>,
+    dropped: u64,
+}
+
+impl TraceChunk {
+    /// Number of events carried.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the chunk carries neither events nor counters.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.counters.is_empty() && self.dropped == 0
+    }
+}
+
+/// Drains this thread's recorder into a [`TraceChunk`] (events in
+/// emission order; the recorder is left empty with its capacity kept).
+pub fn take_chunk() -> TraceChunk {
+    RECORDER.with(|r| {
+        let mut r = r.borrow_mut();
+        let events: Vec<Event> = r.ordered().copied().collect();
+        r.buf.clear();
+        r.head = 0;
+        TraceChunk {
+            events,
+            counters: std::mem::take(&mut r.counters),
+            dropped: std::mem::take(&mut r.dropped),
+        }
+    })
+}
+
+/// Replays a chunk into this thread's recorder as if its events had been
+/// emitted here: ring bounds and drop accounting apply as usual, and
+/// counters accumulate.
+pub fn absorb_chunk(chunk: TraceChunk) {
+    RECORDER.with(|r| {
+        let mut r = r.borrow_mut();
+        for ev in chunk.events {
+            r.push(ev);
+        }
+        r.dropped += chunk.dropped;
+        for (key, v) in chunk.counters {
+            *r.counters.entry(key).or_insert(0) += v;
+        }
+    });
+}
+
 #[inline]
 fn emit(track: Track, name: &'static str, kind: EventKind, ts: Cycle, dur: Cycle, args: &[(&'static str, u64)]) {
     let mut packed = [("", 0u64); MAX_ARGS];
@@ -534,6 +591,53 @@ mod tests {
         assert!(dma < miss);
         // 12 cycles = 0.03 µs.
         assert!(json.contains("\"ts\":0.0300"));
+    }
+
+    #[test]
+    fn chunk_round_trip_preserves_events_and_counters() {
+        set_enabled(true);
+        reset();
+        instant(Track::iommu(), "iotlb_miss", 40, &[("set", 7)]);
+        complete(Track::link(0), "dma_read", 12, 100, &[("bytes", 64)]);
+        count(Track::iommu(), "misses", 3);
+        let direct = chrome_trace_json();
+        let chunk = take_chunk();
+        assert_eq!(chunk.len(), 2);
+        assert_eq!(event_count(), 0);
+        assert!(counters().is_empty());
+        absorb_chunk(chunk);
+        assert_eq!(chrome_trace_json(), direct);
+        assert_eq!(counter_value(Track::iommu(), "misses"), 3);
+        reset();
+    }
+
+    #[test]
+    fn chunks_absorb_cross_thread_in_caller_order() {
+        set_enabled(true);
+        reset();
+        let mut chunks = Vec::new();
+        for dev in 0..2u64 {
+            chunks.push(
+                std::thread::spawn(move || {
+                    set_enabled(true);
+                    instant(Track::accel(dev as usize), "tick", 10 + dev, &[]);
+                    count(Track::accel(dev as usize), "ticks", 1);
+                    take_chunk()
+                })
+                .join()
+                .expect("worker"),
+            );
+        }
+        for c in chunks {
+            absorb_chunk(c);
+        }
+        assert_eq!(event_count(), 2);
+        assert_eq!(counter_value(Track::accel(0), "ticks"), 1);
+        assert_eq!(counter_value(Track::accel(1), "ticks"), 1);
+        let json = chrome_trace_json();
+        assert!(json.contains("\"cycle\":10"));
+        assert!(json.contains("\"cycle\":11"));
+        reset();
     }
 
     #[test]

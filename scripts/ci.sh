@@ -10,13 +10,18 @@
 #  4. Trace smoke: run one fig5 sweep point with OPTIMUS_TRACE=1, validate
 #     the exported Chrome-trace JSON offline, then re-run with tracing off
 #     and assert the bench fingerprint is byte-identical.
+#  5. Node smoke: run the cluster_scale bench with parallel device
+#     stepping (OPTIMUS_NODE_THREADS=4) and again serially
+#     (OPTIMUS_NODE_THREADS=1) and assert the bench fingerprints are
+#     byte-identical — the multi-FPGA node layer must not let the thread
+#     schedule leak into any measured figure.
 #
 # The whole script runs with no network access.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/4] registry-dependency check =="
+echo "== [1/5] registry-dependency check =="
 python3 - <<'PYEOF'
 import glob, re, sys
 
@@ -54,19 +59,19 @@ if offenders:
 print("ok: all dependencies are in-tree path dependencies")
 PYEOF
 
-echo "== [2/4] tier-1: build + tests =="
+echo "== [2/5] tier-1: build + tests =="
 cargo build --release
 cargo test -q
 cargo test --workspace -q
 
-echo "== [2b/4] fast-forward differential equivalence (per-cycle mode) =="
+echo "== [2b/5] fast-forward differential equivalence (per-cycle mode) =="
 # Re-run the fabric and hypervisor suites with fast-forwarding disabled:
 # the differential property tests then compare per-cycle stepping against
 # an explicitly re-enabled fast path, and every other test exercises the
 # seed's original cycle loop.
 OPTIMUS_NO_FASTFWD=1 cargo test -q -p optimus-fabric -p optimus
 
-echo "== [3/4] bench smoke (tiny scales, one JSON report per target) =="
+echo "== [3/5] bench smoke (tiny scales, one JSON report per target) =="
 BENCH_DIR="target/bench-reports-ci"
 rm -rf "$BENCH_DIR"
 export OPTIMUS_BENCH_DIR="$PWD/$BENCH_DIR"
@@ -91,7 +96,7 @@ for b in $BENCHES; do
 done
 echo "ok: $(ls "$BENCH_DIR" | wc -l) bench reports in $BENCH_DIR"
 
-echo "== [4/4] trace smoke (flight recorder on one fig5 point) =="
+echo "== [4/5] trace smoke (flight recorder on one fig5 point) =="
 TRACE_DIR="target/trace-smoke-ci"
 rm -rf "$TRACE_DIR" "$TRACE_DIR-off"
 # Traced run: one fig5 sweep point with the flight recorder on.
@@ -155,6 +160,33 @@ def fingerprint(d):
 if fingerprint(traced) != fingerprint(plain):
     sys.exit("FAIL: tracing changed the bench fingerprint")
 print("ok: bench fingerprint byte-identical with tracing on and off")
+PYEOF
+
+echo "== [5/5] node smoke (parallel vs serial device stepping) =="
+NODE_DIR="target/node-smoke-ci"
+rm -rf "$NODE_DIR-par" "$NODE_DIR-ser"
+# Parallel run: pin the worker count so the check is meaningful even on a
+# single-core host (available_parallelism would otherwise report 1).
+OPTIMUS_BENCH_DIR="$PWD/$NODE_DIR-par" OPTIMUS_NODE_THREADS=4 \
+    cargo bench -q -p optimus-bench --bench cluster_scale >/dev/null
+# Serial escape hatch: same sweep, one device at a time.
+OPTIMUS_BENCH_DIR="$PWD/$NODE_DIR-ser" OPTIMUS_NODE_THREADS=1 \
+    cargo bench -q -p optimus-bench --bench cluster_scale >/dev/null
+python3 - "$NODE_DIR-par" "$NODE_DIR-ser" <<'PYEOF'
+import json, sys
+
+par_dir, ser_dir = sys.argv[1], sys.argv[2]
+par = json.load(open(f"{par_dir}/BENCH_cluster_scale.json"))
+ser = json.load(open(f"{ser_dir}/BENCH_cluster_scale.json"))
+VOLATILE = ("wall_secs", "sim_rate", "trace_counters", "trace_events", "trace_dropped")
+def fingerprint(d):
+    return json.dumps(
+        {k: v for k, v in d.items() if k not in VOLATILE},
+        sort_keys=True,
+    ).encode()
+if fingerprint(par) != fingerprint(ser):
+    sys.exit("FAIL: parallel device stepping changed the bench fingerprint")
+print("ok: cluster_scale fingerprint byte-identical, parallel vs serial")
 PYEOF
 
 echo "CI PASSED"
