@@ -24,12 +24,19 @@ pub fn vs(paper: f64, measured: f64, prec: usize) -> (String, String) {
 }
 
 /// Records the isolation/robustness counters accumulated over a bench
-/// run — shell packet drops and per-auditor discards — so violations are
-/// visible in `BENCH_*.json` instead of stranded on the device. The
-/// counters are simulation-deterministic, so the note is fingerprint-safe.
+/// run — shell packet drops, per-auditor discards, and watchdog alert
+/// totals — so violations are visible in `BENCH_*.json` instead of
+/// stranded on the device. The counters are simulation-deterministic, so
+/// the note is fingerprint-safe.
 pub fn integrity_note(rep: &mut Report, label: &str, stats: &optimus::hypervisor::HvStats) {
     rep.note(&format!(
-        "integrity[{label}]: dropped_packets={} discarded_dma={} discarded_mmio={}",
-        stats.dropped_packets, stats.discarded_dma, stats.discarded_mmio
+        "integrity[{label}]: dropped_packets={} discarded_dma={} discarded_mmio={} \
+         alerts_starvation={} alerts_iotlb_thrash={} alerts_preempt_overrun={}",
+        stats.dropped_packets,
+        stats.discarded_dma,
+        stats.discarded_mmio,
+        stats.alerts_starvation,
+        stats.alerts_iotlb_thrash,
+        stats.alerts_preempt_overrun,
     ));
 }

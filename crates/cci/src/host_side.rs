@@ -23,6 +23,7 @@ use crate::packet::{DownPacket, UpPacket};
 use crate::params;
 use optimus_mem::host::HostMemory;
 use optimus_mem::iommu::{Iommu, IommuError, TlbLookup};
+use optimus_sim::metrics;
 use optimus_sim::time::Cycle;
 use optimus_sim::trace::{self, Track};
 use std::cmp::Ordering;
@@ -104,22 +105,29 @@ impl HostSide {
         }
     }
 
-    /// Flight-recorder bookkeeping for one admitted DMA: a
+    /// Observability bookkeeping for one admitted DMA: always-on
+    /// per-channel packet counters and a selector-switch counter
+    /// (attributed to the channel switched *to*), plus a trace-gated
     /// `channel_switch` instant when the selector moved to a different
-    /// physical channel, plus per-channel packet counters.
-    fn trace_channel(&mut self, kind: ChannelKind, now: Cycle) {
-        let idx = ChannelKind::ALL.iter().position(|&k| k == kind).unwrap_or(0) as u64;
-        if self.last_kind.is_some_and(|prev| prev != kind) {
-            trace::instant(Track::channels(), "channel_switch", now, &[("channel", idx)]);
-            trace::count(Track::channels(), "channel_switches", 1);
+    /// physical channel. Never feeds back into timing.
+    fn account_channel(&mut self, kind: ChannelKind, now: Cycle) {
+        let idx = ChannelKind::ALL.iter().position(|&k| k == kind).unwrap_or(0) as u32;
+        let switched = self.last_kind.is_some_and(|prev| prev != kind);
+        metrics::inc(metrics::CCI_CHANNEL_PACKETS, idx, 1);
+        metrics::inc(metrics::CCI_CHANNEL_SWITCHES, idx, switched as u64);
+        if trace::enabled() {
+            if switched {
+                trace::instant(Track::channels(), "channel_switch", now, &[("channel", idx as u64)]);
+                trace::count(Track::channels(), metrics::def(metrics::CCI_CHANNEL_SWITCHES).name, 1);
+            }
+            let counter = match kind {
+                ChannelKind::Upi => "upi_packets",
+                ChannelKind::Pcie0 => "pcie0_packets",
+                ChannelKind::Pcie1 => "pcie1_packets",
+            };
+            trace::count(Track::channels(), counter, 1);
         }
         self.last_kind = Some(kind);
-        let counter = match kind {
-            ChannelKind::Upi => "upi_packets",
-            ChannelKind::Pcie0 => "pcie0_packets",
-            ChannelKind::Pcie1 => "pcie1_packets",
-        };
-        trace::count(Track::channels(), counter, 1);
     }
 
     /// Host DRAM (CPU-side accesses go straight through; only DMAs pay the
@@ -185,16 +193,16 @@ impl HostSide {
             }
             UpPacket::DmaRead { iova, src, tag } => {
                 let (arrival, kind) = self.channels.admit(now);
-                if trace::enabled() {
-                    self.trace_channel(kind, now);
-                }
-                match self.iommu.translate_at(iova, false, now) {
+                self.account_channel(kind, now);
+                match self.iommu.translate_tagged(iova, false, now, src.0 as u32) {
                     Ok(tr) => {
-                        let done = self.schedule_service(arrival, tr.lookup);
+                        let done = self.schedule_service(arrival, tr.lookup, src.0 as u32);
                         let data = Box::new(self.memory.read_line(tr.hpa));
                         self.total_dma_bytes += 64;
                         let ready =
                             (done + self.channels.response_latency(kind)).ceil() as Cycle;
+                        metrics::inc(metrics::CCI_DMA_BYTES, src.0 as u32, 64);
+                        metrics::observe(metrics::CCI_DMA_RT_CYCLES, src.0 as u32, ready - now);
                         if trace::enabled() {
                             let link = Track::link(src.0 as usize);
                             trace::complete(link, "dma_read", now, ready - now, &[("iova", iova.raw())]);
@@ -210,16 +218,16 @@ impl HostSide {
             }
             UpPacket::DmaWrite { iova, data, src, tag } => {
                 let (arrival, kind) = self.channels.admit(now);
-                if trace::enabled() {
-                    self.trace_channel(kind, now);
-                }
-                match self.iommu.translate_at(iova, true, now) {
+                self.account_channel(kind, now);
+                match self.iommu.translate_tagged(iova, true, now, src.0 as u32) {
                     Ok(tr) => {
-                        let done = self.schedule_service(arrival, tr.lookup);
+                        let done = self.schedule_service(arrival, tr.lookup, src.0 as u32);
                         self.memory.write_line(tr.hpa, &data);
                         self.total_dma_bytes += 64;
                         let ready =
                             (done + self.channels.response_latency(kind)).ceil() as Cycle;
+                        metrics::inc(metrics::CCI_DMA_BYTES, src.0 as u32, 64);
+                        metrics::observe(metrics::CCI_DMA_RT_CYCLES, src.0 as u32, ready - now);
                         if trace::enabled() {
                             let link = Track::link(src.0 as usize);
                             trace::complete(link, "dma_write", now, ready - now, &[("iova", iova.raw())]);
@@ -238,7 +246,7 @@ impl HostSide {
 
     /// Schedules translation-walk and DRAM-service stages; returns the time
     /// the line leaves DRAM.
-    fn schedule_service(&mut self, arrival: f64, lookup: TlbLookup) -> f64 {
+    fn schedule_service(&mut self, arrival: f64, lookup: TlbLookup, tenant: u32) -> f64 {
         let translated = match lookup {
             TlbLookup::Hit | TlbLookup::HitSpeculative => arrival,
             TlbLookup::Miss { walk_steps } => {
@@ -253,9 +261,15 @@ impl HostSide {
                 let start = arrival.max(walker_at);
                 self.walker_free[walker_idx] = start + params::WALK_OCCUPANCY_NS / 2.5;
                 let done = start + walk_steps as f64 * params::WALK_STEP_NS / 2.5;
+                // The walk's start/end cycles are only known here, where
+                // walker contention resolves, so the latency histogram is
+                // recorded here rather than in the IOMMU.
+                metrics::observe(
+                    metrics::MEM_PAGE_WALK_CYCLES,
+                    tenant,
+                    (done - start).ceil() as u64,
+                );
                 if trace::enabled() {
-                    // The walk's start/end cycles are only known here,
-                    // where walker contention resolves.
                     trace::complete(
                         Track::iommu(),
                         "page_walk",
@@ -263,7 +277,11 @@ impl HostSide {
                         (done - start).ceil() as Cycle,
                         &[("walker", walker_idx as u64), ("walk_steps", walk_steps as u64)],
                     );
-                    trace::count(Track::iommu(), "page_walk_cycles", (done - start).ceil() as u64);
+                    trace::count(
+                        Track::iommu(),
+                        metrics::def(metrics::MEM_PAGE_WALK_CYCLES).name,
+                        (done - start).ceil() as u64,
+                    );
                 }
                 done
             }

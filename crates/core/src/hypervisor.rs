@@ -18,6 +18,7 @@ use crate::scheduler::{SchedPolicy, SliceScheduler};
 use crate::slicing::SlicingConfig;
 use crate::vaccel::{VaccelId, VaccelRun, VirtualAccel};
 use crate::vm::{Vm, VmError, VmId};
+use crate::watchdog::{AlertKind, IsolationAlert, Watchdog, WatchdogConfig};
 use optimus_accel::registry::{build_accelerator, AccelKind};
 use optimus_cci::channel::SelectorPolicy;
 use optimus_cci::params::host_costs;
@@ -28,6 +29,7 @@ use optimus_fabric::platform::{DeviceId, FabricError, PlatformDevice};
 use optimus_mem::addr::{Gva, Hpa, PageSize, PAGE_2M};
 use optimus_mem::host::FrameFiller;
 use optimus_mem::page_table::PageFlags;
+use optimus_sim::metrics;
 use optimus_sim::time::{ms_to_cycles, ns_to_cycles, Cycle};
 use optimus_sim::trace::{self, Track};
 
@@ -81,6 +83,8 @@ pub struct OptimusConfig {
     pub preempt_timeout: Cycle,
     /// Seed for accelerator-internal randomness.
     pub seed: u64,
+    /// Isolation-watchdog thresholds (window 0 = 4 × `time_slice`).
+    pub watchdog: WatchdogConfig,
 }
 
 impl OptimusConfig {
@@ -96,6 +100,7 @@ impl OptimusConfig {
             trap: TrapCost::Virtualized,
             preempt_timeout: ms_to_cycles(1.0),
             seed: 42,
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -121,6 +126,12 @@ pub struct HvStats {
     pub discarded_dma: u64,
     /// MMIO accesses the auditors discarded (outside the slice window).
     pub discarded_mmio: u64,
+    /// Watchdog alerts: tenants starved of mux bandwidth.
+    pub alerts_starvation: u64,
+    /// Watchdog alerts: IOTLB conflict-eviction storms (Fig. 6 pathology).
+    pub alerts_iotlb_thrash: u64,
+    /// Watchdog alerts: preemptions that blew the Fig. 8 deadline.
+    pub alerts_preempt_overrun: u64,
 }
 
 impl HvStats {
@@ -136,6 +147,9 @@ impl HvStats {
         self.dropped_packets += other.dropped_packets;
         self.discarded_dma += other.discarded_dma;
         self.discarded_mmio += other.discarded_mmio;
+        self.alerts_starvation += other.alerts_starvation;
+        self.alerts_iotlb_thrash += other.alerts_iotlb_thrash;
+        self.alerts_preempt_overrun += other.alerts_preempt_overrun;
     }
 }
 
@@ -165,6 +179,7 @@ pub struct Optimus<D: PlatformDevice = FpgaDevice> {
     frames: FrameAllocator,
     next_slice: u64,
     stats: HvStats,
+    watchdog: Watchdog,
 }
 
 impl Optimus {
@@ -196,6 +211,7 @@ impl Optimus {
                 slice_ends: 0,
             })
             .collect();
+        let watchdog = Watchdog::new(config.watchdog, config.accels.len(), config.time_slice);
         let mut hv = Self {
             device,
             device_id: DeviceId(0),
@@ -210,6 +226,7 @@ impl Optimus {
             frames: FrameAllocator::new(),
             next_slice: 0,
             stats: HvStats::default(),
+            watchdog,
         };
         // Sanity-check the hardware: an OPTIMUS-compatible configuration
         // advertises itself through the VCU magic register.
@@ -240,6 +257,7 @@ impl Optimus {
             frames: FrameAllocator::new(),
             next_slice: 0,
             stats: HvStats::default(),
+            watchdog: Watchdog::new(WatchdogConfig::default(), 1, ms_to_cycles(10.0)),
         }
     }
 }
@@ -368,6 +386,9 @@ impl<D: PlatformDevice> Optimus<D> {
     }
 
     fn advance(&mut self, cycles: Cycle) {
+        // Everything the device records while stepping (IOTLB, channels,
+        // mux tree, auditors) lands under this hypervisor's device id.
+        metrics::set_device(self.device_id.0);
         self.device.run(cycles);
     }
 
@@ -377,10 +398,13 @@ impl<D: PlatformDevice> Optimus<D> {
     fn trap_cost(&mut self, va: VaccelId, offset: u64) {
         self.stats.traps += 1;
         let c = self.trap.cycles();
+        metrics::set_device(self.device_id.0);
+        metrics::inc(metrics::HV_MMIO_TRAPS, va.0, 1);
+        metrics::observe(metrics::HV_MMIO_TRAP_CYCLES, va.0, c);
         if trace::enabled() {
             let t = Track::vaccel(va.0);
             trace::complete(t, "mmio_trap", self.device.now(), c, &[("offset", offset)]);
-            trace::count(t, "mmio_traps", 1);
+            trace::count(t, metrics::def(metrics::HV_MMIO_TRAPS).name, 1);
         }
         self.advance(c);
     }
@@ -439,6 +463,8 @@ impl<D: PlatformDevice> Optimus<D> {
         self.slots[slot].current = Some(va);
         // Let the install MMIOs settle (they are asynchronous writes).
         self.advance(ns_to_cycles(500.0));
+        metrics::inc(metrics::HV_INSTALLS, va.0, 1);
+        metrics::observe(metrics::HV_INSTALL_CYCLES, va.0, self.device.now() - install_start);
         if trace::enabled() {
             // Register replay + reset + CMD_RESUME/CMD_START: the restore
             // half of the preemption machinery (a fresh start shows as
@@ -452,7 +478,7 @@ impl<D: PlatformDevice> Optimus<D> {
                 "slot",
                 slot as u64,
             )]);
-            trace::count(t, "installs", 1);
+            trace::count(t, metrics::def(metrics::HV_INSTALLS).name, 1);
         }
     }
 
@@ -471,15 +497,17 @@ impl<D: PlatformDevice> Optimus<D> {
         }
         self.device.mmio_write(base + accel_reg::CTRL_CMD, accel_reg::CMD_PREEMPT);
         self.stats.preemptions += 1;
+        let preempt_start = self.device.now();
+        metrics::inc(metrics::HV_PREEMPTIONS, slot as u32, 1);
         let track = Track::vaccel(va.0);
         if trace::enabled() {
             // Drain phase: from CMD_PREEMPT until the accelerator reports
             // it started streaming state out.
-            trace::begin(track, "preempt.drain", self.device.now(), &[("slot", slot as u64)]);
+            trace::begin(track, "preempt.drain", preempt_start, &[("slot", slot as u64)]);
             trace::count(track, "preemptions", 1);
         }
         let mut saving_seen = false;
-        let deadline = self.device.now() + self.preempt_timeout;
+        let deadline = preempt_start + self.preempt_timeout;
         loop {
             self.advance(ns_to_cycles(1000.0));
             let status = self.device.accel_status(slot);
@@ -498,6 +526,11 @@ impl<D: PlatformDevice> Optimus<D> {
             match status {
                 CtrlStatus::Saved => {
                     self.vaccels[va.0 as usize].run = VaccelRun::SavedInMemory;
+                    metrics::observe(
+                        metrics::HV_PREEMPT_CYCLES,
+                        slot as u32,
+                        self.device.now() - preempt_start,
+                    );
                     if trace::enabled() {
                         let now = self.device.now();
                         if saving_seen {
@@ -514,6 +547,17 @@ impl<D: PlatformDevice> Optimus<D> {
                         .mmio_write(VCU_BASE + vcu_reg::RESET_TABLE + slot as u64 * 8, 1);
                     self.advance(ns_to_cycles(1000.0));
                     self.stats.forced_resets += 1;
+                    let duration = self.device.now() - preempt_start;
+                    metrics::observe(metrics::HV_PREEMPT_CYCLES, slot as u32, duration);
+                    metrics::inc(metrics::HV_FORCED_RESETS, slot as u32, 1);
+                    self.raise_alert(IsolationAlert {
+                        kind: AlertKind::PreemptOverrun,
+                        device: self.device_id,
+                        slot: Some(slot),
+                        at: self.device.now(),
+                        observed: duration as f64,
+                        threshold: self.preempt_timeout as f64,
+                    });
                     let v = &mut self.vaccels[va.0 as usize];
                     v.forced_resets += 1;
                     // The job's progress is lost; it restarts from its
@@ -528,7 +572,7 @@ impl<D: PlatformDevice> Optimus<D> {
                             now,
                         );
                         trace::instant(track, "preempt.forced_reset", now, &[("slot", slot as u64)]);
-                        trace::count(track, "forced_resets", 1);
+                        trace::count(track, metrics::def(metrics::HV_FORCED_RESETS).name, 1);
                     }
                     break;
                 }
@@ -564,10 +608,18 @@ impl<D: PlatformDevice> Optimus<D> {
     /// Performs the end-of-slice decision for `slot`.
     fn slice_boundary(&mut self, slot: usize) {
         self.stats.context_switches += 1;
+        metrics::inc(metrics::HV_CONTEXT_SWITCHES, slot as u32, 1);
+        // How far past the nominal deadline the boundary actually ran
+        // (scheduling slop from the chunked advance loop).
+        metrics::observe(
+            metrics::HV_SLICE_OVERRUN_CYCLES,
+            slot as u32,
+            self.device.now().saturating_sub(self.slots[slot].slice_ends),
+        );
         if trace::enabled() {
             let t = Track::hypervisor();
             trace::instant(t, "slice_boundary", self.device.now(), &[("slot", slot as u64)]);
-            trace::count(t, "context_switches", 1);
+            trace::count(t, metrics::def(metrics::HV_CONTEXT_SWITCHES).name, 1);
         }
         let current = self.slots[slot].current;
         // Completed jobs retire (but stay resident until displaced, so the
@@ -621,7 +673,106 @@ impl<D: PlatformDevice> Optimus<D> {
                     self.slice_boundary(slot);
                 }
             }
+            if self.device.now() >= self.watchdog.next_eval {
+                self.watchdog_tick();
+            }
         }
+    }
+
+    /// Isolation alerts raised so far (watchdog detections plus forced
+    /// resets), oldest first, capped at the configured retention.
+    pub fn alerts(&self) -> &[IsolationAlert] {
+        self.watchdog.alerts()
+    }
+
+    /// Records an alert in the retained list, the `HvStats` counters, and
+    /// the metrics plane.
+    fn raise_alert(&mut self, alert: IsolationAlert) {
+        match alert.kind {
+            AlertKind::Starvation => self.stats.alerts_starvation += 1,
+            AlertKind::IotlbThrash => self.stats.alerts_iotlb_thrash += 1,
+            AlertKind::PreemptOverrun => self.stats.alerts_preempt_overrun += 1,
+        }
+        metrics::inc(metrics::HV_ISOLATION_ALERTS, alert.kind.metric_label(), 1);
+        if trace::enabled() {
+            trace::instant(
+                Track::hypervisor(),
+                "isolation_alert",
+                alert.at,
+                &[
+                    ("kind", alert.kind.metric_label() as u64),
+                    ("slot", alert.slot.map_or(u64::MAX, |s| s as u64)),
+                ],
+            );
+        }
+        self.watchdog.push(alert);
+    }
+
+    /// One watchdog window evaluation: diffs device-owned counters since
+    /// the previous evaluation and raises starvation / IOTLB-thrash
+    /// alerts. Reads only deterministic device state, so the alert stream
+    /// is identical with metrics or tracing on or off and under parallel
+    /// node stepping.
+    fn watchdog_tick(&mut self) {
+        let now = self.device.now();
+        let cfg = *self.watchdog.config();
+        // Per-slot root grants since the last window.
+        let deltas: Vec<u64> = (0..self.slots.len())
+            .map(|s| {
+                let cur = self.device.port_forwarded(s);
+                let delta = cur - self.watchdog.last_forwarded[s];
+                self.watchdog.last_forwarded[s] = cur;
+                delta
+            })
+            .collect();
+        let active: Vec<usize> = (0..self.slots.len())
+            .filter(|&s| self.slots[s].current.is_some())
+            .collect();
+        let total: u64 = deltas.iter().sum();
+        if active.len() >= 2 && total >= cfg.min_grants {
+            let fair = total as f64 / active.len() as f64;
+            let threshold = cfg.starvation_share * fair;
+            for &s in &active {
+                if (deltas[s] as f64) < threshold {
+                    self.raise_alert(IsolationAlert {
+                        kind: AlertKind::Starvation,
+                        device: self.device_id,
+                        slot: Some(s),
+                        at: now,
+                        observed: deltas[s] as f64,
+                        threshold,
+                    });
+                }
+            }
+            // Jain's fairness index over the active slots' window shares.
+            let sum_sq: f64 = active.iter().map(|&s| (deltas[s] as f64).powi(2)).sum();
+            if sum_sq > 0.0 {
+                let sum: f64 = active.iter().map(|&s| deltas[s] as f64).sum();
+                let jain = sum * sum / (active.len() as f64 * sum_sq);
+                metrics::set_gauge(metrics::FABRIC_FAIRNESS_JAIN, 0, jain);
+            }
+        }
+        // Device-wide IOTLB thrash (the Fig. 6 conflict-eviction storm).
+        let (hits, spec, misses, conflicts) = self.device.host().iommu().tlb().stats();
+        let lookups = hits + spec + misses;
+        let (last_lookups, last_conflicts) = self.watchdog.last_iotlb;
+        let dl = lookups - last_lookups;
+        let dc = conflicts - last_conflicts;
+        self.watchdog.last_iotlb = (lookups, conflicts);
+        if dl >= cfg.min_lookups {
+            let rate = dc as f64 / dl as f64;
+            if rate > cfg.thrash_rate {
+                self.raise_alert(IsolationAlert {
+                    kind: AlertKind::IotlbThrash,
+                    device: self.device_id,
+                    slot: None,
+                    at: now,
+                    observed: rate,
+                    threshold: cfg.thrash_rate,
+                });
+            }
+        }
+        self.watchdog.next_eval = now + cfg.window;
     }
 
     /// Runs until the given vaccel's job completes (or `max_cycles` pass).
@@ -821,10 +972,12 @@ impl<D: PlatformDevice> GuestCtx<'_, D> {
         self.hv.stats.hypercalls += 1;
         self.hv.stats.pinned_pages += 1;
         let c = ns_to_cycles(host_costs::HYPERCALL_NS);
+        metrics::set_device(self.hv.device_id.0);
+        metrics::inc(metrics::HV_HYPERCALLS, self.va.0, 1);
         if trace::enabled() {
             let t = Track::vaccel(self.va.0);
             trace::complete(t, "hypercall", self.hv.device.now(), c, &[("gva", gva.raw())]);
-            trace::count(t, "hypercalls", 1);
+            trace::count(t, metrics::def(metrics::HV_HYPERCALLS).name, 1);
         }
         self.hv.advance(c);
     }

@@ -31,6 +31,7 @@
 //! | [`scheduler`] | temporal multiplexing policies |
 //! | [`hypervisor`] | [`Optimus`](hypervisor::Optimus) itself + the guest API |
 //! | [`node`] | [`OptimusNode`](node::OptimusNode): multi-FPGA placement + parallel stepping |
+//! | [`watchdog`] | isolation watchdogs: starvation / IOTLB-thrash / preemption-overrun alerts |
 //! | [`hostcentric`] | the host-centric DMA-engine baseline (Fig. 1) |
 //!
 //! # Example
@@ -74,8 +75,10 @@ pub mod scheduler;
 pub mod slicing;
 pub mod vaccel;
 pub mod vm;
+pub mod watchdog;
 
 pub use hypervisor::{GuestCtx, Optimus, OptimusConfig, TrapCost};
 pub use node::{NodeConfig, NodeError, NodeVaccel, OptimusNode, Placement};
 pub use scheduler::SchedPolicy;
 pub use slicing::SlicingConfig;
+pub use watchdog::{AlertKind, IsolationAlert, WatchdogConfig};

@@ -30,8 +30,10 @@
 use crate::hypervisor::{GuestCtx, HvStats, Optimus, OptimusConfig, TrapCost};
 use crate::scheduler::SchedPolicy;
 use crate::vaccel::VaccelId;
+use crate::watchdog::IsolationAlert;
 use optimus_accel::registry::AccelKind;
 use optimus_fabric::platform::{DeviceId, FabricError};
+use optimus_sim::metrics;
 use optimus_sim::rng::derive_seed;
 use optimus_sim::time::{ms_to_cycles, Cycle};
 use optimus_sim::trace;
@@ -235,6 +237,12 @@ impl OptimusNode {
         self.devices.iter().map(|hv| hv.stats()).collect()
     }
 
+    /// Every device's isolation alerts, concatenated in device-index
+    /// order (each alert already carries its `DeviceId`).
+    pub fn alerts(&self) -> Vec<IsolationAlert> {
+        self.devices.iter().flat_map(|hv| hv.alerts().iter().copied()).collect()
+    }
+
     /// Opens throughput measurement windows on every port of every device.
     pub fn open_windows(&mut self) {
         for hv in &mut self.devices {
@@ -264,6 +272,13 @@ impl OptimusNode {
             } else {
                 self.run_chunk_parallel(chunk);
             }
+            // Node-level chunk accounting, recorded on the caller's
+            // thread so it is identical under serial and parallel
+            // stepping.
+            for d in 0..self.devices.len() {
+                metrics::inc_at(metrics::NODE_CHUNKS, d as u32, 0, 1);
+                metrics::observe_at(metrics::NODE_CHUNK_CYCLES, d as u32, 0, chunk);
+            }
             remaining -= chunk;
         }
     }
@@ -289,9 +304,14 @@ impl OptimusNode {
     /// replay below — preserve the serial recording order.
     fn run_chunk_parallel(&mut self, chunk: Cycle) {
         let tracing = trace::enabled();
+        // Workers inherit the main thread's metrics gate explicitly:
+        // their own thread-locals would re-read the environment, which
+        // can disagree with a runtime set_enabled override.
+        let recording = metrics::enabled();
         let workers = self.threads.min(self.devices.len());
         let per = self.devices.len().div_ceil(workers);
-        let chunks_out: Vec<Vec<trace::TraceChunk>> = std::thread::scope(|s| {
+        type WorkerOut = (Vec<trace::TraceChunk>, Vec<metrics::MetricsChunk>);
+        let chunks_out: Vec<WorkerOut> = std::thread::scope(|s| {
             let handles: Vec<_> = self
                 .devices
                 .chunks_mut(per)
@@ -300,14 +320,19 @@ impl OptimusNode {
                         if tracing {
                             trace::set_enabled(true);
                         }
-                        let mut out = Vec::new();
+                        metrics::set_enabled(recording);
+                        let mut traces = Vec::new();
+                        let mut planes = Vec::new();
                         for hv in group.iter_mut() {
                             hv.run(chunk);
                             if tracing {
-                                out.push(trace::take_chunk());
+                                traces.push(trace::take_chunk());
+                            }
+                            if recording {
+                                planes.push(metrics::take_chunk());
                             }
                         }
-                        out
+                        (traces, planes)
                     })
                 })
                 .collect();
@@ -316,11 +341,15 @@ impl OptimusNode {
                 .map(|h| h.join().expect("node worker thread panicked"))
                 .collect()
         });
-        if tracing {
-            for group in chunks_out {
-                for c in group {
-                    trace::absorb_chunk(c);
-                }
+        // Replay in device-index order. Metric merges are commutative
+        // (counter adds, bucket adds, min/max) and gauges are
+        // device-disjoint, so this equals the serial recording.
+        for (traces, planes) in chunks_out {
+            for c in traces {
+                trace::absorb_chunk(c);
+            }
+            for p in planes {
+                metrics::absorb_chunk(p);
             }
         }
     }

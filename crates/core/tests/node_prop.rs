@@ -239,3 +239,46 @@ fn parallel_trace_merge_is_byte_identical() {
         "parallel trace merge is not byte-identical to serial"
     );
 }
+
+/// The metrics-plane merge is exact as well: worker chunks absorbed in
+/// device-index order reproduce the serial per-device series byte for
+/// byte (full Prometheus exposition compared), the per-device counters
+/// sum to the cross-device total, and node-layer aggregation covers
+/// every stepped device — for 1 through 4 devices.
+#[test]
+fn parallel_metrics_merge_matches_serial_aggregation() {
+    use optimus_sim::metrics;
+    for devices in 1..=4usize {
+        let tenants = devices * SLOTS_PER_DEVICE;
+        let run = |threads: usize| {
+            metrics::set_enabled(true);
+            metrics::reset();
+            let _ = node_fingerprint(threads, devices, tenants, Placement::RoundRobin, 1, 500, 42);
+            let text = metrics::prometheus_text();
+            let per_device: Vec<u64> = (0..devices as u32)
+                .map(|d| metrics::counter_value(metrics::NODE_CHUNKS, d, 0))
+                .collect();
+            let chunk_total = metrics::counter_total(metrics::NODE_CHUNKS);
+            let trap_total = metrics::counter_total(metrics::HV_MMIO_TRAPS);
+            metrics::reset();
+            (text, per_device, chunk_total, trap_total)
+        };
+        let (ser_text, ser_chunks, ser_total, ser_traps) = run(1);
+        let (par_text, par_chunks, par_total, par_traps) = run(4);
+        assert_eq!(
+            ser_text, par_text,
+            "{devices}-device metrics exposition diverges between threads 1 and 4"
+        );
+        assert_eq!(ser_chunks, par_chunks, "per-device chunk counters diverge");
+        assert_eq!(ser_total, par_total, "chunk totals diverge");
+        assert_eq!(ser_traps, par_traps, "trap totals diverge");
+        assert!(ser_traps > 0, "metered node run recorded no traps");
+        // Node aggregation covered every device, and the per-device
+        // series sum to the registry total (no double counting).
+        assert!(
+            ser_chunks.iter().all(|&c| c > 0),
+            "some device recorded no chunks: {ser_chunks:?}"
+        );
+        assert_eq!(ser_chunks.iter().sum::<u64>(), ser_total);
+    }
+}

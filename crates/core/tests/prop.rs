@@ -200,6 +200,83 @@ fn tracing_is_invisible_to_the_simulation() {
     );
 }
 
+/// Differential equivalence of the metrics plane: running the same
+/// random time-sliced workload with metrics on and off yields
+/// bit-identical fingerprints — the branch-free accumulate path is
+/// read-only with respect to simulation state — while the metered run
+/// actually records series (the property is not vacuous).
+#[test]
+fn metrics_are_invisible_to_the_simulation() {
+    use optimus_sim::metrics;
+    let gen = gens::zip4(
+        gens::u8_in(0..3),
+        gens::u64_in(0..1000),
+        gens::u64_in(3_000..12_000),
+        gens::u64_any(),
+    );
+    check(
+        "metrics_are_invisible_to_the_simulation",
+        &gen,
+        |&(kind_sel, work, slice, seed)| {
+            metrics::set_enabled(false);
+            let off = hypervisor_fingerprint(true, kind_sel, work, slice, seed);
+            metrics::set_enabled(true);
+            metrics::reset();
+            let on = hypervisor_fingerprint(true, kind_sel, work, slice, seed);
+            let traps = metrics::counter_total(metrics::HV_MMIO_TRAPS);
+            let switches = metrics::counter_total(metrics::HV_CONTEXT_SWITCHES);
+            let walks = metrics::hist_total_count(metrics::MEM_PAGE_WALK_CYCLES);
+            metrics::reset();
+            prop_assert_eq!(&on, &off, "metrics perturbed the simulation");
+            prop_assert!(traps > 0, "metered run recorded no MMIO traps");
+            prop_assert!(switches > 0, "metered run recorded no context switches");
+            prop_assert!(walks > 0, "metered run recorded no page-walk samples");
+            Ok(())
+        },
+    );
+}
+
+/// A metered time-sliced run populates at least one counter and one
+/// histogram in every instrumented layer, and the Prometheus exposition
+/// of that state is well-formed (every series unique, counters integral).
+#[test]
+fn metrics_cover_all_layers_and_expose_cleanly() {
+    use optimus_sim::metrics;
+    metrics::set_enabled(true);
+    metrics::reset();
+    let _ = hypervisor_fingerprint(true, 1, 500, 6_000, 42);
+    let text = metrics::prometheus_text();
+    let series = metrics::snapshot();
+    metrics::reset();
+    for layer in ["hv", "mem", "cci", "fabric"] {
+        let mut has_counter = false;
+        let mut has_hist = false;
+        for s in &series {
+            if s.def.layer != layer {
+                continue;
+            }
+            match &s.value {
+                metrics::SeriesValue::Counter(v) => has_counter |= *v > 0,
+                metrics::SeriesValue::Hist(h) => has_hist |= h.count > 0,
+                metrics::SeriesValue::Gauge(_) => {}
+            }
+        }
+        assert!(has_counter, "layer {layer} exported no live counter");
+        assert!(has_hist, "layer {layer} exported no live histogram");
+    }
+    // Exposition sanity: one HELP/TYPE pair per live metric, no
+    // duplicate sample lines.
+    let mut seen = std::collections::HashSet::new();
+    for line in text.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let key = line.rsplit_once(' ').expect("sample has a value").0;
+        assert!(seen.insert(key.to_string()), "duplicate series: {key}");
+    }
+    assert!(text.contains("# TYPE optimus_hv_mmio_traps_total counter"));
+}
+
 /// A traced time-sliced run produces events from every instrumented
 /// layer, and the exported Chrome trace is cycle-monotone in file order.
 #[test]

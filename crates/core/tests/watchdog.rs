@@ -1,0 +1,217 @@
+//! Integration tests of the isolation watchdogs: each detector is driven
+//! by a deliberately adversarial workload and must raise structured
+//! [`IsolationAlert`]s — at most one per slot per evaluation window —
+//! that agree with the `HvStats` rollup and the metrics plane.
+
+use optimus::hypervisor::{Backing, Optimus, OptimusConfig};
+use optimus::watchdog::AlertKind;
+use optimus_accel::linked_list::LlKernel;
+use optimus_accel::membench::MbKernel;
+use optimus_accel::registry::AccelKind;
+use optimus_fabric::mmio::accel_reg;
+use optimus_sim::metrics;
+
+/// Starts a MemBench job that hammers the mux tree with random line
+/// accesses over `bytes` of its `region_bytes` region for `ops`
+/// operations.
+fn start_mb(hv: &mut Optimus, va: optimus::vaccel::VaccelId, region_bytes: u64, ops: u64, seed: u64) {
+    let mut g = hv.guest(va);
+    let state = g.alloc_dma(1 << 21);
+    g.set_state_buffer(state);
+    let region = g.alloc_dma(region_bytes);
+    g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_REGION, region.raw());
+    g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_BYTES, region_bytes);
+    g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_OPS, ops);
+    g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_SEED, seed);
+    g.mmio_write(accel_reg::CTRL_CMD, accel_reg::CMD_START);
+}
+
+/// The Table 3 adversarial mix: one latency-bound LinkedList tenant
+/// sharing the mux tree with seven bandwidth-hog MemBench tenants. The
+/// pointer chaser's serial dependency caps its request rate far below
+/// its fair share of root grants, so the starvation detector must flag
+/// slot 0 — and only slot 0 — exactly once per watchdog window.
+#[test]
+fn starved_tenant_raises_one_alert_per_window() {
+    metrics::set_enabled(true);
+    metrics::reset();
+    let mut accels = vec![AccelKind::Mb; 8];
+    accels[0] = AccelKind::Ll;
+    let mut cfg = OptimusConfig::new(accels);
+    cfg.time_slice = 10_000;
+    // Window resolves to 4 × time_slice = 40 000 cycles.
+    let window = cfg.time_slice * 4;
+    let mut hv = Optimus::new(cfg);
+
+    // Slot 0: the victim pointer chaser (a chain long enough to never
+    // finish inside the run).
+    let vm = hv.create_vm("victim");
+    let va = hv.create_vaccel(vm, 0);
+    {
+        let mut g = hv.guest(va);
+        let state = g.alloc_dma(1 << 21);
+        g.set_state_buffer(state);
+        let nodes = 64u64;
+        let region = g.alloc_dma(nodes * 64);
+        let mut blob = vec![0u8; (nodes * 64) as usize];
+        for n in 0..nodes {
+            let next = region.raw() + ((n * 7 + 1) % nodes) * 64;
+            blob[(n * 64) as usize..(n * 64 + 8) as usize].copy_from_slice(&next.to_le_bytes());
+        }
+        g.write_mem(region, &blob);
+        g.mmio_write(accel_reg::APP_BASE + LlKernel::REG_START, region.raw());
+        g.mmio_write(accel_reg::APP_BASE + LlKernel::REG_STEPS, 1 << 30);
+        g.mmio_write(accel_reg::CTRL_CMD, accel_reg::CMD_START);
+    }
+    // Slots 1..8: bandwidth hogs.
+    for slot in 1..8 {
+        let vm = hv.create_vm(&format!("hog{slot}"));
+        let va = hv.create_vaccel(vm, slot);
+        start_mb(&mut hv, va, 1 << 21, u64::MAX, 0x9e37 + slot as u64);
+    }
+
+    let run_cycles = 10 * window;
+    hv.run(run_cycles);
+
+    let starvation: Vec<_> = hv
+        .alerts()
+        .iter()
+        .filter(|a| a.kind == AlertKind::Starvation)
+        .copied()
+        .collect();
+    assert!(
+        starvation.len() >= 3,
+        "starved tenant raised only {} alerts over {} windows",
+        starvation.len(),
+        run_cycles / window
+    );
+    for a in &starvation {
+        assert_eq!(a.slot, Some(0), "starvation alert blamed the wrong slot");
+        assert!(
+            a.observed < a.threshold,
+            "alert observed share {} is not below threshold {}",
+            a.observed,
+            a.threshold
+        );
+    }
+    // Exactly one alert per evaluation window: evaluation timestamps are
+    // strictly increasing and at least one window apart.
+    for pair in starvation.windows(2) {
+        assert!(
+            pair[1].at >= pair[0].at + window,
+            "two starvation alerts inside one window: {} and {}",
+            pair[0].at,
+            pair[1].at
+        );
+    }
+    // Rollups agree: HvStats and the metrics-plane counter.
+    let stats = hv.stats();
+    assert_eq!(stats.alerts_starvation, starvation.len() as u64);
+    assert_eq!(
+        metrics::counter_value(
+            metrics::HV_ISOLATION_ALERTS,
+            0,
+            AlertKind::Starvation.metric_label()
+        ),
+        starvation.len() as u64
+    );
+    // The hogs were never flagged, and the fairness gauge reflects the
+    // skewed shares (Jain < 1 with one slow member).
+    let jain = metrics::gauge_value(metrics::FABRIC_FAIRNESS_JAIN, 0, 0);
+    assert!(jain > 0.0 && jain < 1.0, "implausible Jain index {jain}");
+    metrics::reset();
+}
+
+/// An accelerator that blows through the Fig. 8 preemption deadline is
+/// forcibly reset, and the forced reset surfaces as a `PreemptOverrun`
+/// alert whose observed duration exceeds the configured budget.
+#[test]
+fn preemption_deadline_overrun_raises_alert() {
+    metrics::set_enabled(true);
+    metrics::reset();
+    let mut cfg = OptimusConfig::new(vec![AccelKind::Mb]);
+    cfg.time_slice = 10_000;
+    // An impossible drain budget: any in-flight DMA overruns it.
+    cfg.preempt_timeout = 1;
+    let mut hv = Optimus::new(cfg);
+    for t in 0..2 {
+        let vm = hv.create_vm(&format!("t{t}"));
+        let va = hv.create_vaccel(vm, 0);
+        start_mb(&mut hv, va, 1 << 21, u64::MAX, 7 + t as u64);
+    }
+    hv.run(100_000);
+    let stats = hv.stats();
+    assert!(stats.forced_resets > 0, "no preemption was ever forced");
+    let overruns: Vec<_> = hv
+        .alerts()
+        .iter()
+        .filter(|a| a.kind == AlertKind::PreemptOverrun)
+        .copied()
+        .collect();
+    assert_eq!(overruns.len() as u64, stats.alerts_preempt_overrun);
+    assert_eq!(stats.alerts_preempt_overrun, stats.forced_resets);
+    for a in &overruns {
+        assert_eq!(a.slot, Some(0));
+        assert!(
+            a.observed > a.threshold,
+            "overrun {} did not exceed the budget {}",
+            a.observed,
+            a.threshold
+        );
+    }
+    assert_eq!(
+        metrics::counter_value(
+            metrics::HV_ISOLATION_ALERTS,
+            0,
+            AlertKind::PreemptOverrun.metric_label()
+        ),
+        overruns.len() as u64
+    );
+    metrics::reset();
+}
+
+/// A MemBench tenant whose 4 KB-paged working set is 8× the IOTLB reach
+/// (the Fig. 6 pathology) drives the conflict-eviction rate past the
+/// thrash threshold, raising a device-wide `IotlbThrash` alert.
+#[test]
+fn iotlb_thrash_raises_device_wide_alert() {
+    metrics::set_enabled(true);
+    metrics::reset();
+    let mut cfg = OptimusConfig::new(vec![AccelKind::Mb; 2]);
+    cfg.time_slice = 10_000;
+    let mut hv = Optimus::new(cfg);
+    for slot in 0..2 {
+        let vm = hv.create_vm(&format!("t{slot}"));
+        let va = hv.create_vaccel(vm, slot);
+        let mut g = hv.guest(va);
+        let state = g.alloc_dma(1 << 21);
+        g.set_state_buffer(state);
+        // 16 MB of 4 KB pages: 4096 pages into 512 direct-mapped sets.
+        let region = g.alloc_dma_4k(16 << 20, Backing::Scratch);
+        g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_REGION, region.raw());
+        g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_BYTES, 16 << 20);
+        g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_MODE, 1);
+        g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_OPS, u64::MAX);
+        g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_SEED, 0xfeed + slot as u64);
+        g.mmio_write(accel_reg::CTRL_CMD, accel_reg::CMD_START);
+    }
+    hv.run(200_000);
+    let thrash: Vec<_> = hv
+        .alerts()
+        .iter()
+        .filter(|a| a.kind == AlertKind::IotlbThrash)
+        .copied()
+        .collect();
+    assert!(!thrash.is_empty(), "conflict storm raised no thrash alert");
+    for a in &thrash {
+        assert_eq!(a.slot, None, "thrash alerts are device-wide");
+        assert!(a.observed > a.threshold);
+    }
+    assert_eq!(hv.stats().alerts_iotlb_thrash, thrash.len() as u64);
+    // The per-tenant eviction counters saw the storm too.
+    let evictions: u64 = (0..2)
+        .map(|t| metrics::counter_value(metrics::MEM_IOTLB_CONFLICT_EVICTIONS, 0, t))
+        .sum();
+    assert!(evictions > 0, "metrics plane missed the conflict evictions");
+    metrics::reset();
+}

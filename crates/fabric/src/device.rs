@@ -25,6 +25,7 @@ use optimus_cci::host_side::HostSide;
 use optimus_cci::packet::{AccelId, DownPacket, UpPacket};
 use optimus_cci::params::{PASSTHROUGH_INJECT_INTERVAL, TREE_LEVEL_DOWN_CYCLES};
 use optimus_sim::clock::PlatformClock;
+use optimus_sim::metrics;
 use optimus_sim::queue::TimedQueue;
 use optimus_sim::time::{ClockDivider, Cycle};
 use std::collections::HashMap;
@@ -439,6 +440,7 @@ impl FpgaDevice {
                     _ => {
                         self.auditors[idx].count_discarded_dma();
                         self.dropped_packets += 1;
+                        metrics::inc(metrics::FABRIC_AUDITOR_REJECTS, idx as u32, 1);
                     }
                 }
             }
@@ -496,6 +498,7 @@ impl FpgaDevice {
                     _ => {
                         self.auditors[idx].count_discarded_mmio();
                         self.dropped_packets += 1;
+                        metrics::inc(metrics::FABRIC_AUDITOR_REJECTS, idx as u32, 1);
                     }
                 }
                 return;
@@ -628,6 +631,10 @@ impl PlatformDevice for FpgaDevice {
 
     fn set_fast_forward(&mut self, on: bool) {
         FpgaDevice::set_fast_forward(self, on);
+    }
+
+    fn port_forwarded(&self, slot: usize) -> u64 {
+        self.tree.as_ref().map_or(0, |t| t.forwarded_by(slot))
     }
 }
 

@@ -14,6 +14,7 @@
 
 use optimus_cci::packet::UpPacket;
 use optimus_cci::params::{MONITOR_INJECT_INTERVAL, TREE_LEVEL_UP_CYCLES, TREE_QUEUE_CAPACITY};
+use optimus_sim::metrics;
 use optimus_sim::queue::TimedQueue;
 use optimus_sim::time::Cycle;
 use optimus_sim::trace::{self, Track};
@@ -67,6 +68,10 @@ pub struct MuxTree {
     leaf_slots: Vec<(usize, usize)>,
     root_out: TimedQueue<UpPacket>,
     forwarded: u64,
+    /// Per-source-port root clears — deterministic state the isolation
+    /// watchdog reads for starvation detection and Jain's fairness index
+    /// (never the metrics plane, which may be off or thread-split).
+    forwarded_per_src: Vec<u64>,
 }
 
 impl MuxTree {
@@ -132,6 +137,7 @@ impl MuxTree {
             leaf_slots,
             root_out: TimedQueue::new(),
             forwarded: 0,
+            forwarded_per_src: vec![0; config.leaves],
         }
     }
 
@@ -178,14 +184,14 @@ impl MuxTree {
                 None => self.root_out.len() >= TREE_QUEUE_CAPACITY,
             };
             if output_full {
-                if trace::enabled()
-                    && self.nodes[idx]
-                        .inputs
-                        .iter()
-                        .any(|q| q.peek_ready(now).is_some())
-                {
-                    // Backpressure stall: a packet is ready but the level
-                    // above has no room.
+                // Backpressure stall: a packet is ready but the level
+                // above has no room.
+                let ready_input = self.nodes[idx]
+                    .inputs
+                    .iter()
+                    .any(|q| q.peek_ready(now).is_some());
+                metrics::inc(metrics::FABRIC_MUX_STALLS, idx as u32, ready_input as u64);
+                if trace::enabled() && ready_input {
                     let t = Track::mux_node(idx);
                     trace::instant(t, "mux_stall", now, &[]);
                     trace::count(t, "stalls", 1);
@@ -204,6 +210,14 @@ impl MuxTree {
                 }
             }
             if let Some((i, pkt)) = taken {
+                metrics::inc(metrics::FABRIC_MUX_GRANTS, idx as u32, 1);
+                // Occupancy the winning input had when arbitration ran
+                // (the popped packet plus whatever is still queued).
+                metrics::observe(
+                    metrics::FABRIC_MUX_QUEUE_DEPTH,
+                    idx as u32,
+                    self.nodes[idx].inputs[i].len() as u64 + 1,
+                );
                 if trace::enabled() {
                     let t = Track::mux_node(idx);
                     trace::instant(t, "mux_grant", now, &[("input", i as u64)]);
@@ -215,6 +229,13 @@ impl MuxTree {
                 match parent {
                     Some((p, s)) => self.nodes[p].inputs[s].push(pkt, ready),
                     None => {
+                        if let Some(src) = pkt.src() {
+                            let port = src.0 as usize;
+                            if port < self.forwarded_per_src.len() {
+                                self.forwarded_per_src[port] += 1;
+                            }
+                            metrics::inc(metrics::FABRIC_PORT_FORWARDED, src.0 as u32, 1);
+                        }
                         self.root_out.push(pkt, ready);
                         self.forwarded += 1;
                     }
@@ -284,6 +305,15 @@ impl MuxTree {
     /// Total packets that have cleared the root.
     pub fn forwarded(&self) -> u64 {
         self.forwarded
+    }
+
+    /// Packets from accelerator `accel` that have cleared the root.
+    ///
+    /// Deterministic device-owned state (not the metrics plane): the
+    /// isolation watchdog diffs this across its window to detect tenant
+    /// starvation, so it must read identically with metrics on or off.
+    pub fn forwarded_by(&self, accel: usize) -> u64 {
+        self.forwarded_per_src.get(accel).copied().unwrap_or(0)
     }
 }
 

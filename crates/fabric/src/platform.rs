@@ -105,6 +105,16 @@ pub trait PlatformDevice: PlatformClock + Send {
     /// Drains the device's isolation counters.
     fn integrity(&self) -> DeviceIntegrity;
 
+    /// Monotone count of packets from accelerator `slot` that have
+    /// cleared the multiplexer-tree root. Deterministic device-owned
+    /// state the isolation watchdog diffs across its window for
+    /// starvation detection; devices without a tree (pass-through)
+    /// report 0.
+    fn port_forwarded(&self, slot: usize) -> u64 {
+        let _ = slot;
+        0
+    }
+
     /// Overrides the fast-forward mode sampled at construction.
     fn set_fast_forward(&mut self, on: bool);
 }

@@ -25,6 +25,7 @@
 
 use crate::addr::{Hpa, Iova, PageSize};
 use crate::page_table::{PageFlags, PageTable};
+use optimus_sim::metrics;
 use optimus_sim::time::Cycle;
 use optimus_sim::trace::{self, Track};
 
@@ -270,11 +271,11 @@ impl Iommu {
     }
 
     /// Translates a DMA at `iova`, stamping flight-recorder events at
-    /// fabric cycle `now`: an `iotlb_hit` / `iotlb_spec_hit` /
-    /// `iotlb_miss` instant per lookup, plus `iotlb_conflict_evict` when
-    /// a fill displaced a live entry of another page (the Fig. 6
-    /// slice-stride pathology). Instrumentation is read-only: results
-    /// and statistics are identical with tracing on or off.
+    /// fabric cycle `now`.
+    ///
+    /// Equivalent to [`translate_tagged`](Self::translate_tagged) with
+    /// the tenant dimension pinned to 0 (callers that don't know which
+    /// accelerator issued the DMA).
     ///
     /// # Errors
     ///
@@ -285,15 +286,44 @@ impl Iommu {
         is_write: bool,
         now: Cycle,
     ) -> Result<Translation, IommuError> {
+        self.translate_tagged(iova, is_write, now, 0)
+    }
+
+    /// Translates a DMA at `iova` issued by accelerator port `tenant`,
+    /// recording per-tenant IOTLB metrics (hit / speculative-hit / miss /
+    /// conflict-evict / fault counters, always on) and stamping
+    /// flight-recorder events at fabric cycle `now`: an `iotlb_hit` /
+    /// `iotlb_spec_hit` / `iotlb_miss` instant per lookup, plus
+    /// `iotlb_conflict_evict` when a fill displaced a live entry of
+    /// another page (the Fig. 6 slice-stride pathology). Instrumentation
+    /// is read-only: results and statistics are identical with tracing
+    /// and metrics on or off.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`translate`](Self::translate).
+    pub fn translate_tagged(
+        &mut self,
+        iova: Iova,
+        is_write: bool,
+        now: Cycle,
+        tenant: u32,
+    ) -> Result<Translation, IommuError> {
         if let Some((hpa, lookup, writable)) = self.tlb.lookup(iova) {
+            let metric = if lookup == TlbLookup::HitSpeculative {
+                metrics::MEM_IOTLB_SPEC_HITS
+            } else {
+                metrics::MEM_IOTLB_HITS
+            };
+            metrics::inc(metric, tenant, 1);
             if trace::enabled() {
-                let (name, counter) = if lookup == TlbLookup::HitSpeculative {
-                    ("iotlb_spec_hit", "iotlb_speculative_hits")
+                let name = if lookup == TlbLookup::HitSpeculative {
+                    "iotlb_spec_hit"
                 } else {
-                    ("iotlb_hit", "iotlb_hits")
+                    "iotlb_hit"
                 };
                 trace::instant(Track::iommu(), name, now, &[("iova", iova.raw())]);
-                trace::count(Track::iommu(), counter, 1);
+                trace::count(Track::iommu(), metrics::def(metric).name, 1);
             }
             if is_write && !writable {
                 return Err(IommuError::WriteDenied { iova });
@@ -314,6 +344,9 @@ impl Iommu {
                 let page_base = Hpa::new(pa & !(size.bytes() - 1));
                 let evictions_before = self.tlb.conflict_evictions;
                 self.tlb.fill(iova, page_base, size, flags.write);
+                let evicted = self.tlb.conflict_evictions > evictions_before;
+                metrics::inc(metrics::MEM_IOTLB_MISSES, tenant, 1);
+                metrics::inc(metrics::MEM_IOTLB_CONFLICT_EVICTIONS, tenant, evicted as u64);
                 if trace::enabled() {
                     let set = IoTlb::set_index(iova, size) as u64;
                     trace::instant(
@@ -322,15 +355,19 @@ impl Iommu {
                         now,
                         &[("iova", iova.raw()), ("set", set), ("walk_steps", walk_steps as u64)],
                     );
-                    trace::count(Track::iommu(), "iotlb_misses", 1);
-                    if self.tlb.conflict_evictions > evictions_before {
+                    trace::count(Track::iommu(), metrics::def(metrics::MEM_IOTLB_MISSES).name, 1);
+                    if evicted {
                         trace::instant(
                             Track::iommu(),
                             "iotlb_conflict_evict",
                             now,
                             &[("iova", iova.raw()), ("set", set)],
                         );
-                        trace::count(Track::iommu(), "iotlb_conflict_evictions", 1);
+                        trace::count(
+                            Track::iommu(),
+                            metrics::def(metrics::MEM_IOTLB_CONFLICT_EVICTIONS).name,
+                            1,
+                        );
                     }
                 }
                 Ok(Translation {
@@ -340,9 +377,10 @@ impl Iommu {
             }
             None => {
                 self.faults += 1;
+                metrics::inc(metrics::MEM_IO_PAGE_FAULTS, tenant, 1);
                 if trace::enabled() {
                     trace::instant(Track::iommu(), "io_page_fault", now, &[("iova", iova.raw())]);
-                    trace::count(Track::iommu(), "io_page_faults", 1);
+                    trace::count(Track::iommu(), metrics::def(metrics::MEM_IO_PAGE_FAULTS).name, 1);
                 }
                 Err(IommuError::Fault { iova })
             }

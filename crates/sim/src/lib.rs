@@ -22,6 +22,10 @@
 //! * [`trace`] — the flight recorder: cycle-stamped events from every
 //!   layer into a bounded ring buffer, exported as Chrome `trace_event`
 //!   JSON for Perfetto, gated behind `OPTIMUS_TRACE`.
+//! * [`metrics`] — the always-on metrics plane: per-device/per-tenant
+//!   counters, gauges, and log2-bucketed histograms behind a branch-free
+//!   masked accumulate path (`OPTIMUS_METRICS=off` to disable), with
+//!   Prometheus/JSON exposition.
 //!
 //! # Examples
 //!
@@ -37,6 +41,7 @@
 //! ```
 
 pub mod clock;
+pub mod metrics;
 pub mod perm;
 pub mod queue;
 pub mod rng;

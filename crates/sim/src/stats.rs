@@ -7,6 +7,7 @@
 //! before caches, IOTLBs, and arbitration pipelines settle.
 
 use crate::time::{cycles_to_ns, gbps, Cycle};
+use std::cell::{Cell, RefCell};
 
 /// Online latency accumulator (count / mean / min / max / percentiles).
 ///
@@ -32,8 +33,11 @@ use crate::time::{cycles_to_ns, gbps, Cycle};
 #[derive(Debug, Clone, Default)]
 pub struct LatencyStats {
     samples: Vec<Cycle>,
-    scratch: Vec<Cycle>,
-    scratch_valid: bool,
+    /// Lazily sorted copy of `samples`, behind interior mutability so
+    /// read-only consumers (reports, watchdogs) can query percentiles
+    /// through a shared reference.
+    scratch: RefCell<Vec<Cycle>>,
+    scratch_valid: Cell<bool>,
 }
 
 impl LatencyStats {
@@ -45,7 +49,7 @@ impl LatencyStats {
     /// Records one latency sample, in fabric cycles.
     pub fn record(&mut self, cycles: Cycle) {
         self.samples.push(cycles);
-        self.scratch_valid = false;
+        self.scratch_valid.set(false);
     }
 
     /// Number of recorded samples.
@@ -89,8 +93,9 @@ impl LatencyStats {
     /// even-count sample the median is therefore the *lower* middle
     /// element, never an interpolated or upper value.
     ///
-    /// Sorting happens in a scratch copy, so the chronological order of
-    /// the recorded samples is preserved for
+    /// Sorting happens in a scratch copy behind interior mutability, so
+    /// the query takes `&self` and the chronological order of the
+    /// recorded samples is preserved for
     /// [`discard_prefix`](Self::discard_prefix).
     ///
     /// ```
@@ -106,19 +111,20 @@ impl LatencyStats {
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]`.
-    pub fn percentile_cycles(&mut self, q: f64) -> Cycle {
+    pub fn percentile_cycles(&self, q: f64) -> Cycle {
         assert!((0.0..=1.0).contains(&q), "percentile must be in [0, 1]");
         if self.samples.is_empty() {
             return 0;
         }
-        if !self.scratch_valid {
-            self.scratch.clear();
-            self.scratch.extend_from_slice(&self.samples);
-            self.scratch.sort_unstable();
-            self.scratch_valid = true;
+        let mut scratch = self.scratch.borrow_mut();
+        if !self.scratch_valid.get() {
+            scratch.clear();
+            scratch.extend_from_slice(&self.samples);
+            scratch.sort_unstable();
+            self.scratch_valid.set(true);
         }
-        let rank = ((self.scratch.len() as f64 * q).ceil() as usize).max(1);
-        self.scratch[rank - 1]
+        let rank = ((scratch.len() as f64 * q).ceil() as usize).max(1);
+        scratch[rank - 1]
     }
 
     /// Discards the first `n` samples *in recording order* (warm-up
@@ -126,14 +132,14 @@ impl LatencyStats {
     pub fn discard_prefix(&mut self, n: usize) {
         let n = n.min(self.samples.len());
         self.samples.drain(..n);
-        self.scratch_valid = false;
+        self.scratch_valid.set(false);
     }
 
     /// Merges another accumulator into this one; `other`'s samples are
     /// appended after this accumulator's in chronological position.
     pub fn merge(&mut self, other: &LatencyStats) {
         self.samples.extend_from_slice(&other.samples);
-        self.scratch_valid = false;
+        self.scratch_valid.set(false);
     }
 }
 
@@ -225,8 +231,25 @@ impl ThroughputMeter {
             .unwrap_or(0)
     }
 
-    /// Measured bandwidth in GB/s (0 if the window never closed or is empty).
+    /// Returns `true` when the meter cannot report a meaningful rate:
+    /// the window never closed (or never opened), or closed with zero
+    /// length (including an inverted close, whose length clamps to
+    /// zero). The `window_inverted`-style companion flag for the
+    /// divide-by-zero family of mis-measurements: [`gbps`](Self::gbps)
+    /// reports 0 in this state instead of dividing by zero.
+    pub fn window_degenerate(&self) -> bool {
+        match self.window_end {
+            None => true,
+            Some(end) => end == self.window_start,
+        }
+    }
+
+    /// Measured bandwidth in GB/s (0 if the window is
+    /// [degenerate](Self::window_degenerate)).
     pub fn gbps(&self) -> f64 {
+        if self.window_degenerate() {
+            return 0.0;
+        }
         gbps(self.bytes, self.window_cycles())
     }
 }
@@ -318,6 +341,23 @@ mod tests {
         assert_eq!(s.percentile_cycles(1.0), 4);
     }
 
+    /// Regression: `percentile_cycles` used to take `&mut self`, so
+    /// read-only consumers (reports, watchdogs) couldn't query through
+    /// a shared reference.
+    #[test]
+    fn latency_percentiles_through_shared_reference() {
+        let mut s = LatencyStats::new();
+        for v in [100u64, 100, 1, 1] {
+            s.record(v);
+        }
+        let shared: &LatencyStats = &s;
+        assert_eq!(shared.percentile_cycles(1.0), 100);
+        assert_eq!(shared.percentile_cycles(0.0), 1);
+        // The chronological guarantee still holds afterwards.
+        s.discard_prefix(2);
+        assert_eq!(s.mean_cycles(), 1.0);
+    }
+
     #[test]
     fn latency_merge() {
         let mut a = LatencyStats::new();
@@ -356,6 +396,37 @@ mod tests {
         m.open_window(0);
         m.add_bytes(640);
         assert_eq!(m.gbps(), 0.0);
+    }
+
+    /// Regression: a zero-length or never-closed window used to be
+    /// indistinguishable from a genuinely idle one; `window_degenerate`
+    /// now flags it, and `gbps` reports 0 instead of dividing by zero.
+    #[test]
+    fn throughput_degenerate_window_is_flagged() {
+        let fresh = ThroughputMeter::new();
+        assert!(fresh.window_degenerate(), "never-opened meter is degenerate");
+        assert_eq!(fresh.gbps(), 0.0);
+
+        let mut open_only = ThroughputMeter::new();
+        open_only.open_window(100);
+        open_only.add_bytes(640);
+        assert!(open_only.window_degenerate(), "never-closed window is degenerate");
+        assert_eq!(open_only.gbps(), 0.0);
+
+        let mut zero_len = ThroughputMeter::new();
+        zero_len.open_window(100);
+        zero_len.add_bytes(640);
+        zero_len.close_window(100);
+        assert!(zero_len.window_degenerate(), "zero-length window is degenerate");
+        assert_eq!(zero_len.window_cycles(), 0);
+        assert_eq!(zero_len.gbps(), 0.0);
+
+        let mut ok = ThroughputMeter::new();
+        ok.open_window(100);
+        ok.add_bytes(640);
+        ok.close_window(200);
+        assert!(!ok.window_degenerate());
+        assert!(ok.gbps() > 0.0);
     }
 
     /// Regression: closing a window before it opened used to clamp

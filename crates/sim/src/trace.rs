@@ -32,7 +32,7 @@
 
 use crate::time::Cycle;
 use std::cell::{Cell, RefCell};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeSet, HashMap};
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
@@ -159,7 +159,9 @@ struct Recorder {
     head: usize,
     cap: usize,
     dropped: u64,
-    counters: BTreeMap<(Track, &'static str), u64>,
+    /// Hash-indexed so [`counter_value`] polls are O(1) (watchdogs and
+    /// tests); deterministic dumps sort a snapshot in [`counters`].
+    counters: HashMap<(Track, &'static str), u64>,
 }
 
 impl Recorder {
@@ -256,7 +258,7 @@ pub fn dropped() -> u64 {
 #[derive(Debug, Default)]
 pub struct TraceChunk {
     events: Vec<Event>,
-    counters: BTreeMap<(Track, &'static str), u64>,
+    counters: HashMap<(Track, &'static str), u64>,
     dropped: u64,
 }
 
@@ -374,22 +376,25 @@ pub fn count(track: Track, name: &'static str, delta: u64) {
 /// pairs in deterministic (track, name) order.
 pub fn counters() -> Vec<(String, u64)> {
     RECORDER.with(|r| {
-        r.borrow()
-            .counters
-            .iter()
+        let r = r.borrow();
+        let mut entries: Vec<(&(Track, &'static str), &u64)> = r.counters.iter().collect();
+        entries.sort_unstable_by_key(|&(&(track, name), _)| (track, name));
+        entries
+            .into_iter()
             .map(|(&(track, name), &v)| (format!("{} {}", track.label(), name), v))
             .collect()
     })
 }
 
-/// Reads one counter back (0 if never incremented). Test helper.
-pub fn counter_value(track: Track, name: &str) -> u64 {
+/// Reads one counter back in O(1) (0 if never incremented). Counter
+/// names are interned `&'static str`s, so the hash lookup needs no
+/// allocation — cheap enough for watchdogs and tests to poll.
+pub fn counter_value(track: Track, name: &'static str) -> u64 {
     RECORDER.with(|r| {
         r.borrow()
             .counters
-            .iter()
-            .find(|((t, n), _)| *t == track && *n == name)
-            .map(|(_, &v)| v)
+            .get(&(track, name))
+            .copied()
             .unwrap_or(0)
     })
 }

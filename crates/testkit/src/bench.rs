@@ -247,6 +247,56 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Serializes the thread's metrics plane: one object per non-empty
+/// series, in the registry's deterministic order, so two runs of the
+/// same workload render byte-identical sections.
+fn metrics_json() -> Json {
+    use optimus_sim::metrics::{snapshot, SeriesValue};
+    Json::Arr(
+        snapshot()
+            .iter()
+            .map(|s| {
+                let label_key = if s.def.label.is_empty() { "label" } else { s.def.label };
+                let mut fields = vec![
+                    ("layer", Json::s(s.def.layer)),
+                    ("name", Json::s(s.def.name)),
+                    ("device", Json::Num(s.device as f64)),
+                    (label_key, Json::Num(s.label as f64)),
+                ];
+                match &s.value {
+                    SeriesValue::Counter(v) => {
+                        fields.push(("value", Json::Num(*v as f64)));
+                    }
+                    SeriesValue::Gauge(v) => {
+                        fields.push(("value", Json::Num(*v)));
+                    }
+                    SeriesValue::Hist(h) => {
+                        fields.push(("count", Json::Num(h.count as f64)));
+                        fields.push(("sum", Json::Num(h.sum as f64)));
+                        fields.push(("min", Json::Num(h.min as f64)));
+                        fields.push(("max", Json::Num(h.max as f64)));
+                        fields.push((
+                            "buckets",
+                            Json::Arr(
+                                h.buckets
+                                    .iter()
+                                    .map(|&(le, n)| {
+                                        Json::Arr(vec![
+                                            Json::Num(le as f64),
+                                            Json::Num(n as f64),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ));
+                    }
+                }
+                Json::obj(fields)
+            })
+            .collect(),
+    )
+}
+
 impl Report {
     /// Creates a report session named after its figure/table.
     pub fn new(name: &str) -> Self {
@@ -337,6 +387,9 @@ impl Report {
                 Json::Arr(self.notes.iter().map(Json::s).collect()),
             ),
         ];
+        if optimus_sim::metrics::enabled() {
+            fields.push(("metrics", metrics_json()));
+        }
         if optimus_sim::trace::enabled() {
             // Plain-text flight-recorder counter dump, one
             // "layer/track counter = value" line per registry entry.
@@ -362,11 +415,18 @@ impl Report {
     }
 
     /// Writes `BENCH_<name>.json` into [`report_dir`]; returns its path.
+    /// With metrics enabled, a Prometheus text-format snapshot lands next
+    /// to it as `PROM_<name>.prom`.
     pub fn finish(self) -> std::io::Result<PathBuf> {
         let dir = report_dir();
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("BENCH_{}.json", self.name));
         std::fs::write(&path, self.to_json().render() + "\n")?;
+        if optimus_sim::metrics::enabled() {
+            let prom_path = dir.join(format!("PROM_{}.prom", self.name));
+            std::fs::write(&prom_path, optimus_sim::metrics::prometheus_text())?;
+            println!("metrics: {}", prom_path.display());
+        }
         if optimus_sim::trace::enabled() {
             let trace_path = dir.join(format!("TRACE_{}.json", self.name));
             optimus_sim::trace::write_chrome_trace(&trace_path)?;

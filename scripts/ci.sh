@@ -15,13 +15,19 @@
 #     (OPTIMUS_NODE_THREADS=1) and assert the bench fingerprints are
 #     byte-identical — the multi-FPGA node layer must not let the thread
 #     schedule leak into any measured figure.
+#  6. Metrics smoke: run one fig5 sweep point with the metrics plane on
+#     (the default) and with OPTIMUS_METRICS=off, assert the bench
+#     fingerprints (minus the metrics section itself) are byte-identical,
+#     validate the Prometheus exposition offline (parseable, no duplicate
+#     series, counters monotone across two window lengths), and fail if
+#     metrics-on regresses sim_rate by more than 5 %.
 #
 # The whole script runs with no network access.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/5] registry-dependency check =="
+echo "== [1/6] registry-dependency check =="
 python3 - <<'PYEOF'
 import glob, re, sys
 
@@ -59,19 +65,19 @@ if offenders:
 print("ok: all dependencies are in-tree path dependencies")
 PYEOF
 
-echo "== [2/5] tier-1: build + tests =="
+echo "== [2/6] tier-1: build + tests =="
 cargo build --release
 cargo test -q
 cargo test --workspace -q
 
-echo "== [2b/5] fast-forward differential equivalence (per-cycle mode) =="
+echo "== [2b/6] fast-forward differential equivalence (per-cycle mode) =="
 # Re-run the fabric and hypervisor suites with fast-forwarding disabled:
 # the differential property tests then compare per-cycle stepping against
 # an explicitly re-enabled fast path, and every other test exercises the
 # seed's original cycle loop.
 OPTIMUS_NO_FASTFWD=1 cargo test -q -p optimus-fabric -p optimus
 
-echo "== [3/5] bench smoke (tiny scales, one JSON report per target) =="
+echo "== [3/6] bench smoke (tiny scales, one JSON report per target) =="
 BENCH_DIR="target/bench-reports-ci"
 rm -rf "$BENCH_DIR"
 export OPTIMUS_BENCH_DIR="$PWD/$BENCH_DIR"
@@ -96,7 +102,7 @@ for b in $BENCHES; do
 done
 echo "ok: $(ls "$BENCH_DIR" | wc -l) bench reports in $BENCH_DIR"
 
-echo "== [4/5] trace smoke (flight recorder on one fig5 point) =="
+echo "== [4/6] trace smoke (flight recorder on one fig5 point) =="
 TRACE_DIR="target/trace-smoke-ci"
 rm -rf "$TRACE_DIR" "$TRACE_DIR-off"
 # Traced run: one fig5 sweep point with the flight recorder on.
@@ -162,7 +168,7 @@ if fingerprint(traced) != fingerprint(plain):
 print("ok: bench fingerprint byte-identical with tracing on and off")
 PYEOF
 
-echo "== [5/5] node smoke (parallel vs serial device stepping) =="
+echo "== [5/6] node smoke (parallel vs serial device stepping) =="
 NODE_DIR="target/node-smoke-ci"
 rm -rf "$NODE_DIR-par" "$NODE_DIR-ser"
 # Parallel run: pin the worker count so the check is meaningful even on a
@@ -187,6 +193,123 @@ def fingerprint(d):
 if fingerprint(par) != fingerprint(ser):
     sys.exit("FAIL: parallel device stepping changed the bench fingerprint")
 print("ok: cluster_scale fingerprint byte-identical, parallel vs serial")
+PYEOF
+
+echo "== [6/6] metrics smoke (always-on metrics plane on one fig5 point) =="
+MET_DIR="target/metrics-smoke-ci"
+rm -rf "$MET_DIR-short" "$MET_DIR-on" "$MET_DIR-on2" "$MET_DIR-off" "$MET_DIR-off2"
+# Short run: the stage-3 window, used as the earlier snapshot for the
+# counter-monotonicity check.
+OPTIMUS_BENCH_DIR="$PWD/$MET_DIR-short" OPTIMUS_FIG5_QUICK=1 \
+    cargo bench -q -p optimus-bench --bench fig5_latency >/dev/null
+# Long runs, metrics on (default) and off, twice each: the fingerprint
+# comparison uses the first pair; the sim_rate bound takes each mode's
+# best of two so one scheduler hiccup can't fail the gate.
+for d in on on2; do
+    OPTIMUS_BENCH_DIR="$PWD/$MET_DIR-$d" OPTIMUS_FIG5_QUICK=1 OPTIMUS_BENCH_WINDOW=180000 \
+        cargo bench -q -p optimus-bench --bench fig5_latency >/dev/null
+done
+for d in off off2; do
+    OPTIMUS_BENCH_DIR="$PWD/$MET_DIR-$d" OPTIMUS_FIG5_QUICK=1 OPTIMUS_BENCH_WINDOW=180000 \
+        OPTIMUS_METRICS=off \
+        cargo bench -q -p optimus-bench --bench fig5_latency >/dev/null
+done
+python3 - "$MET_DIR-short" "$MET_DIR-on" "$MET_DIR-on2" "$MET_DIR-off" "$MET_DIR-off2" <<'PYEOF'
+import json, re, sys
+
+short_dir, on_dir, on2_dir, off_dir, off2_dir = sys.argv[1:6]
+load = lambda d: json.load(open(f"{d}/BENCH_fig5_latency.json"))
+short, on, on2, off, off2 = map(load, (short_dir, on_dir, on2_dir, off_dir, off2_dir))
+
+# --- 1. The metrics section exists when on and is absent when off. ---
+if "metrics" not in on or not on["metrics"]:
+    sys.exit("FAIL: metrics-on BENCH json lacks a metrics section")
+if "metrics" in off:
+    sys.exit("FAIL: OPTIMUS_METRICS=off still emitted a metrics section")
+
+# --- 2. Metrics never change the measurement: fingerprints (minus the
+# metrics section itself) byte-identical on vs off; and the metrics
+# section itself is run-to-run deterministic. ---
+VOLATILE = ("wall_secs", "sim_rate", "trace_counters", "trace_events",
+            "trace_dropped", "metrics")
+def fingerprint(d):
+    return json.dumps(
+        {k: v for k, v in d.items() if k not in VOLATILE},
+        sort_keys=True,
+    ).encode()
+if fingerprint(on) != fingerprint(off):
+    sys.exit("FAIL: the metrics plane changed the bench fingerprint")
+if json.dumps(on["metrics"], sort_keys=True) != json.dumps(on2["metrics"], sort_keys=True):
+    sys.exit("FAIL: metrics section differs between identical runs")
+print("ok: bench fingerprint byte-identical with metrics on and off")
+
+# --- 3. Offline Prometheus validation: parseable, every sample's metric
+# declared by HELP/TYPE, no duplicate series. ---
+SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|NaN|[+-]Inf)$"
+)
+declared, seen = set(), set()
+path = f"{on_dir}/PROM_fig5_latency.prom"
+for lineno, raw in enumerate(open(path), 1):
+    line = raw.rstrip("\n")
+    if not line:
+        continue
+    if line.startswith("# TYPE "):
+        parts = line.split()
+        if len(parts) != 4 or parts[3] not in ("counter", "gauge", "histogram"):
+            sys.exit(f"FAIL: {path}:{lineno}: malformed TYPE line: {line}")
+        declared.add(parts[2])
+        continue
+    if line.startswith("#"):
+        continue
+    m = SAMPLE.match(line)
+    if not m:
+        sys.exit(f"FAIL: {path}:{lineno}: unparseable sample: {line}")
+    name, labels, _ = m.groups()
+    base = re.sub(r"_(bucket|count|sum|min|max)$", "", name)
+    if name not in declared and base not in declared:
+        sys.exit(f"FAIL: {path}:{lineno}: sample without TYPE declaration: {name}")
+    series = (name, labels or "")
+    if series in seen:
+        sys.exit(f"FAIL: {path}:{lineno}: duplicate series: {name}{labels or ''}")
+    seen.add(series)
+if not seen:
+    sys.exit(f"FAIL: {path} contains no samples")
+print(f"ok: Prometheus exposition valid ({len(seen)} series, {len(declared)} metrics)")
+
+# --- 4. Counters are monotone in simulated time: every counter series
+# present after the short window exists after the long window with a
+# value at least as large. ---
+VALUE_FIELDS = ("value", "count", "sum", "min", "max", "buckets")
+def counters(report):
+    out = {}
+    for s in report["metrics"]:
+        # Counters carry "value"; the only gauge (fairness_jain) may
+        # legitimately move either way, and histograms are checked via
+        # their monotone "count" instead.
+        if s["name"] == "fairness_jain":
+            continue
+        key = tuple(sorted((k, v) for k, v in s.items() if k not in VALUE_FIELDS))
+        if "value" in s:
+            out[key] = s["value"]
+        elif "count" in s:
+            out[key + (("__hist__", 1),)] = s["count"]
+    return out
+early, late = counters(short), counters(on)
+regressed = [k for k, v in early.items() if late.get(k, 0) < v]
+if regressed:
+    sys.exit(f"FAIL: counters regressed between window lengths: {regressed[:5]}")
+print(f"ok: {len(early)} counter series monotone across window lengths")
+
+# --- 5. The always-on accumulate path is cheap: best-of-two sim_rate
+# with metrics on must stay within 5% of metrics off. ---
+rate_on = max(on["sim_rate"], on2["sim_rate"])
+rate_off = max(off["sim_rate"], off2["sim_rate"])
+ratio = rate_on / rate_off
+if ratio < 0.95:
+    sys.exit(f"FAIL: metrics-on sim_rate {rate_on:.0f} is {ratio:.1%} of "
+             f"metrics-off {rate_off:.0f} (bound: 95%)")
+print(f"ok: metrics overhead within bound (on/off sim_rate ratio {ratio:.1%})")
 PYEOF
 
 echo "CI PASSED"
