@@ -154,6 +154,16 @@ impl Kernel for MbKernel {
         }
     }
 
+    fn on_drain_response(&mut self, _resp: optimus_fabric::accelerator::AccelResponse) {
+        // A drained op is a retired op. Counting it here makes
+        // `completed == issued` by the time the engine serializes (the
+        // port is fully drained first), so `restore`'s `issued =
+        // completed` rewind is exact: no op is replayed against an RNG
+        // that already drew its address, which would send the replay to
+        // a different line than the one the original write landed on.
+        self.completed += 1;
+    }
+
     fn serialize(&self) -> Vec<u8> {
         let mut w = Writer::new();
         w.u64(self.region)

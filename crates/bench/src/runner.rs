@@ -60,14 +60,14 @@ pub fn run_spatial(exp: &SpatialExp) -> Vec<SlotResult> {
 pub fn run_spatial_with_stats(exp: &SpatialExp) -> (Vec<SlotResult>, HvStats) {
     let mut cfg = OptimusConfig::new(exp.slots.clone());
     cfg.channel_policy = exp.policy;
-    let mut hv = Optimus::new(cfg);
-    let results = launch_and_measure(&mut hv, exp);
+    let hv = Optimus::new(cfg);
+    let (results, hv) = launch_and_measure(hv, exp);
     (results, hv.stats())
 }
 
 /// Runs the same experiment on the pass-through baseline (one slot only).
 pub fn run_passthrough(kind: AccelKind, policy: SelectorPolicy, params: JobParams, window: Cycle) -> SlotResult {
-    let mut hv = Optimus::new_passthrough(kind, policy, TrapCost::Virtualized);
+    let hv = Optimus::new_passthrough(kind, policy, TrapCost::Virtualized);
     let exp = SpatialExp {
         slots: vec![kind],
         active_jobs: 1,
@@ -75,10 +75,10 @@ pub fn run_passthrough(kind: AccelKind, policy: SelectorPolicy, params: JobParam
         params,
         window,
     };
-    launch_and_measure(&mut hv, &exp).remove(0)
+    launch_and_measure(hv, &exp).0.remove(0)
 }
 
-fn launch_and_measure(hv: &mut Optimus, exp: &SpatialExp) -> Vec<SlotResult> {
+fn launch_and_measure(mut hv: Optimus, exp: &SpatialExp) -> (Vec<SlotResult>, Optimus) {
     let n = exp.active_jobs.min(exp.slots.len());
     for slot in 0..n {
         let vm = hv.create_vm(&format!("vm{slot}"));
@@ -90,6 +90,12 @@ fn launch_and_measure(hv: &mut Optimus, exp: &SpatialExp) -> Vec<SlotResult> {
     }
     // Warm up, then measure.
     hv.run(scale::warmup_cycles());
+    if scale::live_update() {
+        // Replace the hypervisor mid-run (snapshot → wire bytes → fresh
+        // instance over the same device). Every measured figure below
+        // must come out identical to an uninterrupted run.
+        hv = hv.live_update();
+    }
     let progress_at_open: Vec<u64> = (0..n)
         .map(|s| jobs::progress(hv.device_mut(), exp.slots[s], s))
         .collect();
@@ -99,7 +105,7 @@ fn launch_and_measure(hv: &mut Optimus, exp: &SpatialExp) -> Vec<SlotResult> {
     hv.device_mut().open_windows();
     hv.run(exp.window);
     hv.device_mut().close_windows();
-    (0..n)
+    let results = (0..n)
         .map(|s| {
             let progress =
                 jobs::progress(hv.device_mut(), exp.slots[s], s) - progress_at_open[s];
@@ -113,7 +119,8 @@ fn launch_and_measure(hv: &mut Optimus, exp: &SpatialExp) -> Vec<SlotResult> {
                 gbps: gbps(hv.device().port(s).window_bytes(), exp.window),
             }
         })
-        .collect()
+        .collect();
+    (results, hv)
 }
 
 /// Temporal-multiplexing experiment: `jobs` virtual accelerators of `kind`

@@ -44,6 +44,17 @@ pub fn fig8_slices_per_job() -> u64 {
     env_u64("OPTIMUS_FIG8_SLICES", 2)
 }
 
+/// Live-update the hypervisor at the warm-up/window boundary: freeze it
+/// into a versioned [`HvSnapshot`](optimus::snapshot::HvSnapshot), round
+/// the snapshot through its wire encoding, and thaw a brand-new
+/// hypervisor instance over the still-running device before the
+/// measurement opens. The measurement must not notice — ci.sh stage 7
+/// asserts the bench fingerprint is byte-identical to an uninterrupted
+/// run.
+pub fn live_update() -> bool {
+    matches!(std::env::var("OPTIMUS_LIVE_UPDATE"), Ok(v) if !v.is_empty() && v != "0")
+}
+
 /// Restricts the Fig. 5 bench to a single representative sweep point
 /// (one working-set size, one job count, one page/channel config).
 /// Used by the CI trace-smoke stage, where one point is enough to

@@ -59,6 +59,29 @@ impl FrameAllocator {
     pub fn allocated_bytes(&self) -> u64 {
         self.next - ARENA_BASE
     }
+
+    /// The bump cursor (next HPA to be handed out) — snapshotted by
+    /// hypervisor live-update so a thawed instance continues allocating from
+    /// the same point.
+    pub fn cursor(&self) -> u64 {
+        self.next
+    }
+
+    /// Rebuilds an allocator whose next allocation starts at `cursor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cursor` lies outside the standard arena.
+    pub fn restore(cursor: u64) -> Self {
+        assert!(
+            (ARENA_BASE..=ARENA_BASE + HOST_DRAM_BYTES).contains(&cursor),
+            "allocator cursor {cursor:#x} outside the arena"
+        );
+        Self {
+            next: cursor,
+            limit: ARENA_BASE + HOST_DRAM_BYTES,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -14,8 +14,11 @@
 //! control-plane cost of virtualization visible in the Fig. 1 comparison.
 
 use crate::alloc::FrameAllocator;
-use crate::scheduler::{SchedPolicy, SliceScheduler};
+use crate::scheduler::{MemberState, SchedPolicy, SliceScheduler};
 use crate::slicing::SlicingConfig;
+use crate::snapshot::{
+    HvSnapshot, IoptEntry, SlotSnap, SnapshotError, VaccelSnap, VmSnap, WatchdogSnap,
+};
 use crate::vaccel::{VaccelId, VaccelRun, VirtualAccel};
 use crate::vm::{Vm, VmError, VmId};
 use crate::watchdog::{AlertKind, IsolationAlert, Watchdog, WatchdogConfig};
@@ -26,12 +29,23 @@ use optimus_fabric::accelerator::CtrlStatus;
 use optimus_fabric::device::FpgaDevice;
 use optimus_fabric::mmio::{accel_mmio_base, accel_reg, vcu_reg, VCU_BASE};
 use optimus_fabric::platform::{DeviceId, FabricError, PlatformDevice};
-use optimus_mem::addr::{Gva, Hpa, PageSize, PAGE_2M};
+use optimus_mem::addr::{Gva, Hpa, Iova, PageSize, PAGE_2M, PAGE_4K};
 use optimus_mem::host::FrameFiller;
 use optimus_mem::page_table::PageFlags;
 use optimus_sim::metrics;
+use optimus_sim::rng::derive_seed;
 use optimus_sim::time::{ms_to_cycles, ns_to_cycles, Cycle};
 use optimus_sim::trace::{self, Track};
+use std::collections::BTreeMap;
+
+/// The accelerator seed for physical slot `i`.
+///
+/// Uses SplitMix64 stream splitting rather than `base + i`: additive seeds
+/// correlate the streams of adjacent slots (and of slots on adjacent node
+/// devices, whose base seeds are themselves consecutive derivations).
+fn slot_seed(base: u64, i: usize) -> u64 {
+    derive_seed(base, i as u64)
+}
 
 /// MMIO cost model for guest accesses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,7 +120,7 @@ impl OptimusConfig {
 }
 
 /// Hypervisor statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HvStats {
     /// Guest MMIO traps taken.
     pub traps: u64,
@@ -159,6 +173,76 @@ struct Slot {
     slice_ends: Cycle,
 }
 
+/// Why a tenant could not be detached from or attached to a hypervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrateError {
+    /// Pass-through devices have no slicing layer to detach from.
+    Passthrough,
+    /// Unknown (or already detached) virtual accelerator.
+    NoSuchVaccel,
+    /// The tenant's VM backs more than one virtual accelerator; migrating
+    /// one would tear the shared address space out from under the others.
+    VmShared,
+    /// The tenant's home slot index does not exist on the target device
+    /// (heterogeneous devices; a node's devices are homogeneous).
+    SlotOutOfRange,
+}
+
+impl core::fmt::Display for MigrateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MigrateError::Passthrough => write!(f, "pass-through devices cannot migrate tenants"),
+            MigrateError::NoSuchVaccel => write!(f, "no such virtual accelerator"),
+            MigrateError::VmShared => write!(f, "VM backs multiple virtual accelerators"),
+            MigrateError::SlotOutOfRange => write!(f, "target device lacks the tenant's slot"),
+        }
+    }
+}
+
+impl std::error::Error for MigrateError {}
+
+/// A tenant detached from its source hypervisor, ready to attach
+/// elsewhere: the VM's address-space layout, the vaccel record, its
+/// scheduler account, and the IOPT granularity of every page. Host frame
+/// *contents* are not here — they stay in the source device's memory
+/// until the node copies them (`HostMemory::adopt_span`) after attach.
+#[derive(Debug)]
+pub struct TenantState {
+    pub(crate) name: String,
+    pub(crate) next_gva: u64,
+    /// `(gva, source hpa)` for every 2 MB page, ascending by GVA.
+    pub(crate) pages: Vec<(u64, u64)>,
+    /// IOPT granularity each page was registered with, parallel to
+    /// `pages` (replayed faithfully on the target).
+    pub(crate) io_pages: Vec<PageSize>,
+    pub(crate) slot: usize,
+    pub(crate) sched: MemberState,
+    pub(crate) dma_base: Gva,
+    pub(crate) state_buffer: Gva,
+    pub(crate) app_regs: BTreeMap<u64, u64>,
+    pub(crate) pending_start: bool,
+    pub(crate) run: VaccelRun,
+    pub(crate) shadow_status: CtrlStatus,
+    pub(crate) forced_resets: u64,
+}
+
+impl TenantState {
+    /// The tenant's VM name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The physical slot the tenant ran on (and will run on again).
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// Bytes of guest memory that must move with the tenant.
+    pub fn bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_2M
+    }
+}
+
 /// The hypervisor.
 ///
 /// Generic over the device it mediates: production code uses the default
@@ -173,8 +257,12 @@ pub struct Optimus<D: PlatformDevice = FpgaDevice> {
     time_slice: Cycle,
     trap: TrapCost,
     preempt_timeout: Cycle,
-    vms: Vec<Vm>,
-    vaccels: Vec<VirtualAccel>,
+    vms: BTreeMap<u32, Vm>,
+    vaccels: BTreeMap<u32, VirtualAccel>,
+    /// Monotonic id counters: detach/migrate removes entries, and recycled
+    /// ids would alias live tenants in metrics, traces, and the auditor.
+    next_vm_id: u32,
+    next_vaccel_id: u32,
     slots: Vec<Slot>,
     frames: FrameAllocator,
     next_slice: u64,
@@ -201,7 +289,7 @@ impl Optimus {
             .accels
             .iter()
             .enumerate()
-            .map(|(i, &k)| build_accelerator(k, config.seed.wrapping_add(i as u64)))
+            .map(|(i, &k)| build_accelerator(k, slot_seed(config.seed, i)))
             .collect();
         let device = FpgaDevice::try_new_monitored(accels, config.arity, config.channel_policy)?;
         let slots = (0..config.accels.len())
@@ -220,8 +308,10 @@ impl Optimus {
             time_slice: config.time_slice,
             trap: config.trap,
             preempt_timeout: config.preempt_timeout,
-            vms: Vec::new(),
-            vaccels: Vec::new(),
+            vms: BTreeMap::new(),
+            vaccels: BTreeMap::new(),
+            next_vm_id: 0,
+            next_vaccel_id: 0,
             slots,
             frames: FrameAllocator::new(),
             next_slice: 0,
@@ -247,8 +337,10 @@ impl Optimus {
             time_slice: ms_to_cycles(10.0),
             trap,
             preempt_timeout: ms_to_cycles(1.0),
-            vms: Vec::new(),
-            vaccels: Vec::new(),
+            vms: BTreeMap::new(),
+            vaccels: BTreeMap::new(),
+            next_vm_id: 0,
+            next_vaccel_id: 0,
             slots: vec![Slot {
                 sched: SliceScheduler::new(SchedPolicy::RoundRobin, ms_to_cycles(10.0)),
                 current: None,
@@ -300,7 +392,33 @@ impl<D: PlatformDevice> Optimus<D> {
 
     /// Number of virtual accelerators resident on physical slot `slot`.
     pub fn slot_population(&self, slot: usize) -> usize {
-        self.vaccels.iter().filter(|v| v.slot == slot).count()
+        self.vaccels.values().filter(|v| v.slot == slot).count()
+    }
+
+    /// Live virtual accelerators on `slot`, ascending by id.
+    pub fn vaccels_on_slot(&self, slot: usize) -> Vec<VaccelId> {
+        self.vaccels
+            .values()
+            .filter(|v| v.slot == slot)
+            .map(|v| v.id)
+            .collect()
+    }
+
+    /// A vaccel's run state (`None` if the id is unknown or detached).
+    pub fn vaccel_run(&self, va: VaccelId) -> Option<VaccelRun> {
+        self.vaccels.get(&va.0).map(|v| v.run)
+    }
+
+    fn vaccel(&self, va: VaccelId) -> &VirtualAccel {
+        self.vaccels.get(&va.0).expect("no such virtual accelerator")
+    }
+
+    fn vaccel_mut(&mut self, va: VaccelId) -> &mut VirtualAccel {
+        self.vaccels.get_mut(&va.0).expect("no such virtual accelerator")
+    }
+
+    fn vm(&self, id: VmId) -> &Vm {
+        self.vms.get(&id.0).expect("no such VM")
     }
 
     /// Hypervisor statistics, including the device's isolation counters.
@@ -335,10 +453,12 @@ impl<D: PlatformDevice> Optimus<D> {
         }
     }
 
-    /// Creates a VM.
+    /// Creates a VM. Ids are monotonic, never recycled: a detached VM's id
+    /// stays retired so metrics and traces never alias tenants.
     pub fn create_vm(&mut self, name: &str) -> VmId {
-        let id = VmId(self.vms.len() as u32);
-        self.vms.push(Vm::new(id, name));
+        let id = VmId(self.next_vm_id);
+        self.next_vm_id += 1;
+        self.vms.insert(id.0, Vm::new(id, name));
         id
     }
 
@@ -357,10 +477,11 @@ impl<D: PlatformDevice> Optimus<D> {
         priority: u32,
     ) -> VaccelId {
         assert!(slot < self.slots.len(), "no such physical accelerator");
-        let id = VaccelId(self.vaccels.len() as u32);
+        let id = VaccelId(self.next_vaccel_id);
+        self.next_vaccel_id += 1;
         let slice = self.next_slice;
         self.next_slice += 1;
-        self.vaccels.push(VirtualAccel::new(id, vm, slot, slice));
+        self.vaccels.insert(id.0, VirtualAccel::new(id, vm, slot, slice));
         self.slots[slot].sched.add(id.0 as u64, weight, priority);
         id
     }
@@ -411,13 +532,13 @@ impl<D: PlatformDevice> Optimus<D> {
 
     /// Whether `va` is currently occupying its physical slot.
     fn is_scheduled(&self, va: VaccelId) -> bool {
-        self.slots[self.vaccels[va.0 as usize].slot].current == Some(va)
+        self.slots[self.vaccel(va).slot].current == Some(va)
     }
 
     /// Forwards the full cached register file + control state to the
     /// physical accelerator and starts or resumes the job.
     fn install(&mut self, va: VaccelId) {
-        let slot = self.vaccels[va.0 as usize].slot;
+        let slot = self.vaccel(va).slot;
         let base = accel_mmio_base(slot);
         let install_start = self.device.now();
         // Clear the physical accelerator's previous occupant's state via
@@ -431,12 +552,12 @@ impl<D: PlatformDevice> Optimus<D> {
         // Program the offset table with this vaccel's slice (skipped in
         // pass-through, where IOVA = GVA already).
         if !self.passthrough {
-            let v = &self.vaccels[va.0 as usize];
+            let v = self.vaccel(va);
             let offset = self.slicing.offset_for(v.slice, v.dma_base);
             self.device
                 .mmio_write(VCU_BASE + vcu_reg::OFFSET_TABLE + slot as u64 * 8, offset);
         }
-        let v = &self.vaccels[va.0 as usize];
+        let v = self.vaccel(va);
         let state_buffer = v.state_buffer.raw();
         let run = v.run;
         let pending_start = v.pending_start;
@@ -444,22 +565,22 @@ impl<D: PlatformDevice> Optimus<D> {
         // Move the cached register file out, replay it, and move it back:
         // installs happen on every context switch, so avoid re-collecting
         // the map into a fresh Vec each time.
-        let regs = std::mem::take(&mut self.vaccels[va.0 as usize].app_regs);
+        let regs = std::mem::take(&mut self.vaccel_mut(va).app_regs);
         for (&off, &val) in regs.iter() {
             self.device.mmio_write(base + accel_reg::APP_BASE + off, val);
         }
-        self.vaccels[va.0 as usize].app_regs = regs;
+        self.vaccel_mut(va).app_regs = regs;
         match run {
             VaccelRun::SavedInMemory => {
                 self.device.mmio_write(base + accel_reg::CTRL_CMD, accel_reg::CMD_RESUME);
             }
             _ if pending_start => {
                 self.device.mmio_write(base + accel_reg::CTRL_CMD, accel_reg::CMD_START);
-                self.vaccels[va.0 as usize].pending_start = false;
+                self.vaccel_mut(va).pending_start = false;
             }
             _ => {}
         }
-        self.vaccels[va.0 as usize].run = VaccelRun::Scheduled;
+        self.vaccel_mut(va).run = VaccelRun::Scheduled;
         self.slots[slot].current = Some(va);
         // Let the install MMIOs settle (they are asynchronous writes).
         self.advance(ns_to_cycles(500.0));
@@ -498,6 +619,10 @@ impl<D: PlatformDevice> Optimus<D> {
         self.device.mmio_write(base + accel_reg::CTRL_CMD, accel_reg::CMD_PREEMPT);
         self.stats.preemptions += 1;
         let preempt_start = self.device.now();
+        // Claim the scope before recording: a migration-driven preempt
+        // arrives from outside the run loop, where the ambient device
+        // scope may still belong to a sibling device on the node.
+        metrics::set_device(self.device_id.0);
         metrics::inc(metrics::HV_PREEMPTIONS, slot as u32, 1);
         let track = Track::vaccel(va.0);
         if trace::enabled() {
@@ -525,7 +650,7 @@ impl<D: PlatformDevice> Optimus<D> {
             }
             match status {
                 CtrlStatus::Saved => {
-                    self.vaccels[va.0 as usize].run = VaccelRun::SavedInMemory;
+                    self.vaccel_mut(va).run = VaccelRun::SavedInMemory;
                     metrics::observe(
                         metrics::HV_PREEMPT_CYCLES,
                         slot as u32,
@@ -558,7 +683,7 @@ impl<D: PlatformDevice> Optimus<D> {
                         observed: duration as f64,
                         threshold: self.preempt_timeout as f64,
                     });
-                    let v = &mut self.vaccels[va.0 as usize];
+                    let v = self.vaccel_mut(va);
                     v.forced_resets += 1;
                     // The job's progress is lost; it restarts from its
                     // cached registers at its next slice.
@@ -586,7 +711,7 @@ impl<D: PlatformDevice> Optimus<D> {
     /// physical accelerator (so the guest can still read result registers
     /// from hardware) until another virtual accelerator needs the slot.
     fn retire(&mut self, va: VaccelId) {
-        let v = &mut self.vaccels[va.0 as usize];
+        let v = self.vaccel_mut(va);
         v.run = VaccelRun::Completed;
         v.shadow_status = CtrlStatus::Done;
         let slot = v.slot;
@@ -651,6 +776,13 @@ impl<D: PlatformDevice> Optimus<D> {
     pub fn run(&mut self, cycles: Cycle) {
         let end = self.device.now() + cycles;
         while self.device.now() < end {
+            // Evaluate overdue watchdog windows up front: slice boundaries
+            // are not guaranteed to stop the loop anywhere near the
+            // deadline (single-tenant slots produce none at all), so the
+            // deadline itself must be honored as a stopping point.
+            if self.device.now() >= self.watchdog.next_eval {
+                self.watchdog_tick();
+            }
             for slot in 0..self.slots.len() {
                 self.maybe_schedule(slot);
             }
@@ -660,7 +792,8 @@ impl<D: PlatformDevice> Optimus<D> {
                 .filter(|s| s.current.is_some())
                 .map(|s| s.slice_ends)
                 .min()
-                .unwrap_or(end);
+                .unwrap_or(end)
+                .min(self.watchdog.next_eval);
             let target = next_boundary.min(end).max(self.device.now() + 1);
             self.advance(target - self.device.now());
             if self.device.now() >= end {
@@ -716,6 +849,10 @@ impl<D: PlatformDevice> Optimus<D> {
     fn watchdog_tick(&mut self) {
         let now = self.device.now();
         let cfg = *self.watchdog.config();
+        // The tick can fire before this hypervisor has advanced its
+        // device in the current chunk, so the scope may still belong to
+        // a sibling device on the node — claim it explicitly.
+        metrics::set_device(self.device_id.0);
         // Per-slot root grants since the last window.
         let deltas: Vec<u64> = (0..self.slots.len())
             .map(|s| {
@@ -791,17 +928,415 @@ impl<D: PlatformDevice> Optimus<D> {
 
     /// Hypervisor-side (trap-free) completion check.
     pub fn vaccel_completed(&mut self, va: VaccelId) -> bool {
-        if self.vaccels[va.0 as usize].run == VaccelRun::Completed {
+        if self.vaccel(va).run == VaccelRun::Completed {
             return true;
         }
         if self.is_scheduled(va) {
-            let slot = self.vaccels[va.0 as usize].slot;
+            let slot = self.vaccel(va).slot;
             if self.device.accel_status(slot) == CtrlStatus::Done {
                 self.retire(va);
                 return true;
             }
         }
         false
+    }
+
+    /// Detaches a tenant from this hypervisor for migration: preempts it
+    /// off the physical accelerator through the ordinary Fig. 8 drain/save
+    /// path (so its execution state lands in its own guest memory), scrubs
+    /// the slot, removes its scheduler account, tears down its IOPT
+    /// entries, and returns everything the target needs to rebuild it.
+    ///
+    /// Jobs that fail the drain deadline take the forced-reset fallback
+    /// exactly as at a slice boundary: progress is lost and the job
+    /// restarts from its cached registers on the target.
+    pub fn detach_tenant(&mut self, va: VaccelId) -> Result<TenantState, MigrateError> {
+        if self.passthrough {
+            return Err(MigrateError::Passthrough);
+        }
+        let Some(v) = self.vaccels.get(&va.0) else {
+            return Err(MigrateError::NoSuchVaccel);
+        };
+        let vm_id = v.vm;
+        let slot = v.slot;
+        if self.vaccels.values().any(|o| o.vm == vm_id && o.id != va) {
+            return Err(MigrateError::VmShared);
+        }
+        // Off the hardware first: the save streams device state into the
+        // tenant's own guest buffer, which travels with its memory.
+        if self.slots[slot].current == Some(va) {
+            self.preempt_slot(slot);
+        }
+        // Device-side detach: scrub the slot the tenant vacated (§4.1
+        // isolation hygiene — the next occupant must see no residue).
+        self.device.detach_slot(slot);
+        let sched = self
+            .slots[slot]
+            .sched
+            .remove(va.0 as u64)
+            .expect("vaccel registered in its slot's queue");
+        let v = self.vaccels.remove(&va.0).expect("checked above");
+        let vm = self.vms.remove(&vm_id.0).expect("vaccel's VM exists");
+        let pages = vm.export_pages();
+        // Tear down the tenant's slice of the IO page table, recording the
+        // granularity each page was registered with so the target replays
+        // it faithfully (Fig. 5/6 configurations register 4 KB entries).
+        let installed: std::collections::HashMap<u64, PageSize> = self
+            .device
+            .host()
+            .iommu()
+            .iopt()
+            .mappings()
+            .into_iter()
+            .map(|(iova, _, size, _)| (iova, size))
+            .collect();
+        let mut io_pages = Vec::with_capacity(pages.len());
+        for &(gva, _) in &pages {
+            let iova = self.slicing.gva_to_iova(v.slice, v.dma_base, Gva::new(gva));
+            let size = *installed.get(&iova.raw()).expect("registered page has an IOPT entry");
+            match size {
+                PageSize::Huge => {
+                    self.device
+                        .host_mut()
+                        .iommu_mut()
+                        .unmap(iova)
+                        .expect("tenant page was IOPT-mapped");
+                }
+                PageSize::Small => {
+                    for k in 0..(PAGE_2M / PAGE_4K) {
+                        self.device
+                            .host_mut()
+                            .iommu_mut()
+                            .unmap(Iova::new(iova.raw() + k * PAGE_4K))
+                            .expect("tenant page was IOPT-mapped");
+                    }
+                }
+            }
+            io_pages.push(size);
+        }
+        metrics::set_device(self.device_id.0);
+        if trace::enabled() {
+            trace::instant(
+                Track::hypervisor(),
+                "migrate.detach",
+                self.device.now(),
+                &[("va", va.0 as u64), ("slot", slot as u64)],
+            );
+        }
+        Ok(TenantState {
+            name: vm.name().to_string(),
+            next_gva: vm.next_gva(),
+            pages,
+            io_pages,
+            slot,
+            sched,
+            dma_base: v.dma_base,
+            state_buffer: v.state_buffer,
+            app_regs: v.app_regs,
+            pending_start: v.pending_start,
+            run: v.run,
+            shadow_status: v.shadow_status,
+            forced_resets: v.forced_resets,
+        })
+    }
+
+    /// Attaches a detached tenant to this hypervisor: fresh (monotonic)
+    /// ids, a fresh page-table slice, host frames re-allocated here (HPAs
+    /// are per-device), the IOPT replayed at the new slice, and the
+    /// scheduler account re-inserted with its occupancy intact. Returns
+    /// the new vaccel id plus the `(source hpa, target hpa)` copy list the
+    /// caller uses to move the frame bytes.
+    ///
+    /// The tenant resumes through the ordinary install path at its next
+    /// slice (`preempt.restore` for a drained job). No simulated time is
+    /// charged: the paper's migration cost is dominated by the copy, which
+    /// the node models at its own layer.
+    pub fn attach_tenant(
+        &mut self,
+        t: TenantState,
+    ) -> Result<(VaccelId, Vec<(u64, u64)>), MigrateError> {
+        if self.passthrough {
+            return Err(MigrateError::Passthrough);
+        }
+        if t.slot >= self.slots.len() {
+            return Err(MigrateError::SlotOutOfRange);
+        }
+        let vm_id = VmId(self.next_vm_id);
+        self.next_vm_id += 1;
+        let id = VaccelId(self.next_vaccel_id);
+        self.next_vaccel_id += 1;
+        let slice = self.next_slice;
+        self.next_slice += 1;
+        // Re-allocate backing frames on this device. Exported GVAs are
+        // contiguous from the VM's base, so one contiguous grab suffices.
+        let copies: Vec<(u64, u64)> = if t.pages.is_empty() {
+            Vec::new()
+        } else {
+            let base = self.frames.alloc_huge(t.pages.len() as u64).raw();
+            t.pages
+                .iter()
+                .enumerate()
+                .map(|(i, &(_, src))| (src, base + i as u64 * PAGE_2M))
+                .collect()
+        };
+        let pages: Vec<(u64, u64)> = t
+            .pages
+            .iter()
+            .zip(&copies)
+            .map(|(&(gva, _), &(_, dst))| (gva, dst))
+            .collect();
+        let vm = Vm::restore(vm_id, &t.name, t.next_gva, &pages);
+        // Replay the IO page table at the new slice, honoring each page's
+        // original granularity.
+        for (&(gva, hpa), &size) in pages.iter().zip(&t.io_pages) {
+            let iova = self.slicing.gva_to_iova(slice, t.dma_base, Gva::new(gva));
+            match size {
+                PageSize::Huge => {
+                    self.device
+                        .host_mut()
+                        .iommu_mut()
+                        .map(iova, Hpa::new(hpa), PageSize::Huge, PageFlags::rw())
+                        .expect("fresh IOVA slice");
+                }
+                PageSize::Small => {
+                    for k in 0..(PAGE_2M / PAGE_4K) {
+                        self.device
+                            .host_mut()
+                            .iommu_mut()
+                            .map(
+                                Iova::new(iova.raw() + k * PAGE_4K),
+                                Hpa::new(hpa + k * PAGE_4K),
+                                PageSize::Small,
+                                PageFlags::rw(),
+                            )
+                            .expect("fresh IOVA slice");
+                    }
+                }
+            }
+        }
+        self.vms.insert(vm_id.0, vm);
+        let mut v = VirtualAccel::new(id, vm_id, t.slot, slice);
+        v.dma_base = t.dma_base;
+        v.state_buffer = t.state_buffer;
+        v.app_regs = t.app_regs;
+        v.pending_start = t.pending_start;
+        v.run = t.run;
+        v.shadow_status = t.shadow_status;
+        v.forced_resets = t.forced_resets;
+        self.vaccels.insert(id.0, v);
+        self.slots[t.slot]
+            .sched
+            .insert_member(MemberState { key: id.0 as u64, ..t.sched });
+        metrics::set_device(self.device_id.0);
+        if trace::enabled() {
+            trace::instant(
+                Track::hypervisor(),
+                "migrate.attach",
+                self.device.now(),
+                &[("va", id.0 as u64), ("slot", t.slot as u64)],
+            );
+        }
+        Ok((id, copies))
+    }
+
+    /// Freezes this hypervisor into a versioned [`HvSnapshot`] and hands
+    /// back the device it mediated. Pure software-state capture: no MMIO
+    /// is issued, no cycle advances — the device keeps running (well,
+    /// existing) underneath, exactly like hardware persisting across a
+    /// host hypervisor live-update.
+    pub fn freeze(self) -> (HvSnapshot, D) {
+        if trace::enabled() {
+            trace::instant(Track::hypervisor(), "live_update.freeze", self.device.now(), &[]);
+        }
+        let iopt = self
+            .device
+            .host()
+            .iommu()
+            .iopt()
+            .mappings()
+            .into_iter()
+            .map(|(iova, hpa, size, flags)| IoptEntry {
+                iova,
+                hpa,
+                small: size == PageSize::Small,
+                write: flags.write,
+            })
+            .collect();
+        let snap = HvSnapshot {
+            device_id: self.device_id,
+            passthrough: self.passthrough,
+            slice_bytes: self.slicing.slice_bytes,
+            iotlb_mitigation: self.slicing.iotlb_mitigation,
+            time_slice: self.time_slice,
+            trap: self.trap,
+            preempt_timeout: self.preempt_timeout,
+            next_slice: self.next_slice,
+            next_vm_id: self.next_vm_id,
+            next_vaccel_id: self.next_vaccel_id,
+            alloc_cursor: self.frames.cursor(),
+            stats: self.stats,
+            vms: self
+                .vms
+                .values()
+                .map(|vm| VmSnap {
+                    id: vm.id().0,
+                    name: vm.name().to_string(),
+                    next_gva: vm.next_gva(),
+                    pages: vm.export_pages(),
+                })
+                .collect(),
+            vaccels: self
+                .vaccels
+                .values()
+                .map(|v| VaccelSnap {
+                    id: v.id.0,
+                    vm: v.vm.0,
+                    slot: v.slot as u32,
+                    slice: v.slice,
+                    dma_base: v.dma_base.raw(),
+                    state_buffer: v.state_buffer.raw(),
+                    app_regs: v.app_regs.iter().map(|(&k, &val)| (k, val)).collect(),
+                    pending_start: v.pending_start,
+                    run: v.run,
+                    shadow_status: v.shadow_status,
+                    forced_resets: v.forced_resets,
+                })
+                .collect(),
+            slots: self
+                .slots
+                .iter()
+                .map(|s| SlotSnap {
+                    policy: s.sched.policy().clone(),
+                    base_slice: s.sched.base_slice(),
+                    members: s.sched.export_members(),
+                    cursor: s.sched.cursor() as u64,
+                    current: s.current.map(|v| v.0),
+                    slice_ends: s.slice_ends,
+                })
+                .collect(),
+            watchdog: WatchdogSnap {
+                cfg: *self.watchdog.config(),
+                next_eval: self.watchdog.next_eval,
+                last_forwarded: self.watchdog.last_forwarded.clone(),
+                last_iotlb: self.watchdog.last_iotlb,
+                alerts: self.watchdog.alerts().to_vec(),
+            },
+            iopt,
+        };
+        (snap, self.device)
+    }
+
+    /// Rebuilds a hypervisor from a snapshot around a persistent device.
+    ///
+    /// The device is the *same* device the snapshot was frozen from (or a
+    /// bit-identical twin): its clock, accelerator datapaths, IOTLB, and
+    /// host memory carry the non-snapshotted half of the world. The
+    /// snapshot's IO page table is *verified against* — not written into —
+    /// the device: the IOPT lives in host memory and persists, and
+    /// re-installing it would invalidate live IOTLB entries.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::DeviceMismatch`] if the device's slot count differs
+    /// from the snapshot's; [`SnapshotError::IoptMismatch`] if its IO page
+    /// table does — either means the snapshot belongs to a different run.
+    pub fn thaw(snap: &HvSnapshot, device: D) -> Result<Self, SnapshotError> {
+        if device.num_accels() != snap.slots.len() {
+            return Err(SnapshotError::DeviceMismatch);
+        }
+        let current: Vec<IoptEntry> = device
+            .host()
+            .iommu()
+            .iopt()
+            .mappings()
+            .into_iter()
+            .map(|(iova, hpa, size, flags)| IoptEntry {
+                iova,
+                hpa,
+                small: size == PageSize::Small,
+                write: flags.write,
+            })
+            .collect();
+        if current != snap.iopt {
+            return Err(SnapshotError::IoptMismatch);
+        }
+        let vms = snap
+            .vms
+            .iter()
+            .map(|v| (v.id, Vm::restore(VmId(v.id), &v.name, v.next_gva, &v.pages)))
+            .collect();
+        let vaccels = snap
+            .vaccels
+            .iter()
+            .map(|s| {
+                let mut v =
+                    VirtualAccel::new(VaccelId(s.id), VmId(s.vm), s.slot as usize, s.slice);
+                v.dma_base = Gva::new(s.dma_base);
+                v.state_buffer = Gva::new(s.state_buffer);
+                v.app_regs = s.app_regs.iter().copied().collect();
+                v.pending_start = s.pending_start;
+                v.run = s.run;
+                v.shadow_status = s.shadow_status;
+                v.forced_resets = s.forced_resets;
+                (s.id, v)
+            })
+            .collect();
+        let slots = snap
+            .slots
+            .iter()
+            .map(|s| Slot {
+                sched: SliceScheduler::restore(
+                    s.policy.clone(),
+                    s.base_slice,
+                    s.members.clone(),
+                    s.cursor as usize,
+                ),
+                current: s.current.map(VaccelId),
+                slice_ends: s.slice_ends,
+            })
+            .collect();
+        let hv = Self {
+            device,
+            device_id: snap.device_id,
+            passthrough: snap.passthrough,
+            slicing: SlicingConfig {
+                slice_bytes: snap.slice_bytes,
+                iotlb_mitigation: snap.iotlb_mitigation,
+            },
+            time_slice: snap.time_slice,
+            trap: snap.trap,
+            preempt_timeout: snap.preempt_timeout,
+            vms,
+            vaccels,
+            next_vm_id: snap.next_vm_id,
+            next_vaccel_id: snap.next_vaccel_id,
+            slots,
+            frames: FrameAllocator::restore(snap.alloc_cursor),
+            next_slice: snap.next_slice,
+            stats: snap.stats,
+            watchdog: Watchdog::restore(
+                snap.watchdog.cfg,
+                snap.watchdog.next_eval,
+                snap.watchdog.last_forwarded.clone(),
+                snap.watchdog.last_iotlb,
+                snap.watchdog.alerts.clone(),
+            ),
+        };
+        if trace::enabled() {
+            trace::instant(Track::hypervisor(), "live_update.thaw", hv.device.now(), &[]);
+        }
+        Ok(hv)
+    }
+
+    /// A full in-process live-update: freeze, serialize, decode, thaw a
+    /// brand-new hypervisor instance around the persistent device. The
+    /// round trip through bytes is deliberate — it proves the wire format
+    /// carries everything, not just the in-memory structs.
+    pub fn live_update(self) -> Self {
+        let (snap, device) = self.freeze();
+        let bytes = snap.to_bytes();
+        let snap = HvSnapshot::from_bytes(&bytes).expect("snapshot round-trips through bytes");
+        Self::thaw(&snap, device).expect("snapshot thaws onto its own device")
     }
 }
 
@@ -814,7 +1349,7 @@ pub struct GuestCtx<'a, D: PlatformDevice = FpgaDevice> {
 
 impl<D: PlatformDevice> GuestCtx<'_, D> {
     fn v(&self) -> &VirtualAccel {
-        &self.hv.vaccels[self.va.0 as usize]
+        self.hv.vaccel(self.va)
     }
 
     /// Allocates and DMA-registers a guest buffer of `bytes` (rounded up
@@ -876,18 +1411,24 @@ impl<D: PlatformDevice> GuestCtx<'_, D> {
     fn alloc_dma_inner(&mut self, bytes: u64, backing: Backing, io_page: PageSize) -> Gva {
         let pages = bytes.div_ceil(PAGE_2M).max(1);
         let vm_id = self.v().vm;
-        let gva = self.hv.vms[vm_id.0 as usize].alloc_region(pages, &mut self.hv.frames);
+        let gva = self
+            .hv
+            .vms
+            .get_mut(&vm_id.0)
+            .expect("no such VM")
+            .alloc_region(pages, &mut self.hv.frames);
         if self.v().dma_base.raw() == 0 {
             // First allocation: the guest library reserves the 64 GB slice
             // and reports its base through the BAR2 register.
-            self.hv.vaccels[self.va.0 as usize].dma_base = gva;
+            let va = self.va;
+            self.hv.vaccel_mut(va).dma_base = gva;
             // The BAR2 slice-base report is itself a trapped MMIO write
             // (no BAR0 offset; recorded as offset 0).
             let va = self.va;
             self.hv.trap_cost(va, 0);
         }
         // Host backing for the region.
-        let hpa_base = self.hv.vms[vm_id.0 as usize]
+        let hpa_base = self.hv.vm(vm_id)
             .gva_to_hpa(gva)
             .expect("fresh region maps");
         match backing {
@@ -931,10 +1472,10 @@ impl<D: PlatformDevice> GuestCtx<'_, D> {
     /// entries (the paper's 4 KB-page comparison configuration).
     pub fn register_page_sized(&mut self, gva: Gva, io_page: PageSize) {
         let vm_id = self.v().vm;
-        let gpa = self.hv.vms[vm_id.0 as usize]
+        let gpa = self.hv.vm(vm_id)
             .gva_to_gpa(gva)
             .expect("registering an unmapped page");
-        let hpa = self.hv.vms[vm_id.0 as usize]
+        let hpa = self.hv.vm(vm_id)
             .validate_hypercall(gva, gpa)
             .expect("hypercall validation failed");
         let iova = if self.hv.passthrough {
@@ -988,7 +1529,7 @@ impl<D: PlatformDevice> GuestCtx<'_, D> {
         let mut off = 0usize;
         while off < data.len() {
             let cur = Gva::new(gva.raw() + off as u64);
-            let hpa = self.hv.vms[vm_id.0 as usize]
+            let hpa = self.hv.vm(vm_id)
                 .gva_to_hpa(cur)
                 .expect("guest write to unmapped memory");
             let in_page = (PAGE_2M - cur.page_offset(PAGE_2M)) as usize;
@@ -1008,7 +1549,7 @@ impl<D: PlatformDevice> GuestCtx<'_, D> {
         let mut off = 0usize;
         while off < buf.len() {
             let cur = Gva::new(gva.raw() + off as u64);
-            let hpa = self.hv.vms[vm_id.0 as usize]
+            let hpa = self.hv.vm(vm_id)
                 .gva_to_hpa(cur)
                 .expect("guest read of unmapped memory");
             let in_page = (PAGE_2M - cur.page_offset(PAGE_2M)) as usize;
@@ -1024,7 +1565,8 @@ impl<D: PlatformDevice> GuestCtx<'_, D> {
     pub fn set_state_buffer(&mut self, gva: Gva) {
         let va = self.va;
         self.hv.trap_cost(va, accel_reg::CTRL_STATE_ADDR);
-        self.hv.vaccels[self.va.0 as usize].state_buffer = gva;
+        let va = self.va;
+        self.hv.vaccel_mut(va).state_buffer = gva;
         if self.hv.is_scheduled(self.va) {
             let slot = self.v().slot;
             self.hv
@@ -1045,7 +1587,7 @@ impl<D: PlatformDevice> GuestCtx<'_, D> {
                 if value == accel_reg::CMD_START {
                     let va = self.va;
                     {
-                        let v = &mut self.hv.vaccels[va.0 as usize];
+                        let v = self.hv.vaccel_mut(va);
                         v.pending_start = true;
                         v.shadow_status = CtrlStatus::Running;
                         if v.run == VaccelRun::Completed {
@@ -1055,7 +1597,7 @@ impl<D: PlatformDevice> GuestCtx<'_, D> {
                     let slot = self.v().slot;
                     self.hv.slots[slot].sched.set_runnable(va.0 as u64, true);
                     if self.hv.is_scheduled(va) {
-                        self.hv.vaccels[va.0 as usize].pending_start = false;
+                        self.hv.vaccel_mut(va).pending_start = false;
                         self.hv
                             .device
                             .mmio_write(accel_mmio_base(slot) + accel_reg::CTRL_CMD, accel_reg::CMD_START);
@@ -1066,7 +1608,8 @@ impl<D: PlatformDevice> GuestCtx<'_, D> {
                 // hypervisor "hides the hardware status", §4.2).
             }
             accel_reg::CTRL_STATE_ADDR => {
-                self.hv.vaccels[self.va.0 as usize].state_buffer = Gva::new(value);
+                let va = self.va;
+                self.hv.vaccel_mut(va).state_buffer = Gva::new(value);
                 if self.hv.is_scheduled(self.va) {
                     let slot = self.v().slot;
                     self.hv
@@ -1076,7 +1619,8 @@ impl<D: PlatformDevice> GuestCtx<'_, D> {
             }
             off if off >= accel_reg::APP_BASE => {
                 let rel = off - accel_reg::APP_BASE;
-                self.hv.vaccels[self.va.0 as usize].cache_app_reg(rel, value);
+                let va = self.va;
+                self.hv.vaccel_mut(va).cache_app_reg(rel, value);
                 if self.hv.is_scheduled(self.va) {
                     let slot = self.v().slot;
                     self.hv.device.mmio_write(accel_mmio_base(slot) + off, value);
@@ -1105,7 +1649,7 @@ impl<D: PlatformDevice> GuestCtx<'_, D> {
                         s => s as u64,
                     }
                 } else {
-                    self.hv.vaccels[self.va.0 as usize].shadow_status as u64
+                    self.hv.vaccel(self.va).shadow_status as u64
                 }
             }
             off if off >= accel_reg::APP_BASE => {
@@ -1113,7 +1657,7 @@ impl<D: PlatformDevice> GuestCtx<'_, D> {
                     let slot = self.v().slot;
                     self.hv.device.mmio_read(accel_mmio_base(slot) + off)
                 } else {
-                    self.hv.vaccels[self.va.0 as usize].cached_app_reg(off - accel_reg::APP_BASE)
+                    self.hv.vaccel(self.va).cached_app_reg(off - accel_reg::APP_BASE)
                 }
             }
             _ => 0,
@@ -1122,7 +1666,7 @@ impl<D: PlatformDevice> GuestCtx<'_, D> {
 
     /// The backing HPA of a guest address (test observability).
     pub fn gva_to_hpa(&self, gva: Gva) -> Result<Hpa, VmError> {
-        self.hv.vms[self.v().vm.0 as usize].gva_to_hpa(gva)
+        self.hv.vm(self.v().vm).gva_to_hpa(gva)
     }
 }
 
@@ -1250,6 +1794,187 @@ mod tests {
         assert_eq!(out, optimus_algo::md5::md5(&data_b).to_vec());
         assert!(hv.stats().context_switches > 2);
         assert_eq!(hv.stats().forced_resets, 0);
+    }
+
+    #[test]
+    fn slot_seed_streams_are_pairwise_distinct() {
+        // Regression: accelerator seeds were `base + i`, which collides
+        // across adjacent base seeds (42 + 1 == 43 + 0) — node devices use
+        // consecutive derived bases, so adjacent devices' slots shared RNG
+        // streams. SplitMix64 stream splitting keeps them all distinct.
+        let mut seen = std::collections::HashSet::new();
+        for base in [42u64, 43, 44] {
+            for i in 0..8 {
+                assert!(
+                    seen.insert(slot_seed(base, i)),
+                    "seed collision at base {base}, slot {i}"
+                );
+            }
+        }
+        assert_ne!(slot_seed(42, 1), slot_seed(43, 0));
+    }
+
+    #[test]
+    fn ids_survive_detach_without_recycling() {
+        let mut hv = Optimus::new(OptimusConfig::new(vec![AccelKind::Md5]));
+        let vm0 = hv.create_vm("t0");
+        let va0 = hv.create_vaccel(vm0, 0);
+        let t = hv.detach_tenant(va0).unwrap();
+        assert_eq!(hv.vaccel_run(va0), None);
+        // Ids minted after the detach must not alias the retired ones
+        // (`vms.len()`-style allocation would hand va0 out again here).
+        let vm1 = hv.create_vm("t1");
+        let va1 = hv.create_vaccel(vm1, 0);
+        assert_ne!(vm1, vm0);
+        assert_ne!(va1, va0);
+        // Re-attaching mints fresh ids too.
+        let (va2, _) = hv.attach_tenant(t).unwrap();
+        assert_ne!(va2, va0);
+        assert_ne!(va2, va1);
+        assert_eq!(hv.vaccel_run(va2), Some(VaccelRun::Fresh));
+    }
+
+    #[test]
+    fn migrate_error_paths() {
+        let mut pt =
+            Optimus::new_passthrough(AccelKind::Md5, SelectorPolicy::Auto, TrapCost::Native);
+        let vm = pt.create_vm("p");
+        let va = pt.create_vaccel(vm, 0);
+        assert_eq!(pt.detach_tenant(va).unwrap_err(), MigrateError::Passthrough);
+
+        let mut hv = Optimus::new(OptimusConfig::new(vec![AccelKind::Md5, AccelKind::Md5]));
+        assert_eq!(
+            hv.detach_tenant(VaccelId(9)).unwrap_err(),
+            MigrateError::NoSuchVaccel
+        );
+        let shared = hv.create_vm("shared");
+        let a = hv.create_vaccel(shared, 0);
+        let _b = hv.create_vaccel(shared, 1);
+        assert_eq!(hv.detach_tenant(a).unwrap_err(), MigrateError::VmShared);
+
+        // A tenant from slot 1 cannot land on a single-slot device.
+        let solo = hv.create_vm("solo");
+        let c = hv.create_vaccel(solo, 1);
+        let t = hv.detach_tenant(c).unwrap();
+        let mut small = Optimus::new(OptimusConfig::new(vec![AccelKind::Md5]));
+        assert_eq!(small.attach_tenant(t).unwrap_err(), MigrateError::SlotOutOfRange);
+    }
+
+    #[test]
+    fn detach_attach_moves_midflight_tenant_across_devices() {
+        use optimus_accel::hash::reg;
+        let mut cfg = OptimusConfig::new(vec![AccelKind::Md5]);
+        cfg.time_slice = ms_to_cycles(0.1);
+        let mut a = Optimus::new(cfg);
+        let mut cfg = OptimusConfig::new(vec![AccelKind::Md5]);
+        cfg.time_slice = ms_to_cycles(0.1);
+        let mut b = Optimus::new(cfg);
+
+        let vm = a.create_vm("mover");
+        let va = a.create_vaccel(vm, 0);
+        let data: Vec<u8> = (0..1_048_576u32).map(|i| (i * 31) as u8).collect();
+        let (src, dst, state);
+        {
+            let mut g = a.guest(va);
+            src = g.alloc_dma(data.len() as u64);
+            dst = g.alloc_dma(4096);
+            state = g.alloc_dma(4096);
+            g.write_mem(src, &data);
+            g.set_state_buffer(state);
+            g.mmio_write(accel_reg::APP_BASE + reg::SRC, src.raw());
+            g.mmio_write(accel_reg::APP_BASE + reg::DST, dst.raw());
+            g.mmio_write(accel_reg::APP_BASE + reg::LINES, (data.len() / 64) as u64);
+            g.mmio_write(accel_reg::CTRL_CMD, accel_reg::CMD_START);
+        }
+        // Run partway so the job is genuinely mid-flight when detached.
+        a.run(ms_to_cycles(0.05));
+        assert!(!a.vaccel_completed(va));
+
+        let t = a.detach_tenant(va).unwrap();
+        assert_eq!(t.bytes(), 3 * PAGE_2M);
+        let (va2, copies) = b.attach_tenant(t).unwrap();
+        for &(s, d) in &copies {
+            b.device_mut().host_mut().memory_mut().adopt_span(
+                a.device().host().memory(),
+                Hpa::new(s),
+                Hpa::new(d),
+                PAGE_2M,
+            );
+        }
+        // The source forgot the tenant; the IOPT slice is torn down.
+        assert_eq!(a.vaccel_run(va), None);
+        assert_eq!(a.device().host().iommu().iopt().mapped_pages(), 0);
+
+        assert!(b.run_until_done(va2, 400_000_000));
+        let mut out = vec![0u8; 16];
+        b.guest(va2).read_mem(dst, &mut out);
+        assert_eq!(out, optimus_algo::md5::md5(&data).to_vec());
+        assert_eq!(b.device().host().faulted_dmas(), 0);
+    }
+
+    /// Drives two time-multiplexed tenants, optionally live-updating the
+    /// hypervisor mid-run, and returns every observable endpoint.
+    fn run_temporal_pair(interrupt: bool) -> (Vec<Vec<u8>>, HvStats, Cycle, u64) {
+        use optimus_accel::hash::reg;
+        let mut cfg = OptimusConfig::new(vec![AccelKind::Md5]);
+        cfg.time_slice = ms_to_cycles(0.1);
+        let mut hv = Optimus::new(cfg);
+        let mut vas = Vec::new();
+        let mut dsts = Vec::new();
+        let mut datas = Vec::new();
+        for i in 0..2u32 {
+            let vm = hv.create_vm(&format!("t{i}"));
+            let va = hv.create_vaccel(vm, 0);
+            let data: Vec<u8> = (0..1_048_576u32).map(|j| (j ^ (i * 97)) as u8).collect();
+            let mut g = hv.guest(va);
+            let src = g.alloc_dma(data.len() as u64);
+            let dst = g.alloc_dma(4096);
+            let state = g.alloc_dma(4096);
+            g.write_mem(src, &data);
+            g.set_state_buffer(state);
+            g.mmio_write(accel_reg::APP_BASE + reg::SRC, src.raw());
+            g.mmio_write(accel_reg::APP_BASE + reg::DST, dst.raw());
+            g.mmio_write(accel_reg::APP_BASE + reg::LINES, (data.len() / 64) as u64);
+            g.mmio_write(accel_reg::CTRL_CMD, accel_reg::CMD_START);
+            vas.push(va);
+            dsts.push(dst);
+            datas.push(data);
+        }
+        // Stop mid-slice: the slot is occupied, one tenant is preempted
+        // with saved state, the other is running — the worst case for a
+        // snapshot to carry.
+        hv.run(ms_to_cycles(0.25));
+        if interrupt {
+            hv = hv.live_update();
+        }
+        for &va in &vas {
+            assert!(hv.run_until_done(va, 400_000_000));
+        }
+        let digests = dsts
+            .iter()
+            .map(|&dst| {
+                let mut out = vec![0u8; 16];
+                hv.guest(vas[0]).read_mem(dst, &mut out);
+                out
+            })
+            .collect();
+        for (i, data) in datas.iter().enumerate() {
+            let mut out = vec![0u8; 16];
+            hv.guest(vas[i]).read_mem(dsts[i], &mut out);
+            assert_eq!(out, optimus_algo::md5::md5(data).to_vec(), "tenant {i}");
+        }
+        (digests, hv.stats(), hv.now(), hv.device().port_forwarded(0))
+    }
+
+    #[test]
+    fn live_update_mid_run_is_bit_identical() {
+        // Fig. 8's save/restore plus the snapshot format: a hypervisor
+        // frozen mid-run, serialized, decoded, and thawed around the same
+        // device must be indistinguishable from one that never stopped —
+        // same digests, same stats, same final cycle, same port traffic.
+        let uninterrupted = run_temporal_pair(false);
+        let resumed = run_temporal_pair(true);
+        assert_eq!(uninterrupted, resumed);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //! | [`vaccel`] | virtual accelerator (mdev) state |
 //! | [`scheduler`] | temporal multiplexing policies |
 //! | [`hypervisor`] | [`Optimus`](hypervisor::Optimus) itself + the guest API |
+//! | [`snapshot`] | [`HvSnapshot`](snapshot::HvSnapshot): the versioned live-update format |
 //! | [`node`] | [`OptimusNode`](node::OptimusNode): multi-FPGA placement + parallel stepping |
 //! | [`watchdog`] | isolation watchdogs: starvation / IOTLB-thrash / preemption-overrun alerts |
 //! | [`hostcentric`] | the host-centric DMA-engine baseline (Fig. 1) |
@@ -73,6 +74,7 @@ pub mod hypervisor;
 pub mod node;
 pub mod scheduler;
 pub mod slicing;
+pub mod snapshot;
 pub mod vaccel;
 pub mod vm;
 pub mod watchdog;

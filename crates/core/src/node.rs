@@ -27,12 +27,13 @@
 //! is byte-identical. `OPTIMUS_NODE_THREADS=1` forces the serial
 //! schedule, mirroring `OPTIMUS_NO_FASTFWD`.
 
-use crate::hypervisor::{GuestCtx, HvStats, Optimus, OptimusConfig, TrapCost};
+use crate::hypervisor::{GuestCtx, HvStats, MigrateError, Optimus, OptimusConfig, TrapCost};
 use crate::scheduler::SchedPolicy;
-use crate::vaccel::VaccelId;
-use crate::watchdog::IsolationAlert;
+use crate::vaccel::{VaccelId, VaccelRun};
+use crate::watchdog::{AlertKind, IsolationAlert};
 use optimus_accel::registry::AccelKind;
 use optimus_fabric::platform::{DeviceId, FabricError};
+use optimus_mem::addr::{Hpa, PAGE_2M};
 use optimus_sim::metrics;
 use optimus_sim::rng::derive_seed;
 use optimus_sim::time::{ms_to_cycles, Cycle};
@@ -120,6 +121,10 @@ pub struct OptimusNode {
     placement: Placement,
     rr_next: usize,
     threads: usize,
+    /// Per-device count of alerts already consumed by
+    /// [`rebalance`](Self::rebalance), so each alert triggers at most one
+    /// migration decision.
+    alerts_seen: Vec<usize>,
 }
 
 impl core::fmt::Debug for OptimusNode {
@@ -154,7 +159,8 @@ impl OptimusNode {
                 std::thread::available_parallelism().map_or(1, |n| n.get())
             })
             .clamp(1, devices.len());
-        Ok(Self { devices, placement: cfg.placement, rr_next: 0, threads })
+        let alerts_seen = vec![0; devices.len()];
+        Ok(Self { devices, placement: cfg.placement, rr_next: 0, threads, alerts_seen })
     }
 
     /// Number of devices in the node.
@@ -198,6 +204,13 @@ impl OptimusNode {
     /// a device per the policy and on that device's least-populated slot.
     pub fn create_tenant(&mut self, name: &str) -> NodeVaccel {
         let device = self.place();
+        self.create_tenant_on(device, name)
+    }
+
+    /// [`create_tenant`](Self::create_tenant) pinned to a specific device,
+    /// bypassing the placement policy (benchmarks constructing deliberate
+    /// hot spots; operator-directed placement).
+    pub fn create_tenant_on(&mut self, device: DeviceId, name: &str) -> NodeVaccel {
         let hv = &mut self.devices[device.0 as usize];
         let slot = (0..hv.num_slots())
             .min_by_key(|&s| hv.slot_population(s))
@@ -205,6 +218,111 @@ impl OptimusNode {
         let vm = hv.create_vm(name);
         let va = hv.create_vaccel(vm, slot);
         NodeVaccel { device, va }
+    }
+
+    /// Migrates a tenant to another device: detaches it from the source
+    /// (Fig. 8 preempt + state save into its own guest memory, IOPT
+    /// teardown), attaches it to the destination (fresh ids and slice,
+    /// IOPT replay), then moves its guest memory between the two devices'
+    /// host DRAMs — materialized frames, lazy-fill registrations, and
+    /// scratch registrations all translate. The tenant resumes through
+    /// the ordinary install path at its next slice on the destination.
+    ///
+    /// Migrating a tenant to the device it already lives on is a no-op.
+    /// Returns the tenant's new handle; the old one is dead (its id is
+    /// retired, never recycled).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MigrateError`] from the detach (pass-through device,
+    /// unknown handle, shared VM). A node's devices are homogeneous, so
+    /// the attach side cannot fail.
+    pub fn migrate(&mut self, h: NodeVaccel, to: DeviceId) -> Result<NodeVaccel, MigrateError> {
+        let from = h.device;
+        if from == to {
+            return Ok(h);
+        }
+        let (lo, hi) = (from.0.min(to.0) as usize, from.0.max(to.0) as usize);
+        let (head, tail) = self.devices.split_at_mut(hi);
+        let (src, dst) = if from.0 < to.0 {
+            (&mut head[lo], &mut tail[0])
+        } else {
+            (&mut tail[0], &mut head[lo])
+        };
+        let t = src.detach_tenant(h.va)?;
+        let (va, copies) = dst.attach_tenant(t)?;
+        // Move the tenant's bytes: coalesce the per-page copy list into
+        // contiguous spans and adopt each across host memories.
+        let mut i = 0;
+        while i < copies.len() {
+            let (src_base, dst_base) = copies[i];
+            let mut len = PAGE_2M;
+            while i + 1 < copies.len()
+                && copies[i + 1].0 == copies[i].0 + PAGE_2M
+                && copies[i + 1].1 == copies[i].1 + PAGE_2M
+            {
+                i += 1;
+                len += PAGE_2M;
+            }
+            dst.device_mut().host_mut().memory_mut().adopt_span(
+                src.device().host().memory(),
+                Hpa::new(src_base),
+                Hpa::new(dst_base),
+                len,
+            );
+            i += 1;
+        }
+        metrics::inc_at(metrics::NODE_MIGRATIONS, to.0, 0, 1);
+        Ok(NodeVaccel { device: to, va })
+    }
+
+    /// Watchdog-driven rebalancing: consumes starvation alerts raised
+    /// since the last call and, for each newly starved slot, migrates its
+    /// lowest-id live tenant off the hot device onto the least-loaded
+    /// other device (lowest index on ties). One migration per starved
+    /// slot per call; each alert is consumed exactly once, so a policy
+    /// loop can call this after every run chunk without thrashing.
+    ///
+    /// Returns the `(old, new)` handle pairs of every tenant moved.
+    /// Single-device nodes consume alerts but never move anyone.
+    pub fn rebalance(&mut self) -> Vec<(NodeVaccel, NodeVaccel)> {
+        let mut moved = Vec::new();
+        for d in 0..self.devices.len() {
+            let alerts = self.devices[d].alerts();
+            let fresh: Vec<IsolationAlert> = alerts[self.alerts_seen[d].min(alerts.len())..].to_vec();
+            self.alerts_seen[d] = alerts.len();
+            if self.devices.len() < 2 {
+                continue;
+            }
+            let mut handled = std::collections::BTreeSet::new();
+            for a in fresh {
+                if a.kind != AlertKind::Starvation {
+                    continue;
+                }
+                let Some(slot) = a.slot else { continue };
+                if !handled.insert(slot) {
+                    continue;
+                }
+                // Victim: the starved slot's lowest-id tenant still in
+                // flight (completed tenants have nothing to gain).
+                let victim = self.devices[d]
+                    .vaccels_on_slot(slot)
+                    .into_iter()
+                    .find(|&va| self.devices[d].vaccel_run(va) != Some(VaccelRun::Completed));
+                let Some(va) = victim else { continue };
+                let to = DeviceId(
+                    (0..self.devices.len())
+                        .filter(|&x| x != d)
+                        .min_by_key(|&x| (self.devices[x].num_vaccels(), x))
+                        .expect("checked: at least two devices") as u32,
+                );
+                let old = NodeVaccel { device: DeviceId(d as u32), va };
+                if let Ok(new) = self.migrate(old, to) {
+                    moved.push((old, new));
+                }
+            }
+        }
+        moved
     }
 
     /// The guest-side handle for a tenant's virtual accelerator.
@@ -442,6 +560,30 @@ mod tests {
         uniq.sort_unstable();
         uniq.dedup();
         assert_eq!(uniq.len(), seeds.len());
+    }
+
+    #[test]
+    fn migrate_moves_midflight_job_between_devices() {
+        let mut node = mb_node(2, 1);
+        let a = node.create_tenant_on(DeviceId(0), "mover");
+        start_mb_job(&mut node, a, 500_000, 7);
+        node.run(ms_to_cycles(0.2));
+        assert!(!node.vaccel_completed(a), "job finished before migration");
+        let b = node.migrate(a, DeviceId(1)).expect("migration succeeds");
+        assert_eq!(b.device, DeviceId(1));
+        // The source device no longer knows the tenant.
+        assert_eq!(node.device(DeviceId(0)).num_vaccels(), 0);
+        assert!(node.run_until_done(b, 500_000_000), "migrated job completes");
+        assert_eq!(node.device(DeviceId(1)).device().host().faulted_dmas(), 0);
+        // Migrating onto the same device is a no-op.
+        assert_eq!(node.migrate(b, DeviceId(1)).unwrap(), b);
+    }
+
+    #[test]
+    fn rebalance_without_alerts_moves_nobody() {
+        let mut node = mb_node(2, 1);
+        let _a = node.create_tenant("a");
+        assert!(node.rebalance().is_empty());
     }
 
     #[test]

@@ -31,6 +31,24 @@ struct Member {
     occupied: Cycle,
 }
 
+/// The externally visible state of one queue member, as exported by
+/// [`SliceScheduler::export_members`] and re-imported by
+/// [`SliceScheduler::insert_member`] / [`SliceScheduler::restore`] during
+/// migration and hypervisor live-update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemberState {
+    /// The member's queue key (the vaccel id).
+    pub key: u64,
+    /// Weight under the weighted policy.
+    pub weight: u32,
+    /// Priority under the priority policy.
+    pub priority: u32,
+    /// Whether the member is currently runnable.
+    pub runnable: bool,
+    /// Cycles of slice time charged so far.
+    pub occupied: Cycle,
+}
+
 /// Per-physical-accelerator slice scheduler.
 #[derive(Debug, Clone)]
 pub struct SliceScheduler {
@@ -75,6 +93,81 @@ impl SliceScheduler {
         if let Some(m) = self.members.iter_mut().find(|m| m.key == key) {
             m.runnable = runnable;
         }
+    }
+
+    /// Removes a member from the queue, returning its state (for re-insertion
+    /// on a migration target). The cursor is adjusted so the rotation order
+    /// of the remaining members is unchanged.
+    pub fn remove(&mut self, key: u64) -> Option<MemberState> {
+        let idx = self.members.iter().position(|m| m.key == key)?;
+        let m = self.members.remove(idx);
+        if idx < self.cursor {
+            self.cursor -= 1;
+        }
+        if self.cursor >= self.members.len() {
+            self.cursor = 0;
+        }
+        Some(MemberState {
+            key: m.key,
+            weight: m.weight,
+            priority: m.priority,
+            runnable: m.runnable,
+            occupied: m.occupied,
+        })
+    }
+
+    /// Appends a member with explicit state (a migrated tenant keeps its
+    /// occupancy account and runnability on the target queue).
+    pub fn insert_member(&mut self, state: MemberState) {
+        assert!(state.weight > 0, "weights must be positive");
+        self.members.push(Member {
+            key: state.key,
+            weight: state.weight,
+            priority: state.priority,
+            runnable: state.runnable,
+            occupied: state.occupied,
+        });
+    }
+
+    /// Exports all members in queue order (for [`HvSnapshot`]).
+    ///
+    /// [`HvSnapshot`]: ../snapshot/struct.HvSnapshot.html
+    pub fn export_members(&self) -> Vec<MemberState> {
+        self.members
+            .iter()
+            .map(|m| MemberState {
+                key: m.key,
+                weight: m.weight,
+                priority: m.priority,
+                runnable: m.runnable,
+                occupied: m.occupied,
+            })
+            .collect()
+    }
+
+    /// The rotation cursor (index of the next probe start).
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// The base slice length the scheduler was built with.
+    pub fn base_slice(&self) -> Cycle {
+        self.base_slice
+    }
+
+    /// Rebuilds a scheduler from exported state (hypervisor live-update).
+    pub fn restore(
+        policy: SchedPolicy,
+        base_slice: Cycle,
+        members: Vec<MemberState>,
+        cursor: usize,
+    ) -> Self {
+        let mut s = Self::new(policy, base_slice);
+        for m in members {
+            s.insert_member(m);
+        }
+        s.cursor = if s.members.is_empty() { 0 } else { cursor % s.members.len() };
+        s
     }
 
     /// Number of registered members.
@@ -250,6 +343,53 @@ mod tests {
         s.add(0, 1, 0);
         s.set_runnable(0, false);
         assert_eq!(s.next_slice(), None);
+    }
+
+    #[test]
+    fn remove_preserves_rotation_order() {
+        let mut s = SliceScheduler::new(SchedPolicy::RoundRobin, 10);
+        for k in 0..4 {
+            s.add(k, 1, 0);
+        }
+        // Advance so the cursor sits past member 1.
+        assert_eq!(s.next_slice().unwrap().0, 0);
+        assert_eq!(s.next_slice().unwrap().0, 1);
+        // Removing an earlier member must not skip anyone.
+        let st = s.remove(0).unwrap();
+        assert_eq!(st.occupied, 10);
+        assert_eq!(s.next_slice().unwrap().0, 2);
+        assert_eq!(s.next_slice().unwrap().0, 3);
+        assert_eq!(s.next_slice().unwrap().0, 1);
+        assert_eq!(s.remove(42), None);
+    }
+
+    #[test]
+    fn export_restore_round_trip() {
+        let mut s = SliceScheduler::new(SchedPolicy::Weighted, 50);
+        s.add(7, 2, 1);
+        s.add(9, 1, 3);
+        s.next_slice();
+        s.set_runnable(9, false);
+        let members = s.export_members();
+        let mut r = SliceScheduler::restore(s.policy().clone(), s.base_slice(), members, s.cursor());
+        // Both schedulers now produce the same sequence.
+        for _ in 0..6 {
+            assert_eq!(s.next_slice(), r.next_slice());
+        }
+        assert_eq!(s.occupancy(), r.occupancy());
+    }
+
+    #[test]
+    fn insert_member_keeps_occupancy() {
+        let mut s = SliceScheduler::new(SchedPolicy::RoundRobin, 10);
+        s.insert_member(MemberState {
+            key: 5,
+            weight: 1,
+            priority: 0,
+            runnable: true,
+            occupied: 123,
+        });
+        assert_eq!(s.occupancy(), vec![(5, 123)]);
     }
 
     #[test]

@@ -1,0 +1,803 @@
+//! Versioned hypervisor snapshots: the `HvSnapshot` live-update format.
+//!
+//! A snapshot captures every piece of *hypervisor software* state —
+//! address-space layouts, virtual-accelerator records, scheduler queues and
+//! cursors, watchdog baselines, stats, the id and slice counters, and the
+//! IO page table contents. It deliberately captures nothing *device-local*:
+//! the fabric clock, in-flight DMAs, accelerator datapath state, IOTLB
+//! entries, and host DRAM all live on (or behind) the device, which
+//! persists across a live-update exactly as the physical FPGA persists
+//! across a host hypervisor restart (the Rust-Shyper model). Because the
+//! simulator's software state is exhaustively enumerable, a freeze → thaw
+//! hand-off is provably lossless: the resumed run's fingerprint is
+//! bit-identical to an uninterrupted one (CI stage 7).
+//!
+//! # Wire format
+//!
+//! Little-endian, length-prefixed, no padding:
+//!
+//! * magic `u64` (`SNAPSHOT_MAGIC`), version `u32` (`SNAPSHOT_VERSION`);
+//! * fixed header fields in declaration order;
+//! * each `Vec` as a `u64` count followed by its elements;
+//! * strings as UTF-8 bytes with a `u64` length prefix;
+//! * `f64` as IEEE-754 bits; enums as documented `u8` discriminants.
+//!
+//! Version rules: the version bumps whenever the layout or any
+//! discriminant changes meaning; decoders reject unknown versions rather
+//! than guessing (`SnapshotError::UnsupportedVersion`). Fields are never
+//! reordered or repurposed within a version.
+
+use crate::scheduler::{MemberState, SchedPolicy};
+use crate::vaccel::VaccelRun;
+use crate::watchdog::{AlertKind, IsolationAlert, WatchdogConfig};
+use crate::hypervisor::{HvStats, TrapCost};
+use optimus_fabric::accelerator::CtrlStatus;
+use optimus_fabric::platform::DeviceId;
+
+/// First eight bytes of every snapshot (`b"OPTMHVSN"`, little-endian).
+pub const SNAPSHOT_MAGIC: u64 = u64::from_le_bytes(*b"OPTMHVSN");
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Errors from decoding or thawing a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The byte stream ended before the structure did.
+    Truncated,
+    /// The magic number is wrong (not a snapshot).
+    BadMagic,
+    /// The snapshot was written by an unknown format version.
+    UnsupportedVersion(u32),
+    /// A field decoded to an out-of-range value (names the field).
+    BadValue(&'static str),
+    /// Decoding finished with bytes left over.
+    TrailingBytes,
+    /// The device handed to `thaw` does not match the snapshot's shape
+    /// (wrong number of physical slots).
+    DeviceMismatch,
+    /// The device's installed IO page table disagrees with the snapshot
+    /// (the IOPT persists in host memory across a live-update; a mismatch
+    /// means the snapshot and device are from different runs).
+    IoptMismatch,
+}
+
+impl core::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::BadMagic => write!(f, "not an HvSnapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v}")
+            }
+            SnapshotError::BadValue(field) => write!(f, "invalid value for {field}"),
+            SnapshotError::TrailingBytes => write!(f, "trailing bytes after snapshot"),
+            SnapshotError::DeviceMismatch => {
+                write!(f, "device shape does not match snapshot")
+            }
+            SnapshotError::IoptMismatch => {
+                write!(f, "device IO page table does not match snapshot")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// One VM's address-space state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmSnap {
+    /// The VM id (monotonic, never recycled).
+    pub id: u32,
+    /// Human-readable VM name.
+    pub name: String,
+    /// The guest allocator's bump cursor.
+    pub next_gva: u64,
+    /// Every mapped 2 MB page as `(gva, hpa)`, ascending by GVA.
+    pub pages: Vec<(u64, u64)>,
+}
+
+/// One virtual accelerator's record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VaccelSnap {
+    /// The vaccel id (monotonic, never recycled).
+    pub id: u32,
+    /// Owning VM id.
+    pub vm: u32,
+    /// Physical slot index.
+    pub slot: u32,
+    /// Page-table slice index.
+    pub slice: u64,
+    /// Guest DMA region base (BAR2 report), 0 if not yet allocated.
+    pub dma_base: u64,
+    /// Fig. 8 preemption state buffer GVA.
+    pub state_buffer: u64,
+    /// Cached BAR0 application registers, ascending by offset.
+    pub app_regs: Vec<(u64, u64)>,
+    /// CMD_START latched but not yet forwarded.
+    pub pending_start: bool,
+    /// Run state.
+    pub run: VaccelRun,
+    /// Status shadowed to the guest while descheduled.
+    pub shadow_status: CtrlStatus,
+    /// Forced resets suffered (preemption overruns).
+    pub forced_resets: u64,
+}
+
+/// One physical slot's scheduler and residency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotSnap {
+    /// Scheduling policy.
+    pub policy: SchedPolicy,
+    /// Base slice length in cycles.
+    pub base_slice: u64,
+    /// Queue members in rotation order.
+    pub members: Vec<MemberState>,
+    /// Rotation cursor.
+    pub cursor: u64,
+    /// The vaccel occupying the physical accelerator, if any.
+    pub current: Option<u32>,
+    /// Absolute cycle at which the current slice expires.
+    pub slice_ends: u64,
+}
+
+/// Watchdog state: config, deadline, diff baselines, retained alerts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchdogSnap {
+    /// Resolved thresholds.
+    pub cfg: WatchdogConfig,
+    /// Next evaluation deadline (absolute cycle).
+    pub next_eval: u64,
+    /// Per-slot root-grant counts at the last evaluation.
+    pub last_forwarded: Vec<u64>,
+    /// (lookups, conflict evictions) at the last evaluation.
+    pub last_iotlb: (u64, u64),
+    /// Retained alert history.
+    pub alerts: Vec<IsolationAlert>,
+}
+
+/// One IO page table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoptEntry {
+    /// IO virtual address (slice-offset GVA).
+    pub iova: u64,
+    /// Host physical address.
+    pub hpa: u64,
+    /// 4 KB entry (`true`) or 2 MB entry (`false`).
+    pub small: bool,
+    /// Writable.
+    pub write: bool,
+}
+
+/// A complete hypervisor software snapshot (see the module docs for what
+/// is deliberately *not* here).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HvSnapshot {
+    /// The device identity within its node.
+    pub device_id: DeviceId,
+    /// Pass-through (direct assignment) mode.
+    pub passthrough: bool,
+    /// Page-table-slicing stride in bytes.
+    pub slice_bytes: u64,
+    /// The 128 MB inter-slice IOTLB mitigation gap.
+    pub iotlb_mitigation: bool,
+    /// Temporal-multiplexing time slice.
+    pub time_slice: u64,
+    /// Guest MMIO cost model.
+    pub trap: TrapCost,
+    /// Preemption drain+save deadline.
+    pub preempt_timeout: u64,
+    /// Next page-table slice index to assign.
+    pub next_slice: u64,
+    /// Monotonic VM id counter.
+    pub next_vm_id: u32,
+    /// Monotonic vaccel id counter.
+    pub next_vaccel_id: u32,
+    /// Host frame allocator bump cursor.
+    pub alloc_cursor: u64,
+    /// Software-side counters (the device-integrity overlays are
+    /// recomputed from the device on demand).
+    pub stats: HvStats,
+    /// All VMs, ascending by id.
+    pub vms: Vec<VmSnap>,
+    /// All virtual accelerators, ascending by id.
+    pub vaccels: Vec<VaccelSnap>,
+    /// All physical slots, in slot order.
+    pub slots: Vec<SlotSnap>,
+    /// Watchdog state.
+    pub watchdog: WatchdogSnap,
+    /// The IO page table, ascending by IOVA. Serialized for audit and
+    /// verified against the (persistent) device on thaw.
+    pub iopt: Vec<IoptEntry>,
+}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.pos + n > self.buf.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+    fn bool(&mut self, field: &'static str) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapshotError::BadValue(field)),
+        }
+    }
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn len(&mut self) -> Result<usize, SnapshotError> {
+        let n = self.u64()?;
+        // A length can never exceed the bytes that remain; this bounds
+        // allocations on corrupt input.
+        if n > (self.buf.len() - self.pos) as u64 {
+            return Err(SnapshotError::Truncated);
+        }
+        Ok(n as usize)
+    }
+    fn str(&mut self) -> Result<String, SnapshotError> {
+        let n = self.len()?;
+        String::from_utf8(self.take(n)?.to_vec())
+            .map_err(|_| SnapshotError::BadValue("string"))
+    }
+}
+
+fn trap_to_u8(t: TrapCost) -> u8 {
+    match t {
+        TrapCost::Native => 0,
+        TrapCost::Virtualized => 1,
+    }
+}
+
+fn trap_from_u8(v: u8) -> Result<TrapCost, SnapshotError> {
+    match v {
+        0 => Ok(TrapCost::Native),
+        1 => Ok(TrapCost::Virtualized),
+        _ => Err(SnapshotError::BadValue("trap")),
+    }
+}
+
+fn policy_to_u8(p: &SchedPolicy) -> u8 {
+    match p {
+        SchedPolicy::RoundRobin => 0,
+        SchedPolicy::Weighted => 1,
+        SchedPolicy::Priority => 2,
+    }
+}
+
+fn policy_from_u8(v: u8) -> Result<SchedPolicy, SnapshotError> {
+    match v {
+        0 => Ok(SchedPolicy::RoundRobin),
+        1 => Ok(SchedPolicy::Weighted),
+        2 => Ok(SchedPolicy::Priority),
+        _ => Err(SnapshotError::BadValue("policy")),
+    }
+}
+
+fn run_to_u8(r: VaccelRun) -> u8 {
+    match r {
+        VaccelRun::Fresh => 0,
+        VaccelRun::Scheduled => 1,
+        VaccelRun::SavedInMemory => 2,
+        VaccelRun::Completed => 3,
+    }
+}
+
+fn run_from_u8(v: u8) -> Result<VaccelRun, SnapshotError> {
+    match v {
+        0 => Ok(VaccelRun::Fresh),
+        1 => Ok(VaccelRun::Scheduled),
+        2 => Ok(VaccelRun::SavedInMemory),
+        3 => Ok(VaccelRun::Completed),
+        _ => Err(SnapshotError::BadValue("run")),
+    }
+}
+
+fn status_from_u8(v: u8) -> Result<CtrlStatus, SnapshotError> {
+    match v {
+        0 => Ok(CtrlStatus::Idle),
+        1 => Ok(CtrlStatus::Running),
+        2 => Ok(CtrlStatus::Saving),
+        3 => Ok(CtrlStatus::Saved),
+        4 => Ok(CtrlStatus::Done),
+        _ => Err(SnapshotError::BadValue("shadow_status")),
+    }
+}
+
+fn kind_to_u8(k: AlertKind) -> u8 {
+    k.metric_label() as u8
+}
+
+fn kind_from_u8(v: u8) -> Result<AlertKind, SnapshotError> {
+    match v {
+        0 => Ok(AlertKind::Starvation),
+        1 => Ok(AlertKind::IotlbThrash),
+        2 => Ok(AlertKind::PreemptOverrun),
+        _ => Err(SnapshotError::BadValue("alert kind")),
+    }
+}
+
+impl HvSnapshot {
+    /// Serializes to the versioned wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer { buf: Vec::with_capacity(4096) };
+        w.u64(SNAPSHOT_MAGIC);
+        w.u32(SNAPSHOT_VERSION);
+        w.u32(self.device_id.0);
+        w.bool(self.passthrough);
+        w.u64(self.slice_bytes);
+        w.bool(self.iotlb_mitigation);
+        w.u64(self.time_slice);
+        w.u8(trap_to_u8(self.trap));
+        w.u64(self.preempt_timeout);
+        w.u64(self.next_slice);
+        w.u32(self.next_vm_id);
+        w.u32(self.next_vaccel_id);
+        w.u64(self.alloc_cursor);
+        for c in [
+            self.stats.traps,
+            self.stats.hypercalls,
+            self.stats.pinned_pages,
+            self.stats.context_switches,
+            self.stats.preemptions,
+            self.stats.forced_resets,
+            self.stats.dropped_packets,
+            self.stats.discarded_dma,
+            self.stats.discarded_mmio,
+            self.stats.alerts_starvation,
+            self.stats.alerts_iotlb_thrash,
+            self.stats.alerts_preempt_overrun,
+        ] {
+            w.u64(c);
+        }
+        w.u64(self.vms.len() as u64);
+        for vm in &self.vms {
+            w.u32(vm.id);
+            w.str(&vm.name);
+            w.u64(vm.next_gva);
+            w.u64(vm.pages.len() as u64);
+            for &(gva, hpa) in &vm.pages {
+                w.u64(gva);
+                w.u64(hpa);
+            }
+        }
+        w.u64(self.vaccels.len() as u64);
+        for v in &self.vaccels {
+            w.u32(v.id);
+            w.u32(v.vm);
+            w.u32(v.slot);
+            w.u64(v.slice);
+            w.u64(v.dma_base);
+            w.u64(v.state_buffer);
+            w.u64(v.app_regs.len() as u64);
+            for &(off, val) in &v.app_regs {
+                w.u64(off);
+                w.u64(val);
+            }
+            w.bool(v.pending_start);
+            w.u8(run_to_u8(v.run));
+            w.u8(v.shadow_status as u8);
+            w.u64(v.forced_resets);
+        }
+        w.u64(self.slots.len() as u64);
+        for s in &self.slots {
+            w.u8(policy_to_u8(&s.policy));
+            w.u64(s.base_slice);
+            w.u64(s.members.len() as u64);
+            for m in &s.members {
+                w.u64(m.key);
+                w.u32(m.weight);
+                w.u32(m.priority);
+                w.bool(m.runnable);
+                w.u64(m.occupied);
+            }
+            w.u64(s.cursor);
+            w.u64(s.current.map_or(u64::MAX, |v| v as u64));
+            w.u64(s.slice_ends);
+        }
+        let wd = &self.watchdog;
+        w.u64(wd.cfg.window);
+        w.f64(wd.cfg.starvation_share);
+        w.u64(wd.cfg.min_grants);
+        w.f64(wd.cfg.thrash_rate);
+        w.u64(wd.cfg.min_lookups);
+        w.u64(wd.cfg.max_alerts as u64);
+        w.u64(wd.next_eval);
+        w.u64(wd.last_forwarded.len() as u64);
+        for &v in &wd.last_forwarded {
+            w.u64(v);
+        }
+        w.u64(wd.last_iotlb.0);
+        w.u64(wd.last_iotlb.1);
+        w.u64(wd.alerts.len() as u64);
+        for a in &wd.alerts {
+            w.u8(kind_to_u8(a.kind));
+            w.u32(a.device.0);
+            w.u64(a.slot.map_or(u64::MAX, |s| s as u64));
+            w.u64(a.at);
+            w.f64(a.observed);
+            w.f64(a.threshold);
+        }
+        w.u64(self.iopt.len() as u64);
+        for e in &self.iopt {
+            w.u64(e.iova);
+            w.u64(e.hpa);
+            w.bool(e.small);
+            w.bool(e.write);
+        }
+        w.buf
+    }
+
+    /// Decodes a snapshot, validating magic, version, and every
+    /// discriminant.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        if r.u64()? != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let device_id = DeviceId(r.u32()?);
+        let passthrough = r.bool("passthrough")?;
+        let slice_bytes = r.u64()?;
+        let iotlb_mitigation = r.bool("iotlb_mitigation")?;
+        let time_slice = r.u64()?;
+        let trap = trap_from_u8(r.u8()?)?;
+        let preempt_timeout = r.u64()?;
+        let next_slice = r.u64()?;
+        let next_vm_id = r.u32()?;
+        let next_vaccel_id = r.u32()?;
+        let alloc_cursor = r.u64()?;
+        let stats = HvStats {
+            traps: r.u64()?,
+            hypercalls: r.u64()?,
+            pinned_pages: r.u64()?,
+            context_switches: r.u64()?,
+            preemptions: r.u64()?,
+            forced_resets: r.u64()?,
+            dropped_packets: r.u64()?,
+            discarded_dma: r.u64()?,
+            discarded_mmio: r.u64()?,
+            alerts_starvation: r.u64()?,
+            alerts_iotlb_thrash: r.u64()?,
+            alerts_preempt_overrun: r.u64()?,
+        };
+        let n_vms = r.len()?;
+        let mut vms = Vec::with_capacity(n_vms);
+        for _ in 0..n_vms {
+            let id = r.u32()?;
+            let name = r.str()?;
+            let next_gva = r.u64()?;
+            let n_pages = r.len()?;
+            let mut pages = Vec::with_capacity(n_pages);
+            for _ in 0..n_pages {
+                pages.push((r.u64()?, r.u64()?));
+            }
+            vms.push(VmSnap { id, name, next_gva, pages });
+        }
+        let n_vaccels = r.len()?;
+        let mut vaccels = Vec::with_capacity(n_vaccels);
+        for _ in 0..n_vaccels {
+            let id = r.u32()?;
+            let vm = r.u32()?;
+            let slot = r.u32()?;
+            let slice = r.u64()?;
+            let dma_base = r.u64()?;
+            let state_buffer = r.u64()?;
+            let n_regs = r.len()?;
+            let mut app_regs = Vec::with_capacity(n_regs);
+            for _ in 0..n_regs {
+                app_regs.push((r.u64()?, r.u64()?));
+            }
+            let pending_start = r.bool("pending_start")?;
+            let run = run_from_u8(r.u8()?)?;
+            let shadow_status = status_from_u8(r.u8()?)?;
+            let forced_resets = r.u64()?;
+            vaccels.push(VaccelSnap {
+                id,
+                vm,
+                slot,
+                slice,
+                dma_base,
+                state_buffer,
+                app_regs,
+                pending_start,
+                run,
+                shadow_status,
+                forced_resets,
+            });
+        }
+        let n_slots = r.len()?;
+        let mut slots = Vec::with_capacity(n_slots);
+        for _ in 0..n_slots {
+            let policy = policy_from_u8(r.u8()?)?;
+            let base_slice = r.u64()?;
+            let n_members = r.len()?;
+            let mut members = Vec::with_capacity(n_members);
+            for _ in 0..n_members {
+                members.push(MemberState {
+                    key: r.u64()?,
+                    weight: r.u32()?,
+                    priority: r.u32()?,
+                    runnable: r.bool("runnable")?,
+                    occupied: r.u64()?,
+                });
+            }
+            let cursor = r.u64()?;
+            let current = match r.u64()? {
+                u64::MAX => None,
+                v if v <= u32::MAX as u64 => Some(v as u32),
+                _ => return Err(SnapshotError::BadValue("current")),
+            };
+            let slice_ends = r.u64()?;
+            slots.push(SlotSnap {
+                policy,
+                base_slice,
+                members,
+                cursor,
+                current,
+                slice_ends,
+            });
+        }
+        let cfg = WatchdogConfig {
+            window: r.u64()?,
+            starvation_share: r.f64()?,
+            min_grants: r.u64()?,
+            thrash_rate: r.f64()?,
+            min_lookups: r.u64()?,
+            max_alerts: r.u64()? as usize,
+        };
+        let next_eval = r.u64()?;
+        let n_fw = r.len()?;
+        let mut last_forwarded = Vec::with_capacity(n_fw);
+        for _ in 0..n_fw {
+            last_forwarded.push(r.u64()?);
+        }
+        let last_iotlb = (r.u64()?, r.u64()?);
+        let n_alerts = r.len()?;
+        let mut alerts = Vec::with_capacity(n_alerts);
+        for _ in 0..n_alerts {
+            alerts.push(IsolationAlert {
+                kind: kind_from_u8(r.u8()?)?,
+                device: DeviceId(r.u32()?),
+                slot: match r.u64()? {
+                    u64::MAX => None,
+                    v => Some(v as usize),
+                },
+                at: r.u64()?,
+                observed: r.f64()?,
+                threshold: r.f64()?,
+            });
+        }
+        let watchdog = WatchdogSnap {
+            cfg,
+            next_eval,
+            last_forwarded,
+            last_iotlb,
+            alerts,
+        };
+        let n_iopt = r.len()?;
+        let mut iopt = Vec::with_capacity(n_iopt);
+        for _ in 0..n_iopt {
+            iopt.push(IoptEntry {
+                iova: r.u64()?,
+                hpa: r.u64()?,
+                small: r.bool("small")?,
+                write: r.bool("write")?,
+            });
+        }
+        if r.pos != bytes.len() {
+            return Err(SnapshotError::TrailingBytes);
+        }
+        Ok(HvSnapshot {
+            device_id,
+            passthrough,
+            slice_bytes,
+            iotlb_mitigation,
+            time_slice,
+            trap,
+            preempt_timeout,
+            next_slice,
+            next_vm_id,
+            next_vaccel_id,
+            alloc_cursor,
+            stats,
+            vms,
+            vaccels,
+            slots,
+            watchdog,
+            iopt,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HvSnapshot {
+        HvSnapshot {
+            device_id: DeviceId(2),
+            passthrough: false,
+            slice_bytes: 64 << 30,
+            iotlb_mitigation: true,
+            time_slice: 4_000_000,
+            trap: TrapCost::Virtualized,
+            preempt_timeout: 400_000,
+            next_slice: 3,
+            next_vm_id: 5,
+            next_vaccel_id: 7,
+            alloc_cursor: (1 << 32) + (4 << 21),
+            stats: HvStats { traps: 11, hypercalls: 4, ..Default::default() },
+            vms: vec![VmSnap {
+                id: 4,
+                name: "tenant-a".into(),
+                next_gva: 0x7f00_0040_0000,
+                pages: vec![(0x7f00_0000_0000, 1 << 32), (0x7f00_0020_0000, (1 << 32) + (1 << 21))],
+            }],
+            vaccels: vec![VaccelSnap {
+                id: 6,
+                vm: 4,
+                slot: 1,
+                slice: 2,
+                dma_base: 0x7f00_0000_0000,
+                state_buffer: 0x7f00_0020_0000,
+                app_regs: vec![(0, 0x7f00_0000_0000), (16, 64)],
+                pending_start: false,
+                run: VaccelRun::SavedInMemory,
+                shadow_status: CtrlStatus::Running,
+                forced_resets: 1,
+            }],
+            slots: vec![
+                SlotSnap {
+                    policy: SchedPolicy::RoundRobin,
+                    base_slice: 4_000_000,
+                    members: vec![MemberState {
+                        key: 6,
+                        weight: 1,
+                        priority: 0,
+                        runnable: true,
+                        occupied: 8_000_000,
+                    }],
+                    cursor: 0,
+                    current: None,
+                    slice_ends: 12_000_000,
+                },
+                SlotSnap {
+                    policy: SchedPolicy::Weighted,
+                    base_slice: 4_000_000,
+                    members: vec![],
+                    cursor: 0,
+                    current: Some(6),
+                    slice_ends: 0,
+                },
+            ],
+            watchdog: WatchdogSnap {
+                cfg: WatchdogConfig::default(),
+                next_eval: 16_000_000,
+                last_forwarded: vec![10, 20],
+                last_iotlb: (100, 3),
+                alerts: vec![IsolationAlert {
+                    kind: AlertKind::Starvation,
+                    device: DeviceId(2),
+                    slot: Some(0),
+                    at: 12_000_000,
+                    observed: 0.01,
+                    threshold: 0.05,
+                }],
+            },
+            iopt: vec![
+                IoptEntry { iova: 64 << 30, hpa: 1 << 32, small: false, write: true },
+                IoptEntry { iova: (64 << 30) + 4096, hpa: (1 << 32) + 4096, small: true, write: true },
+            ],
+        }
+    }
+
+    #[test]
+    fn wire_round_trip_is_lossless() {
+        let snap = sample();
+        let bytes = snap.to_bytes();
+        let back = HvSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] ^= 0xFF;
+        assert_eq!(HvSnapshot::from_bytes(&bytes), Err(SnapshotError::BadMagic));
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[8] = 99;
+        assert_eq!(
+            HvSnapshot::from_bytes(&bytes),
+            Err(SnapshotError::UnsupportedVersion(99))
+        );
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            let err = HvSnapshot::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::Truncated | SnapshotError::BadMagic),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes.push(0);
+        assert_eq!(
+            HvSnapshot::from_bytes(&bytes),
+            Err(SnapshotError::TrailingBytes)
+        );
+    }
+
+    #[test]
+    fn bad_discriminants_rejected() {
+        let snap = sample();
+        let bytes = snap.to_bytes();
+        // The trap byte sits right after magic+version+device_id+passthrough+
+        // slice_bytes+iotlb_mitigation+time_slice.
+        let trap_pos = 8 + 4 + 4 + 1 + 8 + 1 + 8;
+        let mut bad = bytes.clone();
+        bad[trap_pos] = 9;
+        assert_eq!(
+            HvSnapshot::from_bytes(&bad),
+            Err(SnapshotError::BadValue("trap"))
+        );
+    }
+}

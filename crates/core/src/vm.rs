@@ -15,6 +15,9 @@ use optimus_mem::page_table::{MapError, PageFlags, PageTable};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VmId(pub u32);
 
+/// Base of the guest DMA mmap area (the canonical x86-64 mmap region).
+pub const GVA_BASE: u64 = 0x7f00_0000_0000;
+
 /// A guest virtual machine's address-space state.
 #[derive(Debug)]
 pub struct Vm {
@@ -71,9 +74,49 @@ impl Vm {
             guest_pt: PageTable::new(),
             ept: PageTable::new(),
             // Guest DMA regions start at the canonical x86-64 mmap area.
-            next_gva: 0x7f00_0000_0000,
+            next_gva: GVA_BASE,
             allocated_bytes: 0,
         }
+    }
+
+    /// Rebuilds a VM from exported state: `pages` are the `(gva, hpa)` pairs
+    /// of every 2 MB page, in ascending GVA order (see [`Vm::export_pages`]).
+    /// The guest page table keeps the direct GVA = GPA mapping; the EPT maps
+    /// each page to the given HPA — either the original frame (live-update,
+    /// where host memory persists) or a freshly allocated one (migration).
+    pub fn restore(id: VmId, name: &str, next_gva: u64, pages: &[(u64, u64)]) -> Self {
+        let mut vm = Self::new(id, name);
+        for &(gva, hpa) in pages {
+            vm.guest_pt
+                .map(gva, gva, PageSize::Huge, PageFlags::rw())
+                .expect("exported GVA ranges are disjoint");
+            vm.ept
+                .map(gva, hpa, PageSize::Huge, PageFlags::rw())
+                .expect("exported GPA ranges are disjoint");
+        }
+        vm.next_gva = next_gva;
+        vm.allocated_bytes = pages.len() as u64 * PAGE_2M;
+        vm
+    }
+
+    /// Exports every mapped 2 MB page as `(gva, hpa)`, ascending by GVA.
+    /// Together with `next_gva` this is the VM's whole address-space state
+    /// (allocations are contiguous from [`GVA_BASE`], GPA = GVA).
+    pub fn export_pages(&self) -> Vec<(u64, u64)> {
+        let mut pages = Vec::new();
+        let mut gva = GVA_BASE;
+        while gva < self.next_gva {
+            if let Ok(hpa) = self.gva_to_hpa(Gva::new(gva)) {
+                pages.push((gva, hpa.raw()));
+            }
+            gva += PAGE_2M;
+        }
+        pages
+    }
+
+    /// The next GVA the guest-side allocator would hand out.
+    pub fn next_gva(&self) -> u64 {
+        self.next_gva
     }
 
     /// The VM's identifier.
@@ -181,6 +224,30 @@ mod tests {
         let vm = Vm::new(VmId(0), "x");
         assert_eq!(vm.gva_to_gpa(Gva::new(0x1000)), Err(VmError::GvaUnmapped));
         assert_eq!(vm.gpa_to_hpa(Gpa::new(0x1000)), Err(VmError::GpaUnmapped));
+    }
+
+    #[test]
+    fn export_restore_round_trips_translations() {
+        let mut frames = FrameAllocator::new();
+        let mut vm = Vm::new(VmId(3), "orig");
+        let a = vm.alloc_region(2, &mut frames);
+        let b = vm.alloc_region(1, &mut frames);
+        let pages = vm.export_pages();
+        assert_eq!(pages.len(), 3);
+        let r = Vm::restore(VmId(3), "orig", vm.next_gva(), &pages);
+        for gva in [a, b, a.add(PAGE_2M + 0x777)] {
+            assert_eq!(r.gva_to_hpa(gva), vm.gva_to_hpa(gva));
+            assert_eq!(r.gva_to_gpa(gva), vm.gva_to_gpa(gva));
+        }
+        assert_eq!(r.allocated_bytes(), vm.allocated_bytes());
+        assert_eq!(r.next_gva(), vm.next_gva());
+        // A subsequent allocation continues from the same GVA.
+        let mut r = r;
+        let mut vm = vm;
+        assert_eq!(r.alloc_region(1, &mut frames), {
+            let mut f2 = FrameAllocator::new();
+            vm.alloc_region(1, &mut f2)
+        });
     }
 
     #[test]

@@ -79,7 +79,7 @@ pub struct IsolationAlert {
 /// Watchdog thresholds. All detectors are always on; set a threshold to
 /// its degenerate value (share 0.0, rate > 1.0) to effectively disable
 /// one.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WatchdogConfig {
     /// Evaluation window in fabric cycles; 0 means "4 × time slice",
     /// resolved at hypervisor construction.
@@ -141,6 +141,25 @@ impl Watchdog {
             last_iotlb: (0, 0),
             alerts: Vec::new(),
             cfg,
+        }
+    }
+
+    /// Rebuilds a watchdog from snapshotted state (hypervisor live-update):
+    /// the resolved config, evaluation deadline, diff baselines, and the
+    /// retained alert history all carry over unchanged.
+    pub fn restore(
+        cfg: WatchdogConfig,
+        next_eval: Cycle,
+        last_forwarded: Vec<u64>,
+        last_iotlb: (u64, u64),
+        alerts: Vec<IsolationAlert>,
+    ) -> Self {
+        Self {
+            cfg,
+            next_eval,
+            last_forwarded,
+            last_iotlb,
+            alerts,
         }
     }
 

@@ -96,6 +96,15 @@ pub trait PlatformDevice: PlatformClock + Send {
     /// Pulses `slot`'s reset line (forced preemption).
     fn reset_accel(&mut self, slot: usize);
 
+    /// Device-side contract for detaching a tenant from `slot` (migration
+    /// off this device): scrub any datapath state the outgoing tenant left
+    /// behind, the same isolation hygiene §4.1 requires on a VM context
+    /// switch. The default is a reset pulse; devices with extra per-slot
+    /// state override this.
+    fn detach_slot(&mut self, slot: usize) {
+        self.reset_accel(slot);
+    }
+
     /// The host side (memory, IOMMU, channels).
     fn host(&self) -> &HostSide;
 

@@ -11,6 +11,7 @@
 //! only supplies `serialize`/`deserialize` of its architectural state.
 
 use crate::accelerator::AccelPort;
+use optimus_cci::packet::Tag;
 use optimus_mem::addr::Gva;
 use optimus_sim::time::Cycle;
 
@@ -44,6 +45,9 @@ enum Mode {
         payload_len: usize,
         issued: usize,
         received: usize,
+        /// Tag of each issued line read, so responses that the channel
+        /// fabric reorders still land in their own line slot.
+        tags: Vec<(Tag, usize)>,
     },
 }
 
@@ -188,6 +192,7 @@ impl PreemptEngine {
                         payload_len,
                         issued: 1,
                         received: 1,
+                        tags: Vec::new(),
                     };
                     return PreemptProgress::InProgress;
                 }
@@ -202,21 +207,28 @@ impl PreemptEngine {
                 payload_len,
                 issued,
                 received,
+                tags,
             } => {
                 let total_lines = buffer.len() / 64;
                 while let Some(resp) = port.pop_response() {
                     let data = resp.data.expect("restore expects read data");
-                    // Reads issue in order through one FIFO port path, so
-                    // arrival order matches line order past the header.
-                    let line_idx = *received;
+                    // Lines issue in order, but reads striped across
+                    // channels can complete out of order — place each
+                    // response by its tag, not by arrival order.
+                    let line_idx = tags
+                        .iter()
+                        .find(|&&(t, _)| t == resp.tag)
+                        .map(|&(_, idx)| idx)
+                        .expect("restore response tag matches an issued line read");
                     buffer[line_idx * 64..line_idx * 64 + 64].copy_from_slice(&data[..]);
                     *received += 1;
                 }
                 while *issued < total_lines && port.can_issue() {
-                    port.read(
+                    let tag = port.read(
                         Gva::new(self.state_addr.raw() + (*issued as u64) * 64),
                         now,
                     );
+                    tags.push((tag, *issued));
                     *issued += 1;
                 }
                 if *received == total_lines {

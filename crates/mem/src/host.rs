@@ -33,14 +33,17 @@
 
 use crate::addr::{Hpa, CACHE_LINE, PAGE_4K};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A 4 KB backing frame.
 type Frame = Box<[u8; PAGE_4K as usize]>;
 
 /// A deterministic page-content generator for a lazy region.
 ///
-/// Called with the frame's base HPA and the frame buffer to fill.
-pub type FrameFiller = Box<dyn Fn(Hpa, &mut [u8; PAGE_4K as usize]) + Send>;
+/// Called with the frame's base HPA and the frame buffer to fill. Fillers are
+/// reference-counted so a region can be re-registered on another device's
+/// host memory during migration without re-deriving the generator.
+pub type FrameFiller = Arc<dyn Fn(Hpa, &mut [u8; PAGE_4K as usize]) + Send + Sync>;
 
 struct LazyRegion {
     base: u64,
@@ -222,6 +225,81 @@ impl HostMemory {
     pub fn scratch_bytes_discarded(&self) -> u64 {
         self.scratch_bytes_discarded
     }
+
+    /// Base addresses of materialized frames inside `[base, base+len)`,
+    /// sorted ascending (the map itself is unordered).
+    pub fn materialized_frames_in(&self, base: Hpa, len: u64) -> Vec<u64> {
+        let (lo, hi) = (base.raw(), base.raw() + len);
+        let mut bases: Vec<u64> = self
+            .frames
+            .keys()
+            .copied()
+            .filter(|&b| b >= lo && b < hi)
+            .collect();
+        bases.sort_unstable();
+        bases
+    }
+
+    /// Lazy regions overlapping `[base, base+len)` as
+    /// `(region_base, region_len, filler)` triples, in registration order.
+    pub fn lazy_regions_in(&self, base: Hpa, len: u64) -> Vec<(u64, u64, FrameFiller)> {
+        let (lo, hi) = (base.raw(), base.raw() + len);
+        self.lazy
+            .iter()
+            .filter(|r| r.base < hi && r.base + r.len > lo)
+            .map(|r| (r.base, r.len, Arc::clone(&r.filler)))
+            .collect()
+    }
+
+    /// Scratch regions overlapping `[base, base+len)` as
+    /// `(region_base, region_len)` pairs, in registration order.
+    pub fn scratch_regions_in(&self, base: Hpa, len: u64) -> Vec<(u64, u64)> {
+        let (lo, hi) = (base.raw(), base.raw() + len);
+        self.scratch
+            .iter()
+            .copied()
+            .filter(|&(b, l)| b < hi && b + l > lo)
+            .collect()
+    }
+
+    /// Adopts the span `[src_base, src_base+len)` of `src` into this memory
+    /// at `[dst_base, dst_base+len)`: materialized frames are copied
+    /// byte-for-byte, and the overlapping portions of lazy and scratch
+    /// regions are re-registered at the translated addresses. Lazy fillers
+    /// are shared (`Arc`) and wrapped so they keep seeing source-relative
+    /// frame addresses — synthesized content is therefore identical on both
+    /// sides. This is the host-memory half of cross-device tenant migration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src_base`, `dst_base` or `len` are not 4 KB aligned.
+    pub fn adopt_span(&mut self, src: &HostMemory, src_base: Hpa, dst_base: Hpa, len: u64) {
+        assert!(
+            src_base.is_aligned(PAGE_4K) && dst_base.is_aligned(PAGE_4K) && len % PAGE_4K == 0,
+            "adopted spans are page-granular"
+        );
+        // `dst - src`: translates a source address into this memory's range.
+        let shift = dst_base.raw().wrapping_sub(src_base.raw());
+        for frame_base in src.materialized_frames_in(src_base, len) {
+            let frame = src.frames.get(&frame_base).expect("listed frame exists");
+            self.frames.insert(frame_base.wrapping_add(shift), frame.clone());
+        }
+        for (lazy_base, lazy_len, filler) in src.lazy_regions_in(src_base, len) {
+            // Only the overlap with the span moves; clamp to it.
+            let lo = lazy_base.max(src_base.raw());
+            let hi = (lazy_base + lazy_len).min(src_base.raw() + len);
+            let back_shift = src_base.raw().wrapping_sub(dst_base.raw());
+            let wrapped: FrameFiller = Arc::new(move |hpa: Hpa, frame: &mut [u8; PAGE_4K as usize]| {
+                filler(Hpa::new(hpa.raw().wrapping_add(back_shift)), frame)
+            });
+            self.add_lazy_region(Hpa::new(lo.wrapping_add(shift)), hi - lo, wrapped);
+        }
+        for (scr_base, scr_len) in src.scratch_regions_in(src_base, len) {
+            let lo = scr_base.max(src_base.raw());
+            let hi = (scr_base + scr_len).min(src_base.raw() + len);
+            self.add_scratch_region(Hpa::new(lo.wrapping_add(shift)), hi - lo);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -271,7 +349,7 @@ mod tests {
         mem.add_lazy_region(
             Hpa::new(0x10000),
             0x4000,
-            Box::new(|base, frame| {
+            Arc::new(|base, frame| {
                 // Each byte = low bits of its own address.
                 for (i, b) in frame.iter_mut().enumerate() {
                     *b = (base.raw() as usize + i) as u8;
@@ -291,7 +369,7 @@ mod tests {
         mem.add_lazy_region(
             Hpa::new(0x0),
             0x1000,
-            Box::new(|_, frame| frame.fill(0xAA)),
+            Arc::new(|_, frame| frame.fill(0xAA)),
         );
         mem.write(Hpa::new(0x10), &[0x55]);
         let mut buf = [0u8; 3];
@@ -324,12 +402,51 @@ mod tests {
     #[test]
     #[should_panic(expected = "page-granular")]
     fn lazy_region_must_be_page_aligned() {
-        HostMemory::new().add_lazy_region(Hpa::new(0x10), 0x1000, Box::new(|_, _| {}));
+        HostMemory::new().add_lazy_region(Hpa::new(0x10), 0x1000, Arc::new(|_, _| {}));
     }
 
     #[test]
     fn debug_is_nonempty() {
         let repr = format!("{:?}", HostMemory::new());
         assert!(repr.contains("HostMemory"));
+    }
+
+    #[test]
+    fn adopt_span_translates_frames_lazy_and_scratch() {
+        let mut src = HostMemory::new();
+        // Materialized data, a lazy tail, and a scratch window, all inside
+        // the migrated span [0x10000, 0x20000).
+        src.write(Hpa::new(0x10040), &[0x5A; 64]);
+        src.add_lazy_region(
+            Hpa::new(0x14000),
+            0x2000,
+            Arc::new(|base, frame| {
+                for (i, b) in frame.iter_mut().enumerate() {
+                    *b = ((base.raw() >> 12) as usize + i) as u8;
+                }
+            }),
+        );
+        src.add_scratch_region(Hpa::new(0x18000), 0x1000);
+
+        let mut dst = HostMemory::new();
+        dst.adopt_span(&src, Hpa::new(0x10000), Hpa::new(0x90000), 0x10000);
+
+        // Copied frame content at the translated address.
+        assert_eq!(dst.read_line(Hpa::new(0x90040)), [0x5A; 64]);
+        // Lazy content matches what the source synthesizes for the same
+        // span-relative offset (the filler sees source addresses).
+        let mut want = [0u8; 8];
+        src.read(Hpa::new(0x14100), &mut want);
+        let mut got = [0u8; 8];
+        dst.read(Hpa::new(0x94100), &mut got);
+        assert_eq!(got, want);
+        // Scratch behaviour carries over: the write is discarded.
+        dst.write(Hpa::new(0x98000), &[1u8; 64]);
+        assert_eq!(dst.scratch_bytes_discarded(), 64);
+        // Frames outside the span are not adopted.
+        src.write(Hpa::new(0x20000), &[9u8; 64]);
+        let mut dst2 = HostMemory::new();
+        dst2.adopt_span(&src, Hpa::new(0x10000), Hpa::new(0x90000), 0x10000);
+        assert_eq!(dst2.materialized_frames_in(Hpa::new(0xa0000), 0x1000), Vec::<u64>::new());
     }
 }

@@ -250,6 +250,40 @@ impl PageTable {
         None
     }
 
+    /// Enumerates every leaf mapping as `(va, pa, size, flags)`, sorted by
+    /// virtual address. The per-node entry maps are unordered, so the result
+    /// is sorted before returning — callers (snapshots, migration replay,
+    /// IOPT equality checks) rely on the order being deterministic.
+    pub fn mappings(&self) -> Vec<(u64, u64, PageSize, PageFlags)> {
+        let mut out = Vec::with_capacity(self.mapped_count);
+        self.collect_mappings(0, LEVELS, 0, &mut out);
+        out.sort_unstable_by_key(|&(va, _, _, _)| va);
+        out
+    }
+
+    fn collect_mappings(
+        &self,
+        node: usize,
+        level: u32,
+        va_prefix: u64,
+        out: &mut Vec<(u64, u64, PageSize, PageFlags)>,
+    ) {
+        for (&idx, entry) in &self.nodes[node].entries {
+            let va = va_prefix | ((idx as u64) << (12 + (level - 1) * LEVEL_BITS));
+            match entry {
+                Entry::Table(t) => self.collect_mappings(*t, level - 1, va, out),
+                Entry::Leaf { pa, flags } => {
+                    let size = if level == 2 {
+                        PageSize::Huge
+                    } else {
+                        PageSize::Small
+                    };
+                    out.push((va, *pa, size, *flags));
+                }
+            }
+        }
+    }
+
     /// Number of node accesses a hardware walker performs to resolve `va`
     /// (whether or not the walk hits a mapping). Feeds the IOTLB-miss
     /// latency model.
@@ -386,6 +420,27 @@ mod tests {
             let (pa, _) = pt.translate(i * PAGE_4K + 3).unwrap();
             assert_eq!(pa, (1000 - i) * PAGE_4K + 3);
         }
+    }
+
+    #[test]
+    fn mappings_enumerates_sorted_mixed_sizes() {
+        let mut pt = PageTable::new();
+        // Insert out of order, mixed sizes, spread across high-level nodes.
+        pt.map(0x0000_0080_0000_1000, 0x111000, PageSize::Small, PageFlags::rw())
+            .unwrap();
+        pt.map(4 * PAGE_2M, 8 * PAGE_2M, PageSize::Huge, PageFlags::ro()).unwrap();
+        pt.map(0x1000, 0x2000, PageSize::Small, PageFlags::rw()).unwrap();
+        let got = pt.mappings();
+        assert_eq!(
+            got,
+            vec![
+                (0x1000, 0x2000, PageSize::Small, PageFlags::rw()),
+                (4 * PAGE_2M, 8 * PAGE_2M, PageSize::Huge, PageFlags::ro()),
+                (0x0000_0080_0000_1000, 0x111000, PageSize::Small, PageFlags::rw()),
+            ]
+        );
+        pt.unmap(0x1000).unwrap();
+        assert_eq!(pt.mappings().len(), 2);
     }
 
     #[test]

@@ -102,6 +102,7 @@ pub const FABRIC_AUDITOR_REJECTS: Metric = Metric(25);
 pub const FABRIC_FAIRNESS_JAIN: Metric = Metric(26);
 pub const NODE_CHUNKS: Metric = Metric(27);
 pub const NODE_CHUNK_CYCLES: Metric = Metric(28);
+pub const NODE_MIGRATIONS: Metric = Metric(29);
 
 use MetricKind::{Counter, Gauge, Histogram};
 
@@ -136,6 +137,7 @@ pub const REGISTRY: &[MetricDef] = &[
     MetricDef { id: FABRIC_FAIRNESS_JAIN, layer: "fabric", name: "fairness_jain", label: "", kind: Gauge, help: "Jain's fairness index over per-port root grants, last watchdog window" },
     MetricDef { id: NODE_CHUNKS, layer: "node", name: "chunks", label: "", kind: Counter, help: "Synchronization-horizon chunks stepped per device" },
     MetricDef { id: NODE_CHUNK_CYCLES, layer: "node", name: "chunk_cycles", label: "", kind: Histogram, help: "Cycles per stepped chunk per device" },
+    MetricDef { id: NODE_MIGRATIONS, layer: "node", name: "migrations", label: "", kind: Counter, help: "Tenants migrated onto each device (recorded on the destination)" },
 ];
 
 /// The registry entry for `m`.

@@ -33,7 +33,7 @@ pub fn linked_list_filler(
     let perm = FeistelPermutation::new(nodes, seed);
     let base_gva = region_gva.raw();
     let base_hpa = region_hpa.raw();
-    Box::new(move |frame_hpa, frame| {
+    std::sync::Arc::new(move |frame_hpa: Hpa, frame: &mut [u8; optimus_mem::addr::PAGE_4K as usize]| {
         let frame_off = frame_hpa.raw() - base_hpa;
         for (line_idx, line) in frame.chunks_exact_mut(64).enumerate() {
             let node = (frame_off + line_idx as u64 * 64) / 64;

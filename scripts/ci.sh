@@ -21,13 +21,21 @@
 #     validate the Prometheus exposition offline (parseable, no duplicate
 #     series, counters monotone across two window lengths), and fail if
 #     metrics-on regresses sim_rate by more than 5 %.
+#  7. Migration smoke: (a) run one fig5 sweep point with
+#     OPTIMUS_LIVE_UPDATE=1 — the hypervisor is frozen into a versioned
+#     HvSnapshot at the warm-up boundary, round-tripped through its wire
+#     encoding, and a brand-new hypervisor is thawed over the running
+#     device — and assert the bench fingerprint is byte-identical to an
+#     uninterrupted run; (b) run the migrate_rebalance bench (watchdog-
+#     driven live migration between devices) serially and with parallel
+#     device stepping and assert those fingerprints are byte-identical.
 #
 # The whole script runs with no network access.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/6] registry-dependency check =="
+echo "== [1/7] registry-dependency check =="
 python3 - <<'PYEOF'
 import glob, re, sys
 
@@ -65,19 +73,19 @@ if offenders:
 print("ok: all dependencies are in-tree path dependencies")
 PYEOF
 
-echo "== [2/6] tier-1: build + tests =="
+echo "== [2/7] tier-1: build + tests =="
 cargo build --release
 cargo test -q
 cargo test --workspace -q
 
-echo "== [2b/6] fast-forward differential equivalence (per-cycle mode) =="
+echo "== [2b/7] fast-forward differential equivalence (per-cycle mode) =="
 # Re-run the fabric and hypervisor suites with fast-forwarding disabled:
 # the differential property tests then compare per-cycle stepping against
 # an explicitly re-enabled fast path, and every other test exercises the
 # seed's original cycle loop.
 OPTIMUS_NO_FASTFWD=1 cargo test -q -p optimus-fabric -p optimus
 
-echo "== [3/6] bench smoke (tiny scales, one JSON report per target) =="
+echo "== [3/7] bench smoke (tiny scales, one JSON report per target) =="
 BENCH_DIR="target/bench-reports-ci"
 rm -rf "$BENCH_DIR"
 export OPTIMUS_BENCH_DIR="$PWD/$BENCH_DIR"
@@ -102,7 +110,7 @@ for b in $BENCHES; do
 done
 echo "ok: $(ls "$BENCH_DIR" | wc -l) bench reports in $BENCH_DIR"
 
-echo "== [4/6] trace smoke (flight recorder on one fig5 point) =="
+echo "== [4/7] trace smoke (flight recorder on one fig5 point) =="
 TRACE_DIR="target/trace-smoke-ci"
 rm -rf "$TRACE_DIR" "$TRACE_DIR-off"
 # Traced run: one fig5 sweep point with the flight recorder on.
@@ -168,7 +176,7 @@ if fingerprint(traced) != fingerprint(plain):
 print("ok: bench fingerprint byte-identical with tracing on and off")
 PYEOF
 
-echo "== [5/6] node smoke (parallel vs serial device stepping) =="
+echo "== [5/7] node smoke (parallel vs serial device stepping) =="
 NODE_DIR="target/node-smoke-ci"
 rm -rf "$NODE_DIR-par" "$NODE_DIR-ser"
 # Parallel run: pin the worker count so the check is meaningful even on a
@@ -195,7 +203,7 @@ if fingerprint(par) != fingerprint(ser):
 print("ok: cluster_scale fingerprint byte-identical, parallel vs serial")
 PYEOF
 
-echo "== [6/6] metrics smoke (always-on metrics plane on one fig5 point) =="
+echo "== [6/7] metrics smoke (always-on metrics plane on one fig5 point) =="
 MET_DIR="target/metrics-smoke-ci"
 rm -rf "$MET_DIR-short" "$MET_DIR-on" "$MET_DIR-on2" "$MET_DIR-off" "$MET_DIR-off2"
 # Short run: the stage-3 window, used as the earlier snapshot for the
@@ -310,6 +318,62 @@ if ratio < 0.95:
     sys.exit(f"FAIL: metrics-on sim_rate {rate_on:.0f} is {ratio:.1%} of "
              f"metrics-off {rate_off:.0f} (bound: 95%)")
 print(f"ok: metrics overhead within bound (on/off sim_rate ratio {ratio:.1%})")
+PYEOF
+
+echo "== [7/7] migration smoke (live-update + cross-device rebalance) =="
+MIG_DIR="target/migrate-smoke-ci"
+rm -rf "$MIG_DIR-lu" "$MIG_DIR-plain" "$MIG_DIR-reb-ser" "$MIG_DIR-reb-par"
+# Live-update run: freeze -> wire bytes -> thaw a fresh hypervisor over
+# the same device at the warm-up/window boundary, mid-run.
+OPTIMUS_BENCH_DIR="$PWD/$MIG_DIR-lu" OPTIMUS_FIG5_QUICK=1 OPTIMUS_LIVE_UPDATE=1 \
+    cargo bench -q -p optimus-bench --bench fig5_latency >/dev/null
+# Uninterrupted run of the identical point.
+OPTIMUS_BENCH_DIR="$PWD/$MIG_DIR-plain" OPTIMUS_FIG5_QUICK=1 \
+    cargo bench -q -p optimus-bench --bench fig5_latency >/dev/null
+# Rebalancing bench: serial vs parallel device stepping.
+OPTIMUS_BENCH_DIR="$PWD/$MIG_DIR-reb-ser" OPTIMUS_NODE_THREADS=1 \
+    cargo bench -q -p optimus-bench --bench migrate_rebalance >/dev/null
+OPTIMUS_BENCH_DIR="$PWD/$MIG_DIR-reb-par" OPTIMUS_NODE_THREADS=4 \
+    cargo bench -q -p optimus-bench --bench migrate_rebalance >/dev/null
+python3 - "$MIG_DIR-lu" "$MIG_DIR-plain" "$MIG_DIR-reb-ser" "$MIG_DIR-reb-par" <<'PYEOF'
+import json, sys
+
+lu_dir, plain_dir, ser_dir, par_dir = sys.argv[1:5]
+VOLATILE = ("wall_secs", "sim_rate", "trace_counters", "trace_events", "trace_dropped")
+def fingerprint(path):
+    d = json.load(open(path))
+    return json.dumps(
+        {k: v for k, v in d.items() if k not in VOLATILE},
+        sort_keys=True,
+    ).encode()
+
+# --- 1. Live-updating the hypervisor mid-run must be invisible to every
+# measured figure: snapshot -> wire encoding -> fresh instance, then the
+# measurement window opens. Bit-identical or the snapshot lost state. ---
+if fingerprint(f"{lu_dir}/BENCH_fig5_latency.json") != \
+   fingerprint(f"{plain_dir}/BENCH_fig5_latency.json"):
+    sys.exit("FAIL: hypervisor live-update changed the bench fingerprint")
+print("ok: fig5 fingerprint byte-identical with and without mid-run live-update")
+
+# --- 2. The watchdog-driven migration bench (preempt on the hot device,
+# IOPT replay on the cold one, resume) must not let the node's thread
+# schedule leak into the fairness-recovery figures. ---
+if fingerprint(f"{ser_dir}/BENCH_migrate_rebalance.json") != \
+   fingerprint(f"{par_dir}/BENCH_migrate_rebalance.json"):
+    sys.exit("FAIL: parallel stepping changed the migrate_rebalance fingerprint")
+print("ok: migrate_rebalance fingerprint byte-identical, serial vs parallel")
+
+# --- 3. The recovery actually shows: the report's after-phase grant Jain
+# exceeds the before-phase value and the after-phase alert count is 0. ---
+rep = json.load(open(f"{ser_dir}/BENCH_migrate_rebalance.json"))
+rows = rep["tables"][0]["rows"]
+before = {r[0]: r for r in rows}["before"]
+after = {r[0]: r for r in rows}["after"]
+if not (float(after[3]) > float(before[3])):
+    sys.exit(f"FAIL: grant Jain did not recover ({before[3]} -> {after[3]})")
+if int(after[4]) != 0:
+    sys.exit(f"FAIL: starvation alerts persisted after rebalance ({after[4]})")
+print(f"ok: fairness recovered (Jain {before[3]} -> {after[3]}, alerts {before[4]} -> 0)")
 PYEOF
 
 echo "CI PASSED"
