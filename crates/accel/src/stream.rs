@@ -14,18 +14,31 @@
 
 use optimus_fabric::accelerator::AccelPort;
 use optimus_mem::addr::Gva;
+use optimus_sim::hashing::FastMap;
 use optimus_sim::time::Cycle;
-use std::collections::HashMap;
+
+/// Read-ahead window in lines. Must cover bandwidth × round-trip: MD5's
+/// 0.25 lines/fabric-cycle demand at a ~300-cycle loaded round trip needs
+/// ~80 outstanding; CCI-P supports hundreds. Kept a power of two so the
+/// reorder ring indexes with a mask.
+const STREAM_WINDOW: usize = 128;
 
 /// Pipelined line reader with in-order retirement.
+///
+/// The reorder stage is a ring, not a map: every line index awaiting
+/// consumption lies in `[consume_cursor, consume_cursor + window)` — the
+/// issue loop never reads ahead more than `window` lines past the
+/// consume point — so indices are unique modulo the window and slot
+/// `idx % window` is collision-free by construction.
 #[derive(Debug, Clone)]
 pub struct StreamEngine {
     src: u64,
     total_lines: u64,
     read_cursor: u64,
     consume_cursor: u64,
-    reorder: HashMap<u64, Box<[u8; 64]>>,
-    inflight: HashMap<u32, u64>,
+    reorder: Vec<Option<Box<[u8; 64]>>>,
+    reordered: usize,
+    inflight: FastMap<u32, u64>,
     window: usize,
     write_acks: u64,
     writes_issued: u64,
@@ -39,12 +52,10 @@ impl StreamEngine {
             total_lines,
             read_cursor: 0,
             consume_cursor: 0,
-            reorder: HashMap::new(),
-            inflight: HashMap::new(),
-            // Must cover bandwidth × round-trip: MD5's 0.25 lines/fabric-
-            // cycle demand at a ~300-cycle loaded round trip needs ~80
-            // outstanding; CCI-P supports hundreds.
-            window: 128,
+            reorder: (0..STREAM_WINDOW).map(|_| None).collect(),
+            reordered: 0,
+            inflight: FastMap::default(),
+            window: STREAM_WINDOW,
             write_acks: 0,
             writes_issued: 0,
         }
@@ -54,9 +65,15 @@ impl StreamEngine {
     pub fn resume_at(&mut self, cursor: u64) {
         self.read_cursor = cursor;
         self.consume_cursor = cursor;
-        self.reorder.clear();
+        self.reorder.iter_mut().for_each(|slot| *slot = None);
+        self.reordered = 0;
         self.inflight.clear();
         self.write_acks = self.writes_issued; // nothing outstanding after drain
+    }
+
+    #[inline]
+    fn slot(&self, idx: u64) -> usize {
+        idx as usize & (self.window - 1)
     }
 
     /// The in-order consumption point (lines fully fed to the compute).
@@ -93,7 +110,10 @@ impl StreamEngine {
             match resp.data {
                 Some(line) => {
                     if let Some(idx) = self.inflight.remove(&resp.tag.0) {
-                        self.reorder.insert(idx, line);
+                        let slot = self.slot(idx);
+                        debug_assert!(self.reorder[slot].is_none(), "ring slot collision");
+                        self.reorder[slot] = Some(line);
+                        self.reordered += 1;
                     }
                 }
                 None => self.write_acks += 1,
@@ -104,7 +124,7 @@ impl StreamEngine {
     /// Issues read-ahead requests up to the window.
     pub fn issue_reads(&mut self, port: &mut AccelPort, now: Cycle) {
         while self.read_cursor < self.total_lines
-            && self.reorder.len() + self.inflight.len() < self.window
+            && self.reordered + self.inflight.len() < self.window
             && port.can_issue()
         {
             let tag = port.read(Gva::new(self.src + self.read_cursor * 64), now);
@@ -117,17 +137,19 @@ impl StreamEngine {
     /// a willing port (fast-forward hint: engine-side conditions only).
     pub fn wants_reads(&self) -> bool {
         self.read_cursor < self.total_lines
-            && self.reorder.len() + self.inflight.len() < self.window
+            && self.reordered + self.inflight.len() < self.window
     }
 
     /// Whether the next in-order line has arrived.
     pub fn has_next(&self) -> bool {
-        self.reorder.contains_key(&self.consume_cursor)
+        self.reorder[self.slot(self.consume_cursor)].is_some()
     }
 
     /// Pops the next in-order line if it has arrived.
     pub fn next_line(&mut self) -> Option<(u64, Box<[u8; 64]>)> {
-        let line = self.reorder.remove(&self.consume_cursor)?;
+        let slot = self.slot(self.consume_cursor);
+        let line = self.reorder[slot].take()?;
+        self.reordered -= 1;
         let idx = self.consume_cursor;
         self.consume_cursor += 1;
         Some((idx, line))
@@ -241,7 +263,8 @@ mod tests {
         assert_eq!(eng.consumed(), 2);
         eng.resume_at(2);
         assert_eq!(eng.consumed(), 2);
-        assert!(eng.reorder.is_empty());
+        assert!(eng.reorder.iter().all(|slot| slot.is_none()));
+        assert_eq!(eng.reordered, 0);
         assert!(eng.inflight.is_empty());
     }
 

@@ -18,7 +18,7 @@ use optimus_fabric::mmio::accel_reg;
 use optimus_mem::addr::PageSize;
 use optimus_sim::time::Cycle;
 use optimus_workloads::graphs::random_graph;
-use optimus_workloads::linked_list::linked_list_filler;
+use optimus_workloads::linked_list::linked_list_line_filler;
 
 const APP: u64 = accel_reg::APP_BASE;
 
@@ -176,8 +176,8 @@ pub fn launch(g: &mut GuestCtx, kind: AccelKind, p: &JobParams) {
             let nodes = (p.working_set / 64).max(64);
             let seed = p.seed;
             let region = g
-                .alloc_dma_lazy_sized(nodes * 64, p.page, |gva, hpa| {
-                    linked_list_filler(gva, hpa, nodes, seed)
+                .alloc_dma_lazy_lines_sized(nodes * 64, p.page, |gva, hpa| {
+                    linked_list_line_filler(gva, hpa, nodes, seed)
                 })
                 .raw();
             g.mmio_write(APP + LlKernel::REG_START, region);

@@ -31,6 +31,17 @@ pub enum ChannelKind {
 impl ChannelKind {
     /// All channels, in selector preference order.
     pub const ALL: [ChannelKind; 3] = [ChannelKind::Upi, ChannelKind::Pcie0, ChannelKind::Pcie1];
+
+    /// This channel's position in [`ALL`](Self::ALL) (and in every
+    /// `ChannelSet`'s channel vector, which is built in `ALL` order).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            ChannelKind::Upi => 0,
+            ChannelKind::Pcie0 => 1,
+            ChannelKind::Pcie1 => 2,
+        }
+    }
 }
 
 /// The shell's channel selection policy for DMA traffic.
@@ -165,11 +176,7 @@ impl ChannelSet {
     /// One-way latency of the policy's return path. Responses travel back
     /// over the same class of link.
     pub fn response_latency(&self, kind: ChannelKind) -> f64 {
-        self.channels
-            .iter()
-            .find(|c| c.kind() == kind)
-            .expect("channel exists")
-            .latency_cycles()
+        self.channels[kind.index()].latency_cycles()
     }
 
     /// The active policy.

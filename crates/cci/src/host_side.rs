@@ -111,7 +111,7 @@ impl HostSide {
     /// `channel_switch` instant when the selector moved to a different
     /// physical channel. Never feeds back into timing.
     fn account_channel(&mut self, kind: ChannelKind, now: Cycle) {
-        let idx = ChannelKind::ALL.iter().position(|&k| k == kind).unwrap_or(0) as u32;
+        let idx = kind.index() as u32;
         let switched = self.last_kind.is_some_and(|prev| prev != kind);
         metrics::inc(metrics::CCI_CHANNEL_PACKETS, idx, 1);
         metrics::inc(metrics::CCI_CHANNEL_SWITCHES, idx, switched as u64);

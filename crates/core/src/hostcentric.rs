@@ -70,6 +70,8 @@ struct HcPlatform {
     engine: DmaEngine,
     now: Cycle,
     fastfwd: bool,
+    /// Batched-stepping burst length (see `advance`).
+    batch: Cycle,
 }
 
 impl HcPlatform {
@@ -93,6 +95,7 @@ impl HcPlatform {
             engine: DmaEngine::new(AccelId(0)),
             now: 0,
             fastfwd: optimus_sim::simrate::fast_forward_enabled(),
+            batch: optimus_sim::simrate::batch_step_cycles(),
         }
     }
 
@@ -104,8 +107,13 @@ impl HcPlatform {
     /// [`PlatformClock::advance_toward`] kernel.
     fn advance(&mut self, cycles: Cycle) {
         let end = self.now + cycles;
+        // Batched stepping may overshoot the cycle `is_done` flips by up to
+        // one burst: the tail steps are no-ops for a done engine (nothing
+        // left to issue) and only deliver acks at the same ready cycles the
+        // post-loop drain below would, so the final state is identical.
+        let mut burst: Cycle = 1;
         while self.now < end && !self.engine.is_done() {
-            self.advance_toward(end);
+            self.advance_toward_adaptive(end, &mut burst, self.batch);
         }
         if self.now < end {
             // Engine done (or quiescent): nothing observable remains cycle

@@ -853,42 +853,49 @@ impl<D: PlatformDevice> Optimus<D> {
         // device in the current chunk, so the scope may still belong to
         // a sibling device on the node — claim it explicitly.
         metrics::set_device(self.device_id.0);
-        // Per-slot root grants since the last window.
-        let deltas: Vec<u64> = (0..self.slots.len())
-            .map(|s| {
-                let cur = self.device.port_forwarded(s);
-                let delta = cur - self.watchdog.last_forwarded[s];
-                self.watchdog.last_forwarded[s] = cur;
-                delta
-            })
-            .collect();
-        let active: Vec<usize> = (0..self.slots.len())
-            .filter(|&s| self.slots[s].current.is_some())
-            .collect();
+        // Per-slot root grants since the last window, computed into the
+        // watchdog's reusable scratch buffer so a tick allocates nothing.
+        let mut deltas = std::mem::take(&mut self.watchdog.scratch);
+        deltas.clear();
+        for s in 0..self.slots.len() {
+            let cur = self.device.port_forwarded(s);
+            deltas.push(cur - self.watchdog.last_forwarded[s]);
+            self.watchdog.last_forwarded[s] = cur;
+        }
+        let active = self.slots.iter().filter(|slot| slot.current.is_some()).count();
         let total: u64 = deltas.iter().sum();
-        if active.len() >= 2 && total >= cfg.min_grants {
-            let fair = total as f64 / active.len() as f64;
+        if active >= 2 && total >= cfg.min_grants {
+            let fair = total as f64 / active as f64;
             let threshold = cfg.starvation_share * fair;
-            for &s in &active {
-                if (deltas[s] as f64) < threshold {
+            // One ascending pass raises starvation alerts and accumulates
+            // the Jain fairness sums in the same addition order the old
+            // two-pass code used, so the gauge stays bit-identical.
+            let (mut sum, mut sum_sq) = (0.0f64, 0.0f64);
+            for s in 0..self.slots.len() {
+                if self.slots[s].current.is_none() {
+                    continue;
+                }
+                let d = deltas[s] as f64;
+                if d < threshold {
                     self.raise_alert(IsolationAlert {
                         kind: AlertKind::Starvation,
                         device: self.device_id,
                         slot: Some(s),
                         at: now,
-                        observed: deltas[s] as f64,
+                        observed: d,
                         threshold,
                     });
                 }
+                sum += d;
+                sum_sq += d.powi(2);
             }
             // Jain's fairness index over the active slots' window shares.
-            let sum_sq: f64 = active.iter().map(|&s| (deltas[s] as f64).powi(2)).sum();
             if sum_sq > 0.0 {
-                let sum: f64 = active.iter().map(|&s| deltas[s] as f64).sum();
-                let jain = sum * sum / (active.len() as f64 * sum_sq);
+                let jain = sum * sum / (active as f64 * sum_sq);
                 metrics::set_gauge(metrics::FABRIC_FAIRNESS_JAIN, 0, jain);
             }
         }
+        self.watchdog.scratch = deltas;
         // Device-wide IOTLB thrash (the Fig. 6 conflict-eviction storm).
         let (hits, spec, misses, conflicts) = self.device.host().iommu().tlb().stats();
         let lookups = hits + spec + misses;
@@ -1393,6 +1400,31 @@ impl<D: PlatformDevice> GuestCtx<'_, D> {
             .host_mut()
             .memory_mut()
             .add_lazy_region(hpa, pages * PAGE_2M, filler);
+        gva
+    }
+
+    /// [`alloc_dma_lazy_sized`](Self::alloc_dma_lazy_sized) for generators
+    /// that can synthesize a single 64-byte line: transient reads then fill
+    /// only the lines they touch instead of the whole 4 KB frame, which is
+    /// the difference between 2 and 128 permutation evaluations per pointer
+    /// chase in the LinkedList workloads.
+    pub fn alloc_dma_lazy_lines_sized(
+        &mut self,
+        bytes: u64,
+        io_page: PageSize,
+        make: impl FnOnce(Gva, Hpa) -> optimus_mem::host::LineFiller,
+    ) -> Gva {
+        let gva = self.alloc_dma_inner(bytes, Backing::Normal, io_page);
+        let hpa = self
+            .gva_to_hpa(gva)
+            .expect("fresh region maps");
+        let pages = bytes.div_ceil(PAGE_2M).max(1);
+        let line = make(gva, hpa);
+        self.hv
+            .device
+            .host_mut()
+            .memory_mut()
+            .add_lazy_region_lines(hpa, pages * PAGE_2M, line);
         gva
     }
 

@@ -4,28 +4,42 @@
 //! presents a single facade: tenants are placed onto devices by a
 //! [`Placement`] policy, guest operations are routed to the owning device
 //! via [`NodeVaccel`] handles, and [`run`](OptimusNode::run) advances
-//! every device in lock-step chunks.
+//! every device across the requested span — by default *free-running*
+//! each device to the end of the span in one dispatch, or in lock-step
+//! horizon chunks under `OPTIMUS_LOCKSTEP=1`.
+//!
+//! # Why free-running is bit-identical to lock-step chunking
+//!
+//! Devices never interact *during* a `run`: the only cross-device
+//! channels are guest operations (`guest`, `create_tenant`, `migrate`,
+//! `rebalance`, …), which happen strictly between runs on the caller's
+//! thread. So the true dependency horizon of every device inside one
+//! `run(cycles)` is the *end of the span*, and splitting the span into
+//! chunks is pure overhead. Formally, the **run-splitting lemma**:
+//! `hv.run(c1); hv.run(c2)` leaves a hypervisor in exactly the state of
+//! `hv.run(c1 + c2)` — slice boundaries and watchdog ticks fire at the
+//! same absolute cycles either way (a deadline landing exactly on `c1`
+//! is handled at the loop top of the second run, i.e. at the same cycle,
+//! and the tick itself does not advance the clock), and the skipped
+//! cycles between events are no-ops by the `next_event` contract. Free-
+//! running therefore executes the identical per-device step sequence the
+//! chunked schedule did, one `Optimus::run` dispatch per device instead
+//! of one per horizon chunk.
 //!
 //! # Why parallel stepping is bit-identical to serial
 //!
-//! Devices never interact *during* a `run`: the only cross-device
-//! channels are guest operations (`guest`, `create_tenant`, …), which
-//! happen strictly between runs on the caller's thread. So each device's
-//! trajectory over a chunk is a pure function of its own state, and any
-//! schedule that executes the same per-device chunk sequence — serially
-//! in index order or concurrently on worker threads — produces the same
-//! per-device state. Chunks are sized by
-//! [`Optimus::next_sync_horizon`] (the nearest slice deadline or
-//! device-reported event, plus one so the boundary decision lands inside
-//! its own chunk), which bounds inter-device clock skew to one horizon
-//! without changing any individual device's step sequence. The two
-//! process-global side effects are made order-independent or explicitly
-//! ordered: `simrate` cycle accounting is a commutative atomic sum, and
-//! flight-recorder events are drained per worker and replayed into the
-//! main thread's recorder in device-index order (see
-//! `optimus_sim::trace::absorb_chunk`), so even the exported trace JSON
-//! is byte-identical. `OPTIMUS_NODE_THREADS=1` forces the serial
-//! schedule, mirroring `OPTIMUS_NO_FASTFWD`.
+//! Because each device's trajectory over a span is a pure function of
+//! its own state, any schedule that executes the same per-device spans —
+//! serially in index order or concurrently on worker threads — produces
+//! the same per-device state. The two process-global side effects are
+//! made order-independent or explicitly ordered: `simrate` cycle
+//! accounting is a commutative atomic sum, and flight-recorder events
+//! are drained per worker and replayed into the main thread's recorder
+//! in device-index order (see `optimus_sim::trace::absorb_chunk`), so
+//! even the exported trace JSON is byte-identical.
+//! `OPTIMUS_NODE_THREADS=1` forces the serial schedule and
+//! `OPTIMUS_LOCKSTEP=1` restores horizon-chunked stepping, mirroring
+//! `OPTIMUS_NO_FASTFWD` as differential-testing escape hatches.
 
 use crate::hypervisor::{GuestCtx, HvStats, MigrateError, Optimus, OptimusConfig, TrapCost};
 use crate::scheduler::SchedPolicy;
@@ -68,6 +82,11 @@ pub struct NodeConfig {
     /// Worker threads for [`OptimusNode::run`]. `None` consults
     /// `OPTIMUS_NODE_THREADS`, then the host's available parallelism.
     pub threads: Option<usize>,
+    /// Force lock-step horizon chunking instead of free-running. `None`
+    /// consults `OPTIMUS_LOCKSTEP` (default: free-running). Both
+    /// schedules are bit-identical (see the module docs); the knob
+    /// exists for differential testing.
+    pub lockstep: Option<bool>,
 }
 
 impl NodeConfig {
@@ -81,6 +100,7 @@ impl NodeConfig {
             time_slice: ms_to_cycles(10.0),
             sched_policy: SchedPolicy::RoundRobin,
             threads: None,
+            lockstep: None,
         }
     }
 }
@@ -121,6 +141,15 @@ pub struct OptimusNode {
     placement: Placement,
     rr_next: usize,
     threads: usize,
+    /// Lock-step horizon chunking instead of free-running (differential
+    /// testing escape hatch).
+    lockstep: bool,
+    /// Per-device cached sync horizons for the lock-step path, reused
+    /// across `run` calls (`None` = recompute; `Some(None)` = device has
+    /// no horizon this run).
+    horizon_cache: Vec<Option<Option<Cycle>>>,
+    /// Reusable log of chunk sizes for the hoisted per-run metrics flush.
+    chunk_scratch: Vec<Cycle>,
     /// Per-device count of alerts already consumed by
     /// [`rebalance`](Self::rebalance), so each alert triggers at most one
     /// migration decision.
@@ -159,8 +188,39 @@ impl OptimusNode {
                 std::thread::available_parallelism().map_or(1, |n| n.get())
             })
             .clamp(1, devices.len());
+        let lockstep = cfg.lockstep.unwrap_or_else(env_lockstep);
         let alerts_seen = vec![0; devices.len()];
-        Ok(Self { devices, placement: cfg.placement, rr_next: 0, threads, alerts_seen })
+        let horizon_cache = vec![None; devices.len()];
+        Ok(Self {
+            devices,
+            placement: cfg.placement,
+            rr_next: 0,
+            threads,
+            lockstep,
+            horizon_cache,
+            chunk_scratch: Vec::new(),
+            alerts_seen,
+        })
+    }
+
+    /// Whether [`run`](Self::run) uses lock-step horizon chunking instead
+    /// of free-running.
+    pub fn lockstep(&self) -> bool {
+        self.lockstep
+    }
+
+    /// Overrides the stepping schedule sampled at construction
+    /// (differential testing).
+    pub fn set_lockstep(&mut self, on: bool) {
+        self.lockstep = on;
+    }
+
+    /// Overrides every device's batched-stepping burst length (1 disables
+    /// batching; see `PlatformClock::advance_toward_batched`).
+    pub fn set_batch_step(&mut self, k: Cycle) {
+        for hv in &mut self.devices {
+            hv.device_mut().set_batch_step(k);
+        }
     }
 
     /// Number of devices in the node.
@@ -325,6 +385,16 @@ impl OptimusNode {
         moved
     }
 
+    /// Live-updates the hypervisor mediating `id` in place: freeze,
+    /// serialize, thaw a brand-new instance around the persistent device
+    /// (see [`Optimus::live_update`]). Tenant handles remain valid — ids
+    /// survive the snapshot.
+    pub fn live_update(&mut self, id: DeviceId) {
+        let d = id.0 as usize;
+        let hv = self.devices.remove(d);
+        self.devices.insert(d, hv.live_update());
+    }
+
     /// The guest-side handle for a tenant's virtual accelerator.
     pub fn guest(&mut self, h: NodeVaccel) -> GuestCtx<'_> {
         self.devices[h.device.0 as usize].guest(h.va)
@@ -375,52 +445,102 @@ impl OptimusNode {
         }
     }
 
-    /// Runs every device for `cycles` fabric cycles, in lock-step chunks
-    /// bounded by the devices' synchronization horizons. With more than
-    /// one worker thread, devices within a chunk step concurrently; the
-    /// result is bit-identical either way (see the module docs).
+    /// Runs every device for `cycles` fabric cycles.
+    ///
+    /// Default schedule: **free-running** — devices never interact during
+    /// a run (see the module docs), so every device's dependency horizon
+    /// is the end of the span and each one is advanced in a single
+    /// `Optimus::run(cycles)` dispatch. Under
+    /// [`lockstep`](Self::lockstep) the node instead re-synchronizes
+    /// every horizon chunk, the pre-free-running schedule. With more
+    /// than one worker thread, devices step concurrently; state, stats,
+    /// and traces are bit-identical across all four schedules.
     pub fn run(&mut self, cycles: Cycle) {
+        if cycles == 0 {
+            return;
+        }
+        if self.lockstep {
+            self.run_lockstep(cycles);
+            return;
+        }
+        if self.threads <= 1 || self.devices.len() == 1 {
+            for hv in &mut self.devices {
+                hv.run(cycles);
+            }
+        } else {
+            self.run_span_parallel(cycles);
+        }
+        // One free-running span = one node-level chunk per device.
+        for d in 0..self.devices.len() as u32 {
+            metrics::inc_at(metrics::NODE_CHUNKS, d, 0, 1);
+            metrics::observe_at(metrics::NODE_CHUNK_CYCLES, d, 0, cycles);
+        }
+    }
+
+    /// The lock-step schedule: advance all devices together one horizon
+    /// chunk at a time. Kept as a differential baseline for the free-
+    /// running schedule (`OPTIMUS_LOCKSTEP=1`).
+    fn run_lockstep(&mut self, cycles: Cycle) {
+        let n = self.devices.len();
+        // Cached per-device horizons: recompute a device's entry only
+        // when it has reached its cached horizon (slice deadlines move
+        // only when a boundary fires, which requires reaching them), not
+        // O(devices) every chunk. Chunk sizing affects neither device
+        // state nor traces (run-splitting lemma, module docs), so a
+        // conservatively stale horizon is harmless.
+        let mut horizons = std::mem::take(&mut self.horizon_cache);
+        horizons.clear();
+        horizons.resize(n, None);
+        let mut chunk_log = std::mem::take(&mut self.chunk_scratch);
+        chunk_log.clear();
         let mut remaining = cycles;
         while remaining > 0 {
-            let chunk = self.horizon_chunk(remaining);
-            if self.threads <= 1 || self.devices.len() == 1 {
+            let mut chunk = remaining;
+            for (cached, hv) in horizons.iter_mut().zip(&self.devices) {
+                let stale = match *cached {
+                    None => true,
+                    Some(Some(h)) => hv.now() >= h,
+                    Some(None) => false,
+                };
+                if stale {
+                    *cached = Some(hv.next_sync_horizon());
+                }
+                if let Some(Some(h)) = *cached {
+                    // Plus one so the horizon's scheduling decision
+                    // executes inside the chunk that reaches it.
+                    chunk = chunk.min(h.saturating_sub(hv.now()) + 1);
+                }
+            }
+            let chunk = chunk.min(remaining).max(1);
+            if self.threads <= 1 || n == 1 {
                 for hv in &mut self.devices {
                     hv.run(chunk);
                 }
             } else {
-                self.run_chunk_parallel(chunk);
+                self.run_span_parallel(chunk);
             }
-            // Node-level chunk accounting, recorded on the caller's
-            // thread so it is identical under serial and parallel
-            // stepping.
-            for d in 0..self.devices.len() {
-                metrics::inc_at(metrics::NODE_CHUNKS, d as u32, 0, 1);
-                metrics::observe_at(metrics::NODE_CHUNK_CYCLES, d as u32, 0, chunk);
-            }
+            chunk_log.push(chunk);
             remaining -= chunk;
         }
-    }
-
-    /// The next lock-step chunk: the smallest distance to any device's
-    /// sync horizon, plus one cycle so the horizon's scheduling decision
-    /// executes inside the chunk that reaches it. Devices with no horizon
-    /// (fully quiescent) don't constrain the chunk.
-    fn horizon_chunk(&self, remaining: Cycle) -> Cycle {
-        let mut chunk = remaining;
-        for hv in &self.devices {
-            if let Some(h) = hv.next_sync_horizon() {
-                let delta = h.saturating_sub(hv.now()) + 1;
-                chunk = chunk.min(delta);
+        // Node-level chunk accounting, hoisted out of the chunk loop:
+        // the flush performs the same counter increments and histogram
+        // observations the per-chunk path recorded, so the final metric
+        // state is identical while the hot loop makes no metrics calls.
+        for d in 0..n as u32 {
+            metrics::inc_at(metrics::NODE_CHUNKS, d, 0, chunk_log.len() as u64);
+            for &c in &chunk_log {
+                metrics::observe_at(metrics::NODE_CHUNK_CYCLES, d, 0, c);
             }
         }
-        chunk.min(remaining).max(1)
+        self.horizon_cache = horizons;
+        self.chunk_scratch = chunk_log;
     }
 
-    /// Steps every device by `chunk` on scoped worker threads. Devices
+    /// Steps every device by `span` on scoped worker threads. Devices
     /// are split into contiguous index-order groups (one per worker), so
     /// each worker's trace chunks — and therefore the device-index-order
     /// replay below — preserve the serial recording order.
-    fn run_chunk_parallel(&mut self, chunk: Cycle) {
+    fn run_span_parallel(&mut self, chunk: Cycle) {
         let tracing = trace::enabled();
         // Workers inherit the main thread's metrics gate explicitly:
         // their own thread-locals would re-read the environment, which
@@ -486,6 +606,16 @@ impl OptimusNode {
             self.run(poll.min(budget));
         }
         self.vaccel_completed(h)
+    }
+}
+
+/// Parses `OPTIMUS_LOCKSTEP`: any non-empty value other than `0` restores
+/// lock-step horizon chunking (the differential baseline for
+/// free-running).
+fn env_lockstep() -> bool {
+    match std::env::var("OPTIMUS_LOCKSTEP") {
+        Ok(v) => !(v.is_empty() || v == "0"),
+        Err(_) => false,
     }
 }
 

@@ -125,6 +125,9 @@ pub struct Watchdog {
     pub last_forwarded: Vec<u64>,
     /// (lookups, conflict evictions) at the last evaluation.
     pub last_iotlb: (u64, u64),
+    /// Scratch for per-slot window deltas, reused across ticks so an
+    /// evaluation allocates nothing on the hypervisor's run path.
+    pub scratch: Vec<u64>,
     alerts: Vec<IsolationAlert>,
 }
 
@@ -139,6 +142,7 @@ impl Watchdog {
             next_eval: cfg.window,
             last_forwarded: vec![0; slots],
             last_iotlb: (0, 0),
+            scratch: Vec::with_capacity(slots),
             alerts: Vec::new(),
             cfg,
         }
@@ -154,11 +158,13 @@ impl Watchdog {
         last_iotlb: (u64, u64),
         alerts: Vec<IsolationAlert>,
     ) -> Self {
+        let slots = last_forwarded.len();
         Self {
             cfg,
             next_eval,
             last_forwarded,
             last_iotlb,
+            scratch: Vec::with_capacity(slots),
             alerts,
         }
     }

@@ -1,0 +1,140 @@
+//! Differential fingerprints for the free-running node schedule and
+//! batched device stepping.
+//!
+//! The node's default schedule free-runs every device to the end of the
+//! requested span in one dispatch; `OPTIMUS_LOCKSTEP=1` (or
+//! `NodeConfig::lockstep`) restores the horizon-chunked schedule, and
+//! `OPTIMUS_BATCH_STEP` / `OptimusNode::set_batch_step` controls how many
+//! busy cycles a device executes per horizon scan. All of these are
+//! claimed bit-identical (see the `node` module docs for the
+//! run-splitting lemma and the `clock` module for the batching argument).
+//! This suite checks the claim: every point of the
+//! threads × schedule × batch grid — with a mid-run `migrate()` and a
+//! mid-run `live_update()` thrown in — must reproduce the serial
+//! lock-step unbatched baseline's fingerprint exactly.
+
+use optimus::node::{NodeConfig, NodeVaccel, OptimusNode};
+use optimus_accel::membench::MbKernel;
+use optimus_accel::registry::AccelKind;
+use optimus_fabric::mmio::accel_reg;
+use optimus_fabric::platform::DeviceId;
+
+const DEVICES: usize = 3;
+const SLOTS_PER_DEVICE: usize = 2;
+const TENANTS: usize = 5;
+
+fn start_mb_job(node: &mut OptimusNode, h: NodeVaccel, ops: u64, seed: u64) {
+    let mut g = node.guest(h);
+    let state = g.alloc_dma(1 << 21);
+    g.set_state_buffer(state);
+    let region = g.alloc_dma(1 << 21);
+    g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_REGION, region.raw());
+    g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_BYTES, 1 << 16);
+    g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_OPS, ops);
+    g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_SEED, seed);
+    g.mmio_write(accel_reg::CTRL_CMD, accel_reg::CMD_START);
+}
+
+/// Runs the scenario under one (threads, lockstep, batch) configuration
+/// and returns an exhaustive state fingerprint: clocks, hypervisor
+/// statistics, host/port counters, and guest-visible progress. Node-level
+/// chunk metrics are deliberately excluded — chunk *counts* differ across
+/// schedules by design; device state must not.
+fn fingerprint(threads: usize, lockstep: bool, batch: u64) -> Vec<u64> {
+    let mut cfg = NodeConfig::new(vec![AccelKind::Mb; SLOTS_PER_DEVICE], DEVICES);
+    cfg.seed = 7;
+    cfg.time_slice = 6_000;
+    cfg.threads = Some(threads);
+    cfg.lockstep = Some(lockstep);
+    let mut node = OptimusNode::new(cfg).expect("node boots");
+    node.set_batch_step(batch);
+    let mut handles: Vec<NodeVaccel> =
+        (0..TENANTS).map(|t| node.create_tenant(&format!("t{t}"))).collect();
+    for (t, &h) in handles.iter().enumerate() {
+        start_mb_job(&mut node, h, 200 + 97 * t as u64, 11 + t as u64);
+    }
+    node.run(120_000);
+    // Mid-run cross-device migration (round-robin placed tenant 0 on
+    // device 0) and a hypervisor live-update on a bystander device.
+    handles[0] = node
+        .migrate(handles[0], DeviceId((DEVICES - 1) as u32))
+        .expect("migration succeeds");
+    node.live_update(DeviceId(1));
+    node.run(130_000);
+    let mut fp = vec![node.now()];
+    for d in 0..DEVICES {
+        let hv = node.device(DeviceId(d as u32));
+        let stats = hv.stats();
+        fp.extend([
+            hv.device().now(),
+            stats.traps,
+            stats.hypercalls,
+            stats.pinned_pages,
+            stats.context_switches,
+            stats.preemptions,
+            stats.forced_resets,
+            stats.dropped_packets,
+            stats.discarded_dma,
+            stats.discarded_mmio,
+            hv.device().host().faulted_dmas(),
+            hv.device().host().total_dma_bytes(),
+        ]);
+        let (hits, spec, misses, conflicts) = hv.device().host().iommu().tlb().stats();
+        fp.extend([hits, spec, misses, conflicts]);
+        for s in 0..SLOTS_PER_DEVICE {
+            let (read, written) = hv.device().port(s).byte_counts();
+            fp.extend([hv.device().port(s).stale_discarded(), read, written]);
+        }
+    }
+    for &h in &handles {
+        fp.push(h.device.0 as u64);
+        fp.push(node.vaccel_completed(h) as u64);
+        fp.push(node.guest(h).mmio_read(accel_reg::APP_BASE + MbKernel::REG_COMPLETED));
+    }
+    fp.push(node.now());
+    fp
+}
+
+/// Every (threads, schedule, batch) combination reproduces the serial
+/// lock-step unbatched baseline bit for bit, through a mid-run migration
+/// and live-update.
+#[test]
+fn free_running_and_batching_match_lockstep_baseline() {
+    let baseline = fingerprint(1, true, 1);
+    // Guard against vacuity: the scenario must trap MMIO, move DMA
+    // bytes, and hit the IOTLB before the comparison means anything.
+    assert!(baseline[2] > 0, "no traps recorded: {baseline:?}");
+    assert!(baseline[12] > 0, "no DMA bytes moved: {baseline:?}");
+    for &threads in &[1usize, 2, 4] {
+        for &lockstep in &[false, true] {
+            for &batch in &[1u64, 64] {
+                if threads == 1 && lockstep && batch == 1 {
+                    continue; // the baseline itself
+                }
+                let fp = fingerprint(threads, lockstep, batch);
+                assert_eq!(
+                    fp, baseline,
+                    "fingerprint diverges at threads={threads} lockstep={lockstep} batch={batch}"
+                );
+            }
+        }
+    }
+}
+
+/// The scenario is not vacuous: jobs make progress and the migrated
+/// tenant finishes on its destination device.
+#[test]
+fn scenario_reaches_completion() {
+    let mut cfg = NodeConfig::new(vec![AccelKind::Mb; SLOTS_PER_DEVICE], DEVICES);
+    cfg.seed = 7;
+    cfg.time_slice = 6_000;
+    cfg.threads = Some(2);
+    let mut node = OptimusNode::new(cfg).expect("node boots");
+    let h = node.create_tenant("t0");
+    start_mb_job(&mut node, h, 200, 11);
+    node.run(60_000);
+    let h = node.migrate(h, DeviceId(2)).expect("migration succeeds");
+    node.live_update(DeviceId(2));
+    assert!(node.run_until_done(h, 400_000_000), "migrated job completes");
+    assert_eq!(node.device(DeviceId(2)).device().host().faulted_dmas(), 0);
+}

@@ -16,9 +16,9 @@ use crate::auditor::OutboundReq;
 use optimus_cci::packet::{Line, Tag};
 use optimus_cci::params::MAX_OUTSTANDING;
 use optimus_mem::addr::Gva;
+use optimus_sim::hashing::FastMap;
 use optimus_sim::stats::{LatencyStats, ThroughputMeter};
 use optimus_sim::time::Cycle;
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
 /// Static description of an accelerator configuration (Table 1 + Table 2
@@ -93,7 +93,10 @@ pub struct AccelResponse {
 #[derive(Debug)]
 pub struct AccelPort {
     next_tag: u32,
-    in_flight: HashMap<u32, (Cycle, bool)>,
+    /// Tag → (issue cycle, is_write). Keyed by simulator-generated tags,
+    /// so the fast deterministic hasher applies (this map is touched
+    /// twice per DMA — the hottest map in the workspace).
+    in_flight: FastMap<u32, (Cycle, bool)>,
     pending: VecDeque<OutboundReq>,
     responses: VecDeque<AccelResponse>,
     latency: LatencyStats,
@@ -119,7 +122,7 @@ impl AccelPort {
     pub fn new() -> Self {
         Self {
             next_tag: 0,
-            in_flight: HashMap::new(),
+            in_flight: FastMap::default(),
             pending: VecDeque::new(),
             responses: VecDeque::new(),
             latency: LatencyStats::new(),

@@ -28,7 +28,6 @@ use optimus_sim::clock::PlatformClock;
 use optimus_sim::metrics;
 use optimus_sim::queue::TimedQueue;
 use optimus_sim::time::{ClockDivider, Cycle};
-use std::collections::HashMap;
 
 /// The fabric configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,9 +52,15 @@ pub struct FpgaDevice {
     down_pipe: TimedQueue<DownPacket>,
     down_latency: Cycle,
     pt_next_inject: Cycle,
-    shell_regs: HashMap<u64, u64>,
+    /// Shell scratch registers as a dense arena indexed by device-relative
+    /// address (the MMIO-dispatch hot path: one load, no hashing, no
+    /// allocation). Absent registers read as 0, like hardware.
+    shell_regs: Box<[u64]>,
     dropped_packets: u64,
     fastfwd: bool,
+    /// Burst length for batched stepping (see [`Self::run`]); 1 = scan the
+    /// event horizon before every stepped cycle (pre-batching behavior).
+    batch: Cycle,
     /// Last control status observed per accelerator, for cycle-exact
     /// flight-recorder preemption-phase edges. Only written while
     /// tracing; never feeds back into simulation.
@@ -134,9 +139,10 @@ impl FpgaDevice {
             down_pipe: TimedQueue::new(),
             down_latency: TREE_LEVEL_DOWN_CYCLES * levels as u64,
             pt_next_inject: 0,
-            shell_regs: HashMap::new(),
+            shell_regs: vec![0; mmio::SHELL_SIZE as usize].into_boxed_slice(),
             dropped_packets: 0,
             fastfwd: optimus_sim::simrate::fast_forward_enabled(),
+            batch: optimus_sim::simrate::batch_step_cycles(),
             trace_status,
         })
     }
@@ -162,9 +168,10 @@ impl FpgaDevice {
             down_pipe: TimedQueue::new(),
             down_latency: 0,
             pt_next_inject: 0,
-            shell_regs: HashMap::new(),
+            shell_regs: vec![0; mmio::SHELL_SIZE as usize].into_boxed_slice(),
             dropped_packets: 0,
             fastfwd: optimus_sim::simrate::fast_forward_enabled(),
+            batch: optimus_sim::simrate::batch_step_cycles(),
             trace_status,
         }
     }
@@ -247,6 +254,15 @@ impl FpgaDevice {
 
     /// Advances the machine one fabric cycle.
     pub fn step(&mut self) {
+        self.step_inner(optimus_sim::trace::enabled());
+    }
+
+    /// The step body with the flight-recorder gate hoisted: batched
+    /// stepping ([`step_many`](PlatformClock::step_many)) reads the
+    /// thread-local once per burst instead of once per cycle. The gate is
+    /// constant within a `run` (workers set it before stepping, callers
+    /// between runs), so hoisting cannot change which cycles trace.
+    fn step_inner(&mut self, tracing: bool) {
         let now = self.now;
 
         // 1. Deliver at most one downstream packet.
@@ -299,7 +315,7 @@ impl FpgaDevice {
             self.down_pipe.push(pkt, now + self.down_latency);
         }
 
-        if optimus_sim::trace::enabled() {
+        if tracing {
             self.trace_preempt_phases(now);
         }
 
@@ -345,6 +361,19 @@ impl FpgaDevice {
     /// identical devices in opposite modes within one process.
     pub fn set_fast_forward(&mut self, on: bool) {
         self.fastfwd = on;
+    }
+
+    /// The batched-stepping burst length [`run`](Self::run) uses.
+    pub fn batch_step(&self) -> Cycle {
+        self.batch
+    }
+
+    /// Overrides the burst length sampled from `OPTIMUS_BATCH_STEP` at
+    /// construction (1 disables batching). Used by the differential
+    /// equivalence tests to run identical devices batched and unbatched
+    /// within one process.
+    pub fn set_batch_step(&mut self, k: Cycle) {
+        self.batch = k.max(1);
     }
 
     /// Earliest future cycle at which [`step`](Self::step) can do anything,
@@ -394,11 +423,19 @@ impl FpgaDevice {
         horizon
     }
 
-    /// Runs the machine for `cycles` fabric cycles.
+    /// Runs the machine for `cycles` fabric cycles, batching busy
+    /// stretches adaptively (bursts grow toward `self.batch` while the
+    /// device stays busy, collapse on every skip; see
+    /// [`advance_toward_adaptive`](PlatformClock::advance_toward_adaptive)
+    /// for the bit-exactness argument). `run` has no per-cycle
+    /// observation — nothing outside the device is consulted until it
+    /// returns — so it is the one place batching is unconditionally safe.
     pub fn run(&mut self, cycles: Cycle) {
         let end = self.now + cycles;
+        let cap = self.batch;
+        let mut burst: Cycle = 1;
         while self.now < end {
-            self.advance_toward(end);
+            self.advance_toward_adaptive(end, &mut burst, cap);
         }
         optimus_sim::simrate::add_cycles(cycles);
     }
@@ -450,14 +487,14 @@ impl FpgaDevice {
     }
 
     fn mmio_dispatch(&mut self, addr: u64, write: Option<u64>, now: Cycle) {
-        // Shell region.
+        // Shell region: a direct arena load/store.
         if addr < mmio::SHELL_SIZE {
             match write {
                 Some(v) => {
-                    self.shell_regs.insert(addr, v);
+                    self.shell_regs[addr as usize] = v;
                 }
                 None => {
-                    let value = self.shell_regs.get(&addr).copied().unwrap_or(0);
+                    let value = self.shell_regs[addr as usize];
                     self.host.submit(UpPacket::MmioReadResp { addr, value }, now);
                 }
             }
@@ -577,6 +614,15 @@ impl PlatformClock for FpgaDevice {
         self.step();
     }
 
+    fn step_many(&mut self, k: Cycle) {
+        // Hoists the flight-recorder gate (and the step-call dispatch) out
+        // of the burst loop; otherwise identical to `k` single steps.
+        let tracing = optimus_sim::trace::enabled();
+        for _ in 0..k {
+            self.step_inner(tracing);
+        }
+    }
+
     fn skip_to(&mut self, t: Cycle) {
         self.now = t;
     }
@@ -631,6 +677,10 @@ impl PlatformDevice for FpgaDevice {
 
     fn set_fast_forward(&mut self, on: bool) {
         FpgaDevice::set_fast_forward(self, on);
+    }
+
+    fn set_batch_step(&mut self, k: Cycle) {
+        FpgaDevice::set_batch_step(self, k);
     }
 
     fn port_forwarded(&self, slot: usize) -> u64 {

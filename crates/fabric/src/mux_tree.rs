@@ -57,6 +57,13 @@ struct MuxNode {
     parent: Option<(usize, usize)>,
     rr: usize,
     next_slot: Cycle,
+    /// Packets across this node's inputs. A node with zero queued packets
+    /// can neither grant nor stall, so [`MuxTree::step`] and
+    /// [`MuxTree::next_event`] skip it with one compare — at low tree
+    /// occupancy (a latency-bound pointer chase holds one packet in the
+    /// whole fabric) that turns the per-cycle all-nodes scan into a
+    /// single-node visit.
+    occ: usize,
 }
 
 /// The multiplexer tree with round-robin arbitration at every node.
@@ -72,6 +79,12 @@ pub struct MuxTree {
     /// watchdog reads for starvation detection and Jain's fairness index
     /// (never the metrics plane, which may be off or thread-split).
     forwarded_per_src: Vec<u64>,
+    /// Packets currently anywhere in the tree (node inputs + root buffer).
+    /// Lets [`step`](Self::step) skip the whole node scan when the tree is
+    /// empty — the common case on a compute-bound device — which is a pure
+    /// no-op (no queue pops, no `rr`/`next_slot` writes, no ready inputs
+    /// to stall on).
+    occupancy: usize,
 }
 
 impl MuxTree {
@@ -103,6 +116,7 @@ impl MuxTree {
                     parent: None,
                     rr: 0,
                     next_slot: 0,
+                    occ: 0,
                 });
                 for (slot, stream) in group.iter().enumerate() {
                     match stream {
@@ -128,6 +142,7 @@ impl MuxTree {
                 parent: None,
                 rr: 0,
                 next_slot: 0,
+                occ: 0,
             });
             leaf_slots.push((0, 0));
         }
@@ -138,6 +153,7 @@ impl MuxTree {
             root_out: TimedQueue::new(),
             forwarded: 0,
             forwarded_per_src: vec![0; config.leaves],
+            occupancy: 0,
         }
     }
 
@@ -167,14 +183,22 @@ impl MuxTree {
         assert!(self.can_accept(accel), "leaf buffer overflow");
         let (node, slot) = self.leaf_slots[accel];
         self.nodes[node].inputs[slot].push(pkt, now);
+        self.nodes[node].occ += 1;
+        self.occupancy += 1;
     }
 
     /// One fabric cycle of arbitration at every node.
     pub fn step(&mut self, now: Cycle) {
+        // Empty tree: arbitration is a pure no-op, skip the node scan.
+        if self.occupancy == 0 {
+            return;
+        }
         // Arbitrate nodes in construction order (leaves-first), so a packet
         // moves at most one level per cycle.
         for idx in 0..self.nodes.len() {
-            if now < self.nodes[idx].next_slot {
+            // An empty node can neither grant nor stall: skip it before
+            // touching its queues (most nodes are empty at low occupancy).
+            if self.nodes[idx].occ == 0 || now < self.nodes[idx].next_slot {
                 continue;
             }
             // Check output capacity first.
@@ -198,15 +222,19 @@ impl MuxTree {
                 }
                 continue;
             }
-            // Round-robin scan for a ready input.
+            // Round-robin scan for a ready input (manual wrap: `%` is a
+            // hardware divide on a runtime divisor, once per probe).
             let n_inputs = self.nodes[idx].inputs.len();
-            let start = self.nodes[idx].rr;
+            let mut i = self.nodes[idx].rr;
             let mut taken = None;
-            for probe in 0..n_inputs {
-                let i = (start + probe) % n_inputs;
+            for _ in 0..n_inputs {
                 if let Some(pkt) = self.nodes[idx].inputs[i].pop_ready(now) {
                     taken = Some((i, pkt));
                     break;
+                }
+                i += 1;
+                if i == n_inputs {
+                    i = 0;
                 }
             }
             if let Some((i, pkt)) = taken {
@@ -223,11 +251,15 @@ impl MuxTree {
                     trace::instant(t, "mux_grant", now, &[("input", i as u64)]);
                     trace::count(t, "grants", 1);
                 }
-                self.nodes[idx].rr = (i + 1) % n_inputs;
+                self.nodes[idx].rr = if i + 1 == n_inputs { 0 } else { i + 1 };
                 self.nodes[idx].next_slot = now + MONITOR_INJECT_INTERVAL;
+                self.nodes[idx].occ -= 1;
                 let ready = now + TREE_LEVEL_UP_CYCLES;
                 match parent {
-                    Some((p, s)) => self.nodes[p].inputs[s].push(pkt, ready),
+                    Some((p, s)) => {
+                        self.nodes[p].inputs[s].push(pkt, ready);
+                        self.nodes[p].occ += 1;
+                    }
                     None => {
                         if let Some(src) = pkt.src() {
                             let port = src.0 as usize;
@@ -246,7 +278,11 @@ impl MuxTree {
 
     /// Pops a packet that has cleared the root (shell side, ≤ 1/cycle).
     pub fn pop_root(&mut self, now: Cycle) -> Option<UpPacket> {
-        self.root_out.pop_ready(now)
+        let pkt = self.root_out.pop_ready(now);
+        if pkt.is_some() {
+            self.occupancy -= 1;
+        }
+        pkt
     }
 
     /// Earliest future cycle at which stepping the tree can do anything:
@@ -258,8 +294,14 @@ impl MuxTree {
     /// cannot move earlier. Output-full stalls resolve only via a parent
     /// pop, which the parent's own term (or the root pop) covers.
     pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.occupancy == 0 {
+            return None;
+        }
         let mut horizon: Option<Cycle> = self.root_out.next_ready();
         for node in &self.nodes {
+            if node.occ == 0 {
+                continue;
+            }
             let earliest_input = node
                 .inputs
                 .iter()
@@ -281,6 +323,7 @@ impl MuxTree {
         let target = AccelId(accel as u8);
         let mut flushed = 0;
         for node in &mut self.nodes {
+            let node_before: usize = node.inputs.iter().map(TimedQueue::len).sum();
             for input in &mut node.inputs {
                 let before = input.len();
                 let kept: Vec<UpPacket> = {
@@ -298,7 +341,10 @@ impl MuxTree {
                     input.push(p, 0);
                 }
             }
+            let node_after: usize = node.inputs.iter().map(TimedQueue::len).sum();
+            node.occ -= node_before - node_after;
         }
+        self.occupancy -= flushed;
         flushed
     }
 

@@ -126,6 +126,13 @@ pub trait PlatformDevice: PlatformClock + Send {
 
     /// Overrides the fast-forward mode sampled at construction.
     fn set_fast_forward(&mut self, on: bool);
+
+    /// Overrides the batched-stepping burst length sampled at
+    /// construction (1 disables batching). Devices that never batch may
+    /// ignore it.
+    fn set_batch_step(&mut self, k: Cycle) {
+        let _ = k;
+    }
 }
 
 #[cfg(test)]

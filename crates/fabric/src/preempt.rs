@@ -11,8 +11,8 @@
 //! only supplies `serialize`/`deserialize` of its architectural state.
 
 use crate::accelerator::AccelPort;
-use optimus_cci::packet::Tag;
 use optimus_mem::addr::Gva;
+use optimus_sim::hashing::FastMap;
 use optimus_sim::time::Cycle;
 
 /// Progress of an active save or restore.
@@ -45,9 +45,12 @@ enum Mode {
         payload_len: usize,
         issued: usize,
         received: usize,
-        /// Tag of each issued line read, so responses that the channel
-        /// fabric reorders still land in their own line slot.
-        tags: Vec<(Tag, usize)>,
+        /// Tag → line index of each outstanding line read, so responses
+        /// that the channel fabric reorders still land in their own line
+        /// slot. A map, not a scan: multi-megabyte states stream tens of
+        /// thousands of lines, and a per-response linear search turns the
+        /// restore quadratic.
+        tags: FastMap<u32, usize>,
     },
 }
 
@@ -192,7 +195,7 @@ impl PreemptEngine {
                         payload_len,
                         issued: 1,
                         received: 1,
-                        tags: Vec::new(),
+                        tags: FastMap::default(),
                     };
                     return PreemptProgress::InProgress;
                 }
@@ -216,9 +219,7 @@ impl PreemptEngine {
                     // channels can complete out of order — place each
                     // response by its tag, not by arrival order.
                     let line_idx = tags
-                        .iter()
-                        .find(|&&(t, _)| t == resp.tag)
-                        .map(|&(_, idx)| idx)
+                        .remove(&resp.tag.0)
                         .expect("restore response tag matches an issued line read");
                     buffer[line_idx * 64..line_idx * 64 + 64].copy_from_slice(&data[..]);
                     *received += 1;
@@ -228,7 +229,7 @@ impl PreemptEngine {
                         Gva::new(self.state_addr.raw() + (*issued as u64) * 64),
                         now,
                     );
-                    tags.push((tag, *issued));
+                    tags.insert(tag.0, *issued);
                     *issued += 1;
                 }
                 if *received == total_lines {

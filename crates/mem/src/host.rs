@@ -32,7 +32,7 @@
 //! ```
 
 use crate::addr::{Hpa, CACHE_LINE, PAGE_4K};
-use std::collections::HashMap;
+use optimus_sim::hashing::FastMap;
 use std::sync::Arc;
 
 /// A 4 KB backing frame.
@@ -45,15 +45,30 @@ type Frame = Box<[u8; PAGE_4K as usize]>;
 /// host memory during migration without re-deriving the generator.
 pub type FrameFiller = Arc<dyn Fn(Hpa, &mut [u8; PAGE_4K as usize]) + Send + Sync>;
 
+/// A line-granular content generator for a lazy region.
+///
+/// Called with the line's base HPA and a zeroed 64-byte buffer. Regions
+/// registered through [`HostMemory::add_lazy_region_lines`] synthesize only
+/// the lines a read actually touches: a pointer-chasing workload reads one
+/// random line per frame, and synthesizing the other 63 (the whole-frame
+/// [`FrameFiller`] contract) costs ~64× the useful work.
+pub type LineFiller = Arc<dyn Fn(Hpa, &mut [u8; CACHE_LINE as usize]) + Send + Sync>;
+
 struct LazyRegion {
     base: u64,
     len: u64,
     filler: FrameFiller,
+    /// Line-granular fast path for transient reads, when the generator can
+    /// produce a single line without its neighbours.
+    line: Option<LineFiller>,
 }
 
 /// Sparse, lazily materialized host physical memory.
 pub struct HostMemory {
-    frames: HashMap<u64, Frame>,
+    /// Frame base → backing frame. Keyed by addresses the simulator
+    /// assigned itself, so the fast deterministic hasher applies; this
+    /// map is probed once per 64-byte DMA line.
+    frames: FastMap<u64, Frame>,
     lazy: Vec<LazyRegion>,
     scratch: Vec<(u64, u64)>,
     scratch_bytes_discarded: u64,
@@ -79,7 +94,7 @@ impl HostMemory {
     /// Creates an empty memory.
     pub fn new() -> Self {
         Self {
-            frames: HashMap::new(),
+            frames: FastMap::default(),
             lazy: Vec::new(),
             scratch: Vec::new(),
             scratch_bytes_discarded: 0,
@@ -98,6 +113,32 @@ impl HostMemory {
             base: base.raw(),
             len,
             filler,
+            line: None,
+        });
+    }
+
+    /// Registers `[base, base+len)` as a lazy region defined by a
+    /// line-granular generator. The whole-frame filler (used when a write
+    /// materializes a frame) is derived by running the generator over all
+    /// 64 lines; transient reads synthesize only the lines they touch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base`/`len` are not 4 KB aligned.
+    pub fn add_lazy_region_lines(&mut self, base: Hpa, len: u64, line: LineFiller) {
+        assert!(base.is_aligned(PAGE_4K) && len % PAGE_4K == 0, "lazy regions are page-granular");
+        let per_line = Arc::clone(&line);
+        let filler: FrameFiller = Arc::new(move |frame_hpa: Hpa, frame: &mut [u8; PAGE_4K as usize]| {
+            for (i, chunk) in frame.chunks_exact_mut(CACHE_LINE as usize).enumerate() {
+                let line_hpa = Hpa::new(frame_hpa.raw() + i as u64 * CACHE_LINE);
+                per_line(line_hpa, chunk.try_into().unwrap());
+            }
+        });
+        self.lazy.push(LazyRegion {
+            base: base.raw(),
+            len,
+            filler,
+            line: Some(line),
         });
     }
 
@@ -159,9 +200,25 @@ impl HostMemory {
                     if let Some(idx) = self.lazy_region_of(frame_base) {
                         // Synthesize without caching: reads alone must not
                         // grow memory when sweeping huge working sets.
-                        let mut frame = [0u8; PAGE_4K as usize];
-                        (self.lazy[idx].filler)(Hpa::new(frame_base), &mut frame);
-                        buf[filled..filled + take].copy_from_slice(&frame[offset..offset + take]);
+                        if let Some(line_filler) = &self.lazy[idx].line {
+                            // Line-granular generator: synthesize only the
+                            // lines this read overlaps, not the whole frame.
+                            let first = offset / CACHE_LINE as usize;
+                            let last = (offset + take - 1) / CACHE_LINE as usize;
+                            for li in first..=last {
+                                let line_base = li * CACHE_LINE as usize;
+                                let mut line = [0u8; CACHE_LINE as usize];
+                                line_filler(Hpa::new(frame_base + line_base as u64), &mut line);
+                                let lo = offset.max(line_base);
+                                let hi = (offset + take).min(line_base + CACHE_LINE as usize);
+                                buf[filled + (lo - offset)..filled + (hi - offset)]
+                                    .copy_from_slice(&line[lo - line_base..hi - line_base]);
+                            }
+                        } else {
+                            let mut frame = [0u8; PAGE_4K as usize];
+                            (self.lazy[idx].filler)(Hpa::new(frame_base), &mut frame);
+                            buf[filled..filled + take].copy_from_slice(&frame[offset..offset + take]);
+                        }
                     } else {
                         buf[filled..filled + take].fill(0);
                     }
@@ -183,7 +240,12 @@ impl HostMemory {
             let frame_base = cursor & !(PAGE_4K - 1);
             let offset = (cursor - frame_base) as usize;
             let take = (PAGE_4K as usize - offset).min(data.len() - consumed);
-            if self.in_scratch(cursor) && !self.frames.contains_key(&frame_base) {
+            // Fast path: the frame is already materialized (one map probe,
+            // no scratch scan — scratch only intercepts unmaterialized
+            // frames, so a present frame always takes the write).
+            if let Some(frame) = self.frames.get_mut(&frame_base) {
+                frame[offset..offset + take].copy_from_slice(&data[consumed..consumed + take]);
+            } else if self.in_scratch(cursor) {
                 self.scratch_bytes_discarded += take as u64;
             } else {
                 let frame = self.frame_mut(cursor);
@@ -284,15 +346,33 @@ impl HostMemory {
             let frame = src.frames.get(&frame_base).expect("listed frame exists");
             self.frames.insert(frame_base.wrapping_add(shift), frame.clone());
         }
-        for (lazy_base, lazy_len, filler) in src.lazy_regions_in(src_base, len) {
+        for region in src.lazy.iter().filter(|r| {
+            r.base < src_base.raw() + len && r.base + r.len > src_base.raw()
+        }) {
             // Only the overlap with the span moves; clamp to it.
-            let lo = lazy_base.max(src_base.raw());
-            let hi = (lazy_base + lazy_len).min(src_base.raw() + len);
+            let lo = region.base.max(src_base.raw());
+            let hi = (region.base + region.len).min(src_base.raw() + len);
             let back_shift = src_base.raw().wrapping_sub(dst_base.raw());
+            let filler = Arc::clone(&region.filler);
             let wrapped: FrameFiller = Arc::new(move |hpa: Hpa, frame: &mut [u8; PAGE_4K as usize]| {
                 filler(Hpa::new(hpa.raw().wrapping_add(back_shift)), frame)
             });
-            self.add_lazy_region(Hpa::new(lo.wrapping_add(shift)), hi - lo, wrapped);
+            // Carry the line-granular fast path across the move too — a
+            // migrated pointer-chasing region must not silently fall back
+            // to whole-frame synthesis.
+            let wrapped_line: Option<LineFiller> = region.line.as_ref().map(|line| {
+                let line = Arc::clone(line);
+                let f: LineFiller = Arc::new(move |hpa: Hpa, buf: &mut [u8; CACHE_LINE as usize]| {
+                    line(Hpa::new(hpa.raw().wrapping_add(back_shift)), buf)
+                });
+                f
+            });
+            self.lazy.push(LazyRegion {
+                base: lo.wrapping_add(shift),
+                len: hi - lo,
+                filler: wrapped,
+                line: wrapped_line,
+            });
         }
         for (scr_base, scr_len) in src.scratch_regions_in(src_base, len) {
             let lo = scr_base.max(src_base.raw());
@@ -377,6 +457,75 @@ mod tests {
         // Byte before and after the write keep their lazy content.
         assert_eq!(buf, [0xAA, 0x55, 0xAA]);
         assert_eq!(mem.materialized_frames(), 1);
+    }
+
+    #[test]
+    fn line_region_matches_frame_region_and_stays_lazy() {
+        // The same generator registered line-wise and frame-wise must be
+        // indistinguishable to readers, at any offset and span.
+        let fill_byte = |addr: u64| (addr >> 3) as u8 ^ (addr as u8);
+        let mut by_frame = HostMemory::new();
+        by_frame.add_lazy_region(
+            Hpa::new(0x10000),
+            0x4000,
+            Arc::new(move |base, frame| {
+                for (i, b) in frame.iter_mut().enumerate() {
+                    *b = fill_byte(base.raw() + i as u64);
+                }
+            }),
+        );
+        let mut by_line = HostMemory::new();
+        by_line.add_lazy_region_lines(
+            Hpa::new(0x10000),
+            0x4000,
+            Arc::new(move |base, line| {
+                for (i, b) in line.iter_mut().enumerate() {
+                    *b = fill_byte(base.raw() + i as u64);
+                }
+            }),
+        );
+        for addr in [0x10000u64, 0x10040, 0x10FC0, 0x11000, 0x13FC0] {
+            assert_eq!(
+                by_line.read_line(Hpa::new(addr)),
+                by_frame.read_line(Hpa::new(addr)),
+                "line mismatch at {addr:#x}"
+            );
+        }
+        // Unaligned span crossing a line boundary.
+        let mut a = [0u8; 100];
+        let mut b = [0u8; 100];
+        by_line.read(Hpa::new(0x10030), &mut a);
+        by_frame.read(Hpa::new(0x10030), &mut b);
+        assert_eq!(a, b);
+        assert_eq!(by_line.materialized_frames(), 0);
+        // A write materializes via the derived frame filler; content of the
+        // rest of the frame still matches the generator.
+        by_line.write(Hpa::new(0x10040), &[0xEE; 64]);
+        assert_eq!(by_line.materialized_frames(), 1);
+        let mut tail = [0u8; 64];
+        by_line.read(Hpa::new(0x10080), &mut tail);
+        let mut want = [0u8; 64];
+        by_frame.read(Hpa::new(0x10080), &mut want);
+        assert_eq!(tail, want);
+    }
+
+    #[test]
+    fn adopt_span_preserves_line_granularity() {
+        let mut src = HostMemory::new();
+        src.add_lazy_region_lines(
+            Hpa::new(0x10000),
+            0x2000,
+            Arc::new(|base, line| {
+                line[0..8].copy_from_slice(&base.raw().to_le_bytes());
+            }),
+        );
+        let mut dst = HostMemory::new();
+        dst.adopt_span(&src, Hpa::new(0x10000), Hpa::new(0x50000), 0x2000);
+        let adopted = &dst.lazy[0];
+        assert!(adopted.line.is_some(), "line fast path lost in migration");
+        // Content is source-relative, same as the frame-filler contract.
+        let line = dst.read_line(Hpa::new(0x50040));
+        assert_eq!(u64::from_le_bytes(line[0..8].try_into().unwrap()), 0x10040);
     }
 
     #[test]

@@ -76,20 +76,32 @@ impl core::fmt::Display for IommuError {
 
 impl std::error::Error for IommuError {}
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct TlbEntry {
-    /// Virtual page number (IOVA >> shift for this entry's size).
-    vpn: u64,
-    /// Physical page number.
-    pfn: u64,
-    size: PageSize,
-    write: bool,
+// Packed IOTLB tag word. The set arrays are struct-of-arrays: one `u64`
+// tag per set (valid + write + size + VPN, laid out below) and one `u64`
+// PFN per set, so a probe is a single load-and-compare against a
+// precomputed tag instead of an `Option<struct>` discriminant walk, and
+// the whole tag array (4 KB) stays resident in L1.
+const TAG_VALID: u64 = 1 << 0;
+const TAG_WRITE: u64 = 1 << 1;
+const TAG_HUGE: u64 = 1 << 2;
+const TAG_VPN_SHIFT: u32 = 3;
+
+/// Packs a tag word. VPNs are at most 52 bits (64-bit IOVA minus the 4 KB
+/// page offset), so the 3-bit flag field below never collides.
+fn pack_tag(vpn: u64, size: PageSize, write: bool) -> u64 {
+    TAG_VALID
+        | if write { TAG_WRITE } else { 0 }
+        | if size == PageSize::Huge { TAG_HUGE } else { 0 }
+        | (vpn << TAG_VPN_SHIFT)
 }
 
 /// The 512-entry direct-mapped IOTLB.
 #[derive(Debug, Clone)]
 pub struct IoTlb {
-    sets: Vec<Option<TlbEntry>>,
+    /// Per-set packed tags (0 = invalid: `TAG_VALID` is never set).
+    tags: Box<[u64]>,
+    /// Per-set physical page numbers, valid iff the matching tag is.
+    pfns: Box<[u64]>,
     /// 2 MB region of the last access (for the speculative fast path).
     last_region: Option<u64>,
     hits: u64,
@@ -108,7 +120,8 @@ impl IoTlb {
     /// Creates an empty IOTLB.
     pub fn new() -> Self {
         Self {
-            sets: vec![None; IOTLB_ENTRIES],
+            tags: vec![0; IOTLB_ENTRIES].into_boxed_slice(),
+            pfns: vec![0; IOTLB_ENTRIES].into_boxed_slice(),
             last_region: None,
             hits: 0,
             speculative_hits: 0,
@@ -123,11 +136,20 @@ impl IoTlb {
         ((iova.raw() >> size.shift()) & (IOTLB_ENTRIES as u64 - 1)) as usize
     }
 
-    fn probe(&self, iova: Iova, size: PageSize) -> Option<TlbEntry> {
+    /// Probes one page size. Returns `(pfn, write)` on a match. Masking
+    /// `TAG_WRITE` out of the stored tag makes the compare insensitive to
+    /// the permission bit while still requiring valid + size + VPN to
+    /// match exactly; an invalid set (tag 0) can never equal `want`
+    /// because `want` always carries `TAG_VALID`.
+    #[inline]
+    fn probe(&self, iova: Iova, size: PageSize) -> Option<(u64, bool)> {
         let set = Self::set_index(iova, size);
-        match self.sets[set] {
-            Some(e) if e.size == size && e.vpn == iova.raw() >> size.shift() => Some(e),
-            _ => None,
+        let want = pack_tag(iova.raw() >> size.shift(), size, false);
+        let tag = self.tags[set];
+        if tag & !TAG_WRITE == want {
+            Some((self.pfns[set], tag & TAG_WRITE != 0))
+        } else {
+            None
         }
     }
 
@@ -139,11 +161,15 @@ impl IoTlb {
         let speculative = self.last_region == Some(region);
         self.last_region = Some(region);
         // Dual probe: huge first (the common configuration), then small.
-        let entry = self
-            .probe(iova, PageSize::Huge)
-            .or_else(|| self.probe(iova, PageSize::Small))?;
-        let offset = iova.raw() & (entry.size.bytes() - 1);
-        let hpa = Hpa::new((entry.pfn << entry.size.shift()) + offset);
+        let (hpa, write) = if let Some((pfn, write)) = self.probe(iova, PageSize::Huge) {
+            let offset = iova.raw() & (PageSize::Huge.bytes() - 1);
+            (Hpa::new((pfn << PageSize::Huge.shift()) + offset), write)
+        } else if let Some((pfn, write)) = self.probe(iova, PageSize::Small) {
+            let offset = iova.raw() & (PageSize::Small.bytes() - 1);
+            (Hpa::new((pfn << PageSize::Small.shift()) + offset), write)
+        } else {
+            return None;
+        };
         let outcome = if speculative {
             self.speculative_hits += 1;
             TlbLookup::HitSpeculative
@@ -151,31 +177,28 @@ impl IoTlb {
             self.hits += 1;
             TlbLookup::Hit
         };
-        Some((hpa, outcome, entry.write))
+        Some((hpa, outcome, write))
     }
 
     /// Records a miss and installs a new entry after a walk.
     pub fn fill(&mut self, iova: Iova, hpa_base: Hpa, size: PageSize, write: bool) {
         self.misses += 1;
         let set = Self::set_index(iova, size);
-        if let Some(old) = self.sets[set] {
-            let new_vpn = iova.raw() >> size.shift();
-            if old.vpn != new_vpn || old.size != size {
-                self.conflict_evictions += 1;
-            }
+        let new_tag = pack_tag(iova.raw() >> size.shift(), size, write);
+        let old = self.tags[set];
+        // Conflict iff a *different* page (VPN or size) was resident; a
+        // permission-only change refreshes in place.
+        if old & TAG_VALID != 0 && (old | TAG_WRITE) != (new_tag | TAG_WRITE) {
+            self.conflict_evictions += 1;
         }
-        self.sets[set] = Some(TlbEntry {
-            vpn: iova.raw() >> size.shift(),
-            pfn: hpa_base.raw() >> size.shift(),
-            size,
-            write,
-        });
+        self.tags[set] = new_tag;
+        self.pfns[set] = hpa_base.raw() >> size.shift();
     }
 
     /// Invalidates every entry (used on VM context switches and after
     /// unmapping).
     pub fn invalidate_all(&mut self) {
-        self.sets.iter_mut().for_each(|s| *s = None);
+        self.tags.fill(0);
         self.last_region = None;
     }
 
@@ -183,10 +206,9 @@ impl IoTlb {
     pub fn invalidate(&mut self, iova: Iova) {
         for size in [PageSize::Huge, PageSize::Small] {
             let set = Self::set_index(iova, size);
-            if let Some(e) = self.sets[set] {
-                if e.size == size && e.vpn == iova.raw() >> size.shift() {
-                    self.sets[set] = None;
-                }
+            let want = pack_tag(iova.raw() >> size.shift(), size, false);
+            if self.tags[set] & !TAG_WRITE == want {
+                self.tags[set] = 0;
             }
         }
     }
@@ -615,3 +637,4 @@ mod tests {
         assert_ne!(t.lookup, TlbLookup::HitSpeculative);
     }
 }
+

@@ -41,6 +41,7 @@
 //! ```
 
 pub mod clock;
+pub mod hashing;
 pub mod metrics;
 pub mod perm;
 pub mod queue;

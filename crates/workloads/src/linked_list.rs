@@ -7,7 +7,7 @@
 //! no gigabytes of host RAM required.
 
 use optimus_mem::addr::{Gva, Hpa};
-use optimus_mem::host::FrameFiller;
+use optimus_mem::host::{FrameFiller, LineFiller};
 use optimus_sim::perm::FeistelPermutation;
 
 /// Builds the lazy frame filler for a list of `nodes` 64-byte nodes whose
@@ -29,19 +29,38 @@ pub fn linked_list_filler(
     nodes: u64,
     seed: u64,
 ) -> FrameFiller {
+    let line = linked_list_line_filler(region_gva, region_hpa, nodes, seed);
+    std::sync::Arc::new(move |frame_hpa: Hpa, frame: &mut [u8; optimus_mem::addr::PAGE_4K as usize]| {
+        for (line_idx, chunk) in frame.chunks_exact_mut(64).enumerate() {
+            let hpa = Hpa::new(frame_hpa.raw() + line_idx as u64 * 64);
+            line(hpa, chunk.try_into().unwrap());
+        }
+    })
+}
+
+/// Line-granular variant of [`linked_list_filler`], for registration via
+/// [`HostMemory::add_lazy_region_lines`](optimus_mem::host::HostMemory::add_lazy_region_lines).
+///
+/// The walk dereferences one random node (= one 64-byte line) per step, so
+/// synthesizing a line costs exactly two permutation evaluations — against
+/// 128 for the whole-frame path that computes 63 neighbours the walk never
+/// looks at before they leave scope.
+pub fn linked_list_line_filler(
+    region_gva: Gva,
+    region_hpa: Hpa,
+    nodes: u64,
+    seed: u64,
+) -> LineFiller {
     assert!(nodes > 0, "a list needs at least one node");
     let perm = FeistelPermutation::new(nodes, seed);
     let base_gva = region_gva.raw();
     let base_hpa = region_hpa.raw();
-    std::sync::Arc::new(move |frame_hpa: Hpa, frame: &mut [u8; optimus_mem::addr::PAGE_4K as usize]| {
-        let frame_off = frame_hpa.raw() - base_hpa;
-        for (line_idx, line) in frame.chunks_exact_mut(64).enumerate() {
-            let node = (frame_off + line_idx as u64 * 64) / 64;
-            if node < nodes {
-                let pos = perm.invert(node);
-                let next = perm.apply((pos + 1) % nodes);
-                line[0..8].copy_from_slice(&(base_gva + next * 64).to_le_bytes());
-            }
+    std::sync::Arc::new(move |line_hpa: Hpa, line: &mut [u8; 64]| {
+        let node = (line_hpa.raw() - base_hpa) / 64;
+        if node < nodes {
+            let pos = perm.invert(node);
+            let next = perm.apply((pos + 1) % nodes);
+            line[0..8].copy_from_slice(&(base_gva + next * 64).to_le_bytes());
         }
     })
 }

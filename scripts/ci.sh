@@ -29,13 +29,18 @@
 #     uninterrupted run; (b) run the migrate_rebalance bench (watchdog-
 #     driven live migration between devices) serially and with parallel
 #     device stepping and assert those fingerprints are byte-identical.
+#  8. Sim-rate regression gate: re-run the three tracked benches twice
+#     each at the stage-3 CI scale, take each bench's best-of-two
+#     sim_rate, and compare against the committed baselines in
+#     benchmarks/BENCH_*.json — fail on >20% regression, print the
+#     speedup on improvement.
 #
 # The whole script runs with no network access.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/7] registry-dependency check =="
+echo "== [1/8] registry-dependency check =="
 python3 - <<'PYEOF'
 import glob, re, sys
 
@@ -73,19 +78,19 @@ if offenders:
 print("ok: all dependencies are in-tree path dependencies")
 PYEOF
 
-echo "== [2/7] tier-1: build + tests =="
+echo "== [2/8] tier-1: build + tests =="
 cargo build --release
 cargo test -q
 cargo test --workspace -q
 
-echo "== [2b/7] fast-forward differential equivalence (per-cycle mode) =="
+echo "== [2b/8] fast-forward differential equivalence (per-cycle mode) =="
 # Re-run the fabric and hypervisor suites with fast-forwarding disabled:
 # the differential property tests then compare per-cycle stepping against
 # an explicitly re-enabled fast path, and every other test exercises the
 # seed's original cycle loop.
 OPTIMUS_NO_FASTFWD=1 cargo test -q -p optimus-fabric -p optimus
 
-echo "== [3/7] bench smoke (tiny scales, one JSON report per target) =="
+echo "== [3/8] bench smoke (tiny scales, one JSON report per target) =="
 BENCH_DIR="target/bench-reports-ci"
 rm -rf "$BENCH_DIR"
 export OPTIMUS_BENCH_DIR="$PWD/$BENCH_DIR"
@@ -110,7 +115,7 @@ for b in $BENCHES; do
 done
 echo "ok: $(ls "$BENCH_DIR" | wc -l) bench reports in $BENCH_DIR"
 
-echo "== [4/7] trace smoke (flight recorder on one fig5 point) =="
+echo "== [4/8] trace smoke (flight recorder on one fig5 point) =="
 TRACE_DIR="target/trace-smoke-ci"
 rm -rf "$TRACE_DIR" "$TRACE_DIR-off"
 # Traced run: one fig5 sweep point with the flight recorder on.
@@ -176,7 +181,7 @@ if fingerprint(traced) != fingerprint(plain):
 print("ok: bench fingerprint byte-identical with tracing on and off")
 PYEOF
 
-echo "== [5/7] node smoke (parallel vs serial device stepping) =="
+echo "== [5/8] node smoke (parallel vs serial device stepping) =="
 NODE_DIR="target/node-smoke-ci"
 rm -rf "$NODE_DIR-par" "$NODE_DIR-ser"
 # Parallel run: pin the worker count so the check is meaningful even on a
@@ -203,7 +208,7 @@ if fingerprint(par) != fingerprint(ser):
 print("ok: cluster_scale fingerprint byte-identical, parallel vs serial")
 PYEOF
 
-echo "== [6/7] metrics smoke (always-on metrics plane on one fig5 point) =="
+echo "== [6/8] metrics smoke (always-on metrics plane on one fig5 point) =="
 MET_DIR="target/metrics-smoke-ci"
 rm -rf "$MET_DIR-short" "$MET_DIR-on" "$MET_DIR-on2" "$MET_DIR-off" "$MET_DIR-off2"
 # Short run: the stage-3 window, used as the earlier snapshot for the
@@ -320,7 +325,7 @@ if ratio < 0.95:
 print(f"ok: metrics overhead within bound (on/off sim_rate ratio {ratio:.1%})")
 PYEOF
 
-echo "== [7/7] migration smoke (live-update + cross-device rebalance) =="
+echo "== [7/8] migration smoke (live-update + cross-device rebalance) =="
 MIG_DIR="target/migrate-smoke-ci"
 rm -rf "$MIG_DIR-lu" "$MIG_DIR-plain" "$MIG_DIR-reb-ser" "$MIG_DIR-reb-par"
 # Live-update run: freeze -> wire bytes -> thaw a fresh hypervisor over
@@ -374,6 +379,50 @@ if not (float(after[3]) > float(before[3])):
 if int(after[4]) != 0:
     sys.exit(f"FAIL: starvation alerts persisted after rebalance ({after[4]})")
 print(f"ok: fairness recovered (Jain {before[3]} -> {after[3]}, alerts {before[4]} -> 0)")
+PYEOF
+
+echo "== [8/8] sim-rate regression gate (best-of-two vs committed baseline) =="
+RATE_DIR="target/simrate-gate-ci"
+rm -rf "$RATE_DIR-1" "$RATE_DIR-2"
+# Same knobs as stage 3 (still exported). Two runs per bench: single-run
+# sim_rate on a shared host swings ~15%, best-of-two is the gate statistic
+# and the committed baseline is the conservative min-of-two (see
+# benchmarks/*.json "stat"), so the 20% margin holds against scheduler
+# noise without masking a real regression.
+for pass in 1 2; do
+    export OPTIMUS_BENCH_DIR="$PWD/$RATE_DIR-$pass"
+    for b in fig5_latency fig8_temporal cluster_scale; do
+        cargo bench -q -p optimus-bench --bench "$b" >/dev/null
+    done
+done
+export OPTIMUS_BENCH_DIR="$PWD/$BENCH_DIR"
+python3 - "$RATE_DIR-1" "$RATE_DIR-2" <<'PYEOF'
+import json, sys
+
+run1, run2 = sys.argv[1], sys.argv[2]
+BASELINES = {
+    "fig5_latency": "benchmarks/BENCH_fig5.json",
+    "fig8_temporal": "benchmarks/BENCH_fig8.json",
+    "cluster_scale": "benchmarks/BENCH_cluster_scale.json",
+}
+failed = False
+for bench, baseline_path in BASELINES.items():
+    base = json.load(open(baseline_path))["sim_rate"]
+    best = max(
+        json.load(open(f"{d}/BENCH_{bench}.json"))["sim_rate"]
+        for d in (run1, run2)
+    )
+    ratio = best / base
+    tag = f"{bench}: best-of-two {best/1e6:.2f} Mc/s vs baseline {base/1e6:.2f} Mc/s"
+    if ratio < 0.8:
+        print(f"FAIL: {tag} — {1 - ratio:.1%} regression (bound: 20%)")
+        failed = True
+    elif ratio > 1.0:
+        print(f"ok: {tag} — {ratio:.2f}x speedup")
+    else:
+        print(f"ok: {tag} — within noise ({ratio:.1%})")
+if failed:
+    sys.exit(1)
 PYEOF
 
 echo "CI PASSED"
