@@ -220,7 +220,9 @@ mod tests {
     fn service(port: &mut AccelPort, store: &[u8], now: Cycle) {
         while let Some(req) = port.take_pending() {
             match req.write {
-                Some(_) => port.deliver(req.tag, None, now),
+                Some(_) => {
+                    port.deliver(req.tag, None, now);
+                }
                 None => {
                     let base = req.gva.raw() as usize;
                     let mut line = [0u8; 64];

@@ -162,6 +162,10 @@ impl<K: Kernel> Accelerator for Harnessed<K> {
         }
     }
 
+    fn peek_reg(&self, offset: u64) -> u64 {
+        self.kernel.read_reg(offset)
+    }
+
     fn step(&mut self, now: Cycle, port: &mut AccelPort) {
         match self.phase {
             Phase::Idle | Phase::Saved | Phase::Done => {}

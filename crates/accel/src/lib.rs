@@ -45,6 +45,7 @@ pub mod ser;
 pub mod sssp;
 pub mod stream;
 pub mod sw;
+pub mod wild;
 
 pub use harness::{Harnessed, Kernel};
 pub use registry::{build_accelerator, AccelKind};

@@ -259,7 +259,9 @@ mod tests {
             acc.step(now, &mut port);
             while let Some(req) = port.take_pending() {
                 match req.write {
-                    Some(_) => port.deliver(req.tag, None, now),
+                    Some(_) => {
+                        port.deliver(req.tag, None, now);
+                    }
                     None => {
                         let base = req.gva.raw() as usize;
                         if base >= 0x20000 {

@@ -224,8 +224,12 @@ mod tests {
     fn service(port: &mut AccelPort, now: Cycle) {
         while let Some(req) = port.take_pending() {
             match req.write {
-                Some(_) => port.deliver(req.tag, None, now),
-                None => port.deliver(req.tag, Some(Box::new([0; 64])), now),
+                Some(_) => {
+                    port.deliver(req.tag, None, now);
+                }
+                None => {
+                    port.deliver(req.tag, Some(Box::new([0; 64])), now);
+                }
             }
         }
     }

@@ -51,6 +51,10 @@ pub enum AccelKind {
     Mb,
     /// LinkedList pointer-chasing micro-benchmark.
     Ll,
+    /// WildDma adversarial isolation prober (not a Table 1 benchmark —
+    /// excluded from [`ALL`](Self::ALL); used by the isolation spec and
+    /// noninterference suites).
+    Wild,
 }
 
 impl AccelKind {
@@ -88,12 +92,13 @@ impl AccelKind {
         AccelKind::Btc,
     ];
 
-    /// Parses a Table 1 short name.
+    /// Parses a Table 1 short name (plus the off-table `WILD` prober).
     pub fn from_name(name: &str) -> Option<Self> {
         Self::ALL
             .iter()
             .copied()
             .find(|k| k.meta().name.eq_ignore_ascii_case(name))
+            .or_else(|| name.eq_ignore_ascii_case("WILD").then_some(AccelKind::Wild))
     }
 
     /// The benchmark's static metadata.
@@ -117,6 +122,7 @@ impl AccelKind {
             AccelKind::Btc => ("BTC", "Bitcoin Miner", 1009, 100),
             AccelKind::Mb => ("MB", "Random Memory Accesses", 1020, 400),
             AccelKind::Ll => ("LL", "Linked List Walker", 695, 400),
+            AccelKind::Wild => ("WILD", "Adversarial Out-of-Window Prober", 1020, 400),
         };
         let (alm_pct, bram_pct, alm_scale8, bram_scale8) = match self {
             AccelKind::Aes => (3.62, 2.82, 7.68, 8.16),
@@ -133,6 +139,7 @@ impl AccelKind {
             AccelKind::Btc => (1.32, 0.48, 6.81, 8.67),
             AccelKind::Mb => (0.83, 0.00, 5.83, 8.0),
             AccelKind::Ll => (0.15, 0.00, -1.6, 8.0),
+            AccelKind::Wild => (0.83, 0.00, 5.83, 8.0),
         };
         let (state_bytes, demand) = match self {
             AccelKind::Aes => (128, 0.14),
@@ -149,6 +156,7 @@ impl AccelKind {
             AccelKind::Btc => (192, 0.01),
             AccelKind::Mb => (64, 1.00),
             AccelKind::Ll => (64, 0.02),
+            AccelKind::Wild => (96, 1.00),
         };
         AccelMeta {
             name,
@@ -183,6 +191,7 @@ pub fn build_accelerator(kind: AccelKind, seed: u64) -> Box<dyn Accelerator> {
         AccelKind::Btc => Box::new(Harnessed::new(crate::btc::BtcKernel::new())),
         AccelKind::Mb => Box::new(Harnessed::new(crate::membench::MbKernel::new(seed))),
         AccelKind::Ll => Box::new(Harnessed::new(crate::linked_list::LlKernel::new())),
+        AccelKind::Wild => Box::new(Harnessed::new(crate::wild::WildKernel::new(seed))),
     }
 }
 

@@ -207,7 +207,9 @@ mod tests {
     fn service(port: &mut AccelPort, now: Cycle) {
         while let Some(req) = port.take_pending() {
             match req.write {
-                Some(_) => port.deliver(req.tag, None, now),
+                Some(_) => {
+                    port.deliver(req.tag, None, now);
+                }
                 None => {
                     let mut line = [0u8; 64];
                     line[0] = (req.gva.raw() / 64) as u8;

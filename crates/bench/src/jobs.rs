@@ -172,6 +172,22 @@ pub fn launch(g: &mut GuestCtx, kind: AccelKind, p: &JobParams) {
             g.mmio_write(APP + MbKernel::REG_OPS, 0); // unbounded
             g.mmio_write(APP + MbKernel::REG_SEED, p.seed);
         }
+        AccelKind::Wild => {
+            use optimus_accel::wild::WildKernel;
+            let bytes = p.working_set.max(1 << 20);
+            let region = alloc(g, bytes, Backing::Scratch, p.page);
+            g.mmio_write(APP + WildKernel::REG_REGION, region);
+            g.mmio_write(APP + WildKernel::REG_BYTES, bytes);
+            // Effectively unbounded — outlasts any measurement window.
+            g.mmio_write(APP + WildKernel::REG_OPS, u64::MAX);
+            // Aim the wild probes one slice-stride past the legit region:
+            // with slicing enabled they translate outside this tenant's
+            // auditor window and must master-abort.
+            g.mmio_write(APP + WildKernel::REG_WILD_BASE, region + (64 << 30));
+            g.mmio_write(APP + WildKernel::REG_WILD_BYTES, 1 << 20);
+            g.mmio_write(APP + WildKernel::REG_WILD_EVERY, 4);
+            g.mmio_write(APP + WildKernel::REG_SEED, p.seed);
+        }
         AccelKind::Ll => {
             let nodes = (p.working_set / 64).max(64);
             let seed = p.seed;

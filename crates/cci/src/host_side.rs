@@ -24,6 +24,7 @@ use crate::params;
 use optimus_mem::host::HostMemory;
 use optimus_mem::iommu::{Iommu, IommuError, TlbLookup};
 use optimus_sim::metrics;
+use optimus_sim::spec;
 use optimus_sim::time::Cycle;
 use optimus_sim::trace::{self, Track};
 use std::cmp::Ordering;
@@ -196,6 +197,18 @@ impl HostSide {
                 self.account_channel(kind, now);
                 match self.iommu.translate_tagged(iova, false, now, src.0 as u32) {
                     Ok(tr) => {
+                        if spec::enabled() {
+                            // The device scope is claimed by the stepping
+                            // hypervisor before `device.run`, so it names
+                            // the device this host side belongs to.
+                            spec::check_dma(
+                                metrics::device_scope(),
+                                src.0 as u32,
+                                iova.raw(),
+                                tr.hpa.raw(),
+                                false,
+                            );
+                        }
                         let done = self.schedule_service(arrival, tr.lookup, src.0 as u32);
                         let data = Box::new(self.memory.read_line(tr.hpa));
                         self.total_dma_bytes += 64;
@@ -211,6 +224,14 @@ impl HostSide {
                         self.push_outbound(DownPacket::DmaReadResp { data, dst: src, tag }, ready);
                     }
                     Err(e) => {
+                        if spec::enabled() {
+                            spec::check_dma_fault(
+                                metrics::device_scope(),
+                                src.0 as u32,
+                                iova.raw(),
+                                false,
+                            );
+                        }
                         self.faulted_dmas += 1;
                         self.last_fault = Some(e);
                     }
@@ -221,6 +242,15 @@ impl HostSide {
                 self.account_channel(kind, now);
                 match self.iommu.translate_tagged(iova, true, now, src.0 as u32) {
                     Ok(tr) => {
+                        if spec::enabled() {
+                            spec::check_dma(
+                                metrics::device_scope(),
+                                src.0 as u32,
+                                iova.raw(),
+                                tr.hpa.raw(),
+                                true,
+                            );
+                        }
                         let done = self.schedule_service(arrival, tr.lookup, src.0 as u32);
                         self.memory.write_line(tr.hpa, &data);
                         self.total_dma_bytes += 64;
@@ -236,6 +266,14 @@ impl HostSide {
                         self.push_outbound(DownPacket::DmaWriteAck { dst: src, tag }, ready);
                     }
                     Err(e) => {
+                        if spec::enabled() {
+                            spec::check_dma_fault(
+                                metrics::device_scope(),
+                                src.0 as u32,
+                                iova.raw(),
+                                true,
+                            );
+                        }
                         self.faulted_dmas += 1;
                         self.last_fault = Some(e);
                     }

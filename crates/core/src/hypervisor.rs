@@ -27,13 +27,14 @@ use optimus_cci::channel::SelectorPolicy;
 use optimus_cci::params::host_costs;
 use optimus_fabric::accelerator::CtrlStatus;
 use optimus_fabric::device::FpgaDevice;
-use optimus_fabric::mmio::{accel_mmio_base, accel_reg, vcu_reg, VCU_BASE};
+use optimus_fabric::mmio::{accel_mmio_base, accel_reg, vcu_reg, ACCEL_PAGE, VCU_BASE};
 use optimus_fabric::platform::{DeviceId, FabricError, PlatformDevice};
 use optimus_mem::addr::{Gva, Hpa, Iova, PageSize, PAGE_2M, PAGE_4K};
 use optimus_mem::host::FrameFiller;
 use optimus_mem::page_table::PageFlags;
 use optimus_sim::metrics;
 use optimus_sim::rng::derive_seed;
+use optimus_sim::spec;
 use optimus_sim::time::{ms_to_cycles, ns_to_cycles, Cycle};
 use optimus_sim::trace::{self, Track};
 use std::collections::BTreeMap;
@@ -146,6 +147,9 @@ pub struct HvStats {
     pub alerts_iotlb_thrash: u64,
     /// Watchdog alerts: preemptions that blew the Fig. 8 deadline.
     pub alerts_preempt_overrun: u64,
+    /// Alerts: drain+saves refused because the guest state buffer did not
+    /// resolve to mapped memory (slot force-reset instead).
+    pub alerts_save_refused: u64,
 }
 
 impl HvStats {
@@ -164,6 +168,7 @@ impl HvStats {
         self.alerts_starvation += other.alerts_starvation;
         self.alerts_iotlb_thrash += other.alerts_iotlb_thrash;
         self.alerts_preempt_overrun += other.alerts_preempt_overrun;
+        self.alerts_save_refused += other.alerts_save_refused;
     }
 }
 
@@ -409,6 +414,12 @@ impl<D: PlatformDevice> Optimus<D> {
         self.vaccels.get(&va.0).map(|v| v.run)
     }
 
+    /// The VM backing a vaccel (`None` if unknown or detached). The node
+    /// layer uses this to label migration copies for the isolation spec.
+    pub fn vaccel_vm(&self, va: VaccelId) -> Option<VmId> {
+        self.vaccels.get(&va.0).map(|v| v.vm)
+    }
+
     fn vaccel(&self, va: VaccelId) -> &VirtualAccel {
         self.vaccels.get(&va.0).expect("no such virtual accelerator")
     }
@@ -427,7 +438,10 @@ impl<D: PlatformDevice> Optimus<D> {
         let integrity = self.device.integrity();
         s.dropped_packets = integrity.dropped_packets;
         s.discarded_dma = integrity.discarded_dma;
-        s.discarded_mmio = integrity.discarded_mmio;
+        // MMIO discards happen at two layers: the auditors (device
+        // integrity) and the hypervisor's own trap handler, which
+        // master-aborts guest offsets outside the vaccel's BAR page.
+        s.discarded_mmio = integrity.discarded_mmio + self.stats.discarded_mmio;
         s
     }
 
@@ -554,8 +568,25 @@ impl<D: PlatformDevice> Optimus<D> {
         if !self.passthrough {
             let v = self.vaccel(va);
             let offset = self.slicing.offset_for(v.slice, v.dma_base);
+            // Fence the auditor's outbound window to this tenant's own
+            // slice: without it, a wild guest pointer one byte past the
+            // slice end translates — via the same offset add — straight
+            // into the *next* tenant's slice, and the IOMMU (which maps
+            // that slice for its rightful owner) happily serves it.
+            let win_base = self.slicing.slice_base(v.slice).raw();
             self.device
                 .mmio_write(VCU_BASE + vcu_reg::OFFSET_TABLE + slot as u64 * 8, offset);
+            self.device.mmio_write(
+                VCU_BASE + vcu_reg::WINDOW_BASE_TABLE + slot as u64 * 8,
+                win_base,
+            );
+            self.device.mmio_write(
+                VCU_BASE + vcu_reg::WINDOW_LEN_TABLE + slot as u64 * 8,
+                self.slicing.slice_bytes,
+            );
+        }
+        if spec::enabled() {
+            spec::bind_slot(self.device_id.0, slot, self.vaccel(va).vm.0);
         }
         let v = self.vaccel(va);
         let state_buffer = v.state_buffer.raw();
@@ -609,20 +640,72 @@ impl<D: PlatformDevice> Optimus<D> {
         let Some(va) = self.slots[slot].current else {
             return;
         };
+        // Claim the scope before anything that steps the device (the
+        // state-size MMIO read below drives the fabric until the response
+        // returns): a migration-driven preempt arrives from outside the
+        // run loop, where the ambient device scope may still belong to a
+        // sibling device on the node.
+        metrics::set_device(self.device_id.0);
         let base = accel_mmio_base(slot);
-        // Fast path: a job that already completed needs no save.
+        // Fast path: a job that already completed needs no save — but its
+        // result registers are about to be lost to the next install, so
+        // harvest them into the vaccel's cached register file first (the
+        // guest keeps reading results through the shadow after eviction).
         if self.device.accel_status(slot) == CtrlStatus::Done {
+            self.harvest_app_regs(va, slot);
             self.retire(va);
             self.slots[slot].current = None;
+            if spec::enabled() {
+                spec::unbind_slot(self.device_id.0, slot);
+            }
+            return;
+        }
+        // Resolve the guest-provided state buffer before trusting the
+        // drain+save path. The save stream is ordinary DMA: lines aimed at
+        // an unmapped (or never-programmed) buffer master-abort at the
+        // auditor window, the abort acks complete the save, and the
+        // accelerator truthfully reports `Saved` for state that landed
+        // nowhere — the later resume then streams back garbage. Refuse up
+        // front and force-reset the slot instead: same outcome the
+        // watchdog used to reach, without burning a preempt window and
+        // without ever marking vanished state as saved.
+        let state_len = self.device.mmio_read(base + accel_reg::CTRL_STATE_SIZE);
+        let framed = (8 + state_len).div_ceil(64) * 64;
+        if !self.state_buffer_resolves(va, framed) {
+            self.device
+                .mmio_write(VCU_BASE + vcu_reg::RESET_TABLE + slot as u64 * 8, 1);
+            self.advance(ns_to_cycles(1000.0));
+            self.stats.forced_resets += 1;
+            metrics::inc(metrics::HV_FORCED_RESETS, slot as u32, 1);
+            self.raise_alert(IsolationAlert {
+                kind: AlertKind::SaveRefused,
+                device: self.device_id,
+                slot: Some(slot),
+                at: self.device.now(),
+                observed: framed as f64,
+                threshold: 0.0,
+            });
+            let v = self.vaccel_mut(va);
+            v.forced_resets += 1;
+            v.run = VaccelRun::Fresh;
+            v.pending_start = true;
+            if trace::enabled() {
+                trace::instant(
+                    Track::vaccel(va.0),
+                    "preempt.save_refused",
+                    self.device.now(),
+                    &[("slot", slot as u64)],
+                );
+            }
+            self.slots[slot].current = None;
+            if spec::enabled() {
+                spec::unbind_slot(self.device_id.0, slot);
+            }
             return;
         }
         self.device.mmio_write(base + accel_reg::CTRL_CMD, accel_reg::CMD_PREEMPT);
         self.stats.preemptions += 1;
         let preempt_start = self.device.now();
-        // Claim the scope before recording: a migration-driven preempt
-        // arrives from outside the run loop, where the ambient device
-        // scope may still belong to a sibling device on the node.
-        metrics::set_device(self.device_id.0);
         metrics::inc(metrics::HV_PREEMPTIONS, slot as u32, 1);
         let track = Track::vaccel(va.0);
         if trace::enabled() {
@@ -705,6 +788,42 @@ impl<D: PlatformDevice> Optimus<D> {
             }
         }
         self.slots[slot].current = None;
+        if spec::enabled() {
+            spec::unbind_slot(self.device_id.0, slot);
+        }
+    }
+
+    /// Copies the physical slot's application register file into the
+    /// vaccel's cached (shadow) registers. Called when a *completed* job
+    /// is evicted from its slot: the next install resets the hardware, and
+    /// the shadow is what the guest's post-completion MMIO reads return.
+    /// Uses the side-effect-free peek, so no simulated time elapses.
+    fn harvest_app_regs(&mut self, va: VaccelId, slot: usize) {
+        let mut off = 0;
+        while off < ACCEL_PAGE - accel_reg::APP_BASE {
+            let value = self.device.peek_app_reg(slot, off);
+            if value != 0 || self.vaccel(va).app_regs.contains_key(&off) {
+                self.vaccel_mut(va).cache_app_reg(off, value);
+            }
+            off += 8;
+        }
+    }
+
+    /// Whether every page of `[state_buffer, state_buffer + framed_len)`
+    /// resolves through the tenant's address space — the precondition for
+    /// letting a drain+save stream state there.
+    fn state_buffer_resolves(&self, va: VaccelId, framed_len: u64) -> bool {
+        let v = self.vaccel(va);
+        let vm = self.vm(v.vm);
+        let start = v.state_buffer.raw();
+        let mut off = 0;
+        while off < framed_len {
+            if vm.gva_to_hpa(Gva::new(start + off)).is_err() {
+                return false;
+            }
+            off += PAGE_4K;
+        }
+        vm.gva_to_hpa(Gva::new(start + framed_len - 1)).is_ok()
     }
 
     /// Marks a vaccel's job complete. The vaccel *stays resident* on its
@@ -825,6 +944,7 @@ impl<D: PlatformDevice> Optimus<D> {
             AlertKind::Starvation => self.stats.alerts_starvation += 1,
             AlertKind::IotlbThrash => self.stats.alerts_iotlb_thrash += 1,
             AlertKind::PreemptOverrun => self.stats.alerts_preempt_overrun += 1,
+            AlertKind::SaveRefused => self.stats.alerts_save_refused += 1,
         }
         metrics::inc(metrics::HV_ISOLATION_ALERTS, alert.kind.metric_label(), 1);
         if trace::enabled() {
@@ -1008,6 +1128,9 @@ impl<D: PlatformDevice> Optimus<D> {
                         .iommu_mut()
                         .unmap(iova)
                         .expect("tenant page was IOPT-mapped");
+                    if spec::enabled() {
+                        spec::unmap_page(self.device_id.0, iova.raw());
+                    }
                 }
                 PageSize::Small => {
                     for k in 0..(PAGE_2M / PAGE_4K) {
@@ -1016,6 +1139,9 @@ impl<D: PlatformDevice> Optimus<D> {
                             .iommu_mut()
                             .unmap(Iova::new(iova.raw() + k * PAGE_4K))
                             .expect("tenant page was IOPT-mapped");
+                        if spec::enabled() {
+                            spec::unmap_page(self.device_id.0, iova.raw() + k * PAGE_4K);
+                        }
                     }
                 }
             }
@@ -1104,6 +1230,9 @@ impl<D: PlatformDevice> Optimus<D> {
                         .iommu_mut()
                         .map(iova, Hpa::new(hpa), PageSize::Huge, PageFlags::rw())
                         .expect("fresh IOVA slice");
+                    if spec::enabled() {
+                        spec::map_page(self.device_id.0, iova.raw(), hpa, PAGE_2M, true, vm_id.0);
+                    }
                 }
                 PageSize::Small => {
                     for k in 0..(PAGE_2M / PAGE_4K) {
@@ -1117,6 +1246,16 @@ impl<D: PlatformDevice> Optimus<D> {
                                 PageFlags::rw(),
                             )
                             .expect("fresh IOVA slice");
+                        if spec::enabled() {
+                            spec::map_page(
+                                self.device_id.0,
+                                iova.raw() + k * PAGE_4K,
+                                hpa + k * PAGE_4K,
+                                PAGE_4K,
+                                true,
+                                vm_id.0,
+                            );
+                        }
                     }
                 }
             }
@@ -1266,6 +1405,14 @@ impl<D: PlatformDevice> Optimus<D> {
             .collect();
         if current != snap.iopt {
             return Err(SnapshotError::IoptMismatch);
+        }
+        if spec::enabled() {
+            // The model persisted across the freeze (it is thread state,
+            // not hypervisor state); every thawed entry must still agree
+            // with it, or the update resurrected a stale translation.
+            for e in &current {
+                spec::check_thaw(snap.device_id.0, e.iova, e.hpa);
+            }
         }
         let vms = snap
             .vms
@@ -1542,6 +1689,26 @@ impl<D: PlatformDevice> GuestCtx<'_, D> {
                 }
             }
         }
+        if spec::enabled() {
+            let dev = self.hv.device_id.0;
+            match io_page {
+                PageSize::Huge => {
+                    spec::map_page(dev, iova.raw(), hpa.raw(), PAGE_2M, true, vm_id.0)
+                }
+                PageSize::Small => {
+                    for k in 0..(PAGE_2M / PAGE_4K) {
+                        spec::map_page(
+                            dev,
+                            iova.raw() + k * PAGE_4K,
+                            hpa.raw() + k * PAGE_4K,
+                            PAGE_4K,
+                            true,
+                            vm_id.0,
+                        );
+                    }
+                }
+            }
+        }
         self.hv.stats.hypercalls += 1;
         self.hv.stats.pinned_pages += 1;
         let c = ns_to_cycles(host_costs::HYPERCALL_NS);
@@ -1566,6 +1733,9 @@ impl<D: PlatformDevice> GuestCtx<'_, D> {
                 .expect("guest write to unmapped memory");
             let in_page = (PAGE_2M - cur.page_offset(PAGE_2M)) as usize;
             let take = in_page.min(data.len() - off);
+            if spec::enabled() {
+                spec::check_cpu(self.hv.device_id.0, hpa.raw(), take as u64, vm_id.0, true);
+            }
             self.hv
                 .device
                 .host_mut()
@@ -1586,6 +1756,9 @@ impl<D: PlatformDevice> GuestCtx<'_, D> {
                 .expect("guest read of unmapped memory");
             let in_page = (PAGE_2M - cur.page_offset(PAGE_2M)) as usize;
             let take = in_page.min(buf.len() - off);
+            if spec::enabled() {
+                spec::check_cpu(self.hv.device_id.0, hpa.raw(), take as u64, vm_id.0, false);
+            }
             let hv: &Optimus<D> = self.hv;
             hv.device.host().memory().read(hpa, &mut buf[off..off + take]);
             off += take;
@@ -1614,6 +1787,14 @@ impl<D: PlatformDevice> GuestCtx<'_, D> {
     pub fn mmio_write(&mut self, offset: u64, value: u64) {
         let va = self.va;
         self.hv.trap_cost(va, offset);
+        // Master-abort offsets past the vaccel's own 4 KB BAR page. Rebasing
+        // such an offset (`accel_mmio_base(slot) + offset`) lands in the
+        // *neighbour's* MMIO page — and a cached out-of-page app register
+        // would replay there on every install. Drop it at the trap.
+        if offset >= ACCEL_PAGE {
+            self.hv.stats.discarded_mmio += 1;
+            return;
+        }
         match offset {
             accel_reg::CTRL_CMD => {
                 if value == accel_reg::CMD_START {
@@ -1666,6 +1847,12 @@ impl<D: PlatformDevice> GuestCtx<'_, D> {
     pub fn mmio_read(&mut self, offset: u64) -> u64 {
         let va = self.va;
         self.hv.trap_cost(va, offset);
+        // See `mmio_write`: out-of-page offsets would read the neighbour's
+        // registers once rebased. Master-abort them as all-zero reads.
+        if offset >= ACCEL_PAGE {
+            self.hv.stats.discarded_mmio += 1;
+            return 0;
+        }
         match offset {
             accel_reg::CTRL_STATUS => {
                 if self.hv.is_scheduled(self.va) {
@@ -2007,6 +2194,41 @@ mod tests {
         let uninterrupted = run_temporal_pair(false);
         let resumed = run_temporal_pair(true);
         assert_eq!(uninterrupted, resumed);
+    }
+
+    #[test]
+    fn guest_mmio_offsets_cannot_escape_into_neighbor_slot() {
+        // Regression: a guest BAR offset past its own 4 KB page used to be
+        // cached and, rebased as `accel_mmio_base(slot) + offset`, replayed
+        // into the *next slot's* MMIO page on install — cross-tenant MMIO.
+        use optimus_accel::hash::reg;
+        let mut hv = Optimus::new(OptimusConfig::new(vec![AccelKind::Md5, AccelKind::Md5]));
+        let vm = hv.create_vm("attacker");
+        let va = hv.create_vaccel(vm, 0);
+        let data = vec![7u8; 1024];
+        let src;
+        {
+            let mut g = hv.guest(va);
+            src = g.alloc_dma(4096);
+            let dst = g.alloc_dma(4096);
+            g.write_mem(src, &data);
+            g.mmio_write(accel_reg::APP_BASE + reg::SRC, src.raw());
+            g.mmio_write(accel_reg::APP_BASE + reg::DST, dst.raw());
+            g.mmio_write(accel_reg::APP_BASE + reg::LINES, (data.len() / 64) as u64);
+            // One page up: rebased from slot 0, this offset is exactly
+            // slot 1's SRC application register.
+            g.mmio_write(ACCEL_PAGE + accel_reg::APP_BASE + reg::SRC, 0xdead);
+            // Out-of-page reads master-abort as zero.
+            assert_eq!(g.mmio_read(ACCEL_PAGE + accel_reg::APP_BASE + reg::SRC), 0);
+            g.mmio_write(accel_reg::CTRL_CMD, accel_reg::CMD_START);
+        }
+        assert!(hv.run_until_done(va, 100_000_000));
+        assert_eq!(
+            hv.device_mut().mmio_read(accel_mmio_base(1) + accel_reg::APP_BASE + reg::SRC),
+            0,
+            "out-of-page guest offset reached the neighbour slot's register"
+        );
+        assert_eq!(hv.stats().discarded_mmio, 2);
     }
 
     #[test]

@@ -50,6 +50,7 @@ use optimus_fabric::platform::{DeviceId, FabricError};
 use optimus_mem::addr::{Hpa, PAGE_2M};
 use optimus_sim::metrics;
 use optimus_sim::rng::derive_seed;
+use optimus_sim::spec;
 use optimus_sim::time::{ms_to_cycles, Cycle};
 use optimus_sim::trace;
 
@@ -309,8 +310,19 @@ impl OptimusNode {
         } else {
             (&mut tail[0], &mut head[lo])
         };
+        let src_vm = src.vaccel_vm(h.va);
         let t = src.detach_tenant(h.va)?;
         let (va, copies) = dst.attach_tenant(t)?;
+        if spec::enabled() {
+            // Every frame copy must read the detached tenant's own frames
+            // on the source device and write the freshly attached tenant's
+            // frames on the destination — nothing else.
+            let src_vm = src_vm.expect("detach succeeded, vaccel existed").0;
+            let dst_vm = dst.vaccel_vm(va).expect("freshly attached").0;
+            for &(s, d) in &copies {
+                spec::check_adopt(from.0, s, src_vm, to.0, d, dst_vm);
+            }
+        }
         // Move the tenant's bytes: coalesce the per-page copy list into
         // contiguous spans and adopt each across host memories.
         let mut i = 0;
@@ -546,19 +558,44 @@ impl OptimusNode {
         // their own thread-locals would re-read the environment, which
         // can disagree with a runtime set_enabled override.
         let recording = metrics::enabled();
+        // The spec plane mirrors the trace/metrics chunk protocol: each
+        // worker imports its devices' models, checks accesses locally, and
+        // exports models + violations for the main thread to re-absorb in
+        // device-index order.
+        let speccing = spec::enabled();
         let workers = self.threads.min(self.devices.len());
         let per = self.devices.len().div_ceil(workers);
-        type WorkerOut = (Vec<trace::TraceChunk>, Vec<metrics::MetricsChunk>);
+        let spec_groups: Vec<Vec<Option<spec::DeviceChunk>>> = if speccing {
+            self.devices
+                .chunks(per)
+                .map(|g| g.iter().map(|hv| spec::export_device(hv.device_id().0)).collect())
+                .collect()
+        } else {
+            self.devices.chunks(per).map(|_| Vec::new()).collect()
+        };
+        type WorkerOut = (
+            Vec<trace::TraceChunk>,
+            Vec<metrics::MetricsChunk>,
+            Vec<Option<spec::DeviceChunk>>,
+            (u64, Vec<spec::Violation>),
+        );
         let chunks_out: Vec<WorkerOut> = std::thread::scope(|s| {
             let handles: Vec<_> = self
                 .devices
                 .chunks_mut(per)
-                .map(|group| {
+                .zip(spec_groups)
+                .map(|(group, spec_group)| {
                     s.spawn(move || {
                         if tracing {
                             trace::set_enabled(true);
                         }
                         metrics::set_enabled(recording);
+                        if speccing {
+                            spec::set_enabled(true);
+                            for c in spec_group.into_iter().flatten() {
+                                spec::import_device(c);
+                            }
+                        }
                         let mut traces = Vec::new();
                         let mut planes = Vec::new();
                         for hv in group.iter_mut() {
@@ -570,7 +607,16 @@ impl OptimusNode {
                                 planes.push(metrics::take_chunk());
                             }
                         }
-                        (traces, planes)
+                        let mut spec_chunks = Vec::new();
+                        let spec_violations = if speccing {
+                            for hv in group.iter() {
+                                spec_chunks.push(spec::export_device(hv.device_id().0));
+                            }
+                            spec::take_violations()
+                        } else {
+                            (0, Vec::new())
+                        };
+                        (traces, planes, spec_chunks, spec_violations)
                     })
                 })
                 .collect();
@@ -582,13 +628,17 @@ impl OptimusNode {
         // Replay in device-index order. Metric merges are commutative
         // (counter adds, bucket adds, min/max) and gauges are
         // device-disjoint, so this equals the serial recording.
-        for (traces, planes) in chunks_out {
+        for (traces, planes, spec_chunks, spec_violations) in chunks_out {
             for c in traces {
                 trace::absorb_chunk(c);
             }
             for p in planes {
                 metrics::absorb_chunk(p);
             }
+            for c in spec_chunks.into_iter().flatten() {
+                spec::import_device(c);
+            }
+            spec::absorb_violations(spec_violations);
         }
     }
 

@@ -38,7 +38,7 @@ use optimus_fabric::platform::DeviceId;
 pub const SNAPSHOT_MAGIC: u64 = u64::from_le_bytes(*b"OPTMHVSN");
 
 /// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Errors from decoding or thawing a snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -357,6 +357,7 @@ fn kind_from_u8(v: u8) -> Result<AlertKind, SnapshotError> {
         0 => Ok(AlertKind::Starvation),
         1 => Ok(AlertKind::IotlbThrash),
         2 => Ok(AlertKind::PreemptOverrun),
+        3 => Ok(AlertKind::SaveRefused),
         _ => Err(SnapshotError::BadValue("alert kind")),
     }
 }
@@ -391,6 +392,7 @@ impl HvSnapshot {
             self.stats.alerts_starvation,
             self.stats.alerts_iotlb_thrash,
             self.stats.alerts_preempt_overrun,
+            self.stats.alerts_save_refused,
         ] {
             w.u64(c);
         }
@@ -507,6 +509,7 @@ impl HvSnapshot {
             alerts_starvation: r.u64()?,
             alerts_iotlb_thrash: r.u64()?,
             alerts_preempt_overrun: r.u64()?,
+            alerts_save_refused: r.u64()?,
         };
         let n_vms = r.len()?;
         let mut vms = Vec::with_capacity(n_vms);

@@ -35,6 +35,10 @@ pub enum AlertKind {
     IotlbThrash,
     /// A preemption missed its deadline and forced a reset.
     PreemptOverrun,
+    /// A drain+save was refused because the guest-provided state buffer
+    /// does not resolve to mapped guest memory; the slot was force-reset
+    /// instead of letting the save stream master-abort into the void.
+    SaveRefused,
 }
 
 impl AlertKind {
@@ -44,6 +48,7 @@ impl AlertKind {
             AlertKind::Starvation => 0,
             AlertKind::IotlbThrash => 1,
             AlertKind::PreemptOverrun => 2,
+            AlertKind::SaveRefused => 3,
         }
     }
 
@@ -53,6 +58,7 @@ impl AlertKind {
             AlertKind::Starvation => "starvation",
             AlertKind::IotlbThrash => "iotlb_thrash",
             AlertKind::PreemptOverrun => "preempt_overrun",
+            AlertKind::SaveRefused => "save_refused",
         }
     }
 }

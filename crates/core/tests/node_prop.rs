@@ -282,3 +282,56 @@ fn parallel_metrics_merge_matches_serial_aggregation() {
         assert_eq!(ser_chunks.iter().sum::<u64>(), ser_total);
     }
 }
+
+/// Regression (isolation PR's CI gate): a migration-driven preempt steps
+/// the source device from *outside* the run loop — the state-size MMIO
+/// read drives the fabric until the response returns — and that work must
+/// be metered under the source device regardless of which device scope
+/// the calling thread last claimed. The serial node loop leaves the
+/// ambient scope on the last-stepped device, the parallel path leaves the
+/// main thread's scope wherever setup put it; before `preempt_slot`
+/// claimed its own scope up front, the same migration metered its drain
+/// onto different devices depending on the thread schedule.
+#[test]
+fn migration_metrics_attribution_is_thread_schedule_invariant() {
+    use optimus_sim::metrics;
+    let run = |threads: usize| {
+        metrics::set_enabled(true);
+        metrics::reset();
+        let mut cfg = NodeConfig::new(vec![AccelKind::Mb; 4], 2);
+        cfg.seed = 9;
+        cfg.time_slice = 5_000;
+        cfg.threads = Some(threads);
+        let mut node = OptimusNode::new(cfg).expect("node boots");
+        let tenants: Vec<NodeVaccel> = (0..4)
+            .map(|t| node.create_tenant_on(DeviceId(0), &format!("t{t}")))
+            .collect();
+        for (t, &h) in tenants.iter().enumerate() {
+            // Endless bandwidth jobs: the migrated tenant must still be
+            // *running* when detached so the preempt takes the drain+save
+            // path (whose state-size read steps the device), not the
+            // completed-job fast path.
+            let mut g = node.guest(h);
+            let state = g.alloc_dma(1 << 21);
+            g.set_state_buffer(state);
+            let region = g.alloc_dma(1 << 21);
+            g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_REGION, region.raw());
+            g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_BYTES, 1 << 16);
+            g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_OPS, u64::MAX);
+            g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_SEED, 42 + t as u64);
+            g.mmio_write(accel_reg::CTRL_CMD, accel_reg::CMD_START);
+        }
+        node.run(40_000);
+        node.migrate(tenants[0], DeviceId(1)).expect("migration succeeds");
+        node.run(40_000);
+        let text = metrics::prometheus_text();
+        metrics::reset();
+        text
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(
+        serial, parallel,
+        "migration drain work metered differently between threads 1 and 4"
+    );
+}

@@ -1,0 +1,369 @@
+//! The executable isolation spec, exercised end-to-end: a WildDma
+//! adversary probing outside its slice, refinement checks on every host
+//! memory access (`optimus_sim::spec`), and the regression tests for the
+//! isolation bugs the harness shook out.
+//!
+//! Three claims are checked here:
+//!
+//! 1. **Invisibility** — enabling the spec plane changes no simulation
+//!    state: the full device fingerprint (clocks, stats, ports, guest
+//!    registers) is byte-identical with the plane on vs off, serial and
+//!    parallel.
+//! 2. **Refinement on clean runs** — multi-tenant scenarios with 4 KB and
+//!    2 MB pages, preemption, migration, and live-update record zero
+//!    violations: everything the simulator does, the model permits, and
+//!    everything the simulator refuses, the model refuses.
+//! 3. **Containment of wild traffic** — every probe WildDma aims outside
+//!    its slice (at a neighbour's slice or the IOTLB-mitigation gap) is
+//!    master-aborted: reads leak no data, writes land nowhere, the legit
+//!    stream is untouched, and the model agrees no illegal access was
+//!    ever *performed* (zero violations with nonzero discards).
+
+use optimus::hypervisor::Backing;
+use optimus::node::{NodeConfig, NodeVaccel, OptimusNode};
+use optimus::slicing::SlicingConfig;
+use optimus::watchdog::AlertKind;
+use optimus_accel::membench::MbKernel;
+use optimus_accel::registry::AccelKind;
+use optimus_accel::wild::WildKernel;
+use optimus_fabric::mmio::{accel_reg, ACCEL_PAGE};
+use optimus_fabric::platform::DeviceId;
+use optimus_mem::addr::Gva;
+use optimus_sim::spec;
+
+const REGION_BYTES: u64 = 1 << 16;
+
+/// Where a tenant's wild probes are aimed.
+#[derive(Clone, Copy)]
+enum WildAim {
+    /// No wild traffic: a well-behaved tenant.
+    None,
+    /// At the previous tenant's slice: `region - stride` translates to the
+    /// same relative offset inside the *neighbouring* auditor window.
+    PrevSlice { every: u64 },
+    /// One slice length past its own region: into the IOTLB-mitigation
+    /// gap between windows.
+    Gap { every: u64 },
+}
+
+/// Creates a tenant's job on a Wild slot: deterministic content in the
+/// read half of the region, optional wild probes, CMD_START.
+fn start_wild_job(
+    node: &mut OptimusNode,
+    h: NodeVaccel,
+    ops: u64,
+    seed: u64,
+    aim: WildAim,
+    pages_4k: bool,
+) -> Gva {
+    let slicing = SlicingConfig::default();
+    let mut g = node.guest(h);
+    let state = if pages_4k {
+        g.alloc_dma_4k(1 << 16, Backing::Normal)
+    } else {
+        g.alloc_dma(1 << 16)
+    };
+    g.set_state_buffer(state);
+    let region = if pages_4k {
+        g.alloc_dma_4k(REGION_BYTES, Backing::Normal)
+    } else {
+        g.alloc_dma(REGION_BYTES)
+    };
+    // The kernel's checksum fingerprints exactly these bytes (reads sample
+    // the lower half; its own writes land in the upper half).
+    let mut fill = vec![0u8; (REGION_BYTES / 2) as usize];
+    for (i, b) in fill.iter_mut().enumerate() {
+        *b = (seed as u8)
+            .wrapping_add((i as u8).wrapping_mul(31))
+            .wrapping_add((i >> 8) as u8);
+    }
+    g.write_mem(region, &fill);
+    g.mmio_write(accel_reg::APP_BASE + WildKernel::REG_REGION, region.raw());
+    g.mmio_write(accel_reg::APP_BASE + WildKernel::REG_BYTES, REGION_BYTES);
+    g.mmio_write(accel_reg::APP_BASE + WildKernel::REG_OPS, ops);
+    g.mmio_write(accel_reg::APP_BASE + WildKernel::REG_SEED, seed);
+    let wild_base = match aim {
+        WildAim::None => None,
+        WildAim::PrevSlice { every } => Some((region.raw() - slicing.stride(), every)),
+        WildAim::Gap { every } => Some((region.raw() + slicing.slice_bytes, every)),
+    };
+    if let Some((base, every)) = wild_base {
+        g.mmio_write(accel_reg::APP_BASE + WildKernel::REG_WILD_BASE, base);
+        g.mmio_write(accel_reg::APP_BASE + WildKernel::REG_WILD_BYTES, 1 << 20);
+        g.mmio_write(accel_reg::APP_BASE + WildKernel::REG_WILD_EVERY, every);
+    }
+    g.mmio_write(accel_reg::CTRL_CMD, accel_reg::CMD_START);
+    region
+}
+
+fn reg(node: &mut OptimusNode, h: NodeVaccel, r: u64) -> u64 {
+    node.guest(h).mmio_read(accel_reg::APP_BASE + r)
+}
+
+/// Runs a two-device WildDma scenario (one adversary among well-behaved
+/// tenants, mid-run migrate + live-update) and returns the full state
+/// fingerprint, free_run_prop-style. `spec_on` flips the refinement
+/// checker for the whole run.
+fn scenario_fingerprint(threads: usize, lockstep: bool, spec_on: bool) -> Vec<u64> {
+    spec::set_enabled(spec_on);
+    spec::reset();
+    const DEVICES: usize = 2;
+    const SLOTS: usize = 2;
+    let mut cfg = NodeConfig::new(vec![AccelKind::Wild; SLOTS], DEVICES);
+    cfg.seed = 7;
+    cfg.time_slice = 6_000;
+    cfg.threads = Some(threads);
+    cfg.lockstep = Some(lockstep);
+    let mut node = OptimusNode::new(cfg).expect("node boots");
+    let mut handles: Vec<NodeVaccel> = (0..4)
+        .map(|t| node.create_tenant_on(DeviceId((t % DEVICES) as u32), &format!("t{t}")))
+        .collect();
+    for (t, &h) in handles.iter().enumerate() {
+        // Tenant 3 is the adversary: every second legit op is chased by a
+        // wild probe at its predecessor's slice.
+        let aim = if t == 3 { WildAim::PrevSlice { every: 2 } } else { WildAim::None };
+        start_wild_job(&mut node, h, 300 + 83 * t as u64, 11 + t as u64, aim, false);
+    }
+    node.run(120_000);
+    handles[0] = node.migrate(handles[0], DeviceId(1)).expect("migration succeeds");
+    node.live_update(DeviceId(0));
+    node.run(200_000);
+    let mut fp = vec![node.now()];
+    for d in 0..DEVICES {
+        let hv = node.device(DeviceId(d as u32));
+        let stats = hv.stats();
+        fp.extend([
+            hv.device().now(),
+            stats.traps,
+            stats.hypercalls,
+            stats.pinned_pages,
+            stats.context_switches,
+            stats.preemptions,
+            stats.forced_resets,
+            stats.dropped_packets,
+            stats.discarded_dma,
+            stats.discarded_mmio,
+            hv.device().host().faulted_dmas(),
+            hv.device().host().total_dma_bytes(),
+        ]);
+        let (hits, spec_hits, misses, conflicts) = hv.device().host().iommu().tlb().stats();
+        fp.extend([hits, spec_hits, misses, conflicts]);
+        for s in 0..SLOTS {
+            let (read, written) = hv.device().port(s).byte_counts();
+            fp.extend([hv.device().port(s).stale_discarded(), read, written]);
+        }
+    }
+    for &h in &handles {
+        fp.push(h.device.0 as u64);
+        fp.push(node.vaccel_completed(h) as u64);
+        for r in [
+            WildKernel::REG_COMPLETED,
+            WildKernel::REG_CHECKSUM,
+            WildKernel::REG_WILD_ISSUED,
+            WildKernel::REG_WILD_DONE,
+            WildKernel::REG_WILD_LEAKED,
+            WildKernel::REG_LEGIT_ABORTED,
+        ] {
+            fp.push(reg(&mut node, h, r));
+        }
+    }
+    fp.push(node.now());
+    if spec_on {
+        assert_eq!(
+            spec::violation_count(),
+            0,
+            "clean+contained scenario must satisfy the model: {:?}",
+            spec::violations()
+        );
+        spec::set_enabled(false);
+    }
+    fp
+}
+
+/// Claim 1: the spec plane is invisible. Byte-identical fingerprints with
+/// the refinement checker on vs off, serial and with worker threads (the
+/// chunk import/export path).
+#[test]
+fn spec_plane_is_invisible() {
+    for &(threads, lockstep) in &[(1usize, true), (1, false), (2, false)] {
+        let off = scenario_fingerprint(threads, lockstep, false);
+        let on = scenario_fingerprint(threads, lockstep, true);
+        assert!(off[2] > 0, "no traps recorded: {off:?}");
+        assert_eq!(
+            off, on,
+            "spec plane perturbed the simulation at threads={threads} lockstep={lockstep}"
+        );
+    }
+}
+
+/// Claim 2: clean multi-tenant runs — mixed 4 KB / 2 MB pages, preemption,
+/// a migration, and a live-update — record zero refinement violations and
+/// all jobs complete.
+#[test]
+fn clean_runs_record_zero_violations() {
+    spec::set_enabled(true);
+    spec::reset();
+    let mut cfg = NodeConfig::new(vec![AccelKind::Wild; 2], 2);
+    cfg.seed = 5;
+    cfg.time_slice = 5_000;
+    cfg.threads = Some(2);
+    let mut node = OptimusNode::new(cfg).expect("node boots");
+    let a = node.create_tenant_on(DeviceId(0), "small-pages");
+    let b = node.create_tenant_on(DeviceId(0), "huge-pages");
+    let c = node.create_tenant_on(DeviceId(1), "bystander");
+    start_wild_job(&mut node, a, 400, 3, WildAim::None, true);
+    start_wild_job(&mut node, b, 500, 4, WildAim::None, false);
+    start_wild_job(&mut node, c, 600, 5, WildAim::None, false);
+    node.run(40_000);
+    let a = node.migrate(a, DeviceId(1)).expect("migration succeeds");
+    node.live_update(DeviceId(0));
+    for &h in &[a, b, c] {
+        assert!(node.run_until_done(h, 400_000_000), "job completes");
+        assert_ne!(reg(&mut node, h, WildKernel::REG_CHECKSUM), 0);
+        assert_eq!(reg(&mut node, h, WildKernel::REG_LEGIT_ABORTED), 0);
+    }
+    assert_eq!(
+        spec::violation_count(),
+        0,
+        "clean run diverged from the model: {:?}",
+        spec::violations()
+    );
+    spec::set_enabled(false);
+}
+
+/// Shared body for claim 3: a victim and a WildDma adversary on one
+/// device; every wild probe must be master-aborted (discarded at the
+/// auditor), nothing may leak, the victim's read-half memory stays intact,
+/// and the model must agree nothing illegal was performed.
+fn wild_attack_is_contained(aim: WildAim) {
+    spec::set_enabled(true);
+    spec::reset();
+    let mut cfg = NodeConfig::new(vec![AccelKind::Wild; 2], 1);
+    cfg.seed = 9;
+    cfg.time_slice = 6_000;
+    let mut node = OptimusNode::new(cfg).expect("node boots");
+    let victim = node.create_tenant_on(DeviceId(0), "victim");
+    let attacker = node.create_tenant_on(DeviceId(0), "attacker");
+    let ops = 800u64;
+    let every = 2u64;
+    let victim_region = start_wild_job(&mut node, victim, 600, 21, WildAim::None, false);
+    start_wild_job(&mut node, attacker, ops, 33, aim, false);
+    // Wild MMIO rides along: pokes outside the accelerator's 4 KB page
+    // must be discarded (reads as zero), not routed to a neighbour slot.
+    {
+        let mut g = node.guest(attacker);
+        g.mmio_write(ACCEL_PAGE + accel_reg::APP_BASE, 0xdead_beef);
+        assert_eq!(g.mmio_read(ACCEL_PAGE + accel_reg::APP_BASE), 0);
+    }
+    assert!(node.run_until_done(victim, 400_000_000), "victim completes");
+    assert!(node.run_until_done(attacker, 400_000_000), "attacker's legit stream completes");
+    let total_wild = ops / every;
+    assert_eq!(reg(&mut node, attacker, WildKernel::REG_WILD_ISSUED), total_wild);
+    assert_eq!(reg(&mut node, attacker, WildKernel::REG_WILD_DONE), total_wild);
+    assert_eq!(
+        reg(&mut node, attacker, WildKernel::REG_WILD_LEAKED),
+        0,
+        "a wild read outside the slice returned host data"
+    );
+    assert_eq!(
+        reg(&mut node, attacker, WildKernel::REG_LEGIT_ABORTED),
+        0,
+        "the auditor window clamped the attacker's own legal stream"
+    );
+    assert_eq!(reg(&mut node, attacker, WildKernel::REG_COMPLETED), ops);
+    assert_eq!(reg(&mut node, victim, WildKernel::REG_LEGIT_ABORTED), 0);
+    let stats = node.stats();
+    assert!(
+        stats.discarded_dma >= total_wild,
+        "every wild probe must be discarded at the auditor: {} < {total_wild}",
+        stats.discarded_dma
+    );
+    assert!(stats.discarded_mmio >= 2, "wild MMIO must be discarded");
+    // The victim's read half is bit-identical to what its guest wrote:
+    // the adversary's writes landed nowhere.
+    let mut expect = vec![0u8; (REGION_BYTES / 2) as usize];
+    for (i, b) in expect.iter_mut().enumerate() {
+        *b = 21u8.wrapping_add((i as u8).wrapping_mul(31)).wrapping_add((i >> 8) as u8);
+    }
+    let mut got = vec![0u8; (REGION_BYTES / 2) as usize];
+    node.guest(victim).read_mem(victim_region, &mut got);
+    assert_eq!(got, expect, "victim memory corrupted by wild traffic");
+    assert_eq!(
+        spec::violation_count(),
+        0,
+        "the simulator performed an access the model forbids: {:?}",
+        spec::violations()
+    );
+    spec::set_enabled(false);
+}
+
+/// Regression (cross-slice window bug): wild probes aimed at the
+/// *neighbouring tenant's slice* master-abort at the auditor window. Before
+/// the per-slot window was programmed from the slice table, these
+/// translated silently into the neighbour's IOVA range.
+#[test]
+fn cross_slice_wild_probes_master_abort() {
+    wild_attack_is_contained(WildAim::PrevSlice { every: 2 });
+}
+
+/// Wild probes into the IOTLB-mitigation gap between slices master-abort
+/// the same way (nothing is mapped there, and the window ends before it).
+#[test]
+fn mitigation_gap_wild_probes_master_abort() {
+    wild_attack_is_contained(WildAim::Gap { every: 2 });
+}
+
+/// Regression (save-refusal bug): a tenant that never supplies a valid
+/// state buffer cannot be drained+saved — master-abort retirement would
+/// "complete" the save into the void and the next restore would read
+/// garbage. The hypervisor must refuse the save, force-reset the slot,
+/// raise `SaveRefused`, and keep the well-behaved neighbour unharmed.
+#[test]
+fn unmapped_state_buffer_refuses_save_and_spares_neighbour() {
+    spec::set_enabled(true);
+    spec::reset();
+    let mut cfg = NodeConfig::new(vec![AccelKind::Mb], 1);
+    cfg.seed = 13;
+    cfg.time_slice = 4_000;
+    let mut node = OptimusNode::new(cfg).expect("node boots");
+    let hostile = node.create_tenant_on(DeviceId(0), "no-state-buffer");
+    let friendly = node.create_tenant_on(DeviceId(0), "well-behaved");
+    {
+        // The hostile tenant starts an endless job and never calls
+        // set_state_buffer: its save target stays GVA 0, unmapped.
+        let mut g = node.guest(hostile);
+        let region = g.alloc_dma(1 << 20);
+        g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_REGION, region.raw());
+        g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_BYTES, 1 << 16);
+        g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_OPS, u64::MAX);
+        g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_SEED, 1);
+        g.mmio_write(accel_reg::CTRL_CMD, accel_reg::CMD_START);
+    }
+    {
+        let mut g = node.guest(friendly);
+        let state = g.alloc_dma(1 << 21);
+        g.set_state_buffer(state);
+        let region = g.alloc_dma(1 << 20);
+        g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_REGION, region.raw());
+        g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_BYTES, 1 << 16);
+        g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_OPS, 400);
+        g.mmio_write(accel_reg::APP_BASE + MbKernel::REG_SEED, 2);
+        g.mmio_write(accel_reg::CTRL_CMD, accel_reg::CMD_START);
+    }
+    assert!(node.run_until_done(friendly, 400_000_000), "neighbour completes");
+    let stats = node.stats();
+    assert!(stats.alerts_save_refused >= 1, "no SaveRefused alert raised: {stats:?}");
+    assert!(stats.forced_resets >= 1);
+    assert!(
+        node.alerts().iter().any(|a| a.kind == AlertKind::SaveRefused),
+        "alert stream missing SaveRefused: {:?}",
+        node.alerts()
+    );
+    assert_eq!(
+        spec::violation_count(),
+        0,
+        "refused save leaked an access the model forbids: {:?}",
+        spec::violations()
+    );
+    spec::set_enabled(false);
+}

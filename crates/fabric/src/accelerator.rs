@@ -214,7 +214,12 @@ impl AccelPort {
 
     /// Delivers a response from the auditor. Unknown tags (stale responses
     /// from before a reset) are discarded and counted.
-    pub fn deliver(&mut self, tag: Tag, data: Option<Box<Line>>, now: Cycle) {
+    ///
+    /// Returns whether the response matched an in-flight request, so the
+    /// device can fold stale discards into its own integrity accounting
+    /// exactly once (the port-local counter alone was invisible to
+    /// `HvStats.discarded_dma`).
+    pub fn deliver(&mut self, tag: Tag, data: Option<Box<Line>>, now: Cycle) -> bool {
         match self.in_flight.remove(&tag.0) {
             Some((issued_at, is_write)) => {
                 self.latency.record(now.saturating_sub(issued_at));
@@ -226,9 +231,11 @@ impl AccelPort {
                 }
                 self.meter.add_bytes(bytes);
                 self.responses.push_back(AccelResponse { tag, data });
+                true
             }
             None => {
                 self.stale_discarded += 1;
+                false
             }
         }
     }
@@ -305,6 +312,16 @@ pub trait Accelerator: Send {
     /// Current control status (mirrors the `CTRL_STATUS` register without
     /// MMIO side effects).
     fn status(&self) -> CtrlStatus;
+
+    /// Side-effect-free peek at an *application* register (offset relative
+    /// to [`crate::mmio::accel_reg::APP_BASE`]). The hypervisor uses this
+    /// to harvest a completed job's result registers when it evicts the
+    /// tenant from the physical slot; accelerators without readable
+    /// application state can keep the all-zero default.
+    fn peek_reg(&self, offset: u64) -> u64 {
+        let _ = offset;
+        0
+    }
 
     /// Whether the programmed job has completed.
     fn is_done(&self) -> bool {

@@ -27,6 +27,7 @@ use optimus_cci::params::{PASSTHROUGH_INJECT_INTERVAL, TREE_LEVEL_DOWN_CYCLES};
 use optimus_sim::clock::PlatformClock;
 use optimus_sim::metrics;
 use optimus_sim::queue::TimedQueue;
+use optimus_sim::spec;
 use optimus_sim::time::{ClockDivider, Cycle};
 
 /// The fabric configuration.
@@ -284,7 +285,16 @@ impl FpgaDevice {
                 for i in 0..self.accels.len() {
                     if self.ports[i].has_pending() && tree.can_accept(i) {
                         let req = self.ports[i].take_pending().expect("pending checked");
-                        tree.inject(i, self.auditors[i].translate(req), now);
+                        match self.auditors[i].translate(req) {
+                            Ok(pkt) => tree.inject(i, pkt, now),
+                            Err((tag, _)) => Self::abort_outbound(
+                                &mut self.dropped_packets,
+                                &mut self.ports[i],
+                                i,
+                                tag,
+                                now,
+                            ),
+                        }
                     }
                 }
                 // 4. Tree arbitration.
@@ -303,9 +313,19 @@ impl FpgaDevice {
                     && self.host.can_accept(now)
                 {
                     let req = self.ports[0].take_pending().expect("pending checked");
-                    let pkt = self.auditors[0].translate(req);
-                    self.host.submit(pkt, now);
-                    self.pt_next_inject = now + PASSTHROUGH_INJECT_INTERVAL;
+                    match self.auditors[0].translate(req) {
+                        Ok(pkt) => {
+                            self.host.submit(pkt, now);
+                            self.pt_next_inject = now + PASSTHROUGH_INJECT_INTERVAL;
+                        }
+                        Err((tag, _)) => Self::abort_outbound(
+                            &mut self.dropped_packets,
+                            &mut self.ports[0],
+                            0,
+                            tag,
+                            now,
+                        ),
+                    }
                 }
             }
         }
@@ -462,6 +482,26 @@ impl FpgaDevice {
         hit
     }
 
+    /// Retires a request the auditor's outbound window screened off: the
+    /// accelerator receives a master-abort response (`data: None`) in the
+    /// same cycle, so the wild request cannot dangle in the port's
+    /// in-flight table and wedge the preemption drain. The auditor already
+    /// counted the discard; the device folds it into its own drop counter
+    /// and the metrics plane.
+    /// (Associated fn over the disjoint fields so the mux tree can stay
+    /// borrowed at the call site.)
+    fn abort_outbound(
+        dropped_packets: &mut u64,
+        port: &mut AccelPort,
+        idx: usize,
+        tag: optimus_cci::packet::Tag,
+        now: Cycle,
+    ) {
+        *dropped_packets += 1;
+        metrics::inc(metrics::FABRIC_AUDITOR_REJECTS, idx as u32, 1);
+        port.deliver(tag, None, now);
+    }
+
     fn dispatch_down(&mut self, pkt: DownPacket, now: Cycle) {
         match &pkt {
             DownPacket::DmaReadResp { dst, .. } | DownPacket::DmaWriteAck { dst, .. } => {
@@ -472,7 +512,17 @@ impl FpgaDevice {
                 }
                 match self.auditors[idx].audit(&pkt) {
                     AuditVerdict::DeliverDma { tag, data } => {
-                        self.ports[idx].deliver(tag, data, now);
+                        if !self.ports[idx].deliver(tag, data, now) {
+                            // Stale tag (e.g. a response outliving a reset):
+                            // the port discarded it, and the discard must
+                            // surface in the device's integrity counters
+                            // exactly once — it was previously visible only
+                            // in the port-local counter, so
+                            // `HvStats.discarded_dma` undercounted.
+                            self.auditors[idx].count_discarded_dma();
+                            self.dropped_packets += 1;
+                            metrics::inc(metrics::FABRIC_AUDITOR_REJECTS, idx as u32, 1);
+                        }
                     }
                     _ => {
                         self.auditors[idx].count_discarded_dma();
@@ -508,6 +558,10 @@ impl FpgaDevice {
                     VcuEffect::OffsetUpdated { index } => {
                         self.auditors[index].set_offset(self.vcu.offset(index));
                     }
+                    VcuEffect::WindowUpdated { index } => {
+                        let (base, len) = self.vcu.window(index);
+                        self.auditors[index].set_window(base, len);
+                    }
                     VcuEffect::ResetPulsed { index } => self.reset_accel(index),
                     VcuEffect::None | VcuEffect::Ignored => {}
                 },
@@ -526,9 +580,27 @@ impl FpgaDevice {
                     None => DownPacket::MmioRead { addr },
                 }) {
                     AuditVerdict::DeliverMmio { offset, write: Some(v) } => {
+                        if spec::enabled() {
+                            spec::check_mmio_deliver(
+                                metrics::device_scope(),
+                                idx,
+                                addr,
+                                mmio::accel_mmio_base(idx),
+                                mmio::ACCEL_PAGE,
+                            );
+                        }
                         self.accels[idx].mmio_write(offset, v);
                     }
                     AuditVerdict::DeliverMmio { offset, write: None } => {
+                        if spec::enabled() {
+                            spec::check_mmio_deliver(
+                                metrics::device_scope(),
+                                idx,
+                                addr,
+                                mmio::accel_mmio_base(idx),
+                                mmio::ACCEL_PAGE,
+                            );
+                        }
                         let value = self.accels[idx].mmio_read(offset);
                         self.host.submit(UpPacket::MmioReadResp { addr, value }, now);
                     }
@@ -647,6 +719,10 @@ impl PlatformDevice for FpgaDevice {
 
     fn num_accels(&self) -> usize {
         FpgaDevice::num_accels(self)
+    }
+
+    fn peek_app_reg(&self, slot: usize, offset: u64) -> u64 {
+        self.accels[slot].peek_reg(offset)
     }
 
     fn accel_status(&self, slot: usize) -> CtrlStatus {
@@ -799,6 +875,61 @@ mod tests {
         // Port 1 had no such outstanding tag: discarded as stale.
         assert_eq!(dev.port(1).stale_discarded(), 1);
         assert_eq!(dev.port(1).byte_counts(), (0, 0));
+        // Regression (isolation spec harness): the stale discard must
+        // surface in the device's integrity counters exactly once — it
+        // used to live only in the port-local counter, so
+        // `HvStats.discarded_dma` undercounted stray traffic.
+        let integrity = PlatformDevice::integrity(&dev);
+        assert_eq!(integrity.discarded_dma, 1);
+        assert_eq!(integrity.dropped_packets, 1);
+    }
+
+    #[test]
+    fn stale_discards_count_exactly_once_under_batched_bursts() {
+        // Same stray packet, but delivered mid-burst with batched stepping
+        // (the PR 7 free-running configuration): the accounting in
+        // `dispatch_down` must not double- or under-count.
+        let mut dev = copier_device(2);
+        dev.set_batch_step(64);
+        for k in 0..3u32 {
+            dev.inject_down_packet(DownPacket::DmaReadResp {
+                data: Box::new([0xEE; 64]),
+                dst: optimus_cci::packet::AccelId(1),
+                tag: Tag(900 + k),
+            });
+        }
+        dev.run(1000);
+        assert_eq!(dev.port(1).stale_discarded(), 3);
+        let integrity = PlatformDevice::integrity(&dev);
+        assert_eq!(integrity.discarded_dma, 3);
+        assert_eq!(integrity.dropped_packets, 3);
+    }
+
+    #[test]
+    fn out_of_window_dma_is_master_aborted_and_counted() {
+        // Program accel 0's slice window, then point the copier's source
+        // past the end of the window: the auditor must discard the DMA
+        // (not let it escape into the next slice) and the device must
+        // retire the request with a master-abort so the port drains.
+        let mut dev = copier_device(2);
+        let win = PageSize::Huge.bytes() * 4; // 8 MB window at IOVA 0
+        dev.mmio_write(mmio::VCU_BASE + vcu_reg::WINDOW_BASE_TABLE, 0);
+        dev.mmio_write(mmio::VCU_BASE + vcu_reg::WINDOW_LEN_TABLE, win);
+        dev.run(100);
+        let base = mmio::accel_mmio_base(0);
+        dev.mmio_write(base + StreamCopier::REG_SRC, win); // first out-of-window line
+        dev.mmio_write(base + StreamCopier::REG_DST, win + 0x1000);
+        dev.mmio_write(base + StreamCopier::REG_LINES, 4);
+        dev.mmio_write(base + accel_reg::CTRL_CMD, accel_reg::CMD_START);
+        dev.run(100_000);
+        let (dma_discards, _) = dev.auditor(0).discard_counts();
+        assert!(dma_discards >= 4, "wild reads discarded, got {dma_discards}");
+        assert!(dev.port(0).is_drained(), "aborted requests must retire, not dangle");
+        let integrity = PlatformDevice::integrity(&dev);
+        assert_eq!(integrity.discarded_dma, dma_discards);
+        // Nothing was written past the window.
+        let out = dev.host().memory().read_line(Hpa::new(win + 0x1000));
+        assert_eq!(out, [0u8; 64]);
     }
 
     #[test]

@@ -50,6 +50,14 @@ pub mod vcu_reg {
     pub const RESET_TABLE: u64 = 0x100;
     /// Read-only: number of physical accelerators on the device.
     pub const NUM_ACCELS: u64 = 0x200;
+    /// Window-base-table entries: `WINDOW_BASE_TABLE + 8·i` holds the
+    /// base IOVA of accelerator `i`'s outbound DMA window (the base of
+    /// its tenant's page-table slice).
+    pub const WINDOW_BASE_TABLE: u64 = 0x300;
+    /// Window-length-table entries: `WINDOW_LEN_TABLE + 8·i` holds the
+    /// byte length of accelerator `i`'s outbound DMA window. `u64::MAX`
+    /// (the power-on value) disables screening.
+    pub const WINDOW_LEN_TABLE: u64 = 0x400;
     /// Read-only: magic identifying an OPTIMUS-compatible configuration.
     pub const MAGIC: u64 = 0x208;
     /// Read-only: number of multiplexer-tree levels.

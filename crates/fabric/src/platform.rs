@@ -90,6 +90,16 @@ pub trait PlatformDevice: PlatformClock + Send {
     /// Number of physical accelerator slots.
     fn num_accels(&self) -> usize;
 
+    /// Side-effect-free peek at a slot's application register (offset
+    /// relative to `APP_BASE`), mirroring
+    /// [`Accelerator::peek_reg`](crate::accelerator::Accelerator::peek_reg).
+    /// The hypervisor harvests a completed tenant's result registers with
+    /// this when the slot is handed to another vaccel.
+    fn peek_app_reg(&self, slot: usize, offset: u64) -> u64 {
+        let _ = (slot, offset);
+        0
+    }
+
     /// Control status of the accelerator in `slot`.
     fn accel_status(&self, slot: usize) -> CtrlStatus;
 

@@ -7,7 +7,10 @@
 //!   (IOVA − GVA), consulted by the auditors on every DMA;
 //! * the **reset table** — per-accelerator reset lines, letting the
 //!   hypervisor clear an individual accelerator's state on a VM context
-//!   switch without touching its neighbours.
+//!   switch without touching its neighbours;
+//! * the **window tables** — per-accelerator outbound DMA windows (base
+//!   and length of the tenant's IOVA slice), enforced by the auditors so
+//!   a wild guest pointer cannot escape into a neighbouring slice.
 //!
 //! It also answers configuration queries (accelerator count, compatibility
 //! magic, tree depth) through read-only registers. MMIO packets whose
@@ -31,6 +34,12 @@ pub enum VcuEffect {
         /// The accelerator being reset.
         index: usize,
     },
+    /// Accelerator `index`'s outbound DMA window changed; auditors must
+    /// reload.
+    WindowUpdated {
+        /// The accelerator whose window changed.
+        index: usize,
+    },
     /// The write targeted an invalid register and was ignored.
     Ignored,
 }
@@ -39,6 +48,8 @@ pub enum VcuEffect {
 #[derive(Debug, Clone)]
 pub struct Vcu {
     offsets: Vec<u64>,
+    win_bases: Vec<u64>,
+    win_lens: Vec<u64>,
     tree_levels: u32,
 }
 
@@ -48,6 +59,8 @@ impl Vcu {
     pub fn new(num_accels: usize, tree_levels: u32) -> Self {
         Self {
             offsets: vec![0; num_accels],
+            win_bases: vec![0; num_accels],
+            win_lens: vec![u64::MAX; num_accels],
             tree_levels,
         }
     }
@@ -66,6 +79,15 @@ impl Vcu {
         self.offsets[index]
     }
 
+    /// Accelerator `index`'s outbound DMA window as `(base, len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn window(&self, index: usize) -> (u64, u64) {
+        (self.win_bases[index], self.win_lens[index])
+    }
+
     /// Handles an MMIO write at `offset` within the VCU page.
     pub fn write(&mut self, offset: u64, value: u64) -> VcuEffect {
         if let Some(index) = table_index(offset, vcu_reg::OFFSET_TABLE, self.offsets.len()) {
@@ -78,6 +100,14 @@ impl Vcu {
             }
             return VcuEffect::None;
         }
+        if let Some(index) = table_index(offset, vcu_reg::WINDOW_BASE_TABLE, self.offsets.len()) {
+            self.win_bases[index] = value;
+            return VcuEffect::WindowUpdated { index };
+        }
+        if let Some(index) = table_index(offset, vcu_reg::WINDOW_LEN_TABLE, self.offsets.len()) {
+            self.win_lens[index] = value;
+            return VcuEffect::WindowUpdated { index };
+        }
         VcuEffect::Ignored
     }
 
@@ -85,6 +115,12 @@ impl Vcu {
     pub fn read(&self, offset: u64) -> u64 {
         if let Some(index) = table_index(offset, vcu_reg::OFFSET_TABLE, self.offsets.len()) {
             return self.offsets[index];
+        }
+        if let Some(index) = table_index(offset, vcu_reg::WINDOW_BASE_TABLE, self.offsets.len()) {
+            return self.win_bases[index];
+        }
+        if let Some(index) = table_index(offset, vcu_reg::WINDOW_LEN_TABLE, self.offsets.len()) {
+            return self.win_lens[index];
         }
         match offset {
             vcu_reg::NUM_ACCELS => self.offsets.len() as u64,
@@ -129,6 +165,28 @@ mod tests {
             VcuEffect::ResetPulsed { index: 2 }
         );
         assert_eq!(vcu.write(vcu_reg::RESET_TABLE + 2 * 8, 0), VcuEffect::None);
+    }
+
+    #[test]
+    fn window_tables_round_trip() {
+        let mut vcu = Vcu::new(4, 2);
+        // Power-on: unrestricted.
+        assert_eq!(vcu.window(1), (0, u64::MAX));
+        assert_eq!(
+            vcu.write(vcu_reg::WINDOW_BASE_TABLE + 8, 64 << 30),
+            VcuEffect::WindowUpdated { index: 1 }
+        );
+        assert_eq!(
+            vcu.write(vcu_reg::WINDOW_LEN_TABLE + 8, 1 << 30),
+            VcuEffect::WindowUpdated { index: 1 }
+        );
+        assert_eq!(vcu.window(1), (64 << 30, 1 << 30));
+        assert_eq!(vcu.read(vcu_reg::WINDOW_BASE_TABLE + 8), 64 << 30);
+        assert_eq!(vcu.read(vcu_reg::WINDOW_LEN_TABLE + 8), 1 << 30);
+        // Other entries untouched.
+        assert_eq!(vcu.window(0), (0, u64::MAX));
+        // Out-of-range entries ignored.
+        assert_eq!(vcu.write(vcu_reg::WINDOW_LEN_TABLE + 9 * 8, 1), VcuEffect::Ignored);
     }
 
     #[test]

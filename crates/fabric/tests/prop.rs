@@ -101,7 +101,7 @@ fn auditor_translation_and_identity() {
                 tag: Tag(1),
             });
             match pkt {
-                UpPacket::DmaRead { iova, src, .. } => {
+                Ok(UpPacket::DmaRead { iova, src, .. }) => {
                     prop_assert_eq!(iova.raw(), gva.wrapping_add(offset));
                     prop_assert_eq!(src, AccelId(id));
                 }

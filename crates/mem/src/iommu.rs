@@ -203,6 +203,13 @@ impl IoTlb {
     }
 
     /// Invalidates any entry covering `iova`.
+    ///
+    /// Also forgets the speculative-reuse region when it covers `iova`:
+    /// the speculative fast path models pipeline state keyed on the last
+    /// *translated* region, and letting it survive an unmap would carry a
+    /// departed tenant's access history into whoever is remapped onto the
+    /// same IOVA slice (a detached tenant's last region must not make the
+    /// next tenant's first access speculative).
     pub fn invalidate(&mut self, iova: Iova) {
         for size in [PageSize::Huge, PageSize::Small] {
             let set = Self::set_index(iova, size);
@@ -210,6 +217,9 @@ impl IoTlb {
             if self.tags[set] & !TAG_WRITE == want {
                 self.tags[set] = 0;
             }
+        }
+        if self.last_region == Some(iova.raw() >> PageSize::Huge.shift()) {
+            self.last_region = None;
         }
     }
 
@@ -603,6 +613,35 @@ mod tests {
         iommu.translate(Iova::new(0), false).unwrap();
         iommu.unmap(Iova::new(0)).unwrap();
         assert!(iommu.translate(Iova::new(0), false).is_err());
+    }
+
+    #[test]
+    fn speculative_state_does_not_survive_unmap_remap() {
+        // Regression (isolation spec harness): `invalidate` cleared the
+        // tag but left `last_region`, so a departed tenant's access
+        // history leaked into the next tenant mapped onto the same IOVA
+        // slice — its first access came back `HitSpeculative` instead of
+        // a cold-start class.
+        let mut iommu = mapped_iommu(1, PageSize::Huge);
+        iommu.translate(Iova::new(0x40), false).unwrap(); // last_region = 0
+        iommu.unmap(Iova::new(0)).unwrap();
+        assert_eq!(
+            iommu.tlb().last_region, None,
+            "unmap must clear the speculative-reuse region, not just the tag"
+        );
+        // Re-allocate the slice to a new tenant: same IOVA, fresh HPA.
+        iommu
+            .map(Iova::new(0), Hpa::new(0x4000_0000), PageSize::Huge, PageFlags::rw())
+            .unwrap();
+        let t = iommu.translate(Iova::new(0x80), false).unwrap();
+        assert!(
+            matches!(t.lookup, TlbLookup::Miss { .. }),
+            "first access after re-allocation must be a cold miss, got {:?}",
+            t.lookup
+        );
+        assert_eq!(t.hpa.raw(), 0x4000_0000 + 0x80);
+        let (_, spec_hits, _, _) = iommu.tlb().stats();
+        assert_eq!(spec_hits, 0, "no speculative reuse across unmap/remap");
     }
 
     #[test]

@@ -26,6 +26,10 @@
 //!   counters, gauges, and log2-bucketed histograms behind a branch-free
 //!   masked accumulate path (`OPTIMUS_METRICS=off` to disable), with
 //!   Prometheus/JSON exposition.
+//! * [`spec`] — the executable isolation specification: a per-device
+//!   model of which tenant may touch which HPA, updated only from the
+//!   hypervisor's history and refinement-checked against every host
+//!   memory access the simulator performs, gated behind `OPTIMUS_SPEC`.
 //!
 //! # Examples
 //!
@@ -47,6 +51,7 @@ pub mod perm;
 pub mod queue;
 pub mod rng;
 pub mod simrate;
+pub mod spec;
 pub mod stats;
 pub mod time;
 pub mod trace;

@@ -1,0 +1,605 @@
+//! The executable isolation specification: a high-level model of *who may
+//! touch which host physical address*, checked against every memory access
+//! the simulator actually performs.
+//!
+//! Modeled on refinement-based page-table verification (hvisor-pt): the
+//! model's state is deliberately tiny — three relations per device —
+//! and is updated **only** from the hypercall/MMIO/migration history the
+//! hypervisor layer reports:
+//!
+//! * `iopt`: IOVA span → (HPA span, writable, owning VM), installed by the
+//!   shadow-paging hypercall and torn down at detach;
+//! * `frames`: HPA span → owning VM. Ownership persists after IOPT
+//!   teardown (the frame allocator is a bump allocator and never reuses
+//!   HPAs), so CPU accesses and migration copies stay checkable;
+//! * `slots`: physical slot → VM currently allowed to drive DMA through
+//!   it, bound at install and released when the preemption drain/save (or
+//!   forced reset) completes.
+//!
+//! The low-level simulator then reports every host-memory access — CCI DMA
+//! reads/writes (including the translation-fault path), MMIO delivery,
+//! CPU-side guest reads/writes, `adopt_span` migration copies, and
+//! live-update thaw verification — and each is checked against the model
+//! **in both directions**: an access the simulator performs must be
+//! permitted by the model, and an access the simulator *refuses* (a
+//! translation fault) must be refused by the model too. Any divergence is
+//! recorded as a [`Violation`], never panicked, so differential tests can
+//! assert `violation_count() == 0` (or probe the harness itself).
+//!
+//! # Gating and determinism
+//!
+//! Like the flight recorder ([`crate::trace`]) the plane is off by default
+//! and enabled with `OPTIMUS_SPEC=1`. Every hook site is guarded by
+//! [`enabled`] (one thread-local read), the model is write-only from the
+//! simulated layers, and nothing here ever feeds back into simulation
+//! state or timing — a differential test proves fingerprints are
+//! byte-identical with the spec plane on vs off.
+//!
+//! State is thread-local. Node workers stepping device subsets import the
+//! relevant [`DeviceChunk`]s before a parallel span and export them after,
+//! mirroring the trace/metrics chunk protocol; violations drain with
+//! [`take_violations`] and merge in device-index order.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+
+/// Retained violation cap; the total count keeps incrementing past it.
+pub const MAX_RETAINED: usize = 64;
+
+/// One refinement divergence: the simulator and the model disagreed about
+/// an access (or about a model update's precondition).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Device the access belonged to.
+    pub device: u32,
+    /// Stable machine-readable class, e.g. `dma_cross_tenant`.
+    pub kind: &'static str,
+    /// Human-readable specifics (addresses, tenants, slots).
+    pub detail: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct IoptSpan {
+    len: u64,
+    hpa: u64,
+    write: bool,
+    owner: u32,
+}
+
+/// The per-device model state (see module docs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeviceModel {
+    iopt: BTreeMap<u64, IoptSpan>,
+    frames: BTreeMap<u64, (u64, u32)>,
+    slots: Vec<Option<u32>>,
+}
+
+impl DeviceModel {
+    fn iopt_at(&self, iova: u64) -> Option<(u64, IoptSpan)> {
+        let (&base, &span) = self.iopt.range(..=iova).next_back()?;
+        (iova.wrapping_sub(base) < span.len).then_some((base, span))
+    }
+
+    fn frame_at(&self, hpa: u64) -> Option<(u64, (u64, u32))> {
+        let (&base, &entry) = self.frames.range(..=hpa).next_back()?;
+        (hpa.wrapping_sub(base) < entry.0).then_some((base, entry))
+    }
+
+    fn slot_owner(&self, slot: usize) -> Option<u32> {
+        self.slots.get(slot).copied().flatten()
+    }
+}
+
+/// A device's model state in transit between threads (node workers).
+#[derive(Debug)]
+pub struct DeviceChunk {
+    device: u32,
+    model: DeviceModel,
+}
+
+#[derive(Default)]
+struct SpecState {
+    devices: BTreeMap<u32, DeviceModel>,
+    violations: Vec<Violation>,
+    count: u64,
+}
+
+struct Tls {
+    enabled: Cell<bool>,
+    state: RefCell<SpecState>,
+}
+
+fn env_enabled() -> bool {
+    match std::env::var("OPTIMUS_SPEC") {
+        Ok(v) => v == "1" || v.eq_ignore_ascii_case("on") || v.eq_ignore_ascii_case("true"),
+        Err(_) => false,
+    }
+}
+
+thread_local! {
+    static TLS: Tls = Tls {
+        enabled: Cell::new(env_enabled()),
+        state: RefCell::new(SpecState::default()),
+    };
+}
+
+/// Whether this thread is checking accesses against the model. Every hook
+/// site guards on this, so a disabled run pays one thread-local read per
+/// hook and builds no arguments.
+#[inline]
+pub fn enabled() -> bool {
+    TLS.with(|t| t.enabled.get())
+}
+
+/// Overrides the `OPTIMUS_SPEC` gate for this thread (tests, node workers
+/// propagating the main thread's state).
+pub fn set_enabled(on: bool) {
+    TLS.with(|t| t.enabled.set(on));
+}
+
+/// Clears the model and all recorded violations on this thread.
+pub fn reset() {
+    TLS.with(|t| *t.state.borrow_mut() = SpecState::default());
+}
+
+/// Total violations recorded on this thread (including past the retention
+/// cap).
+pub fn violation_count() -> u64 {
+    TLS.with(|t| t.state.borrow().count)
+}
+
+/// The retained violations, oldest first (capped at [`MAX_RETAINED`]).
+pub fn violations() -> Vec<Violation> {
+    TLS.with(|t| t.state.borrow().violations.clone())
+}
+
+fn record(s: &mut SpecState, device: u32, kind: &'static str, detail: String) {
+    s.count += 1;
+    if s.violations.len() < MAX_RETAINED {
+        s.violations.push(Violation { device, kind, detail });
+    }
+}
+
+fn with_state<R>(f: impl FnOnce(&mut SpecState) -> R) -> R {
+    TLS.with(|t| f(&mut t.state.borrow_mut()))
+}
+
+// ---- Model updates (history events) ---------------------------------------
+
+/// A shadow-paging hypercall installed `iova..iova+len` → `hpa..hpa+len`
+/// for `vm`. Also claims the HPA span for `vm`; a claim overlapping a
+/// *different* VM's live frames is itself a violation (the bump allocator
+/// must never hand the same frame to two tenants).
+pub fn map_page(device: u32, iova: u64, hpa: u64, len: u64, write: bool, vm: u32) {
+    with_state(|s| {
+        let m = s.devices.entry(device).or_default();
+        if let Some((base, (flen, owner))) = m.frame_at(hpa) {
+            if owner != vm && hpa < base + flen {
+                record(
+                    s,
+                    device,
+                    "hpa_reallocated",
+                    format!("hpa {hpa:#x} claimed by vm {vm} but owned by vm {owner}"),
+                );
+                return;
+            }
+        }
+        let m = s.devices.entry(device).or_default();
+        m.iopt.insert(iova, IoptSpan { len, hpa, write, owner: vm });
+        m.frames.entry(hpa).or_insert((len, vm));
+    });
+}
+
+/// Detach tore down the IOPT span at `iova`. Frame ownership persists (the
+/// node still copies the frames out during migration).
+pub fn unmap_page(device: u32, iova: u64) {
+    with_state(|s| {
+        let m = s.devices.entry(device).or_default();
+        if m.iopt.remove(&iova).is_none() {
+            record(
+                s,
+                device,
+                "unmap_unknown",
+                format!("unmap of iova {iova:#x} the model never saw mapped"),
+            );
+        }
+    });
+}
+
+/// The hypervisor installed `vm`'s virtual accelerator onto `slot`: DMAs
+/// from that slot now act on `vm`'s behalf.
+pub fn bind_slot(device: u32, slot: usize, vm: u32) {
+    with_state(|s| {
+        let m = s.devices.entry(device).or_default();
+        if m.slots.len() <= slot {
+            m.slots.resize(slot + 1, None);
+        }
+        m.slots[slot] = Some(vm);
+    });
+}
+
+/// The slot's occupant finished its drain/save (or was force-reset): no
+/// tenant may issue DMA through it until the next install.
+pub fn unbind_slot(device: u32, slot: usize) {
+    with_state(|s| {
+        let m = s.devices.entry(device).or_default();
+        if m.slots.len() <= slot {
+            m.slots.resize(slot + 1, None);
+        }
+        m.slots[slot] = None;
+    });
+}
+
+// ---- Access checks --------------------------------------------------------
+
+/// A DMA from `slot` translated to `hpa` and touched host memory: the
+/// model must map the IOVA to exactly that HPA, with sufficient
+/// permission, and the span's owner must be the VM bound to the slot.
+pub fn check_dma(device: u32, slot: u32, iova: u64, hpa: u64, write: bool) {
+    with_state(|s| {
+        let Some(m) = s.devices.get(&device) else {
+            record(s, device, "dma_unmodeled_device", format!("iova {iova:#x} slot {slot}"));
+            return;
+        };
+        let Some((base, span)) = m.iopt_at(iova) else {
+            record(
+                s,
+                device,
+                "dma_unmapped",
+                format!("slot {slot} reached iova {iova:#x} the model has no mapping for"),
+            );
+            return;
+        };
+        let model_hpa = span.hpa + (iova - base);
+        if model_hpa != hpa {
+            record(
+                s,
+                device,
+                "dma_wrong_hpa",
+                format!("iova {iova:#x}: simulator used hpa {hpa:#x}, model says {model_hpa:#x}"),
+            );
+            return;
+        }
+        if write && !span.write {
+            record(s, device, "dma_perm", format!("write to read-only iova {iova:#x}"));
+            return;
+        }
+        match m.slot_owner(slot as usize) {
+            Some(vm) if vm == span.owner => {}
+            Some(vm) => record(
+                s,
+                device,
+                "dma_cross_tenant",
+                format!(
+                    "slot {slot} (vm {vm}) touched iova {iova:#x} owned by vm {owner}",
+                    owner = span.owner
+                ),
+            ),
+            None => record(
+                s,
+                device,
+                "dma_unbound_slot",
+                format!("unbound slot {slot} issued DMA to iova {iova:#x}"),
+            ),
+        }
+    });
+}
+
+/// The IOMMU refused a DMA (translation fault). Refinement runs both ways:
+/// if the model *would* have permitted the access, the simulator dropped
+/// legal traffic.
+pub fn check_dma_fault(device: u32, slot: u32, iova: u64, write: bool) {
+    with_state(|s| {
+        let Some(m) = s.devices.get(&device) else { return };
+        if let Some((_, span)) = m.iopt_at(iova) {
+            if (!write || span.write) && m.slot_owner(slot as usize) == Some(span.owner) {
+                record(
+                    s,
+                    device,
+                    "dropped_legal_dma",
+                    format!("slot {slot} faulted on iova {iova:#x} the model permits"),
+                );
+            }
+        }
+    });
+}
+
+/// An MMIO access was delivered to accelerator `slot`; `base`/`size` is
+/// that slot's BAR page. Delivery outside the page is a containment
+/// violation regardless of how the auditor's arithmetic got there.
+pub fn check_mmio_deliver(device: u32, slot: usize, addr: u64, base: u64, size: u64) {
+    with_state(|s| {
+        if addr.wrapping_sub(base) >= size {
+            record(
+                s,
+                device,
+                "mmio_out_of_page",
+                format!("addr {addr:#x} delivered to slot {slot} page [{base:#x}, +{size:#x})"),
+            );
+        }
+    });
+}
+
+/// A CPU-side guest access (`write_mem`/`read_mem`) touched
+/// `hpa..hpa+len` on behalf of `vm`: the whole span must be covered by
+/// `vm`'s own frames. Frames are claimed at the hypercall's granularity
+/// (2 MB or 4 KB), so the check walks contiguous frames until the span is
+/// covered rather than assuming one frame suffices.
+pub fn check_cpu(device: u32, hpa: u64, len: u64, vm: u32, write: bool) {
+    with_state(|s| {
+        let kind = if write { "cpu_write" } else { "cpu_read" };
+        let Some(m) = s.devices.get(&device) else {
+            record(s, device, "cpu_unowned", format!("{kind} of hpa {hpa:#x} on unmodeled device"));
+            return;
+        };
+        let end = hpa + len;
+        let mut cur = hpa;
+        loop {
+            match m.frame_at(cur) {
+                Some((base, (flen, owner))) => {
+                    if owner != vm {
+                        record(
+                            s,
+                            device,
+                            "cpu_cross_tenant",
+                            format!("vm {vm} {kind} hpa {cur:#x} owned by vm {owner}"),
+                        );
+                        return;
+                    }
+                    let span_end = base + flen;
+                    if span_end >= end {
+                        return;
+                    }
+                    cur = span_end;
+                }
+                None => {
+                    let k = if cur == hpa { "cpu_unowned" } else { "cpu_overrun" };
+                    record(
+                        s,
+                        device,
+                        k,
+                        format!("vm {vm} {kind} [{hpa:#x}, +{len:#x}) uncovered at {cur:#x}"),
+                    );
+                    return;
+                }
+            }
+        }
+    });
+}
+
+/// One migration frame copy: the source span must belong to the detached
+/// tenant (`src_vm` on `src_device`), the destination span to the freshly
+/// attached one (`dst_vm` on `dst_device`).
+pub fn check_adopt(
+    src_device: u32,
+    src_hpa: u64,
+    src_vm: u32,
+    dst_device: u32,
+    dst_hpa: u64,
+    dst_vm: u32,
+) {
+    with_state(|s| {
+        let src_owner = s
+            .devices
+            .get(&src_device)
+            .and_then(|m| m.frame_at(src_hpa))
+            .map(|(_, (_, owner))| owner);
+        if src_owner != Some(src_vm) {
+            record(
+                s,
+                src_device,
+                "adopt_src_mismatch",
+                format!("migration read hpa {src_hpa:#x} owned by {src_owner:?}, not vm {src_vm}"),
+            );
+        }
+        let dst_owner = s
+            .devices
+            .get(&dst_device)
+            .and_then(|m| m.frame_at(dst_hpa))
+            .map(|(_, (_, owner))| owner);
+        if dst_owner != Some(dst_vm) {
+            record(
+                s,
+                dst_device,
+                "adopt_dst_mismatch",
+                format!("migration wrote hpa {dst_hpa:#x} owned by {dst_owner:?}, not vm {dst_vm}"),
+            );
+        }
+    });
+}
+
+/// Live-update thaw verified an IOPT entry against the persistent device:
+/// the model (which also persisted across the freeze) must agree.
+pub fn check_thaw(device: u32, iova: u64, hpa: u64) {
+    with_state(|s| {
+        let modeled = s
+            .devices
+            .get(&device)
+            .and_then(|m| m.iopt_at(iova))
+            .map(|(base, span)| span.hpa + (iova - base));
+        if modeled != Some(hpa) {
+            record(
+                s,
+                device,
+                "thaw_mismatch",
+                format!("thawed iopt entry {iova:#x}→{hpa:#x}; model says {modeled:?}"),
+            );
+        }
+    });
+}
+
+// ---- Parallel chunk plumbing ---------------------------------------------
+
+/// Removes `device`'s model from this thread so a worker can own it for a
+/// parallel span. Returns `None` if the device has no model yet (the
+/// worker starts it fresh via `or_default`).
+pub fn export_device(device: u32) -> Option<DeviceChunk> {
+    with_state(|s| s.devices.remove(&device).map(|model| DeviceChunk { device, model }))
+}
+
+/// Installs a model exported by [`export_device`] into this thread.
+pub fn import_device(chunk: DeviceChunk) {
+    with_state(|s| {
+        s.devices.insert(chunk.device, chunk.model);
+    });
+}
+
+/// Drains this thread's violations (count, retained list) for the main
+/// thread to [`absorb_violations`] in device-index order.
+pub fn take_violations() -> (u64, Vec<Violation>) {
+    with_state(|s| {
+        let count = std::mem::take(&mut s.count);
+        let v = std::mem::take(&mut s.violations);
+        (count, v)
+    })
+}
+
+/// Merges a worker's drained violations into this thread's totals.
+pub fn absorb_violations((count, v): (u64, Vec<Violation>)) {
+    with_state(|s| {
+        s.count += count;
+        for violation in v {
+            if s.violations.len() < MAX_RETAINED {
+                s.violations.push(violation);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() {
+        set_enabled(true);
+        reset();
+    }
+
+    #[test]
+    fn in_model_dma_passes_and_cross_tenant_dma_violates() {
+        fresh();
+        map_page(0, 0x10_0000, 0x20_0000, 0x1000, true, 7);
+        bind_slot(0, 2, 7);
+        check_dma(0, 2, 0x10_0040, 0x20_0040, true);
+        assert_eq!(violation_count(), 0);
+        // Another tenant's slot reaching the same span is a violation.
+        bind_slot(0, 3, 9);
+        check_dma(0, 3, 0x10_0040, 0x20_0040, false);
+        assert_eq!(violation_count(), 1);
+        assert_eq!(violations()[0].kind, "dma_cross_tenant");
+    }
+
+    #[test]
+    fn wrong_hpa_and_unmapped_and_unbound_are_distinct_kinds() {
+        fresh();
+        map_page(0, 0x0, 0x1000, 0x1000, true, 1);
+        bind_slot(0, 0, 1);
+        check_dma(0, 0, 0x40, 0x2040, false);
+        check_dma(0, 0, 0x9999_0000, 0x0, false);
+        unbind_slot(0, 0);
+        check_dma(0, 0, 0x40, 0x1040, false);
+        let kinds: Vec<_> = violations().iter().map(|v| v.kind).collect();
+        assert_eq!(kinds, ["dma_wrong_hpa", "dma_unmapped", "dma_unbound_slot"]);
+    }
+
+    #[test]
+    fn fault_on_modeled_mapping_is_dropped_legal_dma() {
+        fresh();
+        map_page(0, 0x0, 0x1000, 0x1000, true, 1);
+        bind_slot(0, 0, 1);
+        // Fault on an unmapped iova agrees with the model: no violation.
+        check_dma_fault(0, 0, 0xdead_0000, false);
+        assert_eq!(violation_count(), 0);
+        // Fault on a mapped, owned iova means the simulator dropped legal
+        // traffic.
+        check_dma_fault(0, 0, 0x80, false);
+        assert_eq!(violations()[0].kind, "dropped_legal_dma");
+    }
+
+    #[test]
+    fn unmap_keeps_frame_ownership_for_migration_copies() {
+        fresh();
+        map_page(0, 0x10_0000, 0x20_0000, 0x20_0000, true, 4);
+        unmap_page(0, 0x10_0000);
+        map_page(1, 0x30_0000, 0x50_0000, 0x20_0000, true, 0);
+        check_adopt(0, 0x20_0000, 4, 1, 0x50_0000, 0);
+        assert_eq!(violation_count(), 0);
+        // Copying from a frame the detached tenant never owned is flagged.
+        check_adopt(0, 0x9000_0000, 4, 1, 0x50_0000, 0);
+        assert_eq!(violations()[0].kind, "adopt_src_mismatch");
+    }
+
+    #[test]
+    fn hpa_reallocation_to_a_second_tenant_is_flagged() {
+        fresh();
+        map_page(0, 0x10_0000, 0x20_0000, 0x1000, true, 1);
+        map_page(0, 0x90_0000, 0x20_0000, 0x1000, true, 2);
+        assert_eq!(violations()[0].kind, "hpa_reallocated");
+    }
+
+    #[test]
+    fn cpu_checks_walk_contiguous_frames() {
+        fresh();
+        // A 2 MB guest page registered as 512 contiguous 4 KB hypercalls.
+        for k in 0..512u64 {
+            map_page(0, 0x10_0000 + k * 0x1000, 0x20_0000 + k * 0x1000, 0x1000, true, 3);
+        }
+        // A CPU write spanning many frames is fine if all are owned.
+        check_cpu(0, 0x20_0000, 0x20_0000, 3, true);
+        assert_eq!(violation_count(), 0);
+        // Running past the last owned frame is an overrun.
+        check_cpu(0, 0x20_0000, 0x20_0000 + 0x1000, 3, true);
+        assert_eq!(violations()[0].kind, "cpu_overrun");
+        // Another tenant touching the span is cross-tenant.
+        check_cpu(0, 0x20_0040, 0x40, 9, false);
+        assert_eq!(violations()[1].kind, "cpu_cross_tenant");
+        // A completely unowned address is distinct from an overrun.
+        check_cpu(0, 0x9000_0000, 0x40, 3, false);
+        assert_eq!(violations()[2].kind, "cpu_unowned");
+    }
+
+    #[test]
+    fn mmio_page_containment() {
+        fresh();
+        check_mmio_deliver(0, 1, 0x12040, 0x12000, 0x1000);
+        assert_eq!(violation_count(), 0);
+        check_mmio_deliver(0, 1, 0x13000, 0x12000, 0x1000);
+        assert_eq!(violations()[0].kind, "mmio_out_of_page");
+        // Wrap-around below the base must not be accepted.
+        check_mmio_deliver(0, 1, 0x11fff, 0x12000, 0x1000);
+        assert_eq!(violation_count(), 2);
+    }
+
+    #[test]
+    fn export_import_round_trips_across_threads() {
+        fresh();
+        map_page(3, 0x0, 0x1000, 0x1000, true, 5);
+        bind_slot(3, 0, 5);
+        let chunk = export_device(3).expect("model exists");
+        // Simulate the worker: fresh thread state, imported model.
+        let handle = std::thread::spawn(move || {
+            set_enabled(true);
+            import_device(chunk);
+            check_dma(3, 0, 0x40, 0x1040, false);
+            check_dma(3, 0, 0x40, 0xbad0, false); // one violation
+            (export_device(3).expect("still there"), take_violations())
+        });
+        let (chunk, violations_chunk) = handle.join().unwrap();
+        import_device(chunk);
+        absorb_violations(violations_chunk);
+        assert_eq!(violation_count(), 1);
+        // The re-imported model still checks.
+        check_dma(3, 0, 0x80, 0x1080, false);
+        assert_eq!(violation_count(), 1);
+    }
+
+    #[test]
+    fn violation_retention_caps_but_count_does_not() {
+        fresh();
+        for i in 0..(MAX_RETAINED as u64 + 10) {
+            check_dma(0, 0, i * 64, 0, false);
+        }
+        assert_eq!(violations().len(), MAX_RETAINED);
+        assert_eq!(violation_count(), MAX_RETAINED as u64 + 10);
+    }
+}

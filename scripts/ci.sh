@@ -34,13 +34,20 @@
 #     sim_rate, and compare against the committed baselines in
 #     benchmarks/BENCH_*.json — fail on >20% regression, print the
 #     speedup on improvement.
+#  9. Isolation gate: run one fig5 sweep point with the executable
+#     isolation spec checking every host-memory access (OPTIMUS_SPEC=1)
+#     and assert the bench fingerprint is byte-identical to a spec-off
+#     run; then the WildDma containment smoke (every out-of-window probe
+#     discarded, zero refinement violations) and the noninterference
+#     differential (victim data observables bit-identical ± adversary,
+#     across thread counts, schedules, and mid-run migrate/live-update).
 #
 # The whole script runs with no network access.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/8] registry-dependency check =="
+echo "== [1/9] registry-dependency check =="
 python3 - <<'PYEOF'
 import glob, re, sys
 
@@ -78,19 +85,19 @@ if offenders:
 print("ok: all dependencies are in-tree path dependencies")
 PYEOF
 
-echo "== [2/8] tier-1: build + tests =="
+echo "== [2/9] tier-1: build + tests =="
 cargo build --release
 cargo test -q
 cargo test --workspace -q
 
-echo "== [2b/8] fast-forward differential equivalence (per-cycle mode) =="
+echo "== [2b/9] fast-forward differential equivalence (per-cycle mode) =="
 # Re-run the fabric and hypervisor suites with fast-forwarding disabled:
 # the differential property tests then compare per-cycle stepping against
 # an explicitly re-enabled fast path, and every other test exercises the
 # seed's original cycle loop.
 OPTIMUS_NO_FASTFWD=1 cargo test -q -p optimus-fabric -p optimus
 
-echo "== [3/8] bench smoke (tiny scales, one JSON report per target) =="
+echo "== [3/9] bench smoke (tiny scales, one JSON report per target) =="
 BENCH_DIR="target/bench-reports-ci"
 rm -rf "$BENCH_DIR"
 export OPTIMUS_BENCH_DIR="$PWD/$BENCH_DIR"
@@ -115,7 +122,7 @@ for b in $BENCHES; do
 done
 echo "ok: $(ls "$BENCH_DIR" | wc -l) bench reports in $BENCH_DIR"
 
-echo "== [4/8] trace smoke (flight recorder on one fig5 point) =="
+echo "== [4/9] trace smoke (flight recorder on one fig5 point) =="
 TRACE_DIR="target/trace-smoke-ci"
 rm -rf "$TRACE_DIR" "$TRACE_DIR-off"
 # Traced run: one fig5 sweep point with the flight recorder on.
@@ -181,7 +188,7 @@ if fingerprint(traced) != fingerprint(plain):
 print("ok: bench fingerprint byte-identical with tracing on and off")
 PYEOF
 
-echo "== [5/8] node smoke (parallel vs serial device stepping) =="
+echo "== [5/9] node smoke (parallel vs serial device stepping) =="
 NODE_DIR="target/node-smoke-ci"
 rm -rf "$NODE_DIR-par" "$NODE_DIR-ser"
 # Parallel run: pin the worker count so the check is meaningful even on a
@@ -208,7 +215,7 @@ if fingerprint(par) != fingerprint(ser):
 print("ok: cluster_scale fingerprint byte-identical, parallel vs serial")
 PYEOF
 
-echo "== [6/8] metrics smoke (always-on metrics plane on one fig5 point) =="
+echo "== [6/9] metrics smoke (always-on metrics plane on one fig5 point) =="
 MET_DIR="target/metrics-smoke-ci"
 rm -rf "$MET_DIR-short" "$MET_DIR-on" "$MET_DIR-on2" "$MET_DIR-off" "$MET_DIR-off2"
 # Short run: the stage-3 window, used as the earlier snapshot for the
@@ -325,7 +332,7 @@ if ratio < 0.95:
 print(f"ok: metrics overhead within bound (on/off sim_rate ratio {ratio:.1%})")
 PYEOF
 
-echo "== [7/8] migration smoke (live-update + cross-device rebalance) =="
+echo "== [7/9] migration smoke (live-update + cross-device rebalance) =="
 MIG_DIR="target/migrate-smoke-ci"
 rm -rf "$MIG_DIR-lu" "$MIG_DIR-plain" "$MIG_DIR-reb-ser" "$MIG_DIR-reb-par"
 # Live-update run: freeze -> wire bytes -> thaw a fresh hypervisor over
@@ -381,7 +388,7 @@ if int(after[4]) != 0:
 print(f"ok: fairness recovered (Jain {before[3]} -> {after[3]}, alerts {before[4]} -> 0)")
 PYEOF
 
-echo "== [8/8] sim-rate regression gate (best-of-two vs committed baseline) =="
+echo "== [8/9] sim-rate regression gate (best-of-two vs committed baseline) =="
 RATE_DIR="target/simrate-gate-ci"
 rm -rf "$RATE_DIR-1" "$RATE_DIR-2"
 # Same knobs as stage 3 (still exported). Two runs per bench: single-run
@@ -424,5 +431,41 @@ for bench, baseline_path in BASELINES.items():
 if failed:
     sys.exit(1)
 PYEOF
+
+echo "== [9/9] isolation gate (spec invisibility + WildDma + noninterference) =="
+SPEC_DIR="target/spec-smoke-ci"
+rm -rf "$SPEC_DIR-on" "$SPEC_DIR-off"
+# Spec-checked run: every CCI DMA, MMIO delivery, CPU guest access,
+# migration copy, and thaw verification is checked against the high-level
+# ownership model, on one fig5 sweep point.
+OPTIMUS_BENCH_DIR="$PWD/$SPEC_DIR-on" OPTIMUS_FIG5_QUICK=1 OPTIMUS_SPEC=1 \
+    cargo bench -q -p optimus-bench --bench fig5_latency >/dev/null
+# Unchecked run of the identical point.
+OPTIMUS_BENCH_DIR="$PWD/$SPEC_DIR-off" OPTIMUS_FIG5_QUICK=1 \
+    cargo bench -q -p optimus-bench --bench fig5_latency >/dev/null
+python3 - "$SPEC_DIR-on" "$SPEC_DIR-off" <<'PYEOF'
+import json, sys
+
+on_dir, off_dir = sys.argv[1], sys.argv[2]
+VOLATILE = ("wall_secs", "sim_rate", "trace_counters", "trace_events", "trace_dropped")
+def fingerprint(path):
+    d = json.load(open(path))
+    return json.dumps(
+        {k: v for k, v in d.items() if k not in VOLATILE},
+        sort_keys=True,
+    ).encode()
+if fingerprint(f"{on_dir}/BENCH_fig5_latency.json") != \
+   fingerprint(f"{off_dir}/BENCH_fig5_latency.json"):
+    sys.exit("FAIL: the isolation spec plane changed the bench fingerprint")
+print("ok: fig5 fingerprint byte-identical with the spec plane on and off")
+PYEOF
+# WildDma containment: probes outside the slice master-abort (nonzero
+# discards), nothing leaks, and the refinement checker records zero
+# violations; plus the save-refusal and MMIO-window regressions.
+cargo test -q -p optimus --test spec_prop
+# Noninterference differential: victim data observables bit-identical with
+# and without the adversary, across threads/schedules/batching and through
+# mid-run migrate + live-update with wild DMA in flight.
+cargo test -q -p optimus --test noninterference_prop
 
 echo "CI PASSED"
