@@ -17,7 +17,8 @@ use crate::alloc::FrameAllocator;
 use crate::scheduler::{MemberState, SchedPolicy, SliceScheduler};
 use crate::slicing::SlicingConfig;
 use crate::snapshot::{
-    HvSnapshot, IoptEntry, SlotSnap, SnapshotError, VaccelSnap, VmSnap, WatchdogSnap,
+    HvSnapshot, IoptEntry, RetrievalSnap, ShareSnap, SlotSnap, SnapshotError, VaccelSnap, VmSnap,
+    WatchdogSnap,
 };
 use crate::vaccel::{VaccelId, VaccelRun, VirtualAccel};
 use crate::vm::{Vm, VmError, VmId};
@@ -206,6 +207,127 @@ impl core::fmt::Display for MigrateError {
 
 impl std::error::Error for MigrateError {}
 
+/// Lifecycle state of a shared-memory handle (FF-A-style).
+///
+/// `Shared → Retrieved → Relinquished` is the cooperative path;
+/// `Reclaimed` is terminal (the owner took the span back — from
+/// `Retrieved` that force-revokes the peer's mapping). A relinquished
+/// handle is *not* re-retrievable: the owner must reclaim and share again,
+/// so a stale handle can never silently resurrect a mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShareState {
+    /// Offered by the owner; the named peer may retrieve it.
+    Shared,
+    /// Mapped into the peer's address space and IOPT.
+    Retrieved,
+    /// The peer gave the span back; its mappings are torn down.
+    Relinquished,
+    /// The owner took the span back; the handle is dead.
+    Reclaimed,
+}
+
+/// One entry in the hypervisor's share-handle table. Lives on the
+/// hypervisor hosting the *owner*; cross-device retrievals are tracked on
+/// the retriever's hypervisor as [`RetrievalState`] mirrors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShareRecord {
+    /// The guest-visible handle (embeds the issuing device's tag, so
+    /// handles stay unique when records migrate between devices).
+    pub handle: u64,
+    /// Owning VM (id on the hosting hypervisor; rewritten on migration).
+    pub owner_vm: u32,
+    /// Name of the VM allowed to retrieve (names survive migration; ids
+    /// do not).
+    pub peer: String,
+    /// Owner-side base GVA of the span.
+    pub gva: u64,
+    /// Owner-side backing HPA of each 2 MB page, in GVA order (rewritten
+    /// when the owner migrates).
+    pub hpas: Vec<u64>,
+    /// Whether the peer may write.
+    pub writable: bool,
+    /// Lifecycle state.
+    pub state: ShareState,
+    /// The retriever's VM id when retrieved on this same hypervisor;
+    /// `None` while `Retrieved` means the peer mapped it from another
+    /// device (the node holds the mirror linkage).
+    pub retriever_vm: Option<u32>,
+    /// The retriever-side base GVA (meaningful once retrieved).
+    pub retriever_gva: u64,
+}
+
+/// Retriever-side state for a handle whose [`ShareRecord`] lives on
+/// *another* hypervisor: the local VM mapped node-managed mirror frames.
+/// Tracked so detach and freeze/thaw can rebuild the mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetrievalState {
+    /// The share handle.
+    pub handle: u64,
+    /// Local retriever VM id.
+    pub vm: u32,
+    /// Base GVA the mirror is mapped at.
+    pub gva: u64,
+    /// Mirror frame HPA per 2 MB page (allocated on this device).
+    pub hpas: Vec<u64>,
+    /// Whether the owner granted write permission.
+    pub writable: bool,
+}
+
+/// A retrieval the detached tenant held, carried in [`TenantState`] so the
+/// node can rebuild the mapping (as a mirror) on the target device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CarriedRetrieval {
+    /// The share handle.
+    pub handle: u64,
+    /// Base GVA the span was (and must again be) mapped at.
+    pub gva: u64,
+    /// Span length in 2 MB pages.
+    pub pages: u64,
+    /// Whether the owner granted write permission.
+    pub writable: bool,
+}
+
+/// Why a shared-memory hypercall was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShareError {
+    /// The handle does not exist on this hypervisor.
+    NoSuchHandle,
+    /// The caller is not the share's named peer.
+    NotPeer,
+    /// The caller does not own the share.
+    NotOwner,
+    /// The caller is not the share's current retriever.
+    NotRetriever,
+    /// The operation is illegal in the handle's current lifecycle state
+    /// (e.g. retrieving a relinquished handle).
+    BadState,
+    /// The span to share is not fully mapped in the owner's address space.
+    Unmapped,
+    /// Pass-through devices have no slicing layer to install a peer
+    /// mapping into.
+    Passthrough,
+    /// The retriever lives on another device; the operation must go
+    /// through the node layer.
+    RemotePeer,
+}
+
+impl core::fmt::Display for ShareError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ShareError::NoSuchHandle => write!(f, "no such share handle"),
+            ShareError::NotPeer => write!(f, "caller is not the share's named peer"),
+            ShareError::NotOwner => write!(f, "caller does not own the share"),
+            ShareError::NotRetriever => write!(f, "caller is not the current retriever"),
+            ShareError::BadState => write!(f, "operation illegal in the handle's current state"),
+            ShareError::Unmapped => write!(f, "span not fully mapped in the owner's address space"),
+            ShareError::Passthrough => write!(f, "pass-through devices cannot share memory"),
+            ShareError::RemotePeer => write!(f, "retriever is on another device; use the node API"),
+        }
+    }
+}
+
+impl std::error::Error for ShareError {}
+
 /// A tenant detached from its source hypervisor, ready to attach
 /// elsewhere: the VM's address-space layout, the vaccel record, its
 /// scheduler account, and the IOPT granularity of every page. Host frame
@@ -229,6 +351,12 @@ pub struct TenantState {
     pub(crate) run: VaccelRun,
     pub(crate) shadow_status: CtrlStatus,
     pub(crate) forced_resets: u64,
+    /// Share records this tenant owns (re-homed onto the target; HPAs are
+    /// rewritten through the frame-copy map at attach).
+    pub(crate) shares: Vec<ShareRecord>,
+    /// Spans this tenant had retrieved from other tenants' shares. Torn
+    /// down at detach; the node rebuilds them as mirrors on the target.
+    pub(crate) retrievals: Vec<CarriedRetrieval>,
 }
 
 impl TenantState {
@@ -273,6 +401,13 @@ pub struct Optimus<D: PlatformDevice = FpgaDevice> {
     next_slice: u64,
     stats: HvStats,
     watchdog: Watchdog,
+    /// Handle table: shares whose *owner* lives on this hypervisor.
+    pub(crate) shares: BTreeMap<u64, ShareRecord>,
+    /// Monotonic per-device handle counter (combined with the device tag
+    /// at mint time; 0 is never a valid handle).
+    next_share_handle: u64,
+    /// Retrievals whose share record lives on another device (mirrors).
+    pub(crate) foreign_retrievals: Vec<RetrievalState>,
 }
 
 impl Optimus {
@@ -322,6 +457,9 @@ impl Optimus {
             next_slice: 0,
             stats: HvStats::default(),
             watchdog,
+            shares: BTreeMap::new(),
+            next_share_handle: 1,
+            foreign_retrievals: Vec::new(),
         };
         // Sanity-check the hardware: an OPTIMUS-compatible configuration
         // advertises itself through the VCU magic register.
@@ -355,6 +493,9 @@ impl Optimus {
             next_slice: 0,
             stats: HvStats::default(),
             watchdog: Watchdog::new(WatchdogConfig::default(), 1, ms_to_cycles(10.0)),
+            shares: BTreeMap::new(),
+            next_share_handle: 1,
+            foreign_retrievals: Vec::new(),
         }
     }
 }
@@ -1068,6 +1209,151 @@ impl<D: PlatformDevice> Optimus<D> {
         false
     }
 
+    /// Mints a fresh share handle. The device tag in the top bits keeps
+    /// handles unique across a node's devices even after records migrate.
+    fn mint_handle(&mut self) -> u64 {
+        let h = ((self.device_id.0 as u64 + 1) << 32) | self.next_share_handle;
+        self.next_share_handle += 1;
+        h
+    }
+
+    /// The share record for `handle`, if its owner lives here.
+    pub fn share_record(&self, handle: u64) -> Option<&ShareRecord> {
+        self.shares.get(&handle)
+    }
+
+    /// Mutable access to a share record (node-level lifecycle updates).
+    pub(crate) fn share_record_mut(&mut self, handle: u64) -> Option<&mut ShareRecord> {
+        self.shares.get_mut(&handle)
+    }
+
+    /// The name of VM `vm`, if it lives here.
+    pub fn vm_name(&self, vm: u32) -> Option<&str> {
+        self.vms.get(&vm).map(|v| v.name())
+    }
+
+    /// The lifecycle state of `handle`, if its owner lives here.
+    pub fn share_state(&self, handle: u64) -> Option<ShareState> {
+        self.shares.get(&handle).map(|r| r.state)
+    }
+
+    /// Tears down one retrieved span's IOPT entries and ends its spec
+    /// entitlements (`how` ∈ relinquished / reclaimed / migrated). The
+    /// IOMMU unmap invalidates IOTLB entries — including speculative ones —
+    /// so a stale handle faults exactly like an unmap.
+    fn teardown_retrieved_iopt(
+        &mut self,
+        vm: VmId,
+        slice: u64,
+        dma_base: Gva,
+        span: &crate::vm::RetrievedSpan,
+        how: &'static str,
+    ) {
+        for (i, &hpa) in span.hpas.iter().enumerate() {
+            let gva = Gva::new(span.base_gva + i as u64 * PAGE_2M);
+            let iova = self.slicing.gva_to_iova(slice, dma_base, gva);
+            self.device
+                .host_mut()
+                .iommu_mut()
+                .unmap(iova)
+                .expect("retrieved span was IOPT-mapped");
+            if spec::enabled() {
+                spec::relinquish_page(self.device_id.0, iova.raw(), hpa, vm.0, span.handle, how);
+            }
+        }
+    }
+
+    /// Node-side: maps `pages` freshly allocated mirror frames for a
+    /// cross-device retrieval into `va`'s VM at a chosen GVA (`None` =
+    /// allocate fresh GVA space), installs the IOPT entries, claims the
+    /// frames for the retriever in the spec model, and records the
+    /// [`RetrievalState`]. Returns the base GVA and the mirror HPAs.
+    pub(crate) fn attach_foreign_retrieval(
+        &mut self,
+        va: VaccelId,
+        handle: u64,
+        at_gva: Option<u64>,
+        pages: u64,
+        writable: bool,
+    ) -> (Gva, Vec<u64>) {
+        let vm_id = self.vaccel(va).vm;
+        let mirror_base = self.frames.alloc_huge(pages).raw();
+        let hpas: Vec<u64> = (0..pages).map(|i| mirror_base + i * PAGE_2M).collect();
+        let gva = {
+            let vm = self.vms.get_mut(&vm_id.0).expect("vaccel's VM exists");
+            match at_gva {
+                Some(base) => {
+                    vm.map_retrieved_at(base, handle, &hpas, writable);
+                    Gva::new(base)
+                }
+                None => vm.map_retrieved(handle, &hpas, writable),
+            }
+        };
+        if self.vaccel(va).dma_base.raw() == 0 {
+            self.vaccel_mut(va).dma_base = gva;
+            self.trap_cost(va, 0);
+        }
+        let v = self.vaccel(va);
+        let (slice, dma_base) = (v.slice, v.dma_base);
+        let flags = if writable { PageFlags::rw() } else { PageFlags::ro() };
+        for (i, &hpa) in hpas.iter().enumerate() {
+            let page_gva = Gva::new(gva.raw() + i as u64 * PAGE_2M);
+            let iova = self.slicing.gva_to_iova(slice, dma_base, page_gva);
+            self.device
+                .host_mut()
+                .iommu_mut()
+                .map(iova, Hpa::new(hpa), PageSize::Huge, flags)
+                .expect("fresh IOVA slice");
+            if spec::enabled() {
+                spec::retrieve_page(
+                    self.device_id.0,
+                    iova.raw(),
+                    hpa,
+                    PAGE_2M,
+                    writable,
+                    vm_id.0,
+                    None,
+                    handle,
+                );
+            }
+        }
+        self.stats.pinned_pages += pages;
+        self.foreign_retrievals.push(RetrievalState {
+            handle,
+            vm: vm_id.0,
+            gva: gva.raw(),
+            hpas: hpas.clone(),
+            writable,
+        });
+        (gva, hpas)
+    }
+
+    /// Node-side: tears down the local mirror for a cross-device retrieval
+    /// (`how` ∈ relinquished / reclaimed / migrated). Returns the removed
+    /// state so the caller can update the owner-side record and registry.
+    pub(crate) fn detach_foreign_retrieval(
+        &mut self,
+        handle: u64,
+        how: &'static str,
+    ) -> Option<RetrievalState> {
+        let i = self.foreign_retrievals.iter().position(|r| r.handle == handle)?;
+        let r = self.foreign_retrievals.remove(i);
+        let vm_id = VmId(r.vm);
+        let span = self
+            .vms
+            .get_mut(&r.vm)
+            .and_then(|vm| vm.unmap_retrieved(handle))
+            .expect("retrieval state tracks a live mapping");
+        let v = self
+            .vaccels
+            .values()
+            .find(|v| v.vm == vm_id)
+            .expect("retriever VM backs a vaccel");
+        let (slice, dma_base) = (v.slice, v.dma_base);
+        self.teardown_retrieved_iopt(vm_id, slice, dma_base, &span, how);
+        Some(r)
+    }
+
     /// Detaches a tenant from this hypervisor for migration: preempts it
     /// off the physical accelerator through the ordinary Fig. 8 drain/save
     /// path (so its execution state lands in its own guest memory), scrubs
@@ -1103,6 +1389,68 @@ impl<D: PlatformDevice> Optimus<D> {
             .remove(va.0 as u64)
             .expect("vaccel registered in its slot's queue");
         let v = self.vaccels.remove(&va.0).expect("checked above");
+        // Tear down every span this tenant *retrieved* from other tenants'
+        // shares — their frames are not the tenant's to copy, so the node
+        // rebuilds them as mirrors on the target from the carried handles.
+        let mut retrievals = Vec::new();
+        let retrieved_handles: Vec<u64> = self
+            .vms
+            .get(&vm_id.0)
+            .expect("vaccel's VM exists")
+            .retrieved_spans()
+            .iter()
+            .map(|r| r.handle)
+            .collect();
+        for handle in retrieved_handles {
+            let span = self
+                .vms
+                .get_mut(&vm_id.0)
+                .expect("vaccel's VM exists")
+                .unmap_retrieved(handle)
+                .expect("span is live");
+            self.teardown_retrieved_iopt(vm_id, v.slice, v.dma_base, &span, "migrated");
+            // Same-device share: the record stays with the owner here, but
+            // its retriever is leaving — mark it remote for the node.
+            if let Some(rec) = self.shares.get_mut(&handle) {
+                rec.retriever_vm = None;
+            }
+            // Cross-device share: drop the local mirror state (the bump
+            // allocator never reuses the abandoned mirror frames).
+            self.foreign_retrievals.retain(|r| r.handle != handle);
+            retrievals.push(CarriedRetrieval {
+                handle,
+                gva: span.base_gva,
+                pages: span.hpas.len() as u64,
+                writable: span.writable,
+            });
+        }
+        // Re-home the share records this tenant owns. A stay-behind local
+        // retriever keeps its mapping into the owner's old frames; those
+        // frames become the retriever-side mirror of a cross-device share,
+        // so record the mapping as a foreign retrieval here (which also
+        // keeps it freeze/thaw-visible) and let the node register the sync.
+        let mut shares = Vec::new();
+        let owned: Vec<u64> = self
+            .shares
+            .values()
+            .filter(|r| r.owner_vm == vm_id.0)
+            .map(|r| r.handle)
+            .collect();
+        for handle in owned {
+            let mut rec = self.shares.remove(&handle).expect("collected above");
+            if rec.state == ShareState::Retrieved {
+                if let Some(r) = rec.retriever_vm.take() {
+                    self.foreign_retrievals.push(RetrievalState {
+                        handle,
+                        vm: r,
+                        gva: rec.retriever_gva,
+                        hpas: rec.hpas.clone(),
+                        writable: rec.writable,
+                    });
+                }
+            }
+            shares.push(rec);
+        }
         let vm = self.vms.remove(&vm_id.0).expect("vaccel's VM exists");
         let pages = vm.export_pages();
         // Tear down the tenant's slice of the IO page table, recording the
@@ -1170,6 +1518,8 @@ impl<D: PlatformDevice> Optimus<D> {
             run: v.run,
             shadow_status: v.shadow_status,
             forced_resets: v.forced_resets,
+            shares,
+            retrievals,
         })
     }
 
@@ -1261,6 +1611,18 @@ impl<D: PlatformDevice> Optimus<D> {
             }
         }
         self.vms.insert(vm_id.0, vm);
+        // Re-home the share records this tenant owns: the backing frames
+        // just moved, so every recorded HPA is rewritten through the copy
+        // map. Retriever-side IOPT re-resolution is the node's job (the
+        // retriever may live on another device entirely).
+        let hpa_map: std::collections::HashMap<u64, u64> = copies.iter().copied().collect();
+        for mut rec in t.shares {
+            rec.owner_vm = vm_id.0;
+            for h in rec.hpas.iter_mut() {
+                *h = *hpa_map.get(h).expect("owner's shared pages were exported");
+            }
+            self.shares.insert(rec.handle, rec);
+        }
         let mut v = VirtualAccel::new(id, vm_id, t.slot, slice);
         v.dma_base = t.dma_base;
         v.state_buffer = t.state_buffer;
@@ -1368,6 +1730,38 @@ impl<D: PlatformDevice> Optimus<D> {
                 alerts: self.watchdog.alerts().to_vec(),
             },
             iopt,
+            next_share_handle: self.next_share_handle,
+            shares: self
+                .shares
+                .values()
+                .map(|r| ShareSnap {
+                    handle: r.handle,
+                    owner_vm: r.owner_vm,
+                    peer: r.peer.clone(),
+                    gva: r.gva,
+                    hpas: r.hpas.clone(),
+                    writable: r.writable,
+                    state: match r.state {
+                        ShareState::Shared => 0,
+                        ShareState::Retrieved => 1,
+                        ShareState::Relinquished => 2,
+                        ShareState::Reclaimed => 3,
+                    },
+                    retriever_vm: r.retriever_vm,
+                    retriever_gva: r.retriever_gva,
+                })
+                .collect(),
+            retrievals: self
+                .foreign_retrievals
+                .iter()
+                .map(|r| RetrievalSnap {
+                    handle: r.handle,
+                    vm: r.vm,
+                    gva: r.gva,
+                    hpas: r.hpas.clone(),
+                    writable: r.writable,
+                })
+                .collect(),
         };
         (snap, self.device)
     }
@@ -1414,10 +1808,59 @@ impl<D: PlatformDevice> Optimus<D> {
                 spec::check_thaw(snap.device_id.0, e.iova, e.hpa);
             }
         }
-        let vms = snap
+        let mut vms: BTreeMap<u32, Vm> = snap
             .vms
             .iter()
             .map(|v| (v.id, Vm::restore(VmId(v.id), &v.name, v.next_gva, &v.pages)))
+            .collect();
+        // Rebuild share-handle state. Retrieved spans are GVA mappings the
+        // plain page export above does not carry (they point at *foreign*
+        // frames), so re-map them at their recorded bases.
+        let mut shares = BTreeMap::new();
+        for s in &snap.shares {
+            let state = match s.state {
+                0 => ShareState::Shared,
+                1 => ShareState::Retrieved,
+                2 => ShareState::Relinquished,
+                _ => ShareState::Reclaimed,
+            };
+            if state == ShareState::Retrieved {
+                if let Some(r) = s.retriever_vm {
+                    vms.get_mut(&r)
+                        .expect("retriever VM is in the snapshot")
+                        .map_retrieved_at(s.retriever_gva, s.handle, &s.hpas, s.writable);
+                }
+            }
+            shares.insert(
+                s.handle,
+                ShareRecord {
+                    handle: s.handle,
+                    owner_vm: s.owner_vm,
+                    peer: s.peer.clone(),
+                    gva: s.gva,
+                    hpas: s.hpas.clone(),
+                    writable: s.writable,
+                    state,
+                    retriever_vm: s.retriever_vm,
+                    retriever_gva: s.retriever_gva,
+                },
+            );
+        }
+        let foreign_retrievals: Vec<RetrievalState> = snap
+            .retrievals
+            .iter()
+            .map(|r| {
+                vms.get_mut(&r.vm)
+                    .expect("mirror VM is in the snapshot")
+                    .map_retrieved_at(r.gva, r.handle, &r.hpas, r.writable);
+                RetrievalState {
+                    handle: r.handle,
+                    vm: r.vm,
+                    gva: r.gva,
+                    hpas: r.hpas.clone(),
+                    writable: r.writable,
+                }
+            })
             .collect();
         let vaccels = snap
             .vaccels
@@ -1475,6 +1918,9 @@ impl<D: PlatformDevice> Optimus<D> {
                 snap.watchdog.last_iotlb,
                 snap.watchdog.alerts.clone(),
             ),
+            shares,
+            next_share_handle: snap.next_share_handle,
+            foreign_retrievals,
         };
         if trace::enabled() {
             trace::instant(Track::hypervisor(), "live_update.thaw", hv.device.now(), &[]);
@@ -1722,6 +2168,225 @@ impl<D: PlatformDevice> GuestCtx<'_, D> {
         self.hv.advance(c);
     }
 
+    /// Charges one trapped-hypercall round trip (shared by the FF-A-style
+    /// memory-sharing family below, mirroring `register_page_sized`).
+    fn hypercall_cost(&mut self, key: u64) {
+        self.hv.stats.hypercalls += 1;
+        let c = ns_to_cycles(host_costs::HYPERCALL_NS);
+        metrics::set_device(self.hv.device_id.0);
+        metrics::inc(metrics::HV_HYPERCALLS, self.va.0, 1);
+        if trace::enabled() {
+            let t = Track::vaccel(self.va.0);
+            trace::complete(t, "hypercall", self.hv.device.now(), c, &[("key", key)]);
+            trace::count(t, metrics::def(metrics::HV_HYPERCALLS).name, 1);
+        }
+        self.hv.advance(c);
+    }
+
+    /// `mem_share`: offers `bytes` of this guest's memory at `gva`
+    /// (2 MB-page granular) to the tenant named `peer`, with `writable`
+    /// as the permission ceiling the retriever gets. Returns the share
+    /// handle. The span stays mapped and usable by the owner; nothing
+    /// changes in any IOPT until the peer retrieves.
+    pub fn mem_share(
+        &mut self,
+        gva: Gva,
+        bytes: u64,
+        peer: &str,
+        writable: bool,
+    ) -> Result<u64, ShareError> {
+        if self.hv.passthrough {
+            return Err(ShareError::Passthrough);
+        }
+        let vm_id = self.v().vm;
+        let pages = bytes.div_ceil(PAGE_2M).max(1);
+        let mut hpas = Vec::with_capacity(pages as usize);
+        for i in 0..pages {
+            let hpa = self
+                .hv
+                .vm(vm_id)
+                .gva_to_hpa(Gva::new(gva.raw() + i * PAGE_2M))
+                .map_err(|_| ShareError::Unmapped)?;
+            hpas.push(hpa.raw());
+        }
+        let handle = self.hv.mint_handle();
+        self.hv.shares.insert(
+            handle,
+            ShareRecord {
+                handle,
+                owner_vm: vm_id.0,
+                peer: peer.to_string(),
+                gva: gva.raw(),
+                hpas,
+                writable,
+                state: ShareState::Shared,
+                retriever_vm: None,
+                retriever_gva: 0,
+            },
+        );
+        self.hypercall_cost(handle);
+        Ok(handle)
+    }
+
+    /// `mem_retrieve`: maps a span previously shared *with this tenant*
+    /// into its GVA space and installs the translations in its IOPT slice.
+    /// Returns the base GVA of the retrieved span. Only the named peer may
+    /// retrieve, only while the handle is in the `Shared` state — a
+    /// relinquished handle is dead, not dormant.
+    pub fn mem_retrieve(&mut self, handle: u64) -> Result<Gva, ShareError> {
+        if self.hv.passthrough {
+            return Err(ShareError::Passthrough);
+        }
+        let vm_id = self.v().vm;
+        let (hpas, writable, owner_vm) = {
+            let rec = self.hv.shares.get(&handle).ok_or(ShareError::NoSuchHandle)?;
+            if self.hv.vm(vm_id).name() != rec.peer {
+                return Err(ShareError::NotPeer);
+            }
+            if rec.state != ShareState::Shared {
+                return Err(ShareError::BadState);
+            }
+            (rec.hpas.clone(), rec.writable, rec.owner_vm)
+        };
+        let gva = self
+            .hv
+            .vms
+            .get_mut(&vm_id.0)
+            .expect("guest ctx VM exists")
+            .map_retrieved(handle, &hpas, writable);
+        // First DMA-visible region of this guest: anchor its IOVA window,
+        // exactly like `alloc_dma` would.
+        if self.v().dma_base.raw() == 0 {
+            let va = self.va;
+            self.hv.vaccel_mut(va).dma_base = gva;
+            self.hv.trap_cost(va, 0);
+        }
+        let (slice, dma_base) = {
+            let v = self.v();
+            (v.slice, v.dma_base)
+        };
+        let flags = if writable { PageFlags::rw() } else { PageFlags::ro() };
+        for (i, &hpa) in hpas.iter().enumerate() {
+            let page_gva = Gva::new(gva.raw() + i as u64 * PAGE_2M);
+            let iova = self.hv.slicing.gva_to_iova(slice, dma_base, page_gva);
+            self.hv
+                .device
+                .host_mut()
+                .iommu_mut()
+                .map(iova, Hpa::new(hpa), PageSize::Huge, flags)
+                .expect("fresh IOVA slice");
+            if spec::enabled() {
+                spec::retrieve_page(
+                    self.hv.device_id.0,
+                    iova.raw(),
+                    hpa,
+                    PAGE_2M,
+                    writable,
+                    vm_id.0,
+                    Some(owner_vm),
+                    handle,
+                );
+            }
+        }
+        self.hv.stats.pinned_pages += hpas.len() as u64;
+        let rec = self.hv.shares.get_mut(&handle).expect("checked above");
+        rec.state = ShareState::Retrieved;
+        rec.retriever_vm = Some(vm_id.0);
+        rec.retriever_gva = gva.raw();
+        self.hypercall_cost(handle);
+        Ok(gva)
+    }
+
+    /// `mem_relinquish`: the retriever gives the span back. Its GVA
+    /// mapping and IOPT entries are torn down (speculative IOTLB state
+    /// included — this is an unmap in every way that matters) and the
+    /// handle transitions to `Relinquished`: dead for the retriever,
+    /// reclaimable by the owner.
+    pub fn mem_relinquish(&mut self, handle: u64) -> Result<(), ShareError> {
+        if self.hv.passthrough {
+            return Err(ShareError::Passthrough);
+        }
+        let vm_id = self.v().vm;
+        {
+            let rec = self.hv.shares.get(&handle).ok_or(ShareError::NoSuchHandle)?;
+            if rec.state != ShareState::Retrieved {
+                return Err(ShareError::BadState);
+            }
+            match rec.retriever_vm {
+                Some(r) if r == vm_id.0 => {}
+                Some(_) => return Err(ShareError::NotRetriever),
+                None => return Err(ShareError::RemotePeer),
+            }
+        }
+        let span = self
+            .hv
+            .vms
+            .get_mut(&vm_id.0)
+            .expect("guest ctx VM exists")
+            .unmap_retrieved(handle)
+            .expect("retrieved span is mapped");
+        let (slice, dma_base) = {
+            let v = self.v();
+            (v.slice, v.dma_base)
+        };
+        self.hv
+            .teardown_retrieved_iopt(VmId(vm_id.0), slice, dma_base, &span, "relinquished");
+        self.hv.shares.get_mut(&handle).expect("checked above").state =
+            ShareState::Relinquished;
+        self.hypercall_cost(handle);
+        Ok(())
+    }
+
+    /// `mem_reclaim`: the owner takes the span back for good. A still-
+    /// retrieved handle is force-revoked (the peer's mappings die under
+    /// it); a shared-but-never-retrieved or relinquished handle just
+    /// closes. Terminal: a reclaimed handle can never be retrieved again.
+    pub fn mem_reclaim(&mut self, handle: u64) -> Result<(), ShareError> {
+        if self.hv.passthrough {
+            return Err(ShareError::Passthrough);
+        }
+        let vm_id = self.v().vm;
+        let (state, retriever_vm) = {
+            let rec = self.hv.shares.get(&handle).ok_or(ShareError::NoSuchHandle)?;
+            if rec.owner_vm != vm_id.0 {
+                return Err(ShareError::NotOwner);
+            }
+            (rec.state, rec.retriever_vm)
+        };
+        match state {
+            ShareState::Reclaimed => return Err(ShareError::BadState),
+            ShareState::Retrieved => {
+                // Cross-device retrievers hold their mappings on another
+                // hypervisor; only the node can reach them.
+                let Some(r) = retriever_vm else {
+                    return Err(ShareError::RemotePeer);
+                };
+                let span = self
+                    .hv
+                    .vms
+                    .get_mut(&r)
+                    .expect("retriever VM exists")
+                    .unmap_retrieved(handle)
+                    .expect("retrieved span is mapped");
+                let (slice, dma_base) = {
+                    let rv = self
+                        .hv
+                        .vaccels
+                        .values()
+                        .find(|v| v.vm.0 == r)
+                        .expect("retriever VM backs a vaccel");
+                    (rv.slice, rv.dma_base)
+                };
+                self.hv
+                    .teardown_retrieved_iopt(VmId(r), slice, dma_base, &span, "reclaimed");
+            }
+            ShareState::Shared | ShareState::Relinquished => {}
+        }
+        self.hv.shares.get_mut(&handle).expect("checked above").state = ShareState::Reclaimed;
+        self.hypercall_cost(handle);
+        Ok(())
+    }
+
     /// Writes guest memory (CPU-side access through the two-stage tables).
     pub fn write_mem(&mut self, gva: Gva, data: &[u8]) {
         let vm_id = self.v().vm;
@@ -1774,6 +2439,15 @@ impl<D: PlatformDevice> GuestCtx<'_, D> {
         self.hv.vaccel_mut(va).state_buffer = gva;
         if self.hv.is_scheduled(self.va) {
             let slot = self.v().slot;
+            if spec::enabled() {
+                let vm = self.v().vm.0;
+                spec::check_mmio_write(
+                    self.hv.device_id.0,
+                    slot,
+                    vm,
+                    accel_mmio_base(slot) + accel_reg::CTRL_STATE_ADDR,
+                );
+            }
             self.hv
                 .device
                 .mmio_write(accel_mmio_base(slot) + accel_reg::CTRL_STATE_ADDR, gva.raw());
@@ -1811,9 +2485,25 @@ impl<D: PlatformDevice> GuestCtx<'_, D> {
                     self.hv.slots[slot].sched.set_runnable(va.0 as u64, true);
                     if self.hv.is_scheduled(va) {
                         self.hv.vaccel_mut(va).pending_start = false;
+                        if spec::enabled() {
+                            let vm = self.v().vm.0;
+                            spec::check_mmio_write(
+                                self.hv.device_id.0,
+                                slot,
+                                vm,
+                                accel_mmio_base(slot) + accel_reg::CTRL_CMD,
+                            );
+                        }
                         self.hv
                             .device
                             .mmio_write(accel_mmio_base(slot) + accel_reg::CTRL_CMD, accel_reg::CMD_START);
+                        // The start is a posted fabric write. On a restart
+                        // (resident, already-retired vaccel) the slot still
+                        // latches the previous job's `Done`, so completion
+                        // checks between here and delivery would retire the
+                        // new job before it runs. Let it land, as
+                        // `install` does for its register replay.
+                        self.hv.advance(ns_to_cycles(500.0));
                     }
                 }
                 // CMD_PREEMPT / CMD_RESUME are privileged: guests cannot
@@ -1825,6 +2515,15 @@ impl<D: PlatformDevice> GuestCtx<'_, D> {
                 self.hv.vaccel_mut(va).state_buffer = Gva::new(value);
                 if self.hv.is_scheduled(self.va) {
                     let slot = self.v().slot;
+                    if spec::enabled() {
+                        let vm = self.v().vm.0;
+                        spec::check_mmio_write(
+                            self.hv.device_id.0,
+                            slot,
+                            vm,
+                            accel_mmio_base(slot) + accel_reg::CTRL_STATE_ADDR,
+                        );
+                    }
                     self.hv
                         .device
                         .mmio_write(accel_mmio_base(slot) + accel_reg::CTRL_STATE_ADDR, value);
@@ -1836,6 +2535,10 @@ impl<D: PlatformDevice> GuestCtx<'_, D> {
                 self.hv.vaccel_mut(va).cache_app_reg(rel, value);
                 if self.hv.is_scheduled(self.va) {
                     let slot = self.v().slot;
+                    if spec::enabled() {
+                        let vm = self.v().vm.0;
+                        spec::check_mmio_write(self.hv.device_id.0, slot, vm, accel_mmio_base(slot) + off);
+                    }
                     self.hv.device.mmio_write(accel_mmio_base(slot) + off, value);
                 }
             }
@@ -2240,5 +2943,97 @@ mod tests {
         md5_of_guest_buffer(&mut hv, va, &data);
         let status = hv.guest(va).mmio_read(accel_reg::CTRL_STATUS);
         assert_eq!(CtrlStatus::from_u64(status), CtrlStatus::Done);
+    }
+
+    /// Two tenants on one device, a shared span, the full handle walk.
+    fn share_pair() -> (Optimus, VaccelId, VaccelId) {
+        let mut hv = Optimus::new(OptimusConfig::new(vec![AccelKind::Md5, AccelKind::Md5]));
+        let vm_a = hv.create_vm("owner");
+        let vm_b = hv.create_vm("peer");
+        let va_a = hv.create_vaccel(vm_a, 0);
+        let va_b = hv.create_vaccel(vm_b, 1);
+        (hv, va_a, va_b)
+    }
+
+    #[test]
+    fn share_retrieve_is_zero_copy_and_relinquish_kills_the_mapping() {
+        let (mut hv, va_a, va_b) = share_pair();
+        let (span, handle);
+        {
+            let mut g = hv.guest(va_a);
+            span = g.alloc_dma(PAGE_2M);
+            g.write_mem(span, &[0x5A; 4096]);
+            handle = g.mem_share(span, PAGE_2M, "peer", false).expect("share");
+        }
+        assert_eq!(hv.share_state(handle), Some(ShareState::Shared));
+        let got = hv.guest(va_b).mem_retrieve(handle).expect("retrieve");
+        assert_eq!(hv.share_state(handle), Some(ShareState::Retrieved));
+        // Zero-copy: the retriever's GVA resolves to the owner's frame.
+        let owner_hpa = hv.guest(va_a).gva_to_hpa(span).unwrap();
+        let peer_hpa = hv.guest(va_b).gva_to_hpa(got).unwrap();
+        assert_eq!(owner_hpa, peer_hpa);
+        let mut seen = vec![0u8; 4096];
+        hv.guest(va_b).read_mem(got, &mut seen);
+        assert_eq!(seen, vec![0x5A; 4096]);
+        hv.guest(va_b).mem_relinquish(handle).expect("relinquish");
+        assert_eq!(hv.share_state(handle), Some(ShareState::Relinquished));
+        assert!(hv.guest(va_b).gva_to_hpa(got).is_err(), "mapping survived relinquish");
+        // A relinquished handle is dead, not dormant.
+        assert_eq!(hv.guest(va_b).mem_retrieve(handle), Err(ShareError::BadState));
+        hv.guest(va_a).mem_reclaim(handle).expect("reclaim");
+        assert_eq!(hv.share_state(handle), Some(ShareState::Reclaimed));
+        assert_eq!(hv.guest(va_a).mem_reclaim(handle), Err(ShareError::BadState));
+    }
+
+    #[test]
+    fn share_enforces_peer_owner_and_state() {
+        let (mut hv, va_a, va_b) = share_pair();
+        let span = hv.guest(va_a).alloc_dma(PAGE_2M);
+        // Sharing an unmapped span is refused.
+        assert_eq!(
+            hv.guest(va_a).mem_share(Gva::new(0xdead_beef), PAGE_2M, "peer", true),
+            Err(ShareError::Unmapped)
+        );
+        let handle = hv.guest(va_a).mem_share(span, PAGE_2M, "nobody", true).unwrap();
+        // va_b is named "peer", not "nobody".
+        assert_eq!(hv.guest(va_b).mem_retrieve(handle), Err(ShareError::NotPeer));
+        // Unknown handles and foreign reclaims are refused.
+        assert_eq!(hv.guest(va_b).mem_retrieve(0x999), Err(ShareError::NoSuchHandle));
+        assert_eq!(hv.guest(va_b).mem_reclaim(handle), Err(ShareError::NotOwner));
+        // Relinquish before retrieve is a state error.
+        assert_eq!(hv.guest(va_b).mem_relinquish(handle), Err(ShareError::BadState));
+        // The owner can reclaim an unretrieved share.
+        hv.guest(va_a).mem_reclaim(handle).expect("reclaim unretrieved");
+        assert_eq!(hv.share_state(handle), Some(ShareState::Reclaimed));
+    }
+
+    #[test]
+    fn reclaim_force_revokes_a_live_retriever() {
+        let (mut hv, va_a, va_b) = share_pair();
+        let span = hv.guest(va_a).alloc_dma(PAGE_2M);
+        let handle = hv.guest(va_a).mem_share(span, PAGE_2M, "peer", true).unwrap();
+        let got = hv.guest(va_b).mem_retrieve(handle).unwrap();
+        assert!(hv.guest(va_b).gva_to_hpa(got).is_ok());
+        hv.guest(va_a).mem_reclaim(handle).expect("force reclaim");
+        assert_eq!(hv.share_state(handle), Some(ShareState::Reclaimed));
+        assert!(hv.guest(va_b).gva_to_hpa(got).is_err(), "peer mapping survived reclaim");
+    }
+
+    #[test]
+    fn share_state_survives_live_update() {
+        let (mut hv, va_a, va_b) = share_pair();
+        let span = hv.guest(va_a).alloc_dma(PAGE_2M);
+        hv.guest(va_a).write_mem(span, &[0x42; 512]);
+        let handle = hv.guest(va_a).mem_share(span, PAGE_2M, "peer", false).unwrap();
+        let got = hv.guest(va_b).mem_retrieve(handle).unwrap();
+        let mut hv = hv.live_update();
+        assert_eq!(hv.share_state(handle), Some(ShareState::Retrieved));
+        // The retrieved mapping was rebuilt at the same GVA, still aimed
+        // at the owner's frame.
+        let mut seen = vec![0u8; 512];
+        hv.guest(va_b).read_mem(got, &mut seen);
+        assert_eq!(seen, vec![0x42; 512]);
+        hv.guest(va_b).mem_relinquish(handle).expect("relinquish after thaw");
+        assert_eq!(hv.share_state(handle), Some(ShareState::Relinquished));
     }
 }

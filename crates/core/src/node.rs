@@ -41,13 +41,16 @@
 //! `OPTIMUS_LOCKSTEP=1` restores horizon-chunked stepping, mirroring
 //! `OPTIMUS_NO_FASTFWD` as differential-testing escape hatches.
 
-use crate::hypervisor::{GuestCtx, HvStats, MigrateError, Optimus, OptimusConfig, TrapCost};
+use crate::hypervisor::{
+    CarriedRetrieval, GuestCtx, HvStats, MigrateError, Optimus, OptimusConfig, ShareError,
+    ShareState, TrapCost,
+};
 use crate::scheduler::SchedPolicy;
 use crate::vaccel::{VaccelId, VaccelRun};
 use crate::watchdog::{AlertKind, IsolationAlert};
 use optimus_accel::registry::AccelKind;
 use optimus_fabric::platform::{DeviceId, FabricError};
-use optimus_mem::addr::{Hpa, PAGE_2M};
+use optimus_mem::addr::{Gva, Hpa, PAGE_2M};
 use optimus_sim::metrics;
 use optimus_sim::rng::derive_seed;
 use optimus_sim::spec;
@@ -136,6 +139,32 @@ pub struct NodeVaccel {
     pub va: VaccelId,
 }
 
+/// One side (owner or retriever) of a cross-device share: which device
+/// holds the frames, which VM the spec model says owns them, and the
+/// frames themselves.
+#[derive(Debug, Clone)]
+struct ShareSide {
+    device: usize,
+    spec_vm: u32,
+    hpas: Vec<u64>,
+}
+
+/// A share whose owner and retriever live on *different* devices. The
+/// retriever maps node-managed mirror frames; the node synchronizes the
+/// two sides at every chunk boundary (the shrunken dependency horizon).
+///
+/// Sync direction follows authority: a read-only share is owner-
+/// authoritative (owner → mirror), a writable share hands authority to
+/// the retriever (mirror → owner). Concurrent writes from both sides
+/// within one chunk are unsupported — the authoritative side wins.
+#[derive(Debug, Clone)]
+struct CrossShare {
+    handle: u64,
+    owner: ShareSide,
+    retr: ShareSide,
+    writable: bool,
+}
+
 /// A node of FPGA devices behind one hypervisor facade.
 pub struct OptimusNode {
     devices: Vec<Optimus>,
@@ -155,6 +184,9 @@ pub struct OptimusNode {
     /// [`rebalance`](Self::rebalance), so each alert triggers at most one
     /// migration decision.
     alerts_seen: Vec<usize>,
+    /// Cross-device shares currently live. Non-empty forces horizon-
+    /// chunked stepping with a span sync at every chunk boundary.
+    cross_shares: Vec<CrossShare>,
 }
 
 impl core::fmt::Debug for OptimusNode {
@@ -201,6 +233,7 @@ impl OptimusNode {
             horizon_cache,
             chunk_scratch: Vec::new(),
             alerts_seen,
+            cross_shares: Vec::new(),
         })
     }
 
@@ -281,6 +314,173 @@ impl OptimusNode {
         NodeVaccel { device, va }
     }
 
+    /// The device currently holding `handle`'s share record, if any.
+    fn share_home(&self, handle: u64) -> Option<usize> {
+        self.devices.iter().position(|hv| hv.share_record(handle).is_some())
+    }
+
+    /// Retrieves a shared span on behalf of `peer`, routing by topology:
+    /// a peer co-resident with the owner retrieves directly (zero-copy —
+    /// its IOPT targets the owner's frames), while a peer on another
+    /// device maps node-managed *mirror* frames that the node keeps in
+    /// sync at every chunk boundary. Returns the peer-side base GVA.
+    pub fn retrieve_shared(&mut self, handle: u64, peer: NodeVaccel) -> Result<Gva, ShareError> {
+        let Some(od) = self.share_home(handle) else {
+            return Err(ShareError::NoSuchHandle);
+        };
+        let pd = peer.device.0 as usize;
+        if od == pd {
+            return self.devices[pd].guest(peer.va).mem_retrieve(handle);
+        }
+        let peer_vm = self.devices[pd]
+            .vaccel_vm(peer.va)
+            .expect("peer handle is live")
+            .0;
+        let (owner_vm, hpas, writable) = {
+            let rec = self.devices[od].share_record(handle).expect("found above");
+            if rec.state != ShareState::Shared {
+                return Err(ShareError::BadState);
+            }
+            if self.devices[pd].vm_name(peer_vm) != Some(rec.peer.as_str()) {
+                return Err(ShareError::NotPeer);
+            }
+            (rec.owner_vm, rec.hpas.clone(), rec.writable)
+        };
+        let (gva, mirror) = self.devices[pd].attach_foreign_retrieval(
+            peer.va,
+            handle,
+            None,
+            hpas.len() as u64,
+            writable,
+        );
+        {
+            let rec = self.devices[od].share_record_mut(handle).expect("found above");
+            rec.state = ShareState::Retrieved;
+            rec.retriever_vm = None; // remote: tracked on the peer's device
+            rec.retriever_gva = gva.raw();
+        }
+        let owner = ShareSide { device: od, spec_vm: owner_vm, hpas };
+        let retr = ShareSide { device: pd, spec_vm: peer_vm, hpas: mirror };
+        // Seed the mirror with the span's current contents; from here the
+        // per-chunk sync keeps the authoritative side propagated.
+        self.copy_pages(&owner, &retr);
+        self.cross_shares.push(CrossShare { handle, owner, retr, writable });
+        Ok(gva)
+    }
+
+    /// Relinquishes a retrieved span on behalf of `peer`. Cross-device
+    /// retrievals get a final sync (writable shares push the mirror back
+    /// to the owner) before the mirror's GVA and IOPT mappings — and any
+    /// speculative IOTLB state — are torn down.
+    pub fn relinquish_shared(&mut self, handle: u64, peer: NodeVaccel) -> Result<(), ShareError> {
+        if let Some(i) = self.cross_shares.iter().position(|c| c.handle == handle) {
+            let cs = self.cross_shares[i].clone();
+            if cs.retr.device != peer.device.0 as usize {
+                return Err(ShareError::NotRetriever);
+            }
+            if cs.writable {
+                self.copy_pages(&cs.retr, &cs.owner);
+            }
+            self.devices[cs.retr.device]
+                .detach_foreign_retrieval(handle, "relinquished")
+                .expect("cross share has a live mirror");
+            self.devices[cs.owner.device]
+                .share_record_mut(handle)
+                .expect("cross share has a live record")
+                .state = ShareState::Relinquished;
+            self.cross_shares.remove(i);
+            return Ok(());
+        }
+        self.devices[peer.device.0 as usize].guest(peer.va).mem_relinquish(handle)
+    }
+
+    /// Reclaims a share on behalf of its owner, force-revoking a cross-
+    /// device retriever's mirror if one is still live. Terminal.
+    pub fn reclaim_shared(&mut self, handle: u64, owner: NodeVaccel) -> Result<(), ShareError> {
+        if let Some(i) = self.cross_shares.iter().position(|c| c.handle == handle) {
+            let cs = self.cross_shares[i].clone();
+            if cs.owner.device != owner.device.0 as usize {
+                return Err(ShareError::NotOwner);
+            }
+            if cs.writable {
+                self.copy_pages(&cs.retr, &cs.owner);
+            }
+            self.devices[cs.retr.device]
+                .detach_foreign_retrieval(handle, "reclaimed")
+                .expect("cross share has a live mirror");
+            self.devices[cs.owner.device]
+                .share_record_mut(handle)
+                .expect("cross share has a live record")
+                .state = ShareState::Reclaimed;
+            self.cross_shares.remove(i);
+            return Ok(());
+        }
+        self.devices[owner.device.0 as usize].guest(owner.va).mem_reclaim(handle)
+    }
+
+    /// Synchronizes every cross-device share along its authoritative
+    /// direction. Runs on the caller's thread, strictly between device
+    /// steps, in registration order — deterministic regardless of worker
+    /// count or chunk schedule.
+    fn sync_cross_shares(&mut self) {
+        if self.cross_shares.is_empty() {
+            return;
+        }
+        let shares = std::mem::take(&mut self.cross_shares);
+        for cs in &shares {
+            if cs.writable {
+                self.copy_pages(&cs.retr, &cs.owner);
+            } else {
+                self.copy_pages(&cs.owner, &cs.retr);
+            }
+        }
+        self.cross_shares = shares;
+    }
+
+    /// Copies a share side's frames onto the other side's, page by page,
+    /// refinement-checking each page against the spec model's frame
+    /// ownership (the sync acts on the node's behalf, like migration).
+    fn copy_pages(&mut self, src: &ShareSide, dst: &ShareSide) {
+        if spec::enabled() {
+            for (&s, &d) in src.hpas.iter().zip(&dst.hpas) {
+                spec::check_adopt(
+                    src.device as u32,
+                    s,
+                    src.spec_vm,
+                    dst.device as u32,
+                    d,
+                    dst.spec_vm,
+                );
+            }
+        }
+        if src.device == dst.device {
+            // Owner and mirror co-resident (a migration landed them
+            // together): copy through a bounce buffer.
+            let hv = &mut self.devices[src.device];
+            let mut buf = vec![0u8; PAGE_2M as usize];
+            for (&s, &d) in src.hpas.iter().zip(&dst.hpas) {
+                hv.device().host().memory().read(Hpa::new(s), &mut buf);
+                hv.device_mut().host_mut().memory_mut().write(Hpa::new(d), &buf);
+            }
+            return;
+        }
+        let (lo, hi) = (src.device.min(dst.device), src.device.max(dst.device));
+        let (head, tail) = self.devices.split_at_mut(hi);
+        let (src_hv, dst_hv) = if src.device < dst.device {
+            (&mut head[lo], &mut tail[0])
+        } else {
+            (&mut tail[0], &mut head[lo])
+        };
+        for (&s, &d) in src.hpas.iter().zip(&dst.hpas) {
+            dst_hv.device_mut().host_mut().memory_mut().adopt_span(
+                src_hv.device().host().memory(),
+                Hpa::new(s),
+                Hpa::new(d),
+                PAGE_2M,
+            );
+        }
+    }
+
     /// Migrates a tenant to another device: detaches it from the source
     /// (Fig. 8 preempt + state save into its own guest memory, IOPT
     /// teardown), attaches it to the destination (fresh ids and slice,
@@ -303,6 +503,9 @@ impl OptimusNode {
         if from == to {
             return Ok(h);
         }
+        // Flush cross-device spans before surgery so both sides agree on
+        // the bytes the migration copies.
+        self.sync_cross_shares();
         let (lo, hi) = (from.0.min(to.0) as usize, from.0.max(to.0) as usize);
         let (head, tail) = self.devices.split_at_mut(hi);
         let (src, dst) = if from.0 < to.0 {
@@ -311,7 +514,19 @@ impl OptimusNode {
             (&mut tail[0], &mut head[lo])
         };
         let src_vm = src.vaccel_vm(h.va);
+        // Share records this tenant owns, captured pre-detach: handle,
+        // old frames, whether a co-resident retriever holds a live
+        // mapping into them, lifecycle state, and the permission mask.
+        let pre_owned: Vec<(u64, Vec<u64>, bool, ShareState, bool)> = src
+            .shares
+            .values()
+            .filter(|r| Some(r.owner_vm) == src_vm.map(|v| v.0))
+            .map(|r| {
+                (r.handle, r.hpas.clone(), r.retriever_vm.is_some(), r.state, r.writable)
+            })
+            .collect();
         let t = src.detach_tenant(h.va)?;
+        let carried: Vec<CarriedRetrieval> = t.retrievals.clone();
         let (va, copies) = dst.attach_tenant(t)?;
         if spec::enabled() {
             // Every frame copy must read the detached tenant's own frames
@@ -343,6 +558,79 @@ impl OptimusNode {
                 len,
             );
             i += 1;
+        }
+        // Re-resolve share state around the move.
+        let (from_idx, to_idx) = (from.0 as usize, to.0 as usize);
+        let dst_vm = self.devices[to_idx]
+            .vaccel_vm(va)
+            .expect("freshly attached")
+            .0;
+        // Spans this tenant had *retrieved*: rebuild each as a mirror on
+        // the destination, at its original GVA so in-flight register
+        // state stays valid, and (re-)register the cross-device sync.
+        for r in &carried {
+            let (gva2, mirror) = self.devices[to_idx].attach_foreign_retrieval(
+                va,
+                r.handle,
+                Some(r.gva),
+                r.pages,
+                r.writable,
+            );
+            debug_assert_eq!(gva2.raw(), r.gva, "mirror rebuilt at its original GVA");
+            let retr = ShareSide { device: to_idx, spec_vm: dst_vm, hpas: mirror };
+            if let Some(cs) = self.cross_shares.iter_mut().find(|c| c.handle == r.handle) {
+                // Already cross-device: only the retriever side moved.
+                cs.retr = retr;
+            } else {
+                // The share was same-device until now — the record (and
+                // owner) stayed behind on the source.
+                let (owner_vm, hpas) = {
+                    let rec = self.devices[from_idx]
+                        .share_record(r.handle)
+                        .expect("same-device share record lives on the source");
+                    (rec.owner_vm, rec.hpas.clone())
+                };
+                self.cross_shares.push(CrossShare {
+                    handle: r.handle,
+                    owner: ShareSide { device: from_idx, spec_vm: owner_vm, hpas },
+                    retr,
+                    writable: r.writable,
+                });
+            }
+            // The fresh mirror is empty: seed it from the owner side.
+            let cs = self
+                .cross_shares
+                .iter()
+                .find(|c| c.handle == r.handle)
+                .expect("registered above")
+                .clone();
+            self.copy_pages(&cs.owner, &cs.retr);
+        }
+        // Shares this tenant *owns*: the records moved with it (frames
+        // rewritten by attach); point any live sync at the new frames.
+        for (handle, old_hpas, had_local_retriever, state, writable) in pre_owned {
+            let new_hpas = self.devices[to_idx]
+                .share_record(handle)
+                .expect("attach re-homed the owned records")
+                .hpas
+                .clone();
+            let owner = ShareSide { device: to_idx, spec_vm: dst_vm, hpas: new_hpas };
+            if let Some(cs) = self.cross_shares.iter_mut().find(|c| c.handle == handle) {
+                cs.owner = owner;
+            } else if state == ShareState::Retrieved && had_local_retriever {
+                // A co-resident retriever stayed behind: its IOPT still
+                // targets the owner's *old* frames on the source, which
+                // now act as the retriever-side mirror. The old frames'
+                // spec ownership (the detached VM id) rides along for the
+                // sync's refinement checks.
+                let old_vm = src_vm.expect("detach succeeded, vaccel existed").0;
+                self.cross_shares.push(CrossShare {
+                    handle,
+                    owner,
+                    retr: ShareSide { device: from_idx, spec_vm: old_vm, hpas: old_hpas },
+                    writable,
+                });
+            }
         }
         metrics::inc_at(metrics::NODE_MIGRATIONS, to.0, 0, 1);
         Ok(NodeVaccel { device: to, va })
@@ -471,7 +759,11 @@ impl OptimusNode {
         if cycles == 0 {
             return;
         }
-        if self.lockstep {
+        // Live cross-device shares shrink the dependency horizon from
+        // "end of span" to the next chunk boundary: the owner and
+        // retriever sides must observe each other's writes, so the node
+        // falls back to horizon-chunked stepping with a sync per chunk.
+        if self.lockstep || !self.cross_shares.is_empty() {
             self.run_lockstep(cycles);
             return;
         }
@@ -507,6 +799,11 @@ impl OptimusNode {
         chunk_log.clear();
         let mut remaining = cycles;
         while remaining > 0 {
+            // Propagate cross-device shared spans before every chunk (and
+            // once more after the loop): on the main thread, in
+            // registration order, so the result is independent of worker
+            // count and chunk sizing.
+            self.sync_cross_shares();
             let mut chunk = remaining;
             for (cached, hv) in horizons.iter_mut().zip(&self.devices) {
                 let stale = match *cached {
@@ -534,6 +831,7 @@ impl OptimusNode {
             chunk_log.push(chunk);
             remaining -= chunk;
         }
+        self.sync_cross_shares();
         // Node-level chunk accounting, hoisted out of the chunk loop:
         // the flush performs the same counter increments and histogram
         // observations the per-chunk path recorded, so the final metric
@@ -764,6 +1062,96 @@ mod tests {
         let mut node = mb_node(2, 1);
         let _a = node.create_tenant("a");
         assert!(node.rebalance().is_empty());
+    }
+
+    #[test]
+    fn cross_device_share_syncs_owner_to_mirror() {
+        let mut node = mb_node(2, 1);
+        let owner = node.create_tenant_on(DeviceId(0), "owner");
+        let peer = node.create_tenant_on(DeviceId(1), "peer");
+        let span = node.guest(owner).alloc_dma(PAGE_2M);
+        node.guest(owner).write_mem(span, &[0x11; 4096]);
+        let handle = node
+            .guest(owner)
+            .mem_share(span, PAGE_2M, "peer", false)
+            .expect("share");
+        let got = node.retrieve_shared(handle, peer).expect("cross retrieve");
+        // The retrieve seeded the mirror with the span's contents.
+        let mut buf = vec![0u8; 4096];
+        node.guest(peer).read_mem(got, &mut buf);
+        assert_eq!(buf, vec![0x11; 4096]);
+        // Read-only share: the owner stays authoritative; its updates
+        // propagate at the next chunk boundary.
+        node.guest(owner).write_mem(span, &[0x22; 4096]);
+        node.run(ms_to_cycles(0.1));
+        node.guest(peer).read_mem(got, &mut buf);
+        assert_eq!(buf, vec![0x22; 4096]);
+        node.relinquish_shared(handle, peer).expect("relinquish");
+        assert!(node.guest(peer).gva_to_hpa(got).is_err(), "mirror survived relinquish");
+        assert_eq!(
+            node.device(DeviceId(0)).share_state(handle),
+            Some(ShareState::Relinquished)
+        );
+        // With no live cross shares the node free-runs again.
+        node.run(ms_to_cycles(0.1));
+    }
+
+    #[test]
+    fn writable_cross_share_pushes_mirror_back_to_owner() {
+        let mut node = mb_node(2, 1);
+        let owner = node.create_tenant_on(DeviceId(0), "owner");
+        let peer = node.create_tenant_on(DeviceId(1), "peer");
+        let span = node.guest(owner).alloc_dma(PAGE_2M);
+        node.guest(owner).write_mem(span, &[0u8; 4096]);
+        let handle = node
+            .guest(owner)
+            .mem_share(span, PAGE_2M, "peer", true)
+            .expect("share rw");
+        let got = node.retrieve_shared(handle, peer).expect("cross retrieve");
+        // Writable share: authority transfers to the retriever.
+        node.guest(peer).write_mem(got, &[0x77; 4096]);
+        node.run(ms_to_cycles(0.1));
+        let mut buf = vec![0u8; 4096];
+        node.guest(owner).read_mem(span, &mut buf);
+        assert_eq!(buf, vec![0x77; 4096]);
+        // Reclaim performs a final push-back then revokes the mirror.
+        node.guest(peer).write_mem(got, &[0x78; 64]);
+        node.reclaim_shared(handle, owner).expect("reclaim");
+        node.guest(owner).read_mem(span, &mut buf);
+        assert_eq!(&buf[..64], &[0x78; 64]);
+        assert!(node.guest(peer).gva_to_hpa(got).is_err(), "mirror survived reclaim");
+        assert_eq!(
+            node.device(DeviceId(0)).share_state(handle),
+            Some(ShareState::Reclaimed)
+        );
+    }
+
+    #[test]
+    fn same_device_share_routes_through_the_hypervisor() {
+        let mut node = mb_node(2, 1);
+        let owner = node.create_tenant_on(DeviceId(0), "owner");
+        let peer = node.create_tenant_on(DeviceId(0), "peer");
+        let span = node.guest(owner).alloc_dma(PAGE_2M);
+        node.guest(owner).write_mem(span, &[0x33; 1024]);
+        let handle = node
+            .guest(owner)
+            .mem_share(span, PAGE_2M, "peer", false)
+            .expect("share");
+        let got = node.retrieve_shared(handle, peer).expect("local retrieve");
+        // Same device: true zero-copy, no registry entry, free-running
+        // stepping is preserved.
+        assert_eq!(
+            node.guest(owner).gva_to_hpa(span).unwrap(),
+            node.guest(peer).gva_to_hpa(got).unwrap()
+        );
+        let mut buf = vec![0u8; 1024];
+        node.guest(peer).read_mem(got, &mut buf);
+        assert_eq!(buf, vec![0x33; 1024]);
+        node.relinquish_shared(handle, peer).expect("relinquish");
+        assert_eq!(
+            node.device(DeviceId(0)).share_state(handle),
+            Some(ShareState::Relinquished)
+        );
     }
 
     #[test]

@@ -38,7 +38,7 @@ use optimus_fabric::platform::DeviceId;
 pub const SNAPSHOT_MAGIC: u64 = u64::from_le_bytes(*b"OPTMHVSN");
 
 /// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 2;
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Errors from decoding or thawing a snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -169,6 +169,47 @@ pub struct IoptEntry {
     pub write: bool,
 }
 
+/// One cross-tenant share-handle record (FF-A-style lifecycle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShareSnap {
+    /// The handle (device-tagged, never recycled).
+    pub handle: u64,
+    /// Owning VM id.
+    pub owner_vm: u32,
+    /// Name of the tenant allowed to retrieve.
+    pub peer: String,
+    /// Owner-side base GVA of the shared span.
+    pub gva: u64,
+    /// Backing frames, one per 2 MB page.
+    pub hpas: Vec<u64>,
+    /// Permission ceiling granted to the retriever.
+    pub writable: bool,
+    /// Lifecycle state discriminant (0 Shared, 1 Retrieved,
+    /// 2 Relinquished, 3 Reclaimed).
+    pub state: u8,
+    /// Retriever VM id if retrieved *on this device*; `None` while merely
+    /// shared, after relinquish, or when the retriever is remote.
+    pub retriever_vm: Option<u32>,
+    /// Retriever-side base GVA (valid while retrieved).
+    pub retriever_gva: u64,
+}
+
+/// One *foreign* retrieval: a local mirror of a span whose share record
+/// lives on another device's hypervisor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetrievalSnap {
+    /// The share handle (minted by the owning device).
+    pub handle: u64,
+    /// Local retriever VM id.
+    pub vm: u32,
+    /// Local base GVA of the mirror span.
+    pub gva: u64,
+    /// Local mirror frames, one per 2 MB page.
+    pub hpas: Vec<u64>,
+    /// Writable mirror (sync direction is the node's concern).
+    pub writable: bool,
+}
+
 /// A complete hypervisor software snapshot (see the module docs for what
 /// is deliberately *not* here).
 #[derive(Debug, Clone, PartialEq)]
@@ -209,6 +250,15 @@ pub struct HvSnapshot {
     /// The IO page table, ascending by IOVA. Serialized for audit and
     /// verified against the (persistent) device on thaw.
     pub iopt: Vec<IoptEntry>,
+    /// Monotonic share-handle counter (low half; the device tag is
+    /// re-derived from `device_id`).
+    pub next_share_handle: u64,
+    /// Share records whose owner lives on this device, ascending by
+    /// handle.
+    pub shares: Vec<ShareSnap>,
+    /// Foreign retrievals (local mirrors of remote-owned shares), in
+    /// registration order.
+    pub retrievals: Vec<RetrievalSnap>,
 }
 
 struct Writer {
@@ -471,6 +521,33 @@ impl HvSnapshot {
             w.bool(e.small);
             w.bool(e.write);
         }
+        w.u64(self.next_share_handle);
+        w.u64(self.shares.len() as u64);
+        for s in &self.shares {
+            w.u64(s.handle);
+            w.u32(s.owner_vm);
+            w.str(&s.peer);
+            w.u64(s.gva);
+            w.u64(s.hpas.len() as u64);
+            for &h in &s.hpas {
+                w.u64(h);
+            }
+            w.bool(s.writable);
+            w.u8(s.state);
+            w.u64(s.retriever_vm.map_or(u64::MAX, |v| v as u64));
+            w.u64(s.retriever_gva);
+        }
+        w.u64(self.retrievals.len() as u64);
+        for rr in &self.retrievals {
+            w.u64(rr.handle);
+            w.u32(rr.vm);
+            w.u64(rr.gva);
+            w.u64(rr.hpas.len() as u64);
+            for &h in &rr.hpas {
+                w.u64(h);
+            }
+            w.bool(rr.writable);
+        }
         w.buf
     }
 
@@ -635,6 +712,56 @@ impl HvSnapshot {
                 write: r.bool("write")?,
             });
         }
+        let next_share_handle = r.u64()?;
+        let n_shares = r.len()?;
+        let mut shares = Vec::with_capacity(n_shares);
+        for _ in 0..n_shares {
+            let handle = r.u64()?;
+            let owner_vm = r.u32()?;
+            let peer = r.str()?;
+            let gva = r.u64()?;
+            let n_hpas = r.len()?;
+            let mut hpas = Vec::with_capacity(n_hpas);
+            for _ in 0..n_hpas {
+                hpas.push(r.u64()?);
+            }
+            let writable = r.bool("share writable")?;
+            let state = r.u8()?;
+            if state > 3 {
+                return Err(SnapshotError::BadValue("share state"));
+            }
+            let retriever_vm = match r.u64()? {
+                u64::MAX => None,
+                v if v <= u32::MAX as u64 => Some(v as u32),
+                _ => return Err(SnapshotError::BadValue("retriever_vm")),
+            };
+            let retriever_gva = r.u64()?;
+            shares.push(ShareSnap {
+                handle,
+                owner_vm,
+                peer,
+                gva,
+                hpas,
+                writable,
+                state,
+                retriever_vm,
+                retriever_gva,
+            });
+        }
+        let n_retr = r.len()?;
+        let mut retrievals = Vec::with_capacity(n_retr);
+        for _ in 0..n_retr {
+            let handle = r.u64()?;
+            let vm = r.u32()?;
+            let gva = r.u64()?;
+            let n_hpas = r.len()?;
+            let mut hpas = Vec::with_capacity(n_hpas);
+            for _ in 0..n_hpas {
+                hpas.push(r.u64()?);
+            }
+            let writable = r.bool("retrieval writable")?;
+            retrievals.push(RetrievalSnap { handle, vm, gva, hpas, writable });
+        }
         if r.pos != bytes.len() {
             return Err(SnapshotError::TrailingBytes);
         }
@@ -656,6 +783,9 @@ impl HvSnapshot {
             slots,
             watchdog,
             iopt,
+            next_share_handle,
+            shares,
+            retrievals,
         })
     }
 }
@@ -739,6 +869,25 @@ mod tests {
                 IoptEntry { iova: 64 << 30, hpa: 1 << 32, small: false, write: true },
                 IoptEntry { iova: (64 << 30) + 4096, hpa: (1 << 32) + 4096, small: true, write: true },
             ],
+            next_share_handle: 4,
+            shares: vec![ShareSnap {
+                handle: (3 << 32) | 2,
+                owner_vm: 4,
+                peer: "tenant-b".into(),
+                gva: 0x7f00_0000_0000,
+                hpas: vec![1 << 32],
+                writable: true,
+                state: 1,
+                retriever_vm: Some(9),
+                retriever_gva: 0x7f00_0060_0000,
+            }],
+            retrievals: vec![RetrievalSnap {
+                handle: (7 << 32) | 1,
+                vm: 4,
+                gva: 0x7f00_0080_0000,
+                hpas: vec![(1 << 32) + (3 << 21)],
+                writable: false,
+            }],
         }
     }
 

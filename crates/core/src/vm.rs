@@ -15,6 +15,30 @@ use optimus_mem::page_table::{MapError, PageFlags, PageTable};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VmId(pub u32);
 
+/// A span mapped into this VM's address space by `mem_retrieve`: the VM
+/// holds a share entitlement over frames it does *not* own. Tracked
+/// separately from owned allocations so migration export skips it (the
+/// owner's frames are copied by the owner, mirrors are rebuilt by the
+/// node) and relinquish can tear it down precisely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetrievedSpan {
+    /// The share handle this span was retrieved under.
+    pub handle: u64,
+    /// Base GVA the span is mapped at in this VM.
+    pub base_gva: u64,
+    /// Backing HPA of each 2 MB page, in GVA order.
+    pub hpas: Vec<u64>,
+    /// Whether the owner granted write permission.
+    pub writable: bool,
+}
+
+impl RetrievedSpan {
+    /// Whether `gva` falls inside the span.
+    pub fn contains(&self, gva: u64) -> bool {
+        gva.wrapping_sub(self.base_gva) < self.hpas.len() as u64 * PAGE_2M
+    }
+}
+
 /// Base of the guest DMA mmap area (the canonical x86-64 mmap region).
 pub const GVA_BASE: u64 = 0x7f00_0000_0000;
 
@@ -29,6 +53,9 @@ pub struct Vm {
     /// (models the guest libc's `mmap(MAP_NORESERVE)` of the DMA region).
     next_gva: u64,
     allocated_bytes: u64,
+    /// Spans retrieved from other VMs' shares (not owned; see
+    /// [`RetrievedSpan`]).
+    retrieved: Vec<RetrievedSpan>,
 }
 
 /// Errors from VM memory operations.
@@ -76,6 +103,7 @@ impl Vm {
             // Guest DMA regions start at the canonical x86-64 mmap area.
             next_gva: GVA_BASE,
             allocated_bytes: 0,
+            retrieved: Vec::new(),
         }
     }
 
@@ -99,19 +127,85 @@ impl Vm {
         vm
     }
 
-    /// Exports every mapped 2 MB page as `(gva, hpa)`, ascending by GVA.
-    /// Together with `next_gva` this is the VM's whole address-space state
-    /// (allocations are contiguous from [`GVA_BASE`], GPA = GVA).
+    /// Exports every mapped *owned* 2 MB page as `(gva, hpa)`, ascending by
+    /// GVA. Together with `next_gva` this is the VM's whole owned
+    /// address-space state (allocations are contiguous from [`GVA_BASE`],
+    /// GPA = GVA). Retrieved share spans are skipped — their frames belong
+    /// to the share's owner (or are node-managed mirrors), and migration
+    /// rebuilds them from the handle table instead of copying them.
     pub fn export_pages(&self) -> Vec<(u64, u64)> {
         let mut pages = Vec::new();
         let mut gva = GVA_BASE;
         while gva < self.next_gva {
-            if let Ok(hpa) = self.gva_to_hpa(Gva::new(gva)) {
-                pages.push((gva, hpa.raw()));
+            if !self.in_retrieved(gva) {
+                if let Ok(hpa) = self.gva_to_hpa(Gva::new(gva)) {
+                    pages.push((gva, hpa.raw()));
+                }
             }
             gva += PAGE_2M;
         }
         pages
+    }
+
+    /// Whether `gva` falls inside any retrieved share span.
+    pub fn in_retrieved(&self, gva: u64) -> bool {
+        self.retrieved.iter().any(|r| r.contains(gva))
+    }
+
+    /// The VM's live retrieved share spans.
+    pub fn retrieved_spans(&self) -> &[RetrievedSpan] {
+        &self.retrieved
+    }
+
+    /// The retrieved span for `handle`, if live in this VM.
+    pub fn retrieved_span(&self, handle: u64) -> Option<&RetrievedSpan> {
+        self.retrieved.iter().find(|r| r.handle == handle)
+    }
+
+    /// Maps a share's backing frames into fresh GVA space (a
+    /// `mem_retrieve`). Returns the span's base GVA.
+    pub fn map_retrieved(&mut self, handle: u64, hpas: &[u64], writable: bool) -> Gva {
+        let base = self.next_gva;
+        self.next_gva += hpas.len() as u64 * PAGE_2M;
+        self.map_retrieved_at(base, handle, hpas, writable);
+        Gva::new(base)
+    }
+
+    /// Maps a share's backing frames at a *known* GVA (migration/thaw
+    /// rebuild paths, where the span's address must be preserved and
+    /// `next_gva` already accounts for it).
+    pub fn map_retrieved_at(&mut self, base_gva: u64, handle: u64, hpas: &[u64], writable: bool) {
+        let flags = if writable { PageFlags::rw() } else { PageFlags::ro() };
+        for (i, &hpa) in hpas.iter().enumerate() {
+            let gva = base_gva + i as u64 * PAGE_2M;
+            let gpa = gva; // direct-mapped guest kernel
+            self.guest_pt
+                .map(gva, gpa, PageSize::Huge, flags)
+                .expect("fresh GVA range for retrieved span");
+            self.ept
+                .map(gpa, hpa, PageSize::Huge, flags)
+                .expect("fresh GPA range for retrieved span");
+        }
+        self.retrieved.push(RetrievedSpan {
+            handle,
+            base_gva,
+            hpas: hpas.to_vec(),
+            writable,
+        });
+    }
+
+    /// Tears down the retrieved span for `handle` (relinquish, reclaim, or
+    /// the retriever migrating away). Returns the removed span so the
+    /// caller can mirror the teardown in the IOPT and spec plane.
+    pub fn unmap_retrieved(&mut self, handle: u64) -> Option<RetrievedSpan> {
+        let i = self.retrieved.iter().position(|r| r.handle == handle)?;
+        let span = self.retrieved.remove(i);
+        for k in 0..span.hpas.len() as u64 {
+            let gva = span.base_gva + k * PAGE_2M;
+            self.guest_pt.unmap(gva).expect("retrieved span was mapped");
+            self.ept.unmap(gva).expect("retrieved span was mapped");
+        }
+        Some(span)
     }
 
     /// The next GVA the guest-side allocator would hand out.
@@ -248,6 +342,36 @@ mod tests {
             let mut f2 = FrameAllocator::new();
             vm.alloc_region(1, &mut f2)
         });
+    }
+
+    #[test]
+    fn retrieved_spans_map_translate_and_skip_export() {
+        let mut frames = FrameAllocator::new();
+        let mut owner = Vm::new(VmId(0), "owner");
+        let mut peer = Vm::new(VmId(1), "peer");
+        let src = owner.alloc_region(2, &mut frames);
+        let _own = peer.alloc_region(1, &mut frames);
+        let hpas: Vec<u64> = (0..2)
+            .map(|i| owner.gva_to_hpa(src.add(i * PAGE_2M)).unwrap().raw())
+            .collect();
+        let got = peer.map_retrieved(0x42, &hpas, false);
+        // The peer translates into the owner's frames...
+        assert_eq!(peer.gva_to_hpa(got).unwrap().raw(), hpas[0]);
+        assert_eq!(peer.gva_to_hpa(got.add(PAGE_2M + 0x30)).unwrap().raw(), hpas[1] + 0x30);
+        // ...but does not export them (they're not its to migrate)...
+        assert_eq!(peer.export_pages().len(), 1);
+        assert!(peer.in_retrieved(got.raw()));
+        assert_eq!(peer.retrieved_span(0x42).unwrap().hpas, hpas);
+        // ...and allocated_bytes counts only owned memory.
+        assert_eq!(peer.allocated_bytes(), PAGE_2M);
+        // Teardown restores an unmapped range.
+        let span = peer.unmap_retrieved(0x42).unwrap();
+        assert_eq!(span.base_gva, got.raw());
+        assert_eq!(peer.gva_to_gpa(got), Err(VmError::GvaUnmapped));
+        assert!(peer.unmap_retrieved(0x42).is_none());
+        // Rebuild at the recorded address (the migration path).
+        peer.map_retrieved_at(span.base_gva, span.handle, &span.hpas, span.writable);
+        assert_eq!(peer.gva_to_hpa(got).unwrap().raw(), hpas[0]);
     }
 
     #[test]

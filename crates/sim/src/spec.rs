@@ -7,24 +7,33 @@
 //! and is updated **only** from the hypercall/MMIO/migration history the
 //! hypervisor layer reports:
 //!
-//! * `iopt`: IOVA span → (HPA span, writable, owning VM), installed by the
-//!   shadow-paging hypercall and torn down at detach;
-//! * `frames`: HPA span → owning VM. Ownership persists after IOPT
+//! * `iopt`: IOVA span → (HPA span, writable, acting VM), installed by the
+//!   shadow-paging hypercall (or a share retrieval) and torn down at
+//!   detach/relinquish;
+//! * `frames`: HPA span → an *entitlement set*: the owning VM plus any
+//!   live retrievers holding a share handle over the span with per-handle
+//!   permissions, plus the history of entitlements that have ended
+//!   (relinquished / reclaimed / migrated). Ownership persists after IOPT
 //!   teardown (the frame allocator is a bump allocator and never reuses
-//!   HPAs), so CPU accesses and migration copies stay checkable;
+//!   HPAs), so CPU accesses, migration copies, and post-mortem provenance
+//!   stay checkable;
 //! * `slots`: physical slot → VM currently allowed to drive DMA through
 //!   it, bound at install and released when the preemption drain/save (or
 //!   forced reset) completes.
 //!
 //! The low-level simulator then reports every host-memory access — CCI DMA
 //! reads/writes (including the translation-fault path), MMIO delivery,
-//! CPU-side guest reads/writes, `adopt_span` migration copies, and
-//! live-update thaw verification — and each is checked against the model
-//! **in both directions**: an access the simulator performs must be
-//! permitted by the model, and an access the simulator *refuses* (a
-//! translation fault) must be refused by the model too. Any divergence is
-//! recorded as a [`Violation`], never panicked, so differential tests can
-//! assert `violation_count() == 0` (or probe the harness itself).
+//! guest-visible MMIO register-file writes, CPU-side guest reads/writes,
+//! `adopt_span` migration copies, and live-update thaw verification — and
+//! each is checked against the model **in both directions**: an access the
+//! simulator performs must be permitted by the model, and an access the
+//! simulator *refuses* (a translation fault) must be refused by the model
+//! too. Any divergence is recorded as a [`Violation`], never panicked, so
+//! differential tests can assert `violation_count() == 0` (or probe the
+//! harness itself). Violations against frames that ever carried a share
+//! handle embed the frame's full ownership history, so a wild DMA probing
+//! a relinquished handle names the handle, the peer, and how the
+//! entitlement ended.
 //!
 //! # Gating and determinism
 //!
@@ -54,7 +63,8 @@ pub struct Violation {
     pub device: u32,
     /// Stable machine-readable class, e.g. `dma_cross_tenant`.
     pub kind: &'static str,
-    /// Human-readable specifics (addresses, tenants, slots).
+    /// Human-readable specifics (addresses, tenants, slots, and — for
+    /// frames that ever carried a share handle — the ownership history).
     pub detail: String,
 }
 
@@ -66,11 +76,71 @@ struct IoptSpan {
     owner: u32,
 }
 
+/// One live (or ended) share entitlement over a frame: `vm` may access the
+/// span through share `handle`, read-only unless `write`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entitlement {
+    vm: u32,
+    handle: u64,
+    write: bool,
+}
+
+impl Entitlement {
+    fn perm(&self) -> &'static str {
+        if self.write { "rw" } else { "ro" }
+    }
+}
+
+/// An HPA span's entitlement set: the owner, every live retriever, and the
+/// history of entitlements that have ended (and how).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct FrameEntry {
+    len: u64,
+    owner: u32,
+    shared: Vec<Entitlement>,
+    history: Vec<(Entitlement, &'static str)>,
+}
+
+impl FrameEntry {
+    fn new(len: u64, owner: u32) -> Self {
+        Self { len, owner, shared: Vec::new(), history: Vec::new() }
+    }
+
+    /// Whether `vm` may access the span (owner always; retrievers per
+    /// their handle's permission).
+    fn allows(&self, vm: u32, write: bool) -> bool {
+        vm == self.owner
+            || self.shared.iter().any(|e| e.vm == vm && (!write || e.write))
+    }
+
+    /// The frame's full ownership history, for violation details.
+    fn provenance(&self) -> String {
+        let mut s = format!("owner=vm {}", self.owner);
+        for e in &self.shared {
+            s.push_str(&format!(
+                "; live handle {:#x} -> vm {} ({})",
+                e.handle,
+                e.vm,
+                e.perm()
+            ));
+        }
+        for (e, how) in &self.history {
+            s.push_str(&format!(
+                "; {how} handle {:#x} -> vm {} ({})",
+                e.handle,
+                e.vm,
+                e.perm()
+            ));
+        }
+        s
+    }
+}
+
 /// The per-device model state (see module docs).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DeviceModel {
     iopt: BTreeMap<u64, IoptSpan>,
-    frames: BTreeMap<u64, (u64, u32)>,
+    frames: BTreeMap<u64, FrameEntry>,
     slots: Vec<Option<u32>>,
 }
 
@@ -80,9 +150,13 @@ impl DeviceModel {
         (iova.wrapping_sub(base) < span.len).then_some((base, span))
     }
 
-    fn frame_at(&self, hpa: u64) -> Option<(u64, (u64, u32))> {
-        let (&base, &entry) = self.frames.range(..=hpa).next_back()?;
-        (hpa.wrapping_sub(base) < entry.0).then_some((base, entry))
+    fn frame_at(&self, hpa: u64) -> Option<(u64, &FrameEntry)> {
+        let (&base, entry) = self.frames.range(..=hpa).next_back()?;
+        (hpa.wrapping_sub(base) < entry.len).then_some((base, entry))
+    }
+
+    fn frame_base(&self, hpa: u64) -> Option<u64> {
+        self.frame_at(hpa).map(|(base, _)| base)
     }
 
     fn slot_owner(&self, slot: usize) -> Option<u32> {
@@ -172,21 +246,25 @@ fn with_state<R>(f: impl FnOnce(&mut SpecState) -> R) -> R {
 /// must never hand the same frame to two tenants).
 pub fn map_page(device: u32, iova: u64, hpa: u64, len: u64, write: bool, vm: u32) {
     with_state(|s| {
-        let m = s.devices.entry(device).or_default();
-        if let Some((base, (flen, owner))) = m.frame_at(hpa) {
-            if owner != vm && hpa < base + flen {
-                record(
-                    s,
-                    device,
-                    "hpa_reallocated",
-                    format!("hpa {hpa:#x} claimed by vm {vm} but owned by vm {owner}"),
-                );
-                return;
-            }
+        let conflict = s
+            .devices
+            .entry(device)
+            .or_default()
+            .frame_at(hpa)
+            .filter(|(_, e)| e.owner != vm)
+            .map(|(_, e)| e.owner);
+        if let Some(owner) = conflict {
+            record(
+                s,
+                device,
+                "hpa_reallocated",
+                format!("hpa {hpa:#x} claimed by vm {vm} but owned by vm {owner}"),
+            );
+            return;
         }
         let m = s.devices.entry(device).or_default();
         m.iopt.insert(iova, IoptSpan { len, hpa, write, owner: vm });
-        m.frames.entry(hpa).or_insert((len, vm));
+        m.frames.entry(hpa).or_insert_with(|| FrameEntry::new(len, vm));
     });
 }
 
@@ -201,6 +279,102 @@ pub fn unmap_page(device: u32, iova: u64) {
                 device,
                 "unmap_unknown",
                 format!("unmap of iova {iova:#x} the model never saw mapped"),
+            );
+        }
+    });
+}
+
+/// A `mem_retrieve` installed `iova..iova+len` → `hpa..hpa+len` into
+/// `retriever`'s IOPT under share `handle`.
+///
+/// With `owner = Some(o)` the span must already be an owned frame of `o`
+/// (the same-device case: the retriever maps the owner's frames in place).
+/// With `owner = None` the span is a freshly allocated cross-device mirror
+/// frame, claimed for the retriever (the node keeps it in sync with the
+/// owner's authoritative copy). Either way the retriever gains a live
+/// entitlement carrying the handle and permission, and the IOPT span acts
+/// on the retriever's behalf so its slot may DMA through it.
+pub fn retrieve_page(
+    device: u32,
+    iova: u64,
+    hpa: u64,
+    len: u64,
+    write: bool,
+    retriever: u32,
+    owner: Option<u32>,
+    handle: u64,
+) {
+    with_state(|s| {
+        let m = s.devices.entry(device).or_default();
+        let base = match owner {
+            Some(o) => match m.frame_at(hpa) {
+                Some((base, e)) if e.owner == o => base,
+                other => {
+                    let found = other.map(|(_, e)| e.owner);
+                    record(
+                        s,
+                        device,
+                        "share_bad_owner",
+                        format!(
+                            "handle {handle:#x}: retrieve of hpa {hpa:#x} expected owner vm \
+                             {o}, model has {found:?}"
+                        ),
+                    );
+                    return;
+                }
+            },
+            None => {
+                m.frames.entry(hpa).or_insert_with(|| FrameEntry::new(len, retriever));
+                hpa
+            }
+        };
+        let m = s.devices.entry(device).or_default();
+        m.iopt.insert(iova, IoptSpan { len, hpa, write, owner: retriever });
+        if let Some(e) = m.frames.get_mut(&base) {
+            e.shared.push(Entitlement { vm: retriever, handle, write });
+        }
+    });
+}
+
+/// A retrieved span was torn down: `mem_relinquish`, an owner-forced
+/// `mem_reclaim`, or the retriever migrating away (`how` names which).
+/// Removes the IOPT span, ends the live entitlement, and appends it to the
+/// frame's history so later violations carry the full provenance.
+pub fn relinquish_page(device: u32, iova: u64, hpa: u64, vm: u32, handle: u64, how: &'static str) {
+    with_state(|s| {
+        let m = s.devices.entry(device).or_default();
+        let missing_iopt = m.iopt.remove(&iova).is_none();
+        let ended = match m.frame_base(hpa) {
+            Some(base) => {
+                let e = m.frames.get_mut(&base).expect("frame_base hit");
+                match e.shared.iter().position(|en| en.vm == vm && en.handle == handle) {
+                    Some(i) => {
+                        let en = e.shared.remove(i);
+                        e.history.push((en, how));
+                        true
+                    }
+                    None => false,
+                }
+            }
+            None => false,
+        };
+        if missing_iopt {
+            record(
+                s,
+                device,
+                "unmap_unknown",
+                format!("relinquish of iova {iova:#x} the model never saw mapped"),
+            );
+        }
+        if !ended {
+            record(
+                s,
+                device,
+                "relinquish_unknown",
+                format!(
+                    "handle {handle:#x}: vm {vm} relinquished hpa {hpa:#x} without a live \
+                     entitlement"
+                ),
             );
         }
     });
@@ -234,53 +408,53 @@ pub fn unbind_slot(device: u32, slot: usize) {
 
 /// A DMA from `slot` translated to `hpa` and touched host memory: the
 /// model must map the IOVA to exactly that HPA, with sufficient
-/// permission, and the span's owner must be the VM bound to the slot.
+/// permission, and the span's acting VM must be the VM bound to the slot.
+/// When the target HPA is a frame the model knows (e.g. a probe of a
+/// relinquished share span), the detail embeds its ownership history.
 pub fn check_dma(device: u32, slot: u32, iova: u64, hpa: u64, write: bool) {
     with_state(|s| {
-        let Some(m) = s.devices.get(&device) else {
-            record(s, device, "dma_unmodeled_device", format!("iova {iova:#x} slot {slot}"));
-            return;
-        };
-        let Some((base, span)) = m.iopt_at(iova) else {
-            record(
-                s,
-                device,
-                "dma_unmapped",
-                format!("slot {slot} reached iova {iova:#x} the model has no mapping for"),
-            );
-            return;
-        };
-        let model_hpa = span.hpa + (iova - base);
-        if model_hpa != hpa {
-            record(
-                s,
-                device,
-                "dma_wrong_hpa",
-                format!("iova {iova:#x}: simulator used hpa {hpa:#x}, model says {model_hpa:#x}"),
-            );
-            return;
-        }
-        if write && !span.write {
-            record(s, device, "dma_perm", format!("write to read-only iova {iova:#x}"));
-            return;
-        }
-        match m.slot_owner(slot as usize) {
-            Some(vm) if vm == span.owner => {}
-            Some(vm) => record(
-                s,
-                device,
-                "dma_cross_tenant",
-                format!(
-                    "slot {slot} (vm {vm}) touched iova {iova:#x} owned by vm {owner}",
-                    owner = span.owner
-                ),
-            ),
-            None => record(
-                s,
-                device,
-                "dma_unbound_slot",
-                format!("unbound slot {slot} issued DMA to iova {iova:#x}"),
-            ),
+        let verdict: Option<(&'static str, String)> = (|| {
+            let Some(m) = s.devices.get(&device) else {
+                return Some(("dma_unmodeled_device", format!("iova {iova:#x} slot {slot}")));
+            };
+            let Some((base, span)) = m.iopt_at(iova) else {
+                let mut detail =
+                    format!("slot {slot} reached iova {iova:#x} the model has no mapping for");
+                if let Some((_, e)) = m.frame_at(hpa) {
+                    detail.push_str(&format!("; hpa {hpa:#x} ownership: {}", e.provenance()));
+                }
+                return Some(("dma_unmapped", detail));
+            };
+            let model_hpa = span.hpa + (iova - base);
+            if model_hpa != hpa {
+                return Some((
+                    "dma_wrong_hpa",
+                    format!("iova {iova:#x}: simulator used hpa {hpa:#x}, model says {model_hpa:#x}"),
+                ));
+            }
+            if write && !span.write {
+                return Some(("dma_perm", format!("write to read-only iova {iova:#x}")));
+            }
+            match m.slot_owner(slot as usize) {
+                Some(vm) if vm == span.owner => None,
+                Some(vm) => {
+                    let mut detail = format!(
+                        "slot {slot} (vm {vm}) touched iova {iova:#x} owned by vm {owner}",
+                        owner = span.owner
+                    );
+                    if let Some((_, e)) = m.frame_at(hpa) {
+                        detail.push_str(&format!("; hpa {hpa:#x} ownership: {}", e.provenance()));
+                    }
+                    Some(("dma_cross_tenant", detail))
+                }
+                None => Some((
+                    "dma_unbound_slot",
+                    format!("unbound slot {slot} issued DMA to iova {iova:#x}"),
+                )),
+            }
+        })();
+        if let Some((kind, detail)) = verdict {
+            record(s, device, kind, detail);
         }
     });
 }
@@ -320,56 +494,81 @@ pub fn check_mmio_deliver(device: u32, slot: usize, addr: u64, base: u64, size: 
     });
 }
 
+/// A guest MMIO write's *effect* reached a physical register file: the
+/// hypervisor forwarded `vm`'s write at `addr` into `slot`'s registers.
+/// The slot must currently be bound to `vm` — forwarding another tenant's
+/// cached or live write into a slot mutates a register file that tenant
+/// does not own, even if delivery routing (page containment) was correct.
+pub fn check_mmio_write(device: u32, slot: usize, vm: u32, addr: u64) {
+    with_state(|s| {
+        let owner = s.devices.get(&device).and_then(|m| m.slot_owner(slot));
+        if owner != Some(vm) {
+            record(
+                s,
+                device,
+                "mmio_foreign_regfile",
+                format!(
+                    "vm {vm} write at {addr:#x} forwarded into slot {slot} register file \
+                     bound to {owner:?}"
+                ),
+            );
+        }
+    });
+}
+
 /// A CPU-side guest access (`write_mem`/`read_mem`) touched
 /// `hpa..hpa+len` on behalf of `vm`: the whole span must be covered by
-/// `vm`'s own frames. Frames are claimed at the hypercall's granularity
-/// (2 MB or 4 KB), so the check walks contiguous frames until the span is
-/// covered rather than assuming one frame suffices.
+/// frames whose entitlement set admits `vm` (owner, or live retriever with
+/// sufficient permission). Frames are claimed at the hypercall's
+/// granularity (2 MB or 4 KB), so the check walks contiguous frames until
+/// the span is covered rather than assuming one frame suffices.
 pub fn check_cpu(device: u32, hpa: u64, len: u64, vm: u32, write: bool) {
     with_state(|s| {
         let kind = if write { "cpu_write" } else { "cpu_read" };
-        let Some(m) = s.devices.get(&device) else {
-            record(s, device, "cpu_unowned", format!("{kind} of hpa {hpa:#x} on unmodeled device"));
-            return;
-        };
-        let end = hpa + len;
-        let mut cur = hpa;
-        loop {
-            match m.frame_at(cur) {
-                Some((base, (flen, owner))) => {
-                    if owner != vm {
-                        record(
-                            s,
-                            device,
-                            "cpu_cross_tenant",
-                            format!("vm {vm} {kind} hpa {cur:#x} owned by vm {owner}"),
-                        );
-                        return;
+        let verdict: Option<(&'static str, String)> = (|| {
+            let Some(m) = s.devices.get(&device) else {
+                return Some((
+                    "cpu_unowned",
+                    format!("{kind} of hpa {hpa:#x} on unmodeled device"),
+                ));
+            };
+            let end = hpa + len;
+            let mut cur = hpa;
+            loop {
+                match m.frame_at(cur) {
+                    Some((base, e)) => {
+                        if !e.allows(vm, write) {
+                            return Some((
+                                "cpu_cross_tenant",
+                                format!("vm {vm} {kind} hpa {cur:#x}: {}", e.provenance()),
+                            ));
+                        }
+                        let span_end = base + e.len;
+                        if span_end >= end {
+                            return None;
+                        }
+                        cur = span_end;
                     }
-                    let span_end = base + flen;
-                    if span_end >= end {
-                        return;
+                    None => {
+                        let k = if cur == hpa { "cpu_unowned" } else { "cpu_overrun" };
+                        return Some((
+                            k,
+                            format!("vm {vm} {kind} [{hpa:#x}, +{len:#x}) uncovered at {cur:#x}"),
+                        ));
                     }
-                    cur = span_end;
-                }
-                None => {
-                    let k = if cur == hpa { "cpu_unowned" } else { "cpu_overrun" };
-                    record(
-                        s,
-                        device,
-                        k,
-                        format!("vm {vm} {kind} [{hpa:#x}, +{len:#x}) uncovered at {cur:#x}"),
-                    );
-                    return;
                 }
             }
+        })();
+        if let Some((kind, detail)) = verdict {
+            record(s, device, kind, detail);
         }
     });
 }
 
 /// One migration frame copy: the source span must belong to the detached
 /// tenant (`src_vm` on `src_device`), the destination span to the freshly
-/// attached one (`dst_vm` on `dst_device`).
+/// attached one (`dst_vm` on `dst_device`). Cross-device share syncs reuse
+/// this check with each side's registered (device, vm) pair.
 pub fn check_adopt(
     src_device: u32,
     src_hpa: u64,
@@ -383,7 +582,7 @@ pub fn check_adopt(
             .devices
             .get(&src_device)
             .and_then(|m| m.frame_at(src_hpa))
-            .map(|(_, (_, owner))| owner);
+            .map(|(_, e)| e.owner);
         if src_owner != Some(src_vm) {
             record(
                 s,
@@ -396,7 +595,7 @@ pub fn check_adopt(
             .devices
             .get(&dst_device)
             .and_then(|m| m.frame_at(dst_hpa))
-            .map(|(_, (_, owner))| owner);
+            .map(|(_, e)| e.owner);
         if dst_owner != Some(dst_vm) {
             record(
                 s,
@@ -601,5 +800,111 @@ mod tests {
         }
         assert_eq!(violations().len(), MAX_RETAINED);
         assert_eq!(violation_count(), MAX_RETAINED as u64 + 10);
+    }
+
+    // ---- Entitlement-set (shared-memory channel) tests ---------------------
+
+    #[test]
+    fn retrieved_span_admits_retriever_dma_and_cpu_per_permission() {
+        fresh();
+        // Owner vm 1 maps a frame; vm 2 retrieves it read-only at its own
+        // IOVA through handle 0x5.
+        map_page(0, 0x10_0000, 0x20_0000, 0x20_0000, true, 1);
+        retrieve_page(0, 0x80_0000, 0x20_0000, 0x20_0000, false, 2, Some(1), 0x5);
+        bind_slot(0, 0, 1);
+        bind_slot(0, 1, 2);
+        // Retriever reads through its own IOPT span: clean.
+        check_dma(0, 1, 0x80_0040, 0x20_0040, false);
+        check_cpu(0, 0x20_0040, 0x40, 2, false);
+        assert_eq!(violation_count(), 0);
+        // Retriever *writing* the ro span via CPU is cross-tenant, and the
+        // detail carries the live-handle provenance.
+        check_cpu(0, 0x20_0040, 0x40, 2, true);
+        assert_eq!(violations()[0].kind, "cpu_cross_tenant");
+        assert!(violations()[0].detail.contains("live handle 0x5 -> vm 2 (ro)"));
+        // Retriever ro DMA write is refused at the IOPT permission.
+        check_dma(0, 1, 0x80_0040, 0x20_0040, true);
+        assert_eq!(violations()[1].kind, "dma_perm");
+        // Owner keeps full access throughout.
+        check_cpu(0, 0x20_0000, 0x1000, 1, true);
+        assert_eq!(violation_count(), 2);
+    }
+
+    #[test]
+    fn relinquished_handle_probe_carries_full_ownership_history() {
+        fresh();
+        map_page(0, 0x10_0000, 0x20_0000, 0x20_0000, true, 1);
+        retrieve_page(0, 0x80_0000, 0x20_0000, 0x20_0000, true, 2, Some(1), 0x9);
+        bind_slot(0, 1, 2);
+        check_dma(0, 1, 0x80_0040, 0x20_0040, true);
+        assert_eq!(violation_count(), 0);
+        relinquish_page(0, 0x80_0000, 0x20_0000, 2, 0x9, "relinquished");
+        // A stale access to the now-relinquished span must fault like an
+        // unmap — and the violation names the ended entitlement.
+        check_dma(0, 1, 0x80_0040, 0x20_0040, true);
+        assert_eq!(violations()[0].kind, "dma_unmapped");
+        assert!(violations()[0].detail.contains("owner=vm 1"));
+        assert!(violations()[0].detail.contains("relinquished handle 0x9 -> vm 2 (rw)"));
+        // The retriever's CPU access is also revoked.
+        check_cpu(0, 0x20_0040, 0x40, 2, false);
+        assert_eq!(violations()[1].kind, "cpu_cross_tenant");
+        assert!(violations()[1].detail.contains("relinquished handle 0x9"));
+        // A correctly-faulted probe agrees with the model: no
+        // dropped_legal_dma for the torn-down iova.
+        check_dma_fault(0, 1, 0x80_0040, true);
+        assert_eq!(violation_count(), 2);
+    }
+
+    #[test]
+    fn retrieve_of_foreign_frame_is_share_bad_owner() {
+        fresh();
+        map_page(0, 0x10_0000, 0x20_0000, 0x1000, true, 1);
+        // Claiming vm 3 owns the span when vm 1 does is flagged, and no
+        // IOPT span is installed.
+        retrieve_page(0, 0x80_0000, 0x20_0000, 0x1000, false, 2, Some(3), 0x7);
+        assert_eq!(violations()[0].kind, "share_bad_owner");
+        bind_slot(0, 1, 2);
+        check_dma(0, 1, 0x80_0040, 0x20_0040, false);
+        assert_eq!(violations()[1].kind, "dma_unmapped");
+    }
+
+    #[test]
+    fn cross_device_mirror_retrieve_claims_frame_for_retriever() {
+        fresh();
+        // owner=None: a mirror frame on the retriever's device.
+        retrieve_page(1, 0x80_0000, 0x40_0000, 0x20_0000, true, 6, None, 0x11);
+        bind_slot(1, 0, 6);
+        check_dma(1, 0, 0x80_0040, 0x40_0040, true);
+        check_cpu(1, 0x40_0000, 0x100, 6, true);
+        assert_eq!(violation_count(), 0);
+        // Sync copies adopt-check against the mirror's claimed vm.
+        check_adopt(1, 0x40_0000, 6, 1, 0x40_0000, 6);
+        assert_eq!(violation_count(), 0);
+    }
+
+    #[test]
+    fn double_relinquish_is_flagged() {
+        fresh();
+        map_page(0, 0x10_0000, 0x20_0000, 0x1000, true, 1);
+        retrieve_page(0, 0x80_0000, 0x20_0000, 0x1000, false, 2, Some(1), 0x2);
+        relinquish_page(0, 0x80_0000, 0x20_0000, 2, 0x2, "relinquished");
+        assert_eq!(violation_count(), 0);
+        relinquish_page(0, 0x80_0000, 0x20_0000, 2, 0x2, "reclaimed");
+        let kinds: Vec<_> = violations().iter().map(|v| v.kind).collect();
+        assert!(kinds.contains(&"unmap_unknown"));
+        assert!(kinds.contains(&"relinquish_unknown"));
+    }
+
+    #[test]
+    fn foreign_regfile_write_is_flagged_and_owned_write_is_not() {
+        fresh();
+        bind_slot(0, 2, 7);
+        check_mmio_write(0, 2, 7, 0x2040);
+        assert_eq!(violation_count(), 0);
+        check_mmio_write(0, 2, 9, 0x2040);
+        assert_eq!(violations()[0].kind, "mmio_foreign_regfile");
+        unbind_slot(0, 2);
+        check_mmio_write(0, 2, 7, 0x2040);
+        assert_eq!(violation_count(), 2);
     }
 }

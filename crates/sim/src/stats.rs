@@ -289,7 +289,7 @@ mod tests {
 
     #[test]
     fn latency_empty_is_zero() {
-        let mut s = LatencyStats::new();
+        let s = LatencyStats::new();
         assert_eq!(s.mean_cycles(), 0.0);
         assert_eq!(s.percentile_cycles(0.5), 0);
         assert!(s.is_empty());

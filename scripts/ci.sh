@@ -47,7 +47,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/9] registry-dependency check =="
+echo "== [1/10] registry-dependency check =="
 python3 - <<'PYEOF'
 import glob, re, sys
 
@@ -85,19 +85,19 @@ if offenders:
 print("ok: all dependencies are in-tree path dependencies")
 PYEOF
 
-echo "== [2/9] tier-1: build + tests =="
+echo "== [2/10] tier-1: build + tests =="
 cargo build --release
 cargo test -q
 cargo test --workspace -q
 
-echo "== [2b/9] fast-forward differential equivalence (per-cycle mode) =="
+echo "== [2b/10] fast-forward differential equivalence (per-cycle mode) =="
 # Re-run the fabric and hypervisor suites with fast-forwarding disabled:
 # the differential property tests then compare per-cycle stepping against
 # an explicitly re-enabled fast path, and every other test exercises the
 # seed's original cycle loop.
 OPTIMUS_NO_FASTFWD=1 cargo test -q -p optimus-fabric -p optimus
 
-echo "== [3/9] bench smoke (tiny scales, one JSON report per target) =="
+echo "== [3/10] bench smoke (tiny scales, one JSON report per target) =="
 BENCH_DIR="target/bench-reports-ci"
 rm -rf "$BENCH_DIR"
 export OPTIMUS_BENCH_DIR="$PWD/$BENCH_DIR"
@@ -122,7 +122,7 @@ for b in $BENCHES; do
 done
 echo "ok: $(ls "$BENCH_DIR" | wc -l) bench reports in $BENCH_DIR"
 
-echo "== [4/9] trace smoke (flight recorder on one fig5 point) =="
+echo "== [4/10] trace smoke (flight recorder on one fig5 point) =="
 TRACE_DIR="target/trace-smoke-ci"
 rm -rf "$TRACE_DIR" "$TRACE_DIR-off"
 # Traced run: one fig5 sweep point with the flight recorder on.
@@ -188,7 +188,7 @@ if fingerprint(traced) != fingerprint(plain):
 print("ok: bench fingerprint byte-identical with tracing on and off")
 PYEOF
 
-echo "== [5/9] node smoke (parallel vs serial device stepping) =="
+echo "== [5/10] node smoke (parallel vs serial device stepping) =="
 NODE_DIR="target/node-smoke-ci"
 rm -rf "$NODE_DIR-par" "$NODE_DIR-ser"
 # Parallel run: pin the worker count so the check is meaningful even on a
@@ -215,7 +215,7 @@ if fingerprint(par) != fingerprint(ser):
 print("ok: cluster_scale fingerprint byte-identical, parallel vs serial")
 PYEOF
 
-echo "== [6/9] metrics smoke (always-on metrics plane on one fig5 point) =="
+echo "== [6/10] metrics smoke (always-on metrics plane on one fig5 point) =="
 MET_DIR="target/metrics-smoke-ci"
 rm -rf "$MET_DIR-short" "$MET_DIR-on" "$MET_DIR-on2" "$MET_DIR-off" "$MET_DIR-off2"
 # Short run: the stage-3 window, used as the earlier snapshot for the
@@ -332,7 +332,7 @@ if ratio < 0.95:
 print(f"ok: metrics overhead within bound (on/off sim_rate ratio {ratio:.1%})")
 PYEOF
 
-echo "== [7/9] migration smoke (live-update + cross-device rebalance) =="
+echo "== [7/10] migration smoke (live-update + cross-device rebalance) =="
 MIG_DIR="target/migrate-smoke-ci"
 rm -rf "$MIG_DIR-lu" "$MIG_DIR-plain" "$MIG_DIR-reb-ser" "$MIG_DIR-reb-par"
 # Live-update run: freeze -> wire bytes -> thaw a fresh hypervisor over
@@ -388,7 +388,7 @@ if int(after[4]) != 0:
 print(f"ok: fairness recovered (Jain {before[3]} -> {after[3]}, alerts {before[4]} -> 0)")
 PYEOF
 
-echo "== [8/9] sim-rate regression gate (best-of-two vs committed baseline) =="
+echo "== [8/10] sim-rate regression gate (best-of-two vs committed baseline) =="
 RATE_DIR="target/simrate-gate-ci"
 rm -rf "$RATE_DIR-1" "$RATE_DIR-2"
 # Same knobs as stage 3 (still exported). Two runs per bench: single-run
@@ -432,7 +432,7 @@ if failed:
     sys.exit(1)
 PYEOF
 
-echo "== [9/9] isolation gate (spec invisibility + WildDma + noninterference) =="
+echo "== [9/10] isolation gate (spec invisibility + WildDma + noninterference) =="
 SPEC_DIR="target/spec-smoke-ci"
 rm -rf "$SPEC_DIR-on" "$SPEC_DIR-off"
 # Spec-checked run: every CCI DMA, MMIO delivery, CPU guest access,
@@ -467,5 +467,58 @@ cargo test -q -p optimus --test spec_prop
 # and without the adversary, across threads/schedules/batching and through
 # mid-run migrate + live-update with wild DMA in flight.
 cargo test -q -p optimus --test noninterference_prop
+
+echo "== [10/10] shared-channel gate (pipeline handoff + cross-tenant noninterference) =="
+PIPE_DIR="target/pipe-smoke-ci"
+rm -rf "$PIPE_DIR-ser" "$PIPE_DIR-par" "$PIPE_DIR-spec"
+# The producer/consumer pipeline (GAU filter -> shared span -> SHA-512)
+# must measure identically whatever the node's thread schedule, and the
+# spec plane auditing every handle entitlement must stay invisible.
+OPTIMUS_BENCH_DIR="$PWD/$PIPE_DIR-ser" OPTIMUS_NODE_THREADS=1 \
+    cargo bench -q -p optimus-bench --bench pipeline_handoff >/dev/null
+OPTIMUS_BENCH_DIR="$PWD/$PIPE_DIR-par" OPTIMUS_NODE_THREADS=4 \
+    cargo bench -q -p optimus-bench --bench pipeline_handoff >/dev/null
+OPTIMUS_BENCH_DIR="$PWD/$PIPE_DIR-spec" OPTIMUS_SPEC=1 \
+    cargo bench -q -p optimus-bench --bench pipeline_handoff >/dev/null
+python3 - "$PIPE_DIR-ser" "$PIPE_DIR-par" "$PIPE_DIR-spec" <<'PYEOF'
+import json, sys
+
+ser_dir, par_dir, spec_dir = sys.argv[1:4]
+VOLATILE = ("wall_secs", "sim_rate", "trace_counters", "trace_events", "trace_dropped")
+def fingerprint(path):
+    d = json.load(open(path))
+    return json.dumps(
+        {k: v for k, v in d.items() if k not in VOLATILE},
+        sort_keys=True,
+    ).encode()
+
+base = fingerprint(f"{ser_dir}/BENCH_pipeline_handoff.json")
+if base != fingerprint(f"{par_dir}/BENCH_pipeline_handoff.json"):
+    sys.exit("FAIL: parallel stepping changed the pipeline_handoff fingerprint")
+if base != fingerprint(f"{spec_dir}/BENCH_pipeline_handoff.json"):
+    sys.exit("FAIL: the spec plane changed the pipeline_handoff fingerprint")
+print("ok: pipeline_handoff fingerprint byte-identical (serial vs parallel, spec on/off)")
+
+# The zero-copy channel must actually pay off: fewer end-to-end cycles
+# than the staging baseline, and nothing staged through the CPU.
+rep = json.load(open(f"{ser_dir}/BENCH_pipeline_handoff.json"))
+rows = {r[0]: r for r in rep["tables"][0]["rows"]}
+zero, copy = rows["zero-copy"], rows["copy"]
+if not int(zero[1]) < int(copy[1]):
+    sys.exit(f"FAIL: zero-copy ({zero[1]} cycles) did not beat copy ({copy[1]})")
+if float(zero[3]) != 0.0 or float(copy[3]) <= 0.0:
+    sys.exit(f"FAIL: staged-bytes columns wrong ({zero[3]} / {copy[3]})")
+print(f"ok: zero-copy handoff beats CPU staging ({zero[1]} vs {copy[1]} cycles, {copy[3]} MiB staged)")
+PYEOF
+# Cross-tenant channel noninterference: a co-resident WildDma adversary
+# aimed at the consumer's retrieved window cannot perturb the pipeline's
+# digest/span observables, with or without a mid-run owner migration.
+cargo test -q -p optimus --test noninterference_prop \
+    adversary_cannot_perturb_shared_pipeline_observables
+# Handle lifecycle + migration carry the shares; generated probe plans
+# (neighbour page, mitigation gap, VCU page, live/relinquished handles)
+# stay contained and shrink to the minimal violating history.
+cargo test -q -p optimus --test share_migrate
+cargo test -q -p optimus --test free_run_prop cross_device_share_grid_matches_lockstep_baseline
 
 echo "CI PASSED"
