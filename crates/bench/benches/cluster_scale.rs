@@ -7,9 +7,10 @@
 //! host — wall-clock `sim_rate` should improve too, since independent
 //! devices step on worker threads between synchronization horizons.
 //!
-//! Wall-clock numbers are printed but deliberately kept out of the
-//! recorded report: `BENCH_cluster_scale.json` must stay byte-identical
-//! (minus the volatile fields) between parallel and
+//! Wall-clock numbers are printed and also recorded in the report's
+//! volatile `wall_points` section (one point per sweep step):
+//! `BENCH_cluster_scale.json` must stay byte-identical (minus the
+//! volatile fields, `wall_points` included) between parallel and
 //! `OPTIMUS_NODE_THREADS=1` runs — ci.sh stage 5 asserts exactly that.
 
 use optimus::hypervisor::HvStats;
@@ -17,7 +18,6 @@ use optimus::node::{NodeConfig, NodeVaccel, OptimusNode};
 use optimus_accel::registry::AccelKind;
 use optimus_bench::jobs::{self, JobParams};
 use optimus_bench::report;
-use optimus_bench::runner::window_secs;
 use optimus_bench::scale;
 use optimus_fabric::platform::DeviceId;
 use optimus_sim::rng::derive_seed;
@@ -29,7 +29,7 @@ const LINK_GBPS: f64 = 12.8;
 const TENANTS_PER_DEVICE: usize = 2;
 const SLOTS_PER_DEVICE: usize = 4;
 
-fn run_node(devices: usize, integrity: &mut HvStats) -> (Vec<f64>, f64) {
+fn run_node(devices: usize, integrity: &mut HvStats) -> (Vec<f64>, f64, f64) {
     let window = scale::window_cycles();
     let cfg = NodeConfig::new(vec![AccelKind::Mb; SLOTS_PER_DEVICE], devices);
     let mut node = OptimusNode::new(cfg).expect("node boots");
@@ -60,14 +60,16 @@ fn run_node(devices: usize, integrity: &mut HvStats) -> (Vec<f64>, f64) {
         })
         .collect();
     integrity.accumulate(&node.stats());
-    // Wall-clock telemetry: stdout only, never recorded (volatile).
-    let sim_rate = window as f64 / wall_secs / 1e6;
+    // Wall-clock telemetry: printed here, recorded by the caller into
+    // the report's volatile `wall_points` section.
+    let sim_rate = window as f64 / wall_secs;
     println!(
         "cluster_scale: {devices} device(s) x {TENANTS_PER_DEVICE} tenants, {} thread(s): \
-         measured window in {wall_secs:.3}s wall ({sim_rate:.2} Mcycles/s)",
+         measured window in {wall_secs:.3}s wall ({:.2} Mcycles/s)",
         node.threads(),
+        sim_rate / 1e6,
     );
-    (per_device, window_secs(window))
+    (per_device, wall_secs, sim_rate)
 }
 
 fn main() {
@@ -75,7 +77,8 @@ fn main() {
     let mut integrity = HvStats::default();
     let mut rows = Vec::new();
     for devices in [1usize, 2, 4] {
-        let (per_device, _) = run_node(devices, &mut integrity);
+        let (per_device, wall_secs, sim_rate) = run_node(devices, &mut integrity);
+        rep.wall_point(&format!("devices={devices}"), wall_secs, sim_rate);
         let agg: f64 = per_device.iter().sum();
         let util =
             per_device.iter().map(|g| g / LINK_GBPS).sum::<f64>() / per_device.len() as f64;

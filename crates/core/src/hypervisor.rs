@@ -33,6 +33,7 @@ use optimus_fabric::platform::{DeviceId, FabricError, PlatformDevice};
 use optimus_mem::addr::{Gva, Hpa, Iova, PageSize, PAGE_2M, PAGE_4K};
 use optimus_mem::host::FrameFiller;
 use optimus_mem::page_table::PageFlags;
+use optimus_sim::journal;
 use optimus_sim::metrics;
 use optimus_sim::rng::derive_seed;
 use optimus_sim::spec;
@@ -351,6 +352,9 @@ pub struct TenantState {
     pub(crate) run: VaccelRun,
     pub(crate) shadow_status: CtrlStatus,
     pub(crate) forced_resets: u64,
+    /// The in-flight job's id: the journal key travels with the tenant,
+    /// so one record spans both devices.
+    pub(crate) job: u64,
     /// Share records this tenant owns (re-homed onto the target; HPAs are
     /// rewritten through the frame-copy map at attach).
     pub(crate) shares: Vec<ShareRecord>,
@@ -396,6 +400,9 @@ pub struct Optimus<D: PlatformDevice = FpgaDevice> {
     /// ids would alias live tenants in metrics, traces, and the auditor.
     next_vm_id: u32,
     next_vaccel_id: u32,
+    /// Monotonic job-id counter (combined with the device tag at mint
+    /// time, like share handles). Survives live-update; never recycled.
+    next_job_id: u64,
     slots: Vec<Slot>,
     frames: FrameAllocator,
     next_slice: u64,
@@ -452,6 +459,7 @@ impl Optimus {
             vaccels: BTreeMap::new(),
             next_vm_id: 0,
             next_vaccel_id: 0,
+            next_job_id: 1,
             slots,
             frames: FrameAllocator::new(),
             next_slice: 0,
@@ -484,6 +492,7 @@ impl Optimus {
             vaccels: BTreeMap::new(),
             next_vm_id: 0,
             next_vaccel_id: 0,
+            next_job_id: 1,
             slots: vec![Slot {
                 sched: SliceScheduler::new(SchedPolicy::RoundRobin, ms_to_cycles(10.0)),
                 current: None,
@@ -690,6 +699,25 @@ impl<D: PlatformDevice> Optimus<D> {
         self.slots[self.vaccel(va).slot].current == Some(va)
     }
 
+    /// Anchors the vaccel's IOVA window at its first DMA-visible region
+    /// and charges the BAR2 report trap. An idle vaccel can be scheduled
+    /// (and `install`ed) before its guest pins any memory, in which case
+    /// the VCU offset table was programmed from a zero `dma_base` and
+    /// every later DMA would translate outside the slice window — so if
+    /// the vaccel is already on hardware, reprogram its slot's offset
+    /// now that the real anchor is known.
+    fn anchor_dma_base(&mut self, va: VaccelId, gva: Gva) {
+        self.vaccel_mut(va).dma_base = gva;
+        self.trap_cost(va, 0);
+        if !self.passthrough && self.is_scheduled(va) {
+            let v = self.vaccel(va);
+            let (slot, slice, dma_base) = (v.slot, v.slice, v.dma_base);
+            let offset = self.slicing.offset_for(slice, dma_base);
+            self.device
+                .mmio_write(VCU_BASE + vcu_reg::OFFSET_TABLE + slot as u64 * 8, offset);
+        }
+    }
+
     /// Forwards the full cached register file + control state to the
     /// physical accelerator and starts or resumes the job.
     fn install(&mut self, va: VaccelId) {
@@ -733,6 +761,21 @@ impl<D: PlatformDevice> Optimus<D> {
         let state_buffer = v.state_buffer.raw();
         let run = v.run;
         let pending_start = v.pending_start;
+        let job = v.job;
+        if job != 0 {
+            if journal::enabled() {
+                let ph = match run {
+                    VaccelRun::SavedInMemory => journal::Phase::Restored,
+                    _ => journal::Phase::Installed,
+                };
+                journal::phase(job, ph, install_start);
+            }
+            if trace::enabled() && run == VaccelRun::SavedInMemory {
+                // Close the flow arrow the save opened: the job's span
+                // resumes here after its off-hardware gap.
+                trace::flow_end(Track::vaccel(va.0), "job", install_start, job);
+            }
+        }
         self.device.mmio_write(base + accel_reg::CTRL_STATE_ADDR, state_buffer);
         // Move the cached register file out, replay it, and move it back:
         // installs happen on every context switch, so avoid re-collecting
@@ -756,6 +799,9 @@ impl<D: PlatformDevice> Optimus<D> {
         self.slots[slot].current = Some(va);
         // Let the install MMIOs settle (they are asynchronous writes).
         self.advance(ns_to_cycles(500.0));
+        if job != 0 && journal::enabled() {
+            journal::phase(job, journal::Phase::Executing, self.device.now());
+        }
         metrics::inc(metrics::HV_INSTALLS, va.0, 1);
         metrics::observe(metrics::HV_INSTALL_CYCLES, va.0, self.device.now() - install_start);
         if trace::enabled() {
@@ -818,6 +864,7 @@ impl<D: PlatformDevice> Optimus<D> {
             self.advance(ns_to_cycles(1000.0));
             self.stats.forced_resets += 1;
             metrics::inc(metrics::HV_FORCED_RESETS, slot as u32, 1);
+            let job = self.vaccel(va).job;
             self.raise_alert(IsolationAlert {
                 kind: AlertKind::SaveRefused,
                 device: self.device_id,
@@ -825,7 +872,12 @@ impl<D: PlatformDevice> Optimus<D> {
                 at: self.device.now(),
                 observed: framed as f64,
                 threshold: 0.0,
+                job: (job != 0).then_some(job),
+                peer_job: None,
             });
+            if job != 0 && journal::enabled() {
+                journal::phase(job, journal::Phase::SaveRefused, self.device.now());
+            }
             let v = self.vaccel_mut(va);
             v.forced_resets += 1;
             v.run = VaccelRun::Fresh;
@@ -848,6 +900,10 @@ impl<D: PlatformDevice> Optimus<D> {
         self.stats.preemptions += 1;
         let preempt_start = self.device.now();
         metrics::inc(metrics::HV_PREEMPTIONS, slot as u32, 1);
+        let job = self.vaccel(va).job;
+        if job != 0 && journal::enabled() {
+            journal::phase(job, journal::Phase::Preempted, preempt_start);
+        }
         let track = Track::vaccel(va.0);
         if trace::enabled() {
             // Drain phase: from CMD_PREEMPT until the accelerator reports
@@ -880,12 +936,21 @@ impl<D: PlatformDevice> Optimus<D> {
                         slot as u32,
                         self.device.now() - preempt_start,
                     );
+                    if job != 0 && journal::enabled() {
+                        journal::phase(job, journal::Phase::Saved, self.device.now());
+                    }
                     if trace::enabled() {
                         let now = self.device.now();
                         if saving_seen {
                             trace::end(track, "preempt.save", now);
                         } else {
                             trace::end(track, "preempt.drain", now);
+                        }
+                        if job != 0 {
+                            // Open a flow arrow to the eventual restore
+                            // (or migration target): the job leaves the
+                            // hardware here.
+                            trace::flow_start(track, "job", now, job);
                         }
                     }
                     break;
@@ -906,7 +971,12 @@ impl<D: PlatformDevice> Optimus<D> {
                         at: self.device.now(),
                         observed: duration as f64,
                         threshold: self.preempt_timeout as f64,
+                        job: (job != 0).then_some(job),
+                        peer_job: None,
                     });
+                    if job != 0 && journal::enabled() {
+                        journal::phase(job, journal::Phase::ForcedReset, self.device.now());
+                    }
                     let v = self.vaccel_mut(va);
                     v.forced_resets += 1;
                     // The job's progress is lost; it restarts from its
@@ -971,11 +1041,28 @@ impl<D: PlatformDevice> Optimus<D> {
     /// physical accelerator (so the guest can still read result registers
     /// from hardware) until another virtual accelerator needs the slot.
     fn retire(&mut self, va: VaccelId) {
+        let now = self.device.now();
         let v = self.vaccel_mut(va);
+        // Guests may keep polling CTRL_STATUS after completion (the slot
+        // still latches `Done` while the vaccel is resident); only the
+        // first retire ends the job.
+        let fresh = v.run != VaccelRun::Completed;
         v.run = VaccelRun::Completed;
         v.shadow_status = CtrlStatus::Done;
         let slot = v.slot;
+        let job = v.job;
         self.slots[slot].sched.set_runnable(va.0 as u64, false);
+        if fresh && job != 0 {
+            if journal::enabled() {
+                journal::phase(job, journal::Phase::Complete, now);
+            }
+            if trace::enabled() {
+                // Open a flow arrow toward whoever consumes this job's
+                // output through a share handoff (closed at the
+                // consumer's start).
+                trace::flow_start(Track::vaccel(va.0), "job", now, job);
+            }
+        }
     }
 
     /// Ensures `slot` has a scheduled vaccel and a slice deadline.
@@ -1138,6 +1225,17 @@ impl<D: PlatformDevice> Optimus<D> {
                 }
                 let d = deltas[s] as f64;
                 if d < threshold {
+                    // Name the starved job, and — for share-linked jobs —
+                    // the peer on the other end of the channel: a stalled
+                    // consumer's alert names the starved producer.
+                    let (job, peer_job) = self.slots[s]
+                        .current
+                        .map(|va| {
+                            let v = self.vaccel(va);
+                            let j = (v.job != 0).then_some(v.job);
+                            (j, j.and_then(|_| self.peer_job_of_vm(v.vm.0)))
+                        })
+                        .unwrap_or((None, None));
                     self.raise_alert(IsolationAlert {
                         kind: AlertKind::Starvation,
                         device: self.device_id,
@@ -1145,6 +1243,8 @@ impl<D: PlatformDevice> Optimus<D> {
                         at: now,
                         observed: d,
                         threshold,
+                        job,
+                        peer_job,
                     });
                 }
                 sum += d;
@@ -1174,6 +1274,8 @@ impl<D: PlatformDevice> Optimus<D> {
                     at: now,
                     observed: rate,
                     threshold: cfg.thrash_rate,
+                    job: None,
+                    peer_job: None,
                 });
             }
         }
@@ -1215,6 +1317,63 @@ impl<D: PlatformDevice> Optimus<D> {
         let h = ((self.device_id.0 as u64 + 1) << 32) | self.next_share_handle;
         self.next_share_handle += 1;
         h
+    }
+
+    /// Mints a fresh job id. Same device-tag scheme as share handles, so
+    /// job ids stay unique across a node's devices; 0 is never a valid
+    /// job. Minting is unconditional simulation state — identical with
+    /// the journal on or off.
+    fn mint_job(&mut self) -> u64 {
+        let id = ((self.device_id.0 as u64 + 1) << 32) | self.next_job_id;
+        self.next_job_id += 1;
+        id
+    }
+
+    /// The in-flight (or most recently completed) job of the vaccel owned
+    /// by `vm`, if any. Tenants are single-vaccel VMs, so the first match
+    /// is the only one.
+    pub(crate) fn vm_job(&self, vm: u32) -> Option<u64> {
+        self.vaccels.values().find(|v| v.vm.0 == vm && v.job != 0).map(|v| v.job)
+    }
+
+    /// The job id of `va` (node-layer journal attribution); `None` for an
+    /// unknown vaccel, `Some(0)` for one that never started a job.
+    pub(crate) fn vaccel_job(&self, va: VaccelId) -> Option<u64> {
+        self.vaccels.get(&va.0).map(|v| v.job)
+    }
+
+    /// The producer feeding `vm` through a retrieved share span: the
+    /// owner's job on the other end of the channel, used to link a
+    /// consumer's journal record to the producer whose output it reads.
+    fn peer_producer_job(&self, vm: u32) -> Option<u64> {
+        self.shares.values().find_map(|rec| {
+            if rec.state == ShareState::Retrieved && rec.retriever_vm == Some(vm) {
+                self.vm_job(rec.owner_vm)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// The share-channel peer of `vm`'s job, looking both ways: the owner
+    /// of a span this VM retrieved, or the retriever of a span this VM
+    /// shared. Used to attribute isolation alerts on share-linked jobs.
+    fn peer_job_of_vm(&self, vm: u32) -> Option<u64> {
+        for rec in self.shares.values() {
+            if rec.state != ShareState::Retrieved {
+                continue;
+            }
+            if rec.retriever_vm == Some(vm) {
+                if let Some(j) = self.vm_job(rec.owner_vm) {
+                    return Some(j);
+                }
+            } else if rec.owner_vm == vm {
+                if let Some(j) = rec.retriever_vm.and_then(|r| self.vm_job(r)) {
+                    return Some(j);
+                }
+            }
+        }
+        None
     }
 
     /// The share record for `handle`, if its owner lives here.
@@ -1290,8 +1449,7 @@ impl<D: PlatformDevice> Optimus<D> {
             }
         };
         if self.vaccel(va).dma_base.raw() == 0 {
-            self.vaccel_mut(va).dma_base = gva;
-            self.trap_cost(va, 0);
+            self.anchor_dma_base(va, gva);
         }
         let v = self.vaccel(va);
         let (slice, dma_base) = (v.slice, v.dma_base);
@@ -1503,6 +1661,10 @@ impl<D: PlatformDevice> Optimus<D> {
                 self.device.now(),
                 &[("va", va.0 as u64), ("slot", slot as u64)],
             );
+            if v.job != 0 {
+                // Flow arrow across the migration gap, closed at attach.
+                trace::flow_start(Track::vaccel(va.0), "job", self.device.now(), v.job);
+            }
         }
         Ok(TenantState {
             name: vm.name().to_string(),
@@ -1518,6 +1680,7 @@ impl<D: PlatformDevice> Optimus<D> {
             run: v.run,
             shadow_status: v.shadow_status,
             forced_resets: v.forced_resets,
+            job: v.job,
             shares,
             retrievals,
         })
@@ -1631,6 +1794,7 @@ impl<D: PlatformDevice> Optimus<D> {
         v.run = t.run;
         v.shadow_status = t.shadow_status;
         v.forced_resets = t.forced_resets;
+        v.job = t.job;
         self.vaccels.insert(id.0, v);
         self.slots[t.slot]
             .sched
@@ -1643,6 +1807,9 @@ impl<D: PlatformDevice> Optimus<D> {
                 self.device.now(),
                 &[("va", id.0 as u64), ("slot", t.slot as u64)],
             );
+            if t.job != 0 {
+                trace::flow_end(Track::vaccel(id.0), "job", self.device.now(), t.job);
+            }
         }
         Ok((id, copies))
     }
@@ -1653,6 +1820,18 @@ impl<D: PlatformDevice> Optimus<D> {
     /// existing) underneath, exactly like hardware persisting across a
     /// host hypervisor live-update.
     pub fn freeze(self) -> (HvSnapshot, D) {
+        if journal::enabled() {
+            // Mark every in-flight job frozen. The phase is transparent to
+            // the SLO derivation (no latency category is charged to it),
+            // so the accounting is identical with or without a mid-run
+            // live-update — it exists for the causal record alone.
+            let now = self.device.now();
+            for v in self.vaccels.values() {
+                if v.job != 0 && v.run != VaccelRun::Completed {
+                    journal::phase(v.job, journal::Phase::Frozen, now);
+                }
+            }
+        }
         if trace::enabled() {
             trace::instant(Track::hypervisor(), "live_update.freeze", self.device.now(), &[]);
         }
@@ -1681,6 +1860,7 @@ impl<D: PlatformDevice> Optimus<D> {
             next_slice: self.next_slice,
             next_vm_id: self.next_vm_id,
             next_vaccel_id: self.next_vaccel_id,
+            next_job_id: self.next_job_id,
             alloc_cursor: self.frames.cursor(),
             stats: self.stats,
             vms: self
@@ -1708,6 +1888,7 @@ impl<D: PlatformDevice> Optimus<D> {
                     run: v.run,
                     shadow_status: v.shadow_status,
                     forced_resets: v.forced_resets,
+                    job: v.job,
                 })
                 .collect(),
             slots: self
@@ -1875,6 +2056,7 @@ impl<D: PlatformDevice> Optimus<D> {
                 v.run = s.run;
                 v.shadow_status = s.shadow_status;
                 v.forced_resets = s.forced_resets;
+                v.job = s.job;
                 (s.id, v)
             })
             .collect();
@@ -1907,6 +2089,7 @@ impl<D: PlatformDevice> Optimus<D> {
             vaccels,
             next_vm_id: snap.next_vm_id,
             next_vaccel_id: snap.next_vaccel_id,
+            next_job_id: snap.next_job_id,
             slots,
             frames: FrameAllocator::restore(snap.alloc_cursor),
             next_slice: snap.next_slice,
@@ -1922,6 +2105,16 @@ impl<D: PlatformDevice> Optimus<D> {
             next_share_handle: snap.next_share_handle,
             foreign_retrievals,
         };
+        if journal::enabled() {
+            // Mirror of the freeze-side `Frozen` marks (equally
+            // transparent to the SLO derivation).
+            let now = hv.device.now();
+            for v in hv.vaccels.values() {
+                if v.job != 0 && v.run != VaccelRun::Completed {
+                    journal::phase(v.job, journal::Phase::Thawed, now);
+                }
+            }
+        }
         if trace::enabled() {
             trace::instant(Track::hypervisor(), "live_update.thaw", hv.device.now(), &[]);
         }
@@ -2044,13 +2237,10 @@ impl<D: PlatformDevice> GuestCtx<'_, D> {
             .alloc_region(pages, &mut self.hv.frames);
         if self.v().dma_base.raw() == 0 {
             // First allocation: the guest library reserves the 64 GB slice
-            // and reports its base through the BAR2 register.
+            // and reports its base through the BAR2 register (itself a
+            // trapped MMIO write; no BAR0 offset, recorded as offset 0).
             let va = self.va;
-            self.hv.vaccel_mut(va).dma_base = gva;
-            // The BAR2 slice-base report is itself a trapped MMIO write
-            // (no BAR0 offset; recorded as offset 0).
-            let va = self.va;
-            self.hv.trap_cost(va, 0);
+            self.hv.anchor_dma_base(va, gva);
         }
         // Host backing for the region.
         let hpa_base = self.hv.vm(vm_id)
@@ -2258,8 +2448,7 @@ impl<D: PlatformDevice> GuestCtx<'_, D> {
         // exactly like `alloc_dma` would.
         if self.v().dma_base.raw() == 0 {
             let va = self.va;
-            self.hv.vaccel_mut(va).dma_base = gva;
-            self.hv.trap_cost(va, 0);
+            self.hv.anchor_dma_base(va, gva);
         }
         let (slice, dma_base) = {
             let v = self.v();
@@ -2293,6 +2482,20 @@ impl<D: PlatformDevice> GuestCtx<'_, D> {
         rec.state = ShareState::Retrieved;
         rec.retriever_vm = Some(vm_id.0);
         rec.retriever_gva = gva.raw();
+        // A consumer with a job already in flight links to the producer
+        // right here (jobs submitted later link at their own start).
+        if journal::enabled() {
+            let consumer = self.v().job;
+            if consumer != 0 {
+                if let Some(producer) = self.hv.vm_job(owner_vm) {
+                    let now = self.hv.device.now();
+                    journal::link(consumer, producer, now);
+                    if trace::enabled() {
+                        trace::flow_end(Track::vaccel(self.va.0), "job", now, producer);
+                    }
+                }
+            }
+        }
         self.hypercall_cost(handle);
         Ok(gva)
     }
@@ -2473,12 +2676,43 @@ impl<D: PlatformDevice> GuestCtx<'_, D> {
             accel_reg::CTRL_CMD => {
                 if value == accel_reg::CMD_START {
                     let va = self.va;
+                    let was_completed;
                     {
                         let v = self.hv.vaccel_mut(va);
+                        was_completed = v.run == VaccelRun::Completed;
                         v.pending_start = true;
                         v.shadow_status = CtrlStatus::Running;
                         if v.run == VaccelRun::Completed {
                             v.run = VaccelRun::Fresh;
+                        }
+                    }
+                    // A fresh submission (first start, or a restart after
+                    // the previous job completed) mints a new job id.
+                    if self.hv.vaccel(va).job == 0 || was_completed {
+                        let job = self.hv.mint_job();
+                        self.hv.vaccel_mut(va).job = job;
+                        if journal::enabled() {
+                            let now = self.hv.device.now();
+                            let vm = self.hv.vaccel(va).vm;
+                            let payload =
+                                self.hv.vm(vm).export_pages().len() as u64 * PAGE_2M;
+                            let tenant = self.hv.vm(vm).name().to_string();
+                            journal::submit(
+                                job,
+                                &tenant,
+                                va.0,
+                                self.hv.device_id.0,
+                                payload,
+                                now,
+                            );
+                            // Share handoff: a consumer reading a span it
+                            // retrieved links its job to the producer's.
+                            if let Some(p) = self.hv.peer_producer_job(vm.0) {
+                                journal::link(job, p, now);
+                                if trace::enabled() {
+                                    trace::flow_end(Track::vaccel(va.0), "job", now, p);
+                                }
+                            }
                         }
                     }
                     let slot = self.v().slot;
@@ -2494,9 +2728,19 @@ impl<D: PlatformDevice> GuestCtx<'_, D> {
                                 accel_mmio_base(slot) + accel_reg::CTRL_CMD,
                             );
                         }
+                        let fwd = self.hv.device.now();
                         self.hv
                             .device
                             .mmio_write(accel_mmio_base(slot) + accel_reg::CTRL_CMD, accel_reg::CMD_START);
+                        if journal::enabled() {
+                            let job = self.hv.vaccel(va).job;
+                            if job != 0 {
+                                // The vaccel is already resident: the start
+                                // forwards straight to hardware, so the
+                                // install phase is just this posted write.
+                                journal::phase(job, journal::Phase::Installed, fwd);
+                            }
+                        }
                         // The start is a posted fabric write. On a restart
                         // (resident, already-retired vaccel) the slot still
                         // latches the previous job's `Done`, so completion
@@ -2504,6 +2748,16 @@ impl<D: PlatformDevice> GuestCtx<'_, D> {
                         // new job before it runs. Let it land, as
                         // `install` does for its register replay.
                         self.hv.advance(ns_to_cycles(500.0));
+                        if journal::enabled() {
+                            let job = self.hv.vaccel(va).job;
+                            if job != 0 {
+                                journal::phase(
+                                    job,
+                                    journal::Phase::Executing,
+                                    self.hv.device.now(),
+                                );
+                            }
+                        }
                     }
                 }
                 // CMD_PREEMPT / CMD_RESUME are privileged: guests cannot

@@ -51,6 +51,7 @@ use crate::watchdog::{AlertKind, IsolationAlert};
 use optimus_accel::registry::AccelKind;
 use optimus_fabric::platform::{DeviceId, FabricError};
 use optimus_mem::addr::{Gva, Hpa, PAGE_2M};
+use optimus_sim::journal;
 use optimus_sim::metrics;
 use optimus_sim::rng::derive_seed;
 use optimus_sim::spec;
@@ -365,6 +366,17 @@ impl OptimusNode {
         // per-chunk sync keeps the authoritative side propagated.
         self.copy_pages(&owner, &retr);
         self.cross_shares.push(CrossShare { handle, owner, retr, writable });
+        // A consumer with a job already in flight links to the producer
+        // across the device boundary (jobs submitted later link at their
+        // own start, exactly as on the same-device path).
+        if journal::enabled() {
+            let consumer = self.devices[pd].vaccel_job(peer.va).unwrap_or(0);
+            if consumer != 0 {
+                if let Some(producer) = self.devices[od].vm_job(owner_vm) {
+                    journal::link(consumer, producer, self.devices[pd].now());
+                }
+            }
+        }
         Ok(gva)
     }
 
@@ -526,6 +538,7 @@ impl OptimusNode {
             })
             .collect();
         let t = src.detach_tenant(h.va)?;
+        let job = t.job;
         let carried: Vec<CarriedRetrieval> = t.retrievals.clone();
         let (va, copies) = dst.attach_tenant(t)?;
         if spec::enabled() {
@@ -631,6 +644,11 @@ impl OptimusNode {
                     writable,
                 });
             }
+        }
+        if job != 0 && journal::enabled() {
+            // Stamped on the destination clock: the journey's first phase
+            // on the new device (the accounting treats it like a requeue).
+            journal::phase(job, journal::Phase::Migrated, self.devices[to_idx].now());
         }
         metrics::inc_at(metrics::NODE_MIGRATIONS, to.0, 0, 1);
         Ok(NodeVaccel { device: to, va })
@@ -861,6 +879,11 @@ impl OptimusNode {
         // exports models + violations for the main thread to re-absorb in
         // device-index order.
         let speccing = spec::enabled();
+        // The journal follows the same chunk protocol: workers record
+        // into their own thread-local planes and the main thread merges
+        // in device-index order, so the merged record order equals the
+        // serial recording.
+        let journaling = journal::enabled();
         let workers = self.threads.min(self.devices.len());
         let per = self.devices.len().div_ceil(workers);
         let spec_groups: Vec<Vec<Option<spec::DeviceChunk>>> = if speccing {
@@ -876,6 +899,7 @@ impl OptimusNode {
             Vec<metrics::MetricsChunk>,
             Vec<Option<spec::DeviceChunk>>,
             (u64, Vec<spec::Violation>),
+            Vec<journal::JournalChunk>,
         );
         let chunks_out: Vec<WorkerOut> = std::thread::scope(|s| {
             let handles: Vec<_> = self
@@ -888,6 +912,7 @@ impl OptimusNode {
                             trace::set_enabled(true);
                         }
                         metrics::set_enabled(recording);
+                        journal::set_enabled(journaling);
                         if speccing {
                             spec::set_enabled(true);
                             for c in spec_group.into_iter().flatten() {
@@ -896,6 +921,7 @@ impl OptimusNode {
                         }
                         let mut traces = Vec::new();
                         let mut planes = Vec::new();
+                        let mut journals = Vec::new();
                         for hv in group.iter_mut() {
                             hv.run(chunk);
                             if tracing {
@@ -903,6 +929,9 @@ impl OptimusNode {
                             }
                             if recording {
                                 planes.push(metrics::take_chunk());
+                            }
+                            if journaling {
+                                journals.push(journal::take_chunk());
                             }
                         }
                         let mut spec_chunks = Vec::new();
@@ -914,7 +943,7 @@ impl OptimusNode {
                         } else {
                             (0, Vec::new())
                         };
-                        (traces, planes, spec_chunks, spec_violations)
+                        (traces, planes, spec_chunks, spec_violations, journals)
                     })
                 })
                 .collect();
@@ -926,7 +955,7 @@ impl OptimusNode {
         // Replay in device-index order. Metric merges are commutative
         // (counter adds, bucket adds, min/max) and gauges are
         // device-disjoint, so this equals the serial recording.
-        for (traces, planes, spec_chunks, spec_violations) in chunks_out {
+        for (traces, planes, spec_chunks, spec_violations, journals) in chunks_out {
             for c in traces {
                 trace::absorb_chunk(c);
             }
@@ -937,6 +966,9 @@ impl OptimusNode {
                 spec::import_device(c);
             }
             spec::absorb_violations(spec_violations);
+            for j in journals {
+                journal::absorb_chunk(j);
+            }
         }
     }
 

@@ -38,7 +38,7 @@ use optimus_fabric::platform::DeviceId;
 pub const SNAPSHOT_MAGIC: u64 = u64::from_le_bytes(*b"OPTMHVSN");
 
 /// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 3;
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 /// Errors from decoding or thawing a snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,6 +122,9 @@ pub struct VaccelSnap {
     pub shadow_status: CtrlStatus,
     /// Forced resets suffered (preemption overruns).
     pub forced_resets: u64,
+    /// In-flight (or most recently completed) job id, 0 if none; the
+    /// journal keys on it across the live-update.
+    pub job: u64,
 }
 
 /// One physical slot's scheduler and residency.
@@ -234,6 +237,9 @@ pub struct HvSnapshot {
     pub next_vm_id: u32,
     /// Monotonic vaccel id counter.
     pub next_vaccel_id: u32,
+    /// Monotonic job id counter (low half; the device tag is re-derived
+    /// from `device_id` at mint time).
+    pub next_job_id: u64,
     /// Host frame allocator bump cursor.
     pub alloc_cursor: u64,
     /// Software-side counters (the device-integrity overlays are
@@ -428,6 +434,7 @@ impl HvSnapshot {
         w.u64(self.next_slice);
         w.u32(self.next_vm_id);
         w.u32(self.next_vaccel_id);
+        w.u64(self.next_job_id);
         w.u64(self.alloc_cursor);
         for c in [
             self.stats.traps,
@@ -474,6 +481,7 @@ impl HvSnapshot {
             w.u8(run_to_u8(v.run));
             w.u8(v.shadow_status as u8);
             w.u64(v.forced_resets);
+            w.u64(v.job);
         }
         w.u64(self.slots.len() as u64);
         for s in &self.slots {
@@ -513,6 +521,8 @@ impl HvSnapshot {
             w.u64(a.at);
             w.f64(a.observed);
             w.f64(a.threshold);
+            w.u64(a.job.unwrap_or(u64::MAX));
+            w.u64(a.peer_job.unwrap_or(u64::MAX));
         }
         w.u64(self.iopt.len() as u64);
         for e in &self.iopt {
@@ -572,6 +582,7 @@ impl HvSnapshot {
         let next_slice = r.u64()?;
         let next_vm_id = r.u32()?;
         let next_vaccel_id = r.u32()?;
+        let next_job_id = r.u64()?;
         let alloc_cursor = r.u64()?;
         let stats = HvStats {
             traps: r.u64()?,
@@ -619,6 +630,7 @@ impl HvSnapshot {
             let run = run_from_u8(r.u8()?)?;
             let shadow_status = status_from_u8(r.u8()?)?;
             let forced_resets = r.u64()?;
+            let job = r.u64()?;
             vaccels.push(VaccelSnap {
                 id,
                 vm,
@@ -631,6 +643,7 @@ impl HvSnapshot {
                 run,
                 shadow_status,
                 forced_resets,
+                job,
             });
         }
         let n_slots = r.len()?;
@@ -693,6 +706,14 @@ impl HvSnapshot {
                 at: r.u64()?,
                 observed: r.f64()?,
                 threshold: r.f64()?,
+                job: match r.u64()? {
+                    u64::MAX => None,
+                    v => Some(v),
+                },
+                peer_job: match r.u64()? {
+                    u64::MAX => None,
+                    v => Some(v),
+                },
             });
         }
         let watchdog = WatchdogSnap {
@@ -776,6 +797,7 @@ impl HvSnapshot {
             next_slice,
             next_vm_id,
             next_vaccel_id,
+            next_job_id,
             alloc_cursor,
             stats,
             vms,
@@ -806,6 +828,7 @@ mod tests {
             next_slice: 3,
             next_vm_id: 5,
             next_vaccel_id: 7,
+            next_job_id: 9,
             alloc_cursor: (1 << 32) + (4 << 21),
             stats: HvStats { traps: 11, hypercalls: 4, ..Default::default() },
             vms: vec![VmSnap {
@@ -826,6 +849,7 @@ mod tests {
                 run: VaccelRun::SavedInMemory,
                 shadow_status: CtrlStatus::Running,
                 forced_resets: 1,
+                job: (3 << 32) | 8,
             }],
             slots: vec![
                 SlotSnap {
@@ -863,6 +887,8 @@ mod tests {
                     at: 12_000_000,
                     observed: 0.01,
                     threshold: 0.05,
+                    job: Some((3 << 32) | 8),
+                    peer_job: None,
                 }],
             },
             iopt: vec![

@@ -56,6 +56,10 @@ pub struct VirtualAccel {
     pub shadow_status: CtrlStatus,
     /// Times this vaccel was forcibly reset after a preemption timeout.
     pub forced_resets: u64,
+    /// The in-flight (or most recently completed) job id, 0 if no job
+    /// was ever submitted. Minted at `CMD_START`, stable across
+    /// migration and live-update; journal records key on it.
+    pub job: u64,
 }
 
 impl VirtualAccel {
@@ -73,6 +77,7 @@ impl VirtualAccel {
             run: VaccelRun::Fresh,
             shadow_status: CtrlStatus::Idle,
             forced_resets: 0,
+            job: 0,
         }
     }
 

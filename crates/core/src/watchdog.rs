@@ -80,6 +80,13 @@ pub struct IsolationAlert {
     pub observed: f64,
     /// The threshold it was compared against.
     pub threshold: f64,
+    /// The affected job, if the slot had one in flight when the detector
+    /// tripped (`None` for device-wide detectors and idle slots).
+    pub job: Option<u64>,
+    /// For share-linked jobs, the peer on the other end of the channel:
+    /// a starvation alert on a stalled consumer names the starved
+    /// producer job instead of blaming the consumer's slot.
+    pub peer_job: Option<u64>,
 }
 
 /// Watchdog thresholds. All detectors are always on; set a threshold to
@@ -227,6 +234,8 @@ mod tests {
             at: 10,
             observed: 0.0,
             threshold: 0.2,
+            job: None,
+            peer_job: None,
         };
         assert!(wd.push(alert));
         assert!(wd.push(alert));

@@ -26,6 +26,11 @@
 //!   counters, gauges, and log2-bucketed histograms behind a branch-free
 //!   masked accumulate path (`OPTIMUS_METRICS=off` to disable), with
 //!   Prometheus/JSON exposition.
+//! * [`journal`] — the job-lifecycle journal: every submitted job gets a
+//!   stable `JobId` and a cycle-stamped phase record (submit → queued →
+//!   installed → executing → … → complete), from which per-tenant SLO
+//!   accounting (latency breakdowns, p50/p95/p99, goodput) is derived;
+//!   on by default, `OPTIMUS_JOURNAL=0` to disable.
 //! * [`spec`] — the executable isolation specification: a per-device
 //!   model of which tenant may touch which HPA, updated only from the
 //!   hypervisor's history and refinement-checked against every host
@@ -46,6 +51,7 @@
 
 pub mod clock;
 pub mod hashing;
+pub mod journal;
 pub mod metrics;
 pub mod perm;
 pub mod queue;

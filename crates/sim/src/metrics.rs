@@ -103,6 +103,14 @@ pub const FABRIC_FAIRNESS_JAIN: Metric = Metric(26);
 pub const NODE_CHUNKS: Metric = Metric(27);
 pub const NODE_CHUNK_CYCLES: Metric = Metric(28);
 pub const NODE_MIGRATIONS: Metric = Metric(29);
+pub const SLO_QUEUE_CYCLES: Metric = Metric(30);
+pub const SLO_INSTALL_CYCLES: Metric = Metric(31);
+pub const SLO_COMPUTE_CYCLES: Metric = Metric(32);
+pub const SLO_PREEMPT_CYCLES: Metric = Metric(33);
+pub const SLO_SHARE_STALL_CYCLES: Metric = Metric(34);
+pub const SLO_E2E_CYCLES: Metric = Metric(35);
+pub const SLO_JOBS_COMPLETED: Metric = Metric(36);
+pub const SLO_PAYLOAD_BYTES: Metric = Metric(37);
 
 use MetricKind::{Counter, Gauge, Histogram};
 
@@ -138,6 +146,14 @@ pub const REGISTRY: &[MetricDef] = &[
     MetricDef { id: NODE_CHUNKS, layer: "node", name: "chunks", label: "", kind: Counter, help: "Synchronization-horizon chunks stepped per device" },
     MetricDef { id: NODE_CHUNK_CYCLES, layer: "node", name: "chunk_cycles", label: "", kind: Histogram, help: "Cycles per stepped chunk per device" },
     MetricDef { id: NODE_MIGRATIONS, layer: "node", name: "migrations", label: "", kind: Counter, help: "Tenants migrated onto each device (recorded on the destination)" },
+    MetricDef { id: SLO_QUEUE_CYCLES, layer: "slo", name: "queue_cycles", label: "vaccel", kind: Histogram, help: "Per-job scheduler-queue wait (journal-derived, share stall excluded)" },
+    MetricDef { id: SLO_INSTALL_CYCLES, layer: "slo", name: "install_cycles", label: "vaccel", kind: Histogram, help: "Per-job install cost: register replay + VCU window programming" },
+    MetricDef { id: SLO_COMPUTE_CYCLES, layer: "slo", name: "compute_cycles", label: "vaccel", kind: Histogram, help: "Per-job fabric execution time" },
+    MetricDef { id: SLO_PREEMPT_CYCLES, layer: "slo", name: "preempt_cycles", label: "vaccel", kind: Histogram, help: "Per-job preemption overhead: drain/save plus restore" },
+    MetricDef { id: SLO_SHARE_STALL_CYCLES, layer: "slo", name: "share_stall_cycles", label: "vaccel", kind: Histogram, help: "Per-job wait on a share-linked producer, carved out of queue time" },
+    MetricDef { id: SLO_E2E_CYCLES, layer: "slo", name: "e2e_cycles", label: "vaccel", kind: Histogram, help: "Per-job end-to-end latency, submit to complete" },
+    MetricDef { id: SLO_JOBS_COMPLETED, layer: "slo", name: "jobs_completed", label: "vaccel", kind: Counter, help: "Jobs run to completion (journal-derived)" },
+    MetricDef { id: SLO_PAYLOAD_BYTES, layer: "slo", name: "payload_bytes", label: "vaccel", kind: Counter, help: "Completed-job payload bytes (mapped working set at submit)" },
 ];
 
 /// The registry entry for `m`.

@@ -139,6 +139,10 @@ enum EventKind {
     Begin,
     /// Closing edge of a nesting span (`ph: "E"`).
     End,
+    /// Flow-arrow start (`ph: "s"`): the `dur` field carries the flow id.
+    FlowStart,
+    /// Flow-arrow finish (`ph: "f"`, binding `bp: "e"`); id in `dur`.
+    FlowEnd,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -361,6 +365,28 @@ pub fn end(track: Track, name: &'static str, ts: Cycle) {
     emit(track, name, EventKind::End, ts, 0, &[]);
 }
 
+/// Opens a flow arrow (Perfetto `ph:"s"`): connect with a later
+/// [`flow_end`] carrying the same `id` (the job-lifecycle journal keys
+/// flows by `JobId`, so one job reads as one connected lane across
+/// preemption, migration, and share handoffs).
+#[inline]
+pub fn flow_start(track: Track, name: &'static str, ts: Cycle, id: u64) {
+    if !enabled() {
+        return;
+    }
+    emit(track, name, EventKind::FlowStart, ts, id, &[]);
+}
+
+/// Terminates a flow arrow (Perfetto `ph:"f"`, `bp:"e"`) opened by a
+/// [`flow_start`] with the same `id`.
+#[inline]
+pub fn flow_end(track: Track, name: &'static str, ts: Cycle, id: u64) {
+    if !enabled() {
+        return;
+    }
+    emit(track, name, EventKind::FlowEnd, ts, id, &[]);
+}
+
 /// Adds `delta` to the per-track counter `name` in the registry.
 #[inline]
 pub fn count(track: Track, name: &'static str, delta: u64) {
@@ -473,6 +499,8 @@ pub fn chrome_trace_json() -> String {
                 EventKind::Complete => "X",
                 EventKind::Begin => "B",
                 EventKind::End => "E",
+                EventKind::FlowStart => "s",
+                EventKind::FlowEnd => "f",
             };
             let _ = write!(
                 out,
@@ -486,6 +514,13 @@ pub fn chrome_trace_json() -> String {
             }
             if e.kind == EventKind::Instant {
                 out.push_str(",\"s\":\"t\"");
+            }
+            if matches!(e.kind, EventKind::FlowStart | EventKind::FlowEnd) {
+                // Flow id rides in `dur`; the journal passes the JobId.
+                let _ = write!(out, ",\"cat\":\"job\",\"id\":{}", e.dur);
+                if e.kind == EventKind::FlowEnd {
+                    out.push_str(",\"bp\":\"e\"");
+                }
             }
             let _ = write!(out, ",\"args\":{{\"cycle\":{}", e.ts);
             if e.kind == EventKind::Complete {
@@ -596,6 +631,22 @@ mod tests {
         assert!(dma < miss);
         // 12 cycles = 0.03 µs.
         assert!(json.contains("\"ts\":0.0300"));
+    }
+
+    #[test]
+    fn flow_events_render_with_id_and_binding_point() {
+        set_enabled(true);
+        reset();
+        flow_start(Track::vaccel(0), "job", 100, 0x1_0000_0007);
+        flow_end(Track::vaccel(3), "job", 900, 0x1_0000_0007);
+        let json = chrome_trace_json();
+        assert!(json.contains("\"ph\":\"s\""));
+        assert!(json.contains("\"ph\":\"f\""));
+        assert!(json.contains("\"cat\":\"job\",\"id\":4294967303"));
+        assert!(json.contains("\"bp\":\"e\""));
+        // Flows never leak a dur field (the id rides there internally).
+        assert!(!json.contains("\"dur\":"));
+        reset();
     }
 
     #[test]

@@ -213,6 +213,11 @@ pub struct Report {
     tables: Vec<TableData>,
     notes: Vec<String>,
     functions: Vec<FnStats>,
+    /// Labelled `(wall_secs, sim_rate)` sweep points recorded with
+    /// [`wall_point`](Report::wall_point). Wall-clock measurements the
+    /// bench used to print to stdout only; serialized under the volatile
+    /// `wall_points` key so fingerprints can exclude them.
+    wall_points: Vec<(String, f64, f64)>,
     /// Session start, for the wall-clock half of `sim_rate`.
     started: Instant,
     /// Global simulated-cycle counter at session start, so concurrent or
@@ -297,6 +302,58 @@ fn metrics_json() -> Json {
     )
 }
 
+/// Serializes one journal latency distribution (cycles).
+fn dist_json(d: &optimus_sim::journal::Dist) -> Json {
+    Json::obj(vec![
+        ("count", Json::Num(d.count as f64)),
+        ("p50", Json::Num(d.p50 as f64)),
+        ("p95", Json::Num(d.p95 as f64)),
+        ("p99", Json::Num(d.p99 as f64)),
+        ("mean", Json::Num(d.mean)),
+        ("max", Json::Num(d.max as f64)),
+    ])
+}
+
+/// Serializes the journal's per-tenant SLO accounting: job counts,
+/// goodput, and the latency breakdown (queue / install / compute /
+/// preempt-overhead / share-stall plus end-to-end) as p50/p95/p99
+/// distributions in fabric cycles. Tenants come back in the journal's
+/// deterministic (sorted) order.
+fn slo_json() -> Json {
+    use optimus_sim::journal;
+    Json::obj(vec![
+        ("jobs", Json::Num(journal::job_count() as f64)),
+        (
+            "tenants",
+            Json::Arr(
+                journal::tenant_summaries()
+                    .iter()
+                    .map(|t| {
+                        Json::obj(vec![
+                            ("tenant", Json::s(&t.tenant)),
+                            ("submitted", Json::Num(t.submitted as f64)),
+                            ("completed", Json::Num(t.completed as f64)),
+                            ("evicted", Json::Num(t.evicted as f64)),
+                            ("in_flight", Json::Num(t.in_flight as f64)),
+                            ("payload_bytes", Json::Num(t.payload_bytes as f64)),
+                            (
+                                "goodput_bytes_per_sec",
+                                Json::Num(t.goodput_bytes_per_sec),
+                            ),
+                            ("e2e_cycles", dist_json(&t.e2e)),
+                            ("queue_cycles", dist_json(&t.queue)),
+                            ("install_cycles", dist_json(&t.install)),
+                            ("compute_cycles", dist_json(&t.compute)),
+                            ("preempt_cycles", dist_json(&t.preempt)),
+                            ("share_stall_cycles", dist_json(&t.share_stall)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 impl Report {
     /// Creates a report session named after its figure/table.
     pub fn new(name: &str) -> Self {
@@ -305,6 +362,7 @@ impl Report {
             tables: Vec::new(),
             notes: Vec::new(),
             functions: Vec::new(),
+            wall_points: Vec::new(),
             started: Instant::now(),
             start_cycles: optimus_sim::simrate::cycles(),
         }
@@ -341,6 +399,15 @@ impl Report {
         let text = text.into();
         println!("{text}");
         self.notes.push(text);
+    }
+
+    /// Records one labelled wall-clock measurement point (a sweep step's
+    /// wall seconds and sim rate in cycles/s). Benches that print per-step
+    /// rates to stdout record them here too so the JSON report carries
+    /// them; the key is volatile and excluded from determinism
+    /// fingerprints like `wall_secs`/`sim_rate`.
+    pub fn wall_point(&mut self, label: &str, wall_secs: f64, sim_rate: f64) {
+        self.wall_points.push((label.to_string(), wall_secs, sim_rate));
     }
 
     fn to_json(&self) -> Json {
@@ -387,6 +454,26 @@ impl Report {
                 Json::Arr(self.notes.iter().map(Json::s).collect()),
             ),
         ];
+        if !self.wall_points.is_empty() {
+            fields.push((
+                "wall_points",
+                Json::Arr(
+                    self.wall_points
+                        .iter()
+                        .map(|(label, secs, rate)| {
+                            Json::obj(vec![
+                                ("label", Json::s(label)),
+                                ("wall_secs", Json::Num(*secs)),
+                                ("sim_rate", Json::Num(*rate)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        if optimus_sim::journal::enabled() {
+            fields.push(("slo", slo_json()));
+        }
         if optimus_sim::metrics::enabled() {
             fields.push(("metrics", metrics_json()));
         }
@@ -416,12 +503,27 @@ impl Report {
 
     /// Writes `BENCH_<name>.json` into [`report_dir`]; returns its path.
     /// With metrics enabled, a Prometheus text-format snapshot lands next
-    /// to it as `PROM_<name>.prom`.
+    /// to it as `PROM_<name>.prom`; with the journal enabled, the SLO
+    /// accounting also lands standalone as `SLO_<name>.json`.
     pub fn finish(self) -> std::io::Result<PathBuf> {
+        // Fold the journal's finished episodes into the metrics plane
+        // first, so the `metrics` section and the Prometheus snapshot
+        // carry the slo/* series alongside everything else.
+        optimus_sim::journal::publish_metrics();
         let dir = report_dir();
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("BENCH_{}.json", self.name));
         std::fs::write(&path, self.to_json().render() + "\n")?;
+        if optimus_sim::journal::enabled() {
+            let slo_path = dir.join(format!("SLO_{}.json", self.name));
+            let doc = Json::obj(vec![
+                ("schema", Json::s("optimus-testkit/slo-report/v1")),
+                ("bench", Json::s(&self.name)),
+                ("slo", slo_json()),
+            ]);
+            std::fs::write(&slo_path, doc.render() + "\n")?;
+            println!("slo: {}", slo_path.display());
+        }
         if optimus_sim::metrics::enabled() {
             let prom_path = dir.join(format!("PROM_{}.prom", self.name));
             std::fs::write(&prom_path, optimus_sim::metrics::prometheus_text())?;
@@ -469,6 +571,25 @@ mod tests {
         // With iters pinned to 1, the closure ran once per sample and the
         // calibration probe never ran.
         assert_eq!(calls.get(), 12);
+    }
+
+    #[test]
+    fn report_carries_wall_points_and_slo_section() {
+        use optimus_sim::journal;
+        journal::reset();
+        journal::set_enabled(true);
+        journal::submit(7, "tenant0", 0, 0, 4096, 100);
+        journal::phase(7, journal::Phase::Executing, 200);
+        journal::phase(7, journal::Phase::Complete, 500);
+        let mut r = Report::new("unit_slo");
+        r.wall_point("nodes=2", 0.25, 1.5e6);
+        let doc = r.to_json().render();
+        assert!(doc.contains(r#""wall_points""#));
+        assert!(doc.contains(r#""label":"nodes=2""#));
+        assert!(doc.contains(r#""slo""#));
+        assert!(doc.contains(r#""tenant":"tenant0""#));
+        assert!(doc.contains(r#""completed":1"#));
+        journal::reset();
     }
 
     #[test]

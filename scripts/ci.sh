@@ -41,13 +41,24 @@
 #     discarded, zero refinement violations) and the noninterference
 #     differential (victim data observables bit-identical ± adversary,
 #     across thread counts, schedules, and mid-run migrate/live-update).
+# 10. Shared-channel gate: the producer/consumer pipeline bench must
+#     measure identically across thread schedules and with the spec plane
+#     auditing every handle entitlement; zero-copy must beat CPU staging;
+#     plus the cross-tenant channel noninterference and share-migration
+#     property suites.
+# 11. Journal gate: run one fig5 sweep point with the job-lifecycle
+#     journal on (the default) and with OPTIMUS_JOURNAL=0, assert the
+#     bench fingerprints (minus the journal-derived slo/metrics sections)
+#     are byte-identical, validate the standalone SLO_<name>.json report
+#     offline against its schema, and fail if journal-on regresses
+#     best-of-two sim_rate by more than 5 %.
 #
 # The whole script runs with no network access.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/10] registry-dependency check =="
+echo "== [1/11] registry-dependency check =="
 python3 - <<'PYEOF'
 import glob, re, sys
 
@@ -85,19 +96,19 @@ if offenders:
 print("ok: all dependencies are in-tree path dependencies")
 PYEOF
 
-echo "== [2/10] tier-1: build + tests =="
+echo "== [2/11] tier-1: build + tests =="
 cargo build --release
 cargo test -q
 cargo test --workspace -q
 
-echo "== [2b/10] fast-forward differential equivalence (per-cycle mode) =="
+echo "== [2b/11] fast-forward differential equivalence (per-cycle mode) =="
 # Re-run the fabric and hypervisor suites with fast-forwarding disabled:
 # the differential property tests then compare per-cycle stepping against
 # an explicitly re-enabled fast path, and every other test exercises the
 # seed's original cycle loop.
 OPTIMUS_NO_FASTFWD=1 cargo test -q -p optimus-fabric -p optimus
 
-echo "== [3/10] bench smoke (tiny scales, one JSON report per target) =="
+echo "== [3/11] bench smoke (tiny scales, one JSON report per target) =="
 BENCH_DIR="target/bench-reports-ci"
 rm -rf "$BENCH_DIR"
 export OPTIMUS_BENCH_DIR="$PWD/$BENCH_DIR"
@@ -122,7 +133,7 @@ for b in $BENCHES; do
 done
 echo "ok: $(ls "$BENCH_DIR" | wc -l) bench reports in $BENCH_DIR"
 
-echo "== [4/10] trace smoke (flight recorder on one fig5 point) =="
+echo "== [4/11] trace smoke (flight recorder on one fig5 point) =="
 TRACE_DIR="target/trace-smoke-ci"
 rm -rf "$TRACE_DIR" "$TRACE_DIR-off"
 # Traced run: one fig5 sweep point with the flight recorder on.
@@ -177,7 +188,8 @@ print(f"ok: {len(counters)} trace counters appended to BENCH json")
 # (everything except wall-clock-dependent and trace-only fields) is
 # byte-identical between the traced and untraced runs. ---
 plain = json.load(open(f"{plain_dir}/BENCH_fig5_latency.json"))
-VOLATILE = ("wall_secs", "sim_rate", "trace_counters", "trace_events", "trace_dropped")
+VOLATILE = ("wall_secs", "sim_rate", "wall_points", "trace_counters",
+            "trace_events", "trace_dropped")
 def fingerprint(d):
     return json.dumps(
         {k: v for k, v in d.items() if k not in VOLATILE},
@@ -188,7 +200,7 @@ if fingerprint(traced) != fingerprint(plain):
 print("ok: bench fingerprint byte-identical with tracing on and off")
 PYEOF
 
-echo "== [5/10] node smoke (parallel vs serial device stepping) =="
+echo "== [5/11] node smoke (parallel vs serial device stepping) =="
 NODE_DIR="target/node-smoke-ci"
 rm -rf "$NODE_DIR-par" "$NODE_DIR-ser"
 # Parallel run: pin the worker count so the check is meaningful even on a
@@ -204,7 +216,8 @@ import json, sys
 par_dir, ser_dir = sys.argv[1], sys.argv[2]
 par = json.load(open(f"{par_dir}/BENCH_cluster_scale.json"))
 ser = json.load(open(f"{ser_dir}/BENCH_cluster_scale.json"))
-VOLATILE = ("wall_secs", "sim_rate", "trace_counters", "trace_events", "trace_dropped")
+VOLATILE = ("wall_secs", "sim_rate", "wall_points", "trace_counters",
+            "trace_events", "trace_dropped")
 def fingerprint(d):
     return json.dumps(
         {k: v for k, v in d.items() if k not in VOLATILE},
@@ -215,7 +228,7 @@ if fingerprint(par) != fingerprint(ser):
 print("ok: cluster_scale fingerprint byte-identical, parallel vs serial")
 PYEOF
 
-echo "== [6/10] metrics smoke (always-on metrics plane on one fig5 point) =="
+echo "== [6/11] metrics smoke (always-on metrics plane on one fig5 point) =="
 MET_DIR="target/metrics-smoke-ci"
 rm -rf "$MET_DIR-short" "$MET_DIR-on" "$MET_DIR-on2" "$MET_DIR-off" "$MET_DIR-off2"
 # Short run: the stage-3 window, used as the earlier snapshot for the
@@ -250,8 +263,8 @@ if "metrics" in off:
 # --- 2. Metrics never change the measurement: fingerprints (minus the
 # metrics section itself) byte-identical on vs off; and the metrics
 # section itself is run-to-run deterministic. ---
-VOLATILE = ("wall_secs", "sim_rate", "trace_counters", "trace_events",
-            "trace_dropped", "metrics")
+VOLATILE = ("wall_secs", "sim_rate", "wall_points", "trace_counters",
+            "trace_events", "trace_dropped", "metrics")
 def fingerprint(d):
     return json.dumps(
         {k: v for k, v in d.items() if k not in VOLATILE},
@@ -332,7 +345,7 @@ if ratio < 0.95:
 print(f"ok: metrics overhead within bound (on/off sim_rate ratio {ratio:.1%})")
 PYEOF
 
-echo "== [7/10] migration smoke (live-update + cross-device rebalance) =="
+echo "== [7/11] migration smoke (live-update + cross-device rebalance) =="
 MIG_DIR="target/migrate-smoke-ci"
 rm -rf "$MIG_DIR-lu" "$MIG_DIR-plain" "$MIG_DIR-reb-ser" "$MIG_DIR-reb-par"
 # Live-update run: freeze -> wire bytes -> thaw a fresh hypervisor over
@@ -351,7 +364,8 @@ python3 - "$MIG_DIR-lu" "$MIG_DIR-plain" "$MIG_DIR-reb-ser" "$MIG_DIR-reb-par" <
 import json, sys
 
 lu_dir, plain_dir, ser_dir, par_dir = sys.argv[1:5]
-VOLATILE = ("wall_secs", "sim_rate", "trace_counters", "trace_events", "trace_dropped")
+VOLATILE = ("wall_secs", "sim_rate", "wall_points", "trace_counters",
+            "trace_events", "trace_dropped")
 def fingerprint(path):
     d = json.load(open(path))
     return json.dumps(
@@ -388,7 +402,7 @@ if int(after[4]) != 0:
 print(f"ok: fairness recovered (Jain {before[3]} -> {after[3]}, alerts {before[4]} -> 0)")
 PYEOF
 
-echo "== [8/10] sim-rate regression gate (best-of-two vs committed baseline) =="
+echo "== [8/11] sim-rate regression gate (best-of-two vs committed baseline) =="
 RATE_DIR="target/simrate-gate-ci"
 rm -rf "$RATE_DIR-1" "$RATE_DIR-2"
 # Same knobs as stage 3 (still exported). Two runs per bench: single-run
@@ -432,7 +446,7 @@ if failed:
     sys.exit(1)
 PYEOF
 
-echo "== [9/10] isolation gate (spec invisibility + WildDma + noninterference) =="
+echo "== [9/11] isolation gate (spec invisibility + WildDma + noninterference) =="
 SPEC_DIR="target/spec-smoke-ci"
 rm -rf "$SPEC_DIR-on" "$SPEC_DIR-off"
 # Spec-checked run: every CCI DMA, MMIO delivery, CPU guest access,
@@ -447,7 +461,8 @@ python3 - "$SPEC_DIR-on" "$SPEC_DIR-off" <<'PYEOF'
 import json, sys
 
 on_dir, off_dir = sys.argv[1], sys.argv[2]
-VOLATILE = ("wall_secs", "sim_rate", "trace_counters", "trace_events", "trace_dropped")
+VOLATILE = ("wall_secs", "sim_rate", "wall_points", "trace_counters",
+            "trace_events", "trace_dropped")
 def fingerprint(path):
     d = json.load(open(path))
     return json.dumps(
@@ -468,7 +483,7 @@ cargo test -q -p optimus --test spec_prop
 # mid-run migrate + live-update with wild DMA in flight.
 cargo test -q -p optimus --test noninterference_prop
 
-echo "== [10/10] shared-channel gate (pipeline handoff + cross-tenant noninterference) =="
+echo "== [10/11] shared-channel gate (pipeline handoff + cross-tenant noninterference) =="
 PIPE_DIR="target/pipe-smoke-ci"
 rm -rf "$PIPE_DIR-ser" "$PIPE_DIR-par" "$PIPE_DIR-spec"
 # The producer/consumer pipeline (GAU filter -> shared span -> SHA-512)
@@ -484,7 +499,8 @@ python3 - "$PIPE_DIR-ser" "$PIPE_DIR-par" "$PIPE_DIR-spec" <<'PYEOF'
 import json, sys
 
 ser_dir, par_dir, spec_dir = sys.argv[1:4]
-VOLATILE = ("wall_secs", "sim_rate", "trace_counters", "trace_events", "trace_dropped")
+VOLATILE = ("wall_secs", "sim_rate", "wall_points", "trace_counters",
+            "trace_events", "trace_dropped")
 def fingerprint(path):
     d = json.load(open(path))
     return json.dumps(
@@ -520,5 +536,104 @@ cargo test -q -p optimus --test noninterference_prop \
 # stay contained and shrink to the minimal violating history.
 cargo test -q -p optimus --test share_migrate
 cargo test -q -p optimus --test free_run_prop cross_device_share_grid_matches_lockstep_baseline
+
+echo "== [11/11] journal gate (job-lifecycle journal + SLO accounting) =="
+JRN_DIR="target/journal-smoke-ci"
+rm -rf "$JRN_DIR-on" "$JRN_DIR-on2" "$JRN_DIR-off" "$JRN_DIR-off2" "$JRN_DIR-warm"
+# Journal on (the default) and off, twice each. The fingerprint
+# comparison uses the first pair; the sim_rate bound takes each mode's
+# best of two so one scheduler hiccup can't fail the gate. A discarded
+# warm-up run plus off/on interleaving keep batch-order bias (the first
+# run of a batch pays the cold caches) from penalizing either mode, and
+# the 20 M-cycle window makes the timed region tens of milliseconds —
+# at the 180 k quick window the run is sub-millisecond and the rate is
+# pure timer noise.
+OPTIMUS_BENCH_DIR="$PWD/$JRN_DIR-warm" OPTIMUS_FIG5_QUICK=1 OPTIMUS_BENCH_WINDOW=20000000 \
+    cargo bench -q -p optimus-bench --bench fig5_latency >/dev/null
+for d in off on off2 on2; do
+    case "$d" in
+        off*) # explicitly disabled
+            OPTIMUS_BENCH_DIR="$PWD/$JRN_DIR-$d" OPTIMUS_FIG5_QUICK=1 \
+                OPTIMUS_BENCH_WINDOW=20000000 OPTIMUS_JOURNAL=0 \
+                cargo bench -q -p optimus-bench --bench fig5_latency >/dev/null
+            ;;
+        *) # the default: no env var, journal on
+            OPTIMUS_BENCH_DIR="$PWD/$JRN_DIR-$d" OPTIMUS_FIG5_QUICK=1 \
+                OPTIMUS_BENCH_WINDOW=20000000 \
+                cargo bench -q -p optimus-bench --bench fig5_latency >/dev/null
+            ;;
+    esac
+done
+python3 - "$JRN_DIR-on" "$JRN_DIR-on2" "$JRN_DIR-off" "$JRN_DIR-off2" <<'PYEOF'
+import json, sys
+
+on_dir, on2_dir, off_dir, off2_dir = sys.argv[1:5]
+load = lambda d: json.load(open(f"{d}/BENCH_fig5_latency.json"))
+on, on2, off, off2 = map(load, (on_dir, on2_dir, off_dir, off2_dir))
+
+# --- 1. The slo section exists when on and is absent when off. ---
+if "slo" not in on or not on["slo"].get("tenants"):
+    sys.exit("FAIL: journal-on BENCH json lacks an slo section")
+if "slo" in off:
+    sys.exit("FAIL: OPTIMUS_JOURNAL=0 still emitted an slo section")
+
+# --- 2. The journal never changes the measurement: fingerprints (minus
+# the slo section itself and the metrics section, which carries slo/*
+# series only when the journal is on) byte-identical on vs off; and the
+# slo section itself is run-to-run deterministic. ---
+VOLATILE = ("wall_secs", "sim_rate", "wall_points", "trace_counters",
+            "trace_events", "trace_dropped", "slo", "metrics")
+def fingerprint(d):
+    return json.dumps(
+        {k: v for k, v in d.items() if k not in VOLATILE},
+        sort_keys=True,
+    ).encode()
+if fingerprint(on) != fingerprint(off):
+    sys.exit("FAIL: the job journal changed the bench fingerprint")
+if json.dumps(on["slo"], sort_keys=True) != json.dumps(on2["slo"], sort_keys=True):
+    sys.exit("FAIL: slo section differs between identical runs")
+print("ok: bench fingerprint byte-identical with the journal on and off")
+
+# --- 3. Offline schema validation of the standalone SLO report. ---
+doc = json.load(open(f"{on_dir}/SLO_fig5_latency.json"))
+if doc.get("schema") != "optimus-testkit/slo-report/v1":
+    sys.exit(f"FAIL: SLO report schema wrong: {doc.get('schema')}")
+if doc.get("bench") != "fig5_latency":
+    sys.exit(f"FAIL: SLO report bench name wrong: {doc.get('bench')}")
+slo = doc["slo"]
+if slo["jobs"] < 1 or not slo["tenants"]:
+    sys.exit("FAIL: SLO report recorded no jobs")
+DISTS = ("e2e_cycles", "queue_cycles", "install_cycles", "compute_cycles",
+         "preempt_cycles", "share_stall_cycles")
+COUNTS = ("submitted", "completed", "evicted", "in_flight")
+for t in slo["tenants"]:
+    for field in ("tenant", "payload_bytes", "goodput_bytes_per_sec") + COUNTS + DISTS:
+        if field not in t:
+            sys.exit(f"FAIL: tenant {t.get('tenant')} missing field {field}")
+    if t["submitted"] != t["completed"] + t["evicted"] + t["in_flight"]:
+        sys.exit(f"FAIL: tenant {t['tenant']} episode counts do not add up")
+    for d in DISTS:
+        dist = t[d]
+        for f in ("count", "p50", "p95", "p99", "mean", "max"):
+            if f not in dist:
+                sys.exit(f"FAIL: tenant {t['tenant']} {d} missing {f}")
+        if not (dist["p50"] <= dist["p95"] <= dist["p99"] <= dist["max"]):
+            sys.exit(f"FAIL: tenant {t['tenant']} {d} percentiles not ordered")
+    if t["completed"] and t["e2e_cycles"]["count"] != t["completed"]:
+        sys.exit(f"FAIL: tenant {t['tenant']} e2e count != completed")
+if doc["slo"] != on["slo"]:
+    sys.exit("FAIL: standalone SLO report differs from the embedded slo section")
+print(f"ok: SLO report valid ({slo['jobs']} jobs, {len(slo['tenants'])} tenants)")
+
+# --- 4. The always-on journal is cheap: best-of-two sim_rate with the
+# journal on must stay within 5% of journal off. ---
+rate_on = max(on["sim_rate"], on2["sim_rate"])
+rate_off = max(off["sim_rate"], off2["sim_rate"])
+ratio = rate_on / rate_off
+if ratio < 0.95:
+    sys.exit(f"FAIL: journal-on sim_rate {rate_on:.0f} is {ratio:.1%} of "
+             f"journal-off {rate_off:.0f} (bound: 95%)")
+print(f"ok: journal overhead within bound (on/off sim_rate ratio {ratio:.1%})")
+PYEOF
 
 echo "CI PASSED"
